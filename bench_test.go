@@ -1,0 +1,317 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// section, plus the ablation studies DESIGN.md §4 calls out.
+//
+// Figure benches run a miniature campaign (a few repetitions per x-point)
+// per iteration and additionally report the headline comparison as custom
+// metrics: HDLTS's mean SLR or efficiency and the gap to HEFT
+// (negative gap = HDLTS better on SLR figures, positive = better on
+// efficiency figures). Shapes at paper scale are produced by
+// cmd/experiments and recorded in EXPERIMENTS.md.
+//
+//	go test -bench=. -benchmem
+package hdlts_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hdlts/internal/core"
+	"hdlts/internal/dynamic"
+	"hdlts/internal/experiments"
+	"hdlts/internal/gen"
+	"hdlts/internal/registry"
+	"hdlts/internal/sched"
+	"hdlts/internal/stats"
+	"hdlts/internal/workflows"
+)
+
+// benchReps keeps each figure-bench iteration around a hundred schedules:
+// big enough to exercise the full pipeline, small enough to iterate.
+const benchReps = 3
+
+// benchFigure runs one experiment campaign per iteration and reports the
+// final HDLTS and HEFT means as custom metrics.
+func benchFigure(b *testing.B, name string) {
+	b.Helper()
+	e, err := experiments.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.Config{Reps: benchReps, Seed: 1, Algorithms: registry.All()}
+	var tbl *experiments.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		tbl, err = experiments.Run(e, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	h := tbl.SeriesByName("HDLTS")
+	f := tbl.SeriesByName("HEFT")
+	b.ReportMetric(stats.Mean(h.Mean), "hdlts_"+metricUnit(e.Metric))
+	b.ReportMetric(stats.Mean(h.Mean)-stats.Mean(f.Mean), "gap_vs_heft")
+}
+
+func metricUnit(metric string) string {
+	if metric == experiments.MetricEfficiency {
+		return "eff"
+	}
+	return "slr"
+}
+
+// BenchmarkTableI regenerates the worked-example trace (Table I): the full
+// HDLTS run with per-step trace capture on the Fig. 1 instance.
+func BenchmarkTableI(b *testing.B) {
+	pr := workflows.PaperExample()
+	h := core.New()
+	for i := 0; i < b.N; i++ {
+		s, steps, err := h.ScheduleTrace(pr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Makespan() != 73 || len(steps) != 10 {
+			b.Fatalf("trace drifted: makespan %g, %d steps", s.Makespan(), len(steps))
+		}
+	}
+}
+
+// BenchmarkGenerator exercises the Table II random-graph generator at a
+// mid-grid parameter point (V=500).
+func BenchmarkGenerator(b *testing.B) {
+	p := gen.Params{V: 500, Alpha: 1.5, Density: 3, CCR: 3, Procs: 6, WDAG: 80, Beta: 1.2}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Random(p, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per evaluation figure.
+
+func BenchmarkFig2(b *testing.B)   { benchFigure(b, "fig2") }
+func BenchmarkFig3(b *testing.B)   { benchFigure(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { benchFigure(b, "fig4") }
+func BenchmarkFig6(b *testing.B)   { benchFigure(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchFigure(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchFigure(b, "fig8") }
+func BenchmarkFig10a(b *testing.B) { benchFigure(b, "fig10a") }
+func BenchmarkFig10b(b *testing.B) { benchFigure(b, "fig10b") }
+func BenchmarkFig11(b *testing.B)  { benchFigure(b, "fig11") }
+func BenchmarkFig13(b *testing.B)  { benchFigure(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { benchFigure(b, "fig14") }
+
+// benchProblems draws a fixed sample of mid-size problems for the
+// per-algorithm and ablation benches.
+func benchProblems(b *testing.B, n int) []*sched.Problem {
+	b.Helper()
+	rng := rand.New(rand.NewSource(99))
+	prs := make([]*sched.Problem, n)
+	for i := range prs {
+		pr, err := gen.Random(gen.Params{V: 300, Alpha: 1.5, Density: 3, CCR: 3, Procs: 8, WDAG: 80, Beta: 1.2}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prs[i] = pr
+	}
+	return prs
+}
+
+// benchAlgorithm times one scheduler over a fixed problem sample and
+// reports its mean SLR as a custom metric.
+func benchAlgorithm(b *testing.B, alg sched.Algorithm) {
+	b.Helper()
+	prs := benchProblems(b, 8)
+	var acc stats.Running
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr := prs[i%len(prs)]
+		s, err := alg.Schedule(pr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lb, err := pr.CPMinLowerBound()
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc.Add(s.Makespan() / lb)
+	}
+	b.StopTimer()
+	b.ReportMetric(acc.Mean(), "mean_slr")
+}
+
+// Per-algorithm scheduling throughput on identical 300-task workloads.
+
+func BenchmarkScheduleHDLTS(b *testing.B)  { benchAlgorithm(b, core.New()) }
+func BenchmarkScheduleHEFT(b *testing.B)   { benchAlgorithm(b, registry.MustGet("heft")) }
+func BenchmarkScheduleCPOP(b *testing.B)   { benchAlgorithm(b, registry.MustGet("cpop")) }
+func BenchmarkSchedulePETS(b *testing.B)   { benchAlgorithm(b, registry.MustGet("pets")) }
+func BenchmarkSchedulePEFT(b *testing.B)   { benchAlgorithm(b, registry.MustGet("peft")) }
+func BenchmarkScheduleSDBATS(b *testing.B) { benchAlgorithm(b, registry.MustGet("sdbats")) }
+
+// Ablation benches (DESIGN.md §4): identical workloads, one design knob
+// toggled; mean SLR is the quality metric to compare across variants.
+
+func BenchmarkAblationDuplicationOn(b *testing.B) {
+	benchAlgorithm(b, core.New())
+}
+
+func BenchmarkAblationDuplicationOff(b *testing.B) {
+	benchAlgorithm(b, core.NewWithOptions(core.Options{DisableDuplication: true}))
+}
+
+func BenchmarkAblationSigmaSample(b *testing.B) {
+	benchAlgorithm(b, core.New())
+}
+
+func BenchmarkAblationSigmaPopulation(b *testing.B) {
+	benchAlgorithm(b, core.NewWithOptions(core.Options{PopulationSigma: true}))
+}
+
+func BenchmarkAblationPlacementAvail(b *testing.B) {
+	benchAlgorithm(b, core.New())
+}
+
+func BenchmarkAblationPlacementInsertion(b *testing.B) {
+	benchAlgorithm(b, core.NewWithOptions(core.Options{Insertion: true}))
+}
+
+func BenchmarkAblationLookaheadOff(b *testing.B) {
+	benchAlgorithm(b, core.New())
+}
+
+func BenchmarkAblationLookaheadOn(b *testing.B) {
+	benchAlgorithm(b, core.NewWithOptions(core.Options{Lookahead: true}))
+}
+
+// BenchmarkAblationPaperModeHEFT times the avail-based HEFT variant used in
+// paper-mode comparisons (fairness check for the published shape).
+func BenchmarkAblationPaperModeHEFT(b *testing.B) {
+	for _, alg := range registry.PaperMode() {
+		if alg.Name() == "HEFT" {
+			benchAlgorithm(b, alg)
+			return
+		}
+	}
+	b.Fatal("paper-mode HEFT not found")
+}
+
+// Extension benches: online execution under uncertainty (the paper's
+// future-work scenario). Each iteration executes the full policy panel over
+// one reality; mean actual SLR of the online HDLTS policy is reported as a
+// custom metric.
+
+func BenchmarkExtUncertain(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	pr, err := gen.Random(gen.Params{V: 100, Alpha: 1, Density: 3, CCR: 2, Procs: 8, WDAG: 80, Beta: 1.2}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var acc stats.Running
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sums, err := dynamic.Compare(pr, dynamic.Uncertainty{ExecJitter: 0.3, CommJitter: 0.3}, nil, 1, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc.Add(sums[0].SLR.Mean()) // sums[0] is HDLTS-online
+	}
+	b.StopTimer()
+	b.ReportMetric(acc.Mean(), "hdlts_online_slr")
+}
+
+func BenchmarkExtFailure(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	pr, err := gen.Random(gen.Params{V: 100, Alpha: 1, Density: 3, CCR: 2, Procs: 8, WDAG: 80, Beta: 1.2}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fails := []dynamic.Failure{{Proc: 0, At: 150}, {Proc: 1, At: 300}}
+	var acc stats.Running
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sums, err := dynamic.Compare(pr, dynamic.Uncertainty{ExecJitter: 0.2, CommJitter: 0.2}, fails, 1, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc.Add(sums[0].SLR.Mean())
+	}
+	b.StopTimer()
+	b.ReportMetric(acc.Mean(), "hdlts_online_slr")
+}
+
+// BenchmarkExtraSchedulers times the reference schedulers beyond the
+// paper's comparison set on the shared 300-task workload.
+func BenchmarkExtraSchedulers(b *testing.B) {
+	for _, name := range []string{"dheft", "dls", "dsc", "ga", "mct", "minmin", "maxmin"} {
+		name := name
+		b.Run(name, func(b *testing.B) { benchAlgorithm(b, registry.MustGet(name)) })
+	}
+}
+
+// BenchmarkScaling tracks HDLTS runtime growth across the paper's task-size
+// axis (Fig. 3's x-axis), one sub-bench per size.
+func BenchmarkScaling(b *testing.B) {
+	for _, v := range []int{100, 500, 1000, 5000, 10000} {
+		v := v
+		b.Run(itoa(v), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			pr, err := gen.Random(gen.Params{V: v, Alpha: 1.5, Density: 3, CCR: 2, Procs: 8, WDAG: 80, Beta: 1.2}, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := core.New()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.Schedule(pr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkAblationCompaction measures the post-pass compaction's effect on
+// HDLTS's avail-based schedules (insertion-based schedules are usually
+// already tight): time includes the compaction, the custom metric is the
+// resulting mean SLR for comparison with BenchmarkAblationPlacement*.
+func BenchmarkAblationCompaction(b *testing.B) {
+	prs := benchProblems(b, 8)
+	h := core.New()
+	var acc stats.Running
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr := prs[i%len(prs)]
+		s, err := h.Schedule(pr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := s.Compact()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lb, err := pr.CPMinLowerBound()
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc.Add(c.Makespan() / lb)
+	}
+	b.StopTimer()
+	b.ReportMetric(acc.Mean(), "mean_slr")
+}

@@ -1,0 +1,129 @@
+// Command dagen generates application-workflow problem instances — random
+// (Table II parameters), FFT, Montage, or Molecular Dynamics — and writes
+// them as problem JSON (consumed by cmd/hdltsched) or Graphviz DOT.
+//
+// Usage:
+//
+//	dagen -kind random -v 200 -alpha 1.0 -density 3 -ccr 2 -procs 4 > p.json
+//	dagen -kind fft -m 16 -ccr 3 > fft.json
+//	dagen -kind montage -n 50 -procs 5 > montage.json
+//	dagen -kind gauss -n 8 > ge.json
+//	dagen -kind epigenomics -n 6 > epi.json
+//	dagen -kind moldyn -dot > md.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/gen"
+	"hdlts/internal/sched"
+	"hdlts/internal/workflows"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "random", "workflow kind: random | fft | montage | moldyn | example")
+		v       = flag.Int("v", 100, "random: number of tasks")
+		alpha   = flag.Float64("alpha", 1.0, "random: shape parameter")
+		density = flag.Int("density", 3, "random: task out-degree")
+		multi   = flag.Bool("multientry", false, "random: allow multiple entry tasks")
+		m       = flag.Int("m", 16, "fft: input points (power of two)")
+		n       = flag.Int("n", 50, "size: montage total tasks / gauss matrix size / epigenomics lanes / cybershake variations / ligo blocks")
+		ccr     = flag.Float64("ccr", 1.0, "communication-to-computation ratio")
+		procs   = flag.Int("procs", 4, "number of processors")
+		wdag    = flag.Float64("wdag", 80, "mean DAG computation time")
+		beta    = flag.Float64("beta", 1.2, "heterogeneity factor (0..2)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		dot     = flag.Bool("dot", false, "emit Graphviz DOT instead of problem JSON")
+		from    = flag.String("from", "", "dot kind: import the workflow structure from this Graphviz DOT file")
+		stats   = flag.Bool("stats", false, "print workflow statistics to stderr")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, os.Stderr, *kind, *v, *alpha, *density, *multi, *m, *n, *ccr, *procs, *wdag, *beta, *seed, *dot, *from, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "dagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, errw io.Writer, kind string, v int, alpha float64, density int, multi bool, m, n int, ccr float64, procs int, wdag, beta float64, seed int64, dot bool, from string, stats bool) error {
+	rng := rand.New(rand.NewSource(seed))
+	cost := gen.CostParams{Procs: procs, WDAG: wdag, Beta: beta, CCR: ccr}
+
+	var pr *sched.Problem
+	var err error
+	switch kind {
+	case "random":
+		pr, err = gen.Random(gen.Params{
+			V: v, Alpha: alpha, Density: density, CCR: ccr,
+			Procs: procs, WDAG: wdag, Beta: beta, MultiEntry: multi,
+		}, rng)
+	case "fft":
+		var g *dag.Graph
+		if g, err = workflows.FFTGraph(m); err == nil {
+			pr, err = gen.AssignCosts(g, cost, rng)
+		}
+	case "montage":
+		var g *dag.Graph
+		if g, err = workflows.MontageGraph(n); err == nil {
+			pr, err = gen.AssignCosts(g, cost, rng)
+		}
+	case "moldyn":
+		pr, err = gen.AssignCosts(workflows.MolDynGraph(), cost, rng)
+	case "gauss":
+		var g *dag.Graph
+		if g, err = workflows.GaussianGraph(n); err == nil {
+			pr, err = gen.AssignCosts(g, cost, rng)
+		}
+	case "epigenomics":
+		var g *dag.Graph
+		if g, err = workflows.EpigenomicsGraph(n); err == nil {
+			pr, err = gen.AssignCosts(g, cost, rng)
+		}
+	case "cybershake":
+		var g *dag.Graph
+		if g, err = workflows.CyberShakeGraph(n); err == nil {
+			pr, err = gen.AssignCosts(g, cost, rng)
+		}
+	case "ligo":
+		var g *dag.Graph
+		if g, err = workflows.LIGOGraph(n); err == nil {
+			pr, err = gen.AssignCosts(g, cost, rng)
+		}
+	case "dot":
+		if from == "" {
+			return fmt.Errorf("-kind dot requires -from <file.dot>")
+		}
+		var g *dag.Graph
+		var fh *os.File
+		if fh, err = os.Open(from); err == nil {
+			g, err = dag.ReadDOT(fh)
+			fh.Close()
+		}
+		if err == nil {
+			pr, err = gen.AssignCosts(g, cost, rng)
+		}
+	case "example":
+		pr = workflows.PaperExample()
+	default:
+		return fmt.Errorf("unknown -kind %q (want random | fft | montage | moldyn | gauss | epigenomics | cybershake | ligo | dot | example)", kind)
+	}
+	if err != nil {
+		return err
+	}
+	if stats {
+		st, err := dag.ComputeStats(pr.G)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(errw, st.String())
+	}
+	if dot {
+		return pr.G.WriteDOT(out, kind)
+	}
+	return pr.WriteJSON(out)
+}

@@ -1,0 +1,200 @@
+// Command experiments regenerates the paper's evaluation: every figure
+// (average SLR / efficiency curves over random, FFT, Montage, and Molecular
+// Dynamics workflows) and the Table I step trace.
+//
+// Usage:
+//
+//	experiments -run all                  # every figure, text tables
+//	experiments -run fig2,fig4 -reps 200  # selected figures, more samples
+//	experiments -run tableI               # the worked-example trace
+//	experiments -mode paper               # uniform avail-based placement
+//	experiments -csv out/                 # additionally write CSV per figure
+//
+// Modes: "canonical" (default) runs every baseline exactly as its original
+// paper specifies (insertion-based placement); "paper" runs all schedulers
+// with avail-based placement, the configuration under which the HDLTS
+// paper's published comparison shape reproduces (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hdlts/internal/core"
+	"hdlts/internal/experiments"
+	"hdlts/internal/registry"
+	"hdlts/internal/sched"
+	"hdlts/internal/workflows"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "comma-separated experiment ids (fig2,...,fig14,tableI) or 'all'")
+		reps     = flag.Int("reps", 100, "repetitions per x-point (the paper used 1000)")
+		seed     = flag.Int64("seed", 1, "campaign master seed")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		mode     = flag.String("mode", "canonical", "baseline mode: canonical | paper")
+		algs     = flag.String("algs", "", "comma-separated algorithm subset (default: all six)")
+		csvDir   = flag.String("csv", "", "directory to also write one CSV per figure")
+		svgDir   = flag.String("svg", "", "directory to also write one SVG chart per figure")
+		validate = flag.Bool("validate", false, "re-validate every schedule (slower)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+	if *list {
+		fmt.Println("tableI")
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Title)
+		}
+		fmt.Println("ext-uncertain\next-failure\next-network")
+		return
+	}
+	if err := mainErr(os.Stdout, *run, *reps, *seed, *workers, *mode, *algs, *csvDir, *svgDir, *validate, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func mainErr(out io.Writer, run string, reps int, seed int64, workers int, mode, algs, csvDir, svgDir string, validate, quiet bool) error {
+	var pool []sched.Algorithm
+	switch mode {
+	case "canonical":
+		pool = registry.All()
+	case "paper":
+		pool = registry.PaperMode()
+	default:
+		return fmt.Errorf("unknown -mode %q (want canonical or paper)", mode)
+	}
+	if algs != "" {
+		keep := map[string]bool{}
+		for _, a := range strings.Split(algs, ",") {
+			keep[strings.ToLower(strings.TrimSpace(a))] = true
+		}
+		var sel []sched.Algorithm
+		for _, a := range pool {
+			if keep[strings.ToLower(a.Name())] {
+				sel = append(sel, a)
+			}
+		}
+		if len(sel) == 0 {
+			return fmt.Errorf("-algs %q selected no algorithms", algs)
+		}
+		pool = sel
+	}
+
+	var ids []string
+	if run == "all" {
+		ids = append(ids, "tableI")
+		for _, e := range experiments.All() {
+			ids = append(ids, e.Name)
+		}
+		ids = append(ids, "ext-uncertain", "ext-failure", "ext-network")
+	} else {
+		ids = strings.Split(run, ",")
+	}
+
+	cfg := experiments.Config{Reps: reps, Seed: seed, Workers: workers, Algorithms: pool, Validate: validate}
+	if !quiet {
+		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "tableI" {
+			if err := printTableI(out); err != nil {
+				return err
+			}
+			continue
+		}
+		start := time.Now()
+		var tbl *experiments.Table
+		var err error
+		switch id {
+		case "ext-uncertain":
+			tbl, err = experiments.RunExtUncertain(cfg)
+		case "ext-failure":
+			tbl, err = experiments.RunExtFailure(cfg)
+		case "ext-network":
+			tbl, err = experiments.RunExtNetwork(cfg)
+		default:
+			var e experiments.Experiment
+			if e, err = experiments.ByName(id); err == nil {
+				tbl, err = experiments.Run(e, cfg)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "%s finished in %v\n", id, time.Since(start).Round(time.Millisecond))
+		}
+		if err := tbl.WriteText(out); err != nil {
+			return err
+		}
+		if csvDir != "" {
+			if err := writeArtifact(csvDir, id+".csv", tbl.WriteCSV); err != nil {
+				return err
+			}
+		}
+		if svgDir != "" {
+			if err := writeArtifact(svgDir, id+".svg", tbl.WriteSVG); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeArtifact creates dir/name and streams render into it.
+func writeArtifact(dir, name string, render func(io.Writer) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printTableI replays HDLTS on the Fig. 1 example and prints the step trace
+// in the layout of the paper's Table I.
+func printTableI(out io.Writer) error {
+	pr := workflows.PaperExample()
+	s, steps, err := core.New().ScheduleTrace(pr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Table I — HDLTS schedule produced at each step (Fig. 1 example)")
+	fmt.Fprintf(out, "%-5s %-28s %-30s %-9s %s\n", "Step", "Ready tasks", "Penalty values", "Selected", "EFT per CPU")
+	for i, st := range steps {
+		var ready, pvs, efts []string
+		for j, t := range st.Ready {
+			ready = append(ready, fmt.Sprintf("T%d", t+1))
+			pvs = append(pvs, fmt.Sprintf("%.1f", st.PV[j]))
+		}
+		for _, e := range st.EFT {
+			efts = append(efts, fmt.Sprintf("%g", e))
+		}
+		dup := ""
+		if st.Duplicated {
+			dup = " (+entry dup)"
+		}
+		fmt.Fprintf(out, "%-5d %-28s %-30s %-9s %s -> P%d%s\n",
+			i+1, strings.Join(ready, ","), strings.Join(pvs, ","),
+			fmt.Sprintf("T%d", st.Selected+1), strings.Join(efts, " "), st.Proc+1, dup)
+	}
+	fmt.Fprintf(out, "makespan = %g (paper: 73; HEFT: 80, SDBATS: 74)\n\n", s.Makespan())
+	fmt.Fprintln(out, "Gantt chart:")
+	return s.WriteGantt(out, 72)
+}

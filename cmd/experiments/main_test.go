@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPrintTableI(t *testing.T) {
+	var buf bytes.Buffer
+	if err := printTableI(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table I",
+		"makespan = 73",
+		"T6", // step-2 selection
+		"(+entry dup)",
+		"Gantt chart:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMainErrTableIOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := mainErr(&buf, "tableI", 1, 1, 1, "canonical", "", "", "", false, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "makespan = 73") {
+		t.Fatal("tableI output missing")
+	}
+}
+
+func TestMainErrRunsOneFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := mainErr(&buf, "fig13", 2, 1, 0, "canonical", "", "", "", true, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig13") || !strings.Contains(out, "HDLTS") || !strings.Contains(out, "Winner") {
+		t.Fatalf("figure table malformed:\n%s", out)
+	}
+}
+
+func TestMainErrPaperModeAndSubset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := mainErr(&buf, "fig13", 1, 1, 0, "paper", "hdlts,heft", "", "", false, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "HDLTS") || !strings.Contains(out, "HEFT") {
+		t.Fatalf("subset missing algorithms:\n%s", out)
+	}
+	if strings.Contains(out, "SDBATS") {
+		t.Fatalf("subset leaked extra algorithms:\n%s", out)
+	}
+}
+
+func TestMainErrCSVAndSVGOutput(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := mainErr(&buf, "fig13", 1, 1, 0, "canonical", "hdlts,heft", dir, dir, false, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig13.csv", "fig13.svg"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s empty", name)
+		}
+	}
+}
+
+func TestMainErrRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := mainErr(&buf, "fig2", 1, 1, 0, "bogus", "", "", "", false, true); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if err := mainErr(&buf, "fig99", 1, 1, 0, "canonical", "", "", "", false, true); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := mainErr(&buf, "fig2", 1, 1, 0, "canonical", "nosuchalg", "", "", false, true); err == nil {
+		t.Error("empty algorithm subset accepted")
+	}
+}

@@ -1,0 +1,212 @@
+// Command hdltsched schedules one workflow problem (JSON, as produced by
+// cmd/dagen) with a chosen algorithm and reports the makespan, the paper's
+// metrics, and optionally a Gantt chart or the HDLTS decision trace.
+//
+// Usage:
+//
+//	dagen -kind fft -m 8 | hdltsched -alg hdlts -gantt
+//	hdltsched -alg heft -in problem.json
+//	hdltsched -alg all -in problem.json        # compare all six algorithms
+//	hdltsched -alg hdlts -trace -in problem.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"text/tabwriter"
+
+	"hdlts/internal/core"
+	"hdlts/internal/dag"
+	"hdlts/internal/metrics"
+	"hdlts/internal/registry"
+	"hdlts/internal/sched"
+	"hdlts/internal/viz"
+)
+
+func main() {
+	var (
+		alg      = flag.String("alg", "hdlts", "algorithm (hdlts|heft|cpop|pets|peft|sdbats|all)")
+		in       = flag.String("in", "-", "input problem JSON file ('-' = stdin)")
+		gantt    = flag.Bool("gantt", false, "print a Gantt chart")
+		trace    = flag.Bool("trace", false, "print the HDLTS per-step trace (hdlts only)")
+		validate = flag.Bool("validate", true, "re-validate the schedule")
+		width    = flag.Int("width", 72, "Gantt chart width in characters")
+		svg      = flag.String("svg", "", "write an SVG Gantt chart to this file (per-algorithm suffix with -alg all)")
+		outJSON  = flag.String("out", "", "write the schedule as JSON to this file (per-algorithm suffix with -alg all)")
+		analyze  = flag.Bool("analyze", false, "print utilisation / communication analysis")
+		cp       = flag.Bool("cp", false, "print the minimum-cost critical path and the SLR lower bound")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, os.Stdin, *alg, *in, *gantt, *trace, *validate, *width, *svg, *outJSON, *analyze, *cp); err != nil {
+		fmt.Fprintln(os.Stderr, "hdltsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, stdin io.Reader, alg, in string, gantt, trace, validate bool, width int, svgPath, outPath string, analyze, cp bool) error {
+	r := stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	pr, err := sched.ReadProblemJSON(r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "problem: %d tasks, %d edges, %d processors\n", pr.NumTasks(), pr.G.NumEdges(), pr.NumProcs())
+	if cp {
+		if err := printCriticalPath(out, pr); err != nil {
+			return err
+		}
+	}
+
+	var algos []sched.Algorithm
+	if strings.EqualFold(alg, "all") {
+		algos = registry.All()
+	} else {
+		a, err := registry.Get(alg)
+		if err != nil {
+			return err
+		}
+		algos = append(algos, a)
+	}
+
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tmakespan\tSLR\tspeedup\tefficiency\tduplicates")
+	for _, a := range algos {
+		var s *sched.Schedule
+		if trace && a.Name() == "HDLTS" {
+			var steps []core.Step
+			s, steps, err = core.New().ScheduleTrace(pr)
+			if err != nil {
+				return err
+			}
+			printTrace(out, steps)
+		} else {
+			s, err = a.Schedule(pr)
+			if err != nil {
+				return fmt.Errorf("%s: %w", a.Name(), err)
+			}
+		}
+		if validate {
+			if err := s.Validate(); err != nil {
+				return fmt.Errorf("%s: invalid schedule: %w", a.Name(), err)
+			}
+		}
+		res, err := metrics.Evaluate(a.Name(), s)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%.4g\t%.4f\t%.4f\t%.4f\t%d\n",
+			res.Algorithm, res.Makespan, res.SLR, res.Speedup, res.Efficiency, res.Duplicates)
+		if gantt {
+			tw.Flush()
+			if err := s.WriteGantt(out, width); err != nil {
+				return err
+			}
+		}
+		if analyze {
+			tw.Flush()
+			an, err := s.Analyze()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%s analysis:\n%s", a.Name(), an.String())
+			slack, err := s.ComputeSlack()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "slack: total %.4g across %d tasks, %d critical\n",
+				slack.TotalSlack, len(slack.Slack), len(slack.Critical))
+		}
+		if svgPath != "" {
+			cfg := viz.GanttConfig{Title: fmt.Sprintf("%s — makespan %.4g", a.Name(), s.Makespan())}
+			err := writeFile(perAlgPath(svgPath, a.Name(), len(algos) > 1), func(w io.Writer) error {
+				return viz.WriteGanttSVG(w, s, cfg)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		if outPath != "" {
+			err := writeFile(perAlgPath(outPath, a.Name(), len(algos) > 1), func(w io.Writer) error {
+				return s.WriteScheduleJSON(w, a.Name())
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// perAlgPath suffixes path with the algorithm name when several schedules
+// are written.
+func perAlgPath(path, alg string, multi bool) string {
+	if !multi {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "-" + strings.ToLower(alg) + ext
+}
+
+// writeFile creates path and streams render into it.
+func writeFile(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printCriticalPath reports the minimum-execution-cost critical path (the
+// SLR denominator of Eq. 10).
+func printCriticalPath(out io.Writer, pr *sched.Problem) error {
+	node := func(t dag.TaskID) float64 {
+		m, _ := pr.W.Min(int(t))
+		return m
+	}
+	path, total, err := pr.G.CriticalPath(node, dag.ZeroEdges)
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(path))
+	for i, t := range path {
+		if n := pr.G.Task(t).Name; n != "" {
+			names[i] = n
+		} else {
+			names[i] = fmt.Sprintf("T%d", int(t)+1)
+		}
+	}
+	_, err = fmt.Fprintf(out, "critical path (min costs): %s - lower bound %.6g\n",
+		strings.Join(names, " -> "), total)
+	return err
+}
+
+func printTrace(out io.Writer, steps []core.Step) {
+	fmt.Fprintln(out, "HDLTS trace:")
+	for i, st := range steps {
+		var ready []string
+		for j, t := range st.Ready {
+			ready = append(ready, fmt.Sprintf("T%d(pv %.1f)", t+1, st.PV[j]))
+		}
+		dup := ""
+		if st.Duplicated {
+			dup = " +dup"
+		}
+		fmt.Fprintf(out, "  step %d: ready {%s} -> T%d on P%d (EFT %g)%s\n",
+			i+1, strings.Join(ready, " "), st.Selected+1, st.Proc+1, st.EFT[st.Proc], dup)
+	}
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hdlts/internal/sched"
+	"hdlts/internal/workflows"
+)
+
+// examplJSON renders the paper example problem to JSON for CLI input.
+func exampleJSON(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := workflows.PaperExample().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRunSingleAlgorithmFromStdin(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, strings.NewReader(exampleJSON(t)), "hdlts", "-", false, false, true, 60, "", "", false, false); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "problem: 10 tasks, 15 edges, 3 processors") {
+		t.Fatalf("problem header missing:\n%s", s)
+	}
+	if !strings.Contains(s, "HDLTS") || !strings.Contains(s, "73") {
+		t.Fatalf("result row missing:\n%s", s)
+	}
+}
+
+func TestRunAllAlgorithmsWithGantt(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, strings.NewReader(exampleJSON(t)), "all", "-", true, false, true, 60, "", "", false, false); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, alg := range []string{"HDLTS", "HEFT", "CPOP", "PETS", "PEFT", "SDBATS"} {
+		if !strings.Contains(s, alg) {
+			t.Errorf("missing %s:\n%s", alg, s)
+		}
+	}
+	if !strings.Contains(s, "makespan = 73") {
+		t.Errorf("HDLTS Gantt missing:\n%s", s)
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, strings.NewReader(exampleJSON(t)), "hdlts", "-", false, true, true, 60, "", "", false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "HDLTS trace:") || !strings.Contains(out.String(), "step 10") {
+		t.Fatalf("trace missing:\n%s", out.String())
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := os.WriteFile(path, []byte(exampleJSON(t)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(&out, nil, "heft", path, false, false, true, 60, "", "", false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "HEFT") || !strings.Contains(out.String(), "80") {
+		t.Fatalf("HEFT row missing:\n%s", out.String())
+	}
+}
+
+func TestRunSVGAndAnalyze(t *testing.T) {
+	dir := t.TempDir()
+	svg := filepath.Join(dir, "gantt.svg")
+	var out bytes.Buffer
+	if err := run(&out, strings.NewReader(exampleJSON(t)), "all", "-", false, false, true, 60, svg, filepath.Join(dir, "sched.json"), true, false); err != nil {
+		t.Fatal(err)
+	}
+	// Per-algorithm suffixing with -alg all.
+	data, err := os.ReadFile(filepath.Join(dir, "gantt-hdlts.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Fatal("SVG content malformed")
+	}
+	if !strings.Contains(out.String(), "analysis:") || !strings.Contains(out.String(), "utilization") {
+		t.Fatalf("analysis output missing:\n%s", out.String())
+	}
+	// The exported schedule JSON must reconstruct and re-validate.
+	f, err := os.Open(filepath.Join(dir, "sched-hdlts.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, algName, err := sched.ReadScheduleJSON(workflows.PaperExample(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algName != "HDLTS" || s.Makespan() != 73 {
+		t.Fatalf("reconstructed %s schedule with makespan %g", algName, s.Makespan())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, strings.NewReader("{"), "hdlts", "-", false, false, true, 60, "", "", false, false); err == nil {
+		t.Error("garbage input accepted")
+	}
+	if err := run(&out, strings.NewReader(exampleJSON(t)), "nosuch", "-", false, false, true, 60, "", "", false, false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run(&out, nil, "hdlts", "/does/not/exist.json", false, false, true, 60, "", "", false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunCriticalPath(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, strings.NewReader(exampleJSON(t)), "hdlts", "-", false, false, true, 60, "", "", false, true); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "critical path (min costs):") || !strings.Contains(s, "lower bound") {
+		t.Fatalf("critical-path output missing:\n%s", s)
+	}
+	// The Fig. 1 min-cost CP is T1 -> T2 -> T9 -> T10.
+	if !strings.Contains(s, "T1 -> T2 -> T9 -> T10") {
+		t.Fatalf("unexpected critical path:\n%s", s)
+	}
+}

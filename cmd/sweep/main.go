@@ -1,0 +1,192 @@
+// Command sweep runs the full-factorial Table II campaign the paper
+// describes (150 000 parameter combinations × repeated random graphs),
+// streaming one CSV row per combination with each algorithm's mean SLR.
+// Because the full grid at paper scale is a multi-hour run, the sweep is
+// sliceable and filterable; slices are deterministic, so a campaign can be
+// spread across invocations or machines and concatenated.
+//
+//	sweep -reps 3 -maxv 500 -stride 100 > sweep.csv     # every 100th combo
+//	sweep -offset 0 -limit 2000 -reps 5 > part1.csv     # shard 1
+//	sweep -offset 2000 -limit 2000 -reps 5 > part2.csv  # shard 2
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hdlts/internal/gen"
+	"hdlts/internal/metrics"
+	"hdlts/internal/registry"
+	"hdlts/internal/sched"
+	"hdlts/internal/stats"
+)
+
+func main() {
+	var (
+		reps    = flag.Int("reps", 3, "random graphs per parameter combination")
+		seed    = flag.Int64("seed", 1, "campaign seed")
+		offset  = flag.Int("offset", 0, "skip the first N combinations")
+		limit   = flag.Int("limit", 1000, "process at most N combinations (0 = all)")
+		stride  = flag.Int("stride", 1, "take every Nth combination")
+		maxv    = flag.Int("maxv", 1000, "skip combinations with more than N tasks (0 = no cap)")
+		algs    = flag.String("algs", "hdlts,heft,sdbats", "comma-separated algorithms")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		mode    = flag.String("mode", "canonical", "baseline mode: canonical | paper")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *reps, *seed, *offset, *limit, *stride, *maxv, *algs, *workers, *mode); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, reps int, seed int64, offset, limit, stride, maxv int, algNames string, workers int, mode string) error {
+	if reps < 1 || stride < 1 || offset < 0 {
+		return fmt.Errorf("invalid slicing: reps %d, stride %d, offset %d", reps, stride, offset)
+	}
+	var pool []sched.Algorithm
+	switch mode {
+	case "canonical":
+		pool = registry.All()
+	case "paper":
+		pool = registry.PaperMode()
+	default:
+		return fmt.Errorf("unknown -mode %q", mode)
+	}
+	keep := map[string]bool{}
+	for _, a := range strings.Split(algNames, ",") {
+		keep[strings.ToLower(strings.TrimSpace(a))] = true
+	}
+	var algos []sched.Algorithm
+	for _, a := range pool {
+		if keep[strings.ToLower(a.Name())] {
+			algos = append(algos, a)
+		}
+	}
+	if len(algos) == 0 {
+		return fmt.Errorf("-algs %q selected no algorithms", algNames)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Collect the selected combination slice deterministically.
+	var combos []gen.Params
+	idx, taken := 0, 0
+	gen.TableII().ForEach(func(p gen.Params) bool {
+		if maxv > 0 && p.V > maxv {
+			return true
+		}
+		if idx >= offset && (idx-offset)%stride == 0 {
+			combos = append(combos, p)
+			taken++
+			if limit > 0 && taken >= limit {
+				return false
+			}
+		}
+		idx++
+		return true
+	})
+
+	cw := csv.NewWriter(out)
+	header := []string{"v", "alpha", "density", "ccr", "procs", "wdag", "beta", "reps"}
+	for _, a := range algos {
+		header = append(header, "slr_"+strings.ToLower(a.Name()))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+
+	rows := make([][]string, len(combos))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range jobs {
+				row, err := sweepOne(combos[ci], algos, reps, seed)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				rows[ci] = row
+			}
+		}()
+	}
+	for ci := range combos {
+		jobs <- ci
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// sweepOne evaluates one parameter combination: reps random graphs, every
+// algorithm on each, mean SLR per algorithm.
+func sweepOne(p gen.Params, algos []sched.Algorithm, reps int, seed int64) ([]string, error) {
+	acc := make([]stats.Running, len(algos))
+	for rep := 0; rep < reps; rep++ {
+		rng := rand.New(rand.NewSource(comboSeed(seed, p, rep)))
+		pr, err := gen.Random(p, rng)
+		if err != nil {
+			return nil, err
+		}
+		for ai, alg := range algos {
+			s, err := alg.Schedule(pr)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", alg.Name(), p, err)
+			}
+			slr, err := metrics.SLR(s.Problem(), s.Makespan())
+			if err != nil {
+				return nil, err
+			}
+			acc[ai].Add(slr)
+		}
+	}
+	row := []string{
+		strconv.Itoa(p.V),
+		strconv.FormatFloat(p.Alpha, 'g', -1, 64),
+		strconv.Itoa(p.Density),
+		strconv.FormatFloat(p.CCR, 'g', -1, 64),
+		strconv.Itoa(p.Procs),
+		strconv.FormatFloat(p.WDAG, 'g', -1, 64),
+		strconv.FormatFloat(p.Beta, 'g', -1, 64),
+		strconv.Itoa(reps),
+	}
+	for _, a := range acc {
+		row = append(row, strconv.FormatFloat(a.Mean(), 'g', 6, 64))
+	}
+	return row, nil
+}
+
+// comboSeed derives a deterministic seed per (combination, repetition).
+func comboSeed(seed int64, p gen.Params, rep int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", seed, p, rep)
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}

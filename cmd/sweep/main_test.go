@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestSweepSlice(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2, 1, 0, 5, 1, 500, "hdlts,heft", 2, "canonical"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1+5 {
+		t.Fatalf("rows = %d, want 6 (header + 5 combos)", len(recs))
+	}
+	if got := strings.Join(recs[0], ","); got != "v,alpha,density,ccr,procs,wdag,beta,reps,slr_hdlts,slr_heft" {
+		t.Fatalf("header = %s", got)
+	}
+	for _, rec := range recs[1:] {
+		if rec[0] != "100" { // the first combinations all have V = 100
+			t.Fatalf("unexpected V %s in first slice", rec[0])
+		}
+		for _, col := range rec[8:] {
+			if !strings.ContainsAny(col, "0123456789") {
+				t.Fatalf("non-numeric SLR %q", col)
+			}
+		}
+	}
+}
+
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a, 1, 7, 10, 4, 3, 500, "hdlts", 1, "canonical"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, 1, 7, 10, 4, 3, 500, "hdlts", 4, "canonical"); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("sweep output depends on worker count")
+	}
+}
+
+func TestSweepShardsPartitionTheGrid(t *testing.T) {
+	var whole, p1, p2 bytes.Buffer
+	if err := run(&whole, 1, 3, 0, 6, 1, 500, "hdlts", 2, "canonical"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&p1, 1, 3, 0, 3, 1, 500, "hdlts", 2, "canonical"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&p2, 1, 3, 3, 3, 1, 500, "hdlts", 2, "canonical"); err != nil {
+		t.Fatal(err)
+	}
+	wl := strings.Split(strings.TrimSpace(whole.String()), "\n")
+	l1 := strings.Split(strings.TrimSpace(p1.String()), "\n")
+	l2 := strings.Split(strings.TrimSpace(p2.String()), "\n")
+	recombined := append(append([]string{}, l1...), l2[1:]...) // drop p2 header
+	if len(recombined) != len(wl) {
+		t.Fatalf("shard row counts: %d + %d vs %d", len(l1)-1, len(l2)-1, len(wl)-1)
+	}
+	for i := range wl {
+		if wl[i] != recombined[i] {
+			t.Fatalf("shards diverge at row %d:\n%s\n%s", i, wl[i], recombined[i])
+		}
+	}
+}
+
+func TestSweepMaxVFilter(t *testing.T) {
+	var buf bytes.Buffer
+	// maxv 100 keeps only V=100 combos; take a stride crossing V groups.
+	if err := run(&buf, 1, 1, 0, 10, 5000, 100, "hdlts", 2, "canonical"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs[1:] {
+		if rec[0] != "100" {
+			t.Fatalf("maxv filter leaked V = %s", rec[0])
+		}
+	}
+}
+
+func TestSweepRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0, 1, 0, 1, 1, 0, "hdlts", 1, "canonical"); err == nil {
+		t.Error("zero reps accepted")
+	}
+	if err := run(&buf, 1, 1, 0, 1, 1, 0, "nosuch", 1, "canonical"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run(&buf, 1, 1, 0, 1, 1, 0, "hdlts", 1, "weird"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hdlts/internal/core"
+	"hdlts/internal/workflows"
+)
+
+// writeFixtures materialises the paper-example problem and its HDLTS
+// schedule as JSON files.
+func writeFixtures(t *testing.T) (problem, schedule string) {
+	t.Helper()
+	dir := t.TempDir()
+	pr := workflows.PaperExample()
+
+	problem = filepath.Join(dir, "p.json")
+	pf, err := os.Create(problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.WriteJSON(pf); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	s, err := core.New().Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule = filepath.Join(dir, "s.json")
+	sf, err := os.Create(schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteScheduleJSON(sf, "HDLTS"); err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+	return problem, schedule
+}
+
+func TestValidateHappyPath(t *testing.T) {
+	p, s := writeFixtures(t)
+	var out bytes.Buffer
+	if err := run(&out, p, s, true); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"VALID: HDLTS", "makespan 73", "duplicates 2", "compacted makespan 73", "recovered 0"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	p, s := writeFixtures(t)
+	raw, err := os.ReadFile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift one start time: makespan consistency or overlap must fail.
+	corrupted := strings.Replace(string(raw), `"start": 66`, `"start": 60`, 1)
+	if corrupted == string(raw) {
+		t.Fatal("fixture did not contain the expected placement")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(&out, p, bad, false); err == nil {
+		t.Fatal("corrupted schedule validated")
+	}
+}
+
+func TestValidateArgErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "", "", false); err == nil {
+		t.Error("missing args accepted")
+	}
+	if err := run(&out, "/nope.json", "/nope2.json", false); err == nil {
+		t.Error("missing files accepted")
+	}
+}

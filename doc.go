@@ -1,0 +1,39 @@
+// Package hdlts is a complete, self-contained reproduction of
+//
+//	Qasim, Iqbal, Munir, Tziritas, Khan, Yang —
+//	"Dynamic Mapping of Application Workflows in Heterogeneous Computing
+//	Environments" (IPPS 2017)
+//
+// It provides:
+//
+//   - the HDLTS scheduler (the paper's contribution): a dynamic
+//     list-scheduling heuristic that prioritises ready tasks by the standard
+//     deviation of their earliest finish times across processors and
+//     duplicates the entry task only where duplication provably shortens a
+//     child's start;
+//   - the five published baselines it is compared against — HEFT, CPOP,
+//     PETS, PEFT, and SDBATS — implemented per their original papers on one
+//     shared scheduling substrate;
+//   - the synthetic task-graph generator of Table II, the FFT / Montage /
+//     Molecular-Dynamics real-world workflow structures, the paper's SLR /
+//     speedup / efficiency metrics, and the experiment harness that
+//     regenerates every figure of the evaluation section.
+//
+// # Quick start
+//
+//	pr := hdlts.PaperExample()              // Fig. 1: 10 tasks, 3 CPUs
+//	s, err := hdlts.NewHDLTS().Schedule(pr) // makespan 73 (Table I)
+//	if err != nil { ... }
+//	fmt.Println(s.Makespan())
+//	res, _ := hdlts.Evaluate("HDLTS", s)    // SLR, speedup, efficiency
+//
+// Random problems come from the Table II generator:
+//
+//	rng := rand.New(rand.NewSource(1))
+//	pr, err := hdlts.RandomProblem(hdlts.GenParams{
+//	    V: 200, Alpha: 1.0, Density: 3, CCR: 2.0, Procs: 4, WDAG: 80, Beta: 1.2,
+//	}, rng)
+//
+// See the examples/ directory for runnable programs and cmd/experiments for
+// the full figure-regeneration harness.
+package hdlts

@@ -1,0 +1,85 @@
+package hdlts_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hdlts"
+)
+
+func TestPublicAPIOnlineExecution(t *testing.T) {
+	pr := hdlts.PaperExample()
+	rng := rand.New(rand.NewSource(1))
+	r, err := hdlts.NewReality(pr, hdlts.Uncertainty{ExecJitter: 0.2, CommJitter: 0.2}, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hdlts.ExecuteOnline(r, hdlts.OnlineHDLTSPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("makespan = %g", res.Makespan)
+	}
+
+	plan, err := hdlts.GetAlgorithm("heft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := plan.Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []hdlts.OnlinePolicy{
+		hdlts.StaticMappingPolicy("HEFT", s),
+		hdlts.StaticOrderPolicy("HEFT", s),
+	} {
+		if _, err := hdlts.ExecuteOnline(r, pol); err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+	}
+
+	sums, err := hdlts.CompareUnderUncertainty(pr, hdlts.Uncertainty{ExecJitter: 0.3}, []hdlts.Failure{{Proc: 0, At: 30}}, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 4 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+}
+
+func TestPublicAPIExtendedAndAnalysis(t *testing.T) {
+	if len(hdlts.ExtendedAlgorithms()) != 13 {
+		t.Fatal("extended pool incomplete")
+	}
+	g, err := hdlts.GaussianGraph(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 14 {
+		t.Fatalf("Gaussian tasks = %d, want 14", g.NumTasks())
+	}
+
+	pr := hdlts.PaperExample()
+	s, err := hdlts.NewHDLTS().Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != 73 || a.Duplicates != 2 {
+		t.Fatalf("analysis = %+v", a)
+	}
+
+	var buf bytes.Buffer
+	if err := hdlts.WriteGanttSVG(&buf, s, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Fatal("SVG output malformed")
+	}
+}

@@ -1,0 +1,78 @@
+// FFT campaign example: generate Fast Fourier Transform workflows for
+// growing input sizes, randomise their costs with the paper's W_dag/β/CCR
+// model, and compare HDLTS against the baselines — a miniature version of
+// the paper's Fig. 6/7 study driven entirely through the public API.
+//
+//	go run ./examples/fft [-reps 50] [-ccr 3] [-procs 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"hdlts"
+	"hdlts/internal/stats"
+)
+
+func main() {
+	reps := flag.Int("reps", 50, "instances per input size")
+	ccr := flag.Float64("ccr", 3, "communication-to-computation ratio")
+	procs := flag.Int("procs", 4, "processors")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	algs := hdlts.Algorithms()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "points\ttasks")
+	for _, a := range algs {
+		fmt.Fprintf(tw, "\t%s", a.Name())
+	}
+	fmt.Fprintln(tw, "\twinner")
+
+	for _, m := range []int{4, 8, 16, 32} {
+		g, err := hdlts.FFTGraph(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc := make([]stats.Running, len(algs))
+		rng := rand.New(rand.NewSource(*seed))
+		for rep := 0; rep < *reps; rep++ {
+			pr, err := hdlts.AssignCosts(g, hdlts.CostParams{
+				Procs: *procs, WDAG: 80, Beta: 1.2, CCR: *ccr,
+			}, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i, alg := range algs {
+				s, err := alg.Schedule(pr)
+				if err != nil {
+					log.Fatalf("%s: %v", alg.Name(), err)
+				}
+				slr, err := hdlts.SLR(s.Problem(), s.Makespan())
+				if err != nil {
+					log.Fatal(err)
+				}
+				acc[i].Add(slr)
+			}
+		}
+		fmt.Fprintf(tw, "%d\t%d", m, g.NumTasks())
+		winner, best := "", 0.0
+		for i, a := range algs {
+			mean := acc[i].Mean()
+			fmt.Fprintf(tw, "\t%.3f", mean)
+			if i == 0 || mean < best {
+				winner, best = a.Name(), mean
+			}
+		}
+		fmt.Fprintf(tw, "\t%s\n", winner)
+	}
+	fmt.Printf("average SLR over %d instances per size (CCR %g, %d CPUs; lower is better)\n",
+		*reps, *ccr, *procs)
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

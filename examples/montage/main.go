@@ -1,0 +1,91 @@
+// Montage campaign example: schedule the astronomy-mosaic workflow (the
+// paper's Fig. 9 structure at 20/50/100 nodes) across a range of CCR values
+// on 5 processors and report the average SLR per algorithm — a miniature
+// version of the paper's Fig. 10 study, plus a Gantt chart of one concrete
+// HDLTS schedule.
+//
+//	go run ./examples/montage [-nodes 50] [-reps 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"hdlts"
+	"hdlts/internal/stats"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 50, "Montage workflow size (>= 11)")
+	reps := flag.Int("reps", 50, "instances per CCR value")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	g, err := hdlts.MontageGraph(*nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Montage workflow: %d tasks, %d edges, height %d\n\n", g.NumTasks(), g.NumEdges(), g.Height())
+
+	algs := hdlts.Algorithms()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "CCR")
+	for _, a := range algs {
+		fmt.Fprintf(tw, "\t%s", a.Name())
+	}
+	fmt.Fprintln(tw, "\twinner")
+
+	for _, ccr := range []float64{1, 2, 3, 4, 5} {
+		acc := make([]stats.Running, len(algs))
+		rng := rand.New(rand.NewSource(*seed))
+		for rep := 0; rep < *reps; rep++ {
+			pr, err := hdlts.AssignCosts(g, hdlts.CostParams{Procs: 5, WDAG: 80, Beta: 1.2, CCR: ccr}, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i, alg := range algs {
+				s, err := alg.Schedule(pr)
+				if err != nil {
+					log.Fatalf("%s: %v", alg.Name(), err)
+				}
+				slr, err := hdlts.SLR(s.Problem(), s.Makespan())
+				if err != nil {
+					log.Fatal(err)
+				}
+				acc[i].Add(slr)
+			}
+		}
+		fmt.Fprintf(tw, "%g", ccr)
+		winner, best := "", 0.0
+		for i, a := range algs {
+			mean := acc[i].Mean()
+			fmt.Fprintf(tw, "\t%.3f", mean)
+			if i == 0 || mean < best {
+				winner, best = a.Name(), mean
+			}
+		}
+		fmt.Fprintf(tw, "\t%s\n", winner)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// One concrete schedule for inspection.
+	rng := rand.New(rand.NewSource(*seed))
+	pr, err := hdlts.AssignCosts(g, hdlts.CostParams{Procs: 5, WDAG: 80, Beta: 1.2, CCR: 3}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := hdlts.NewHDLTS().Schedule(pr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nOne HDLTS schedule at CCR 3 (makespan %.1f):\n", s.Makespan())
+	if err := s.WriteGantt(os.Stdout, 76); err != nil {
+		log.Fatal(err)
+	}
+}

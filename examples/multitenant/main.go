@@ -1,0 +1,100 @@
+// Multitenant example: three different scientific workflows (FFT, Montage,
+// Molecular Dynamics) arrive at one shared heterogeneous cluster and are
+// co-scheduled as a single merged DAG. The example reports each tenant's
+// finish time and the cluster utilisation, comparing HDLTS against HEFT —
+// a scenario one step beyond the paper (which schedules one application at
+// a time) but directly supported by its pseudo-task normalisation.
+//
+//	go run ./examples/multitenant [-procs 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"hdlts"
+)
+
+func main() {
+	procs := flag.Int("procs", 6, "shared cluster size")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	fft, err := hdlts.FFTGraph(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	montage, err := hdlts.MontageGraph(30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	md := hdlts.MolDynGraph()
+	tenants := []string{"FFT-8", "Montage-30", "MolDyn"}
+	sizes := []int{fft.NumTasks(), montage.NumTasks(), md.NumTasks()}
+
+	merged, offsets, err := hdlts.MergeGraphs(fft, montage, md)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	pr, err := hdlts.AssignCosts(merged, hdlts.CostParams{Procs: *procs, WDAG: 60, Beta: 1.2, CCR: 2}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged workload: %d tasks from %d tenants on %d CPUs\n\n",
+		merged.NumTasks(), len(tenants), *procs)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "algorithm\tmakespan")
+	for _, name := range tenants {
+		fmt.Fprintf(tw, "\t%s done", name)
+	}
+	fmt.Fprintln(tw, "\tmean util")
+
+	for _, alg := range []hdlts.Algorithm{hdlts.NewHDLTS(), mustAlg("heft"), mustAlg("sdbats")} {
+		s, err := alg.Schedule(pr)
+		if err != nil {
+			log.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if err := s.Validate(); err != nil {
+			log.Fatalf("%s: %v", alg.Name(), err)
+		}
+		fmt.Fprintf(tw, "%s\t%.1f", alg.Name(), s.Makespan())
+		for ti := range tenants {
+			// A tenant is done when its last task finishes.
+			done := 0.0
+			for t := 0; t < sizes[ti]; t++ {
+				pl, ok := s.PlacementOf(offsets[ti] + hdlts.TaskID(t))
+				if !ok {
+					log.Fatalf("%s: tenant %s task %d unscheduled", alg.Name(), tenants[ti], t)
+				}
+				if pl.Finish > done {
+					done = pl.Finish
+				}
+			}
+			fmt.Fprintf(tw, "\t%.1f", done)
+		}
+		a, err := s.Analyze()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "\t%.0f%%\n", a.MeanUtilization*100)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nEach tenant's tasks keep their identity through MergeGraphs offsets,")
+	fmt.Println("so per-tenant completion times fall out of one shared schedule.")
+}
+
+func mustAlg(name string) hdlts.Algorithm {
+	a, err := hdlts.GetAlgorithm(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return a
+}

@@ -1,0 +1,84 @@
+// Network example: schedule the same workloads on a two-cluster platform
+// while the inter-cluster link degrades, exposing how each algorithm copes
+// with non-uniform bandwidth — the "network conditions" the paper's future
+// work names. The measured outcome (see EXPERIMENTS.md) is a negative
+// result for HDLTS: its penalty value conflates execution heterogeneity
+// with link-induced EFT spread, so it collapses where mean-rank algorithms
+// degrade gracefully.
+//
+//	go run ./examples/network [-reps 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"hdlts"
+	"hdlts/internal/stats"
+)
+
+func main() {
+	reps := flag.Int("reps", 40, "instances per bandwidth point")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	algs := hdlts.Algorithms()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "inter-bw")
+	for _, a := range algs {
+		fmt.Fprintf(tw, "\t%s", a.Name())
+	}
+	fmt.Fprintln(tw, "\twinner")
+
+	for _, inter := range []float64{1, 0.5, 0.25, 0.125} {
+		pl, err := hdlts.TwoClusters(4, 4, 1, inter)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc := make([]stats.Running, len(algs))
+		rng := rand.New(rand.NewSource(*seed))
+		for rep := 0; rep < *reps; rep++ {
+			g, err := hdlts.RandomGraph(hdlts.GenParams{
+				V: 100, Alpha: 1, Density: 3, CCR: 2, Procs: 8, WDAG: 80, Beta: 1.2,
+			}, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pr, err := hdlts.AssignCostsOn(g, pl, hdlts.CostParams{Procs: 8, WDAG: 80, Beta: 1.2, CCR: 2}, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i, alg := range algs {
+				s, err := alg.Schedule(pr)
+				if err != nil {
+					log.Fatalf("%s: %v", alg.Name(), err)
+				}
+				slr, err := hdlts.SLR(s.Problem(), s.Makespan())
+				if err != nil {
+					log.Fatal(err)
+				}
+				acc[i].Add(slr)
+			}
+		}
+		fmt.Fprintf(tw, "1/%g", 1/inter)
+		winner, best := "", 0.0
+		for i, a := range algs {
+			mean := acc[i].Mean()
+			fmt.Fprintf(tw, "\t%.3f", mean)
+			if i == 0 || mean < best {
+				winner, best = a.Name(), mean
+			}
+		}
+		fmt.Fprintf(tw, "\t%s\n", winner)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nMean SLR, two 4-CPU clusters, intra-cluster bandwidth 1 (lower is better).")
+	fmt.Println("As the inter-cluster link shrinks, σ-priority schedulers (HDLTS, SDBATS)")
+	fmt.Println("degrade far faster than mean-rank list schedulers like HEFT.")
+}

@@ -1,0 +1,86 @@
+// Quickstart: build a small workflow by hand, schedule it with HDLTS and
+// every baseline, and compare makespans and metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"hdlts"
+)
+
+func main() {
+	// A five-task diamond pipeline: ingest fans out to three analysis
+	// kernels which join in a report task. Edge values are data volumes;
+	// with a uniform-bandwidth platform they are communication times.
+	g := hdlts.NewGraph(5)
+	ingest := g.AddTask("ingest")
+	filter := g.AddTask("filter")
+	transform := g.AddTask("transform")
+	index := g.AddTask("index")
+	report := g.AddTask("report")
+	for _, e := range []struct {
+		u, v hdlts.TaskID
+		data float64
+	}{
+		{ingest, filter, 20}, {ingest, transform, 14}, {ingest, index, 25},
+		{filter, report, 9}, {transform, report, 11}, {index, report, 6},
+	} {
+		if err := g.AddEdge(e.u, e.v, e.data); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Three heterogeneous processors: each row is one task's execution time
+	// on P1..P3 (e.g. "index" is fastest on the third machine).
+	w, err := hdlts.CostsFromRows([][]float64{
+		{12, 18, 9},  // ingest
+		{16, 10, 14}, // filter
+		{11, 13, 20}, // transform
+		{17, 12, 8},  // index
+		{7, 15, 10},  // report
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pl, err := hdlts.NewUniformPlatform(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr, err := hdlts.NewProblem(g, pl, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tmakespan\tSLR\tspeedup\tefficiency")
+	for _, alg := range hdlts.Algorithms() {
+		s, err := alg.Schedule(pr)
+		if err != nil {
+			log.Fatalf("%s: %v", alg.Name(), err)
+		}
+		res, err := hdlts.Evaluate(alg.Name(), s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%g\t%.3f\t%.3f\t%.3f\n",
+			res.Algorithm, res.Makespan, res.SLR, res.Speedup, res.Efficiency)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Show where HDLTS actually put things.
+	s, err := hdlts.NewHDLTS().Schedule(pr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nHDLTS schedule:")
+	if err := s.WriteGantt(os.Stdout, 60); err != nil {
+		log.Fatal(err)
+	}
+}

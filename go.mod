@@ -1,0 +1,3 @@
+module hdlts
+
+go 1.22

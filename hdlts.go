@@ -1,0 +1,237 @@
+package hdlts
+
+import (
+	"io"
+	"math/rand"
+
+	"hdlts/internal/core"
+	"hdlts/internal/dag"
+	"hdlts/internal/gen"
+	"hdlts/internal/metrics"
+	"hdlts/internal/platform"
+	"hdlts/internal/registry"
+	"hdlts/internal/sched"
+	"hdlts/internal/viz"
+	"hdlts/internal/workflows"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// Graph is a directed acyclic application workflow.
+	Graph = dag.Graph
+	// TaskID identifies a task within a Graph.
+	TaskID = dag.TaskID
+	// Task is one schedulable workflow node.
+	Task = dag.Task
+	// Arc is a directed dependency as seen from one endpoint.
+	Arc = dag.Arc
+	// Platform is a heterogeneous processor set with a bandwidth model.
+	Platform = platform.Platform
+	// Proc identifies a processor within a Platform.
+	Proc = platform.Proc
+	// Costs is the task × processor execution-time matrix (W of Eq. 1).
+	Costs = platform.Costs
+	// Problem bundles a workflow, a platform, and a cost matrix.
+	Problem = sched.Problem
+	// Schedule is a mapping of tasks (and entry duplicates) onto processors.
+	Schedule = sched.Schedule
+	// Placement records where one copy of a task executes.
+	Placement = sched.Placement
+	// Algorithm is any workflow scheduler in this library.
+	Algorithm = sched.Algorithm
+	// Policy selects insertion- vs avail-based placement and entry
+	// duplication during EST/EFT computation.
+	Policy = sched.Policy
+	// Result carries the paper's metrics for one schedule.
+	Result = metrics.Result
+	// GenParams parameterises the Table II random-graph generator.
+	GenParams = gen.Params
+	// CostParams parameterises cost assignment for fixed workflow structures.
+	CostParams = gen.CostParams
+	// HDLTSOptions tunes HDLTS ablation variants.
+	HDLTSOptions = core.Options
+	// TraceStep is one ITQ iteration of an HDLTS trace (Table I rows).
+	TraceStep = core.Step
+)
+
+// Estimate is one (task, processor) evaluation: ready time, EST, and EFT.
+// Custom schedulers obtain estimates via Schedule.Estimate / BestEFT and
+// commit them with Schedule.Commit.
+type Estimate = sched.Estimate
+
+// NewGraph returns an empty workflow with capacity for n tasks.
+func NewGraph(n int) *Graph { return dag.New(n) }
+
+// NewSchedule returns an empty schedule for the problem — the entry point
+// for implementing custom scheduling algorithms on this library's
+// substrate: obtain per-processor estimates with Schedule.Estimate (under a
+// Policy), commit them with Schedule.Commit, and finish with
+// Schedule.Validate. See examples/customsched.
+func NewSchedule(pr *Problem) *Schedule { return sched.NewSchedule(pr) }
+
+// InsertionPolicy is the insertion-based placement policy (HEFT et al.).
+var InsertionPolicy = sched.InsertionPolicy
+
+// HDLTSPolicy is the paper's avail-based policy with entry duplication.
+var HDLTSPolicy = sched.HDLTSPolicy
+
+// NewUniformPlatform returns a fully connected platform of p processors
+// with unit bandwidth (communication time equals edge data volume).
+func NewUniformPlatform(p int) (*Platform, error) { return platform.NewUniform(p) }
+
+// NewPlatformWithBandwidth returns a platform with the given symmetric
+// pairwise bandwidth matrix.
+func NewPlatformWithBandwidth(b [][]float64) (*Platform, error) {
+	return platform.NewWithBandwidth(b)
+}
+
+// CostsFromRows builds a cost matrix from per-task rows (tasks × procs).
+func CostsFromRows(rows [][]float64) (*Costs, error) { return platform.CostsFromRows(rows) }
+
+// NewProblem validates and bundles a problem instance.
+func NewProblem(g *Graph, p *Platform, w *Costs) (*Problem, error) {
+	return sched.NewProblem(g, p, w)
+}
+
+// NewHDLTS returns the paper's scheduler in its published configuration.
+func NewHDLTS() Algorithm { return core.New() }
+
+// NewHDLTSWithOptions returns an HDLTS ablation variant (duplication off,
+// insertion placement, population-σ penalty values).
+func NewHDLTSWithOptions(o HDLTSOptions) Algorithm { return core.NewWithOptions(o) }
+
+// ScheduleWithTrace runs HDLTS and returns the per-iteration trace — ready
+// sets, penalty values, EFT vectors, selections — i.e. the rows of the
+// paper's Table I.
+func ScheduleWithTrace(pr *Problem) (*Schedule, []TraceStep, error) {
+	return core.New().ScheduleTrace(pr)
+}
+
+// Algorithms returns HDLTS plus the five baselines (HEFT, PETS, CPOP, PEFT,
+// SDBATS), each in its canonical published configuration.
+func Algorithms() []Algorithm { return registry.All() }
+
+// PaperModeAlgorithms returns the same six schedulers with uniform
+// avail-based placement — the configuration under which the paper's
+// comparison shape reproduces (see EXPERIMENTS.md).
+func PaperModeAlgorithms() []Algorithm { return registry.PaperMode() }
+
+// GetAlgorithm looks an algorithm up by case-insensitive name: the paper's
+// six ("hdlts", "heft", "cpop", "pets", "peft", "sdbats") plus the extra
+// reference schedulers ("dheft", "dls", "dsc", "ga", "mct", "minmin",
+// "maxmin").
+func GetAlgorithm(name string) (Algorithm, error) { return registry.Get(name) }
+
+// Evaluate computes makespan, SLR, speedup, and efficiency for a completed
+// schedule.
+func Evaluate(algorithm string, s *Schedule) (Result, error) {
+	return metrics.Evaluate(algorithm, s)
+}
+
+// SLR returns the Scheduling Length Ratio (Eq. 10) for a makespan on a
+// problem.
+func SLR(pr *Problem, makespan float64) (float64, error) { return metrics.SLR(pr, makespan) }
+
+// Speedup returns Eq. 11 for a makespan on a problem.
+func Speedup(pr *Problem, makespan float64) (float64, error) { return metrics.Speedup(pr, makespan) }
+
+// Efficiency returns Eq. 12 for a makespan on a problem.
+func Efficiency(pr *Problem, makespan float64) (float64, error) {
+	return metrics.Efficiency(pr, makespan)
+}
+
+// RPD returns each makespan's Relative Percentage Deviation from the best
+// one in the slice — the standard same-instance cross-algorithm comparison.
+func RPD(makespans []float64) ([]float64, error) { return metrics.RPD(makespans) }
+
+// RandomProblem generates a synthetic problem from the Table II parameter
+// model; all randomness is drawn from rng.
+func RandomProblem(p GenParams, rng *rand.Rand) (*Problem, error) { return gen.Random(p, rng) }
+
+// RandomGraph generates only the DAG structure for the parameters.
+func RandomGraph(p GenParams, rng *rand.Rand) (*Graph, error) { return gen.Graph(p, rng) }
+
+// AssignCosts draws Eq. 13–14 costs for a fixed workflow structure.
+func AssignCosts(g *Graph, c CostParams, rng *rand.Rand) (*Problem, error) {
+	return gen.AssignCosts(g, c, rng)
+}
+
+// PaperExample returns the Fig. 1 instance (10 tasks, 3 processors); HDLTS
+// schedules it with makespan 73, HEFT with 80.
+func PaperExample() *Problem { return workflows.PaperExample() }
+
+// FFTGraph returns the FFT workflow structure for m input points
+// (2(m−1)+1 recursive + m·log₂m butterfly tasks).
+func FFTGraph(m int) (*Graph, error) { return workflows.FFTGraph(m) }
+
+// MontageGraph returns the n-task Montage workflow structure.
+func MontageGraph(n int) (*Graph, error) { return workflows.MontageGraph(n) }
+
+// MolDynGraph returns the fixed 41-task Molecular Dynamics workflow.
+func MolDynGraph() *Graph { return workflows.MolDynGraph() }
+
+// GaussianGraph returns the Gaussian-elimination workflow for an m×m
+// matrix: (m²+m−2)/2 tasks.
+func GaussianGraph(m int) (*Graph, error) { return workflows.GaussianGraph(m) }
+
+// EpigenomicsGraph returns the Epigenomics pipeline workflow for the given
+// number of parallel lanes: 4·lanes + 4 tasks.
+func EpigenomicsGraph(lanes int) (*Graph, error) { return workflows.EpigenomicsGraph(lanes) }
+
+// CyberShakeGraph returns the CyberShake seismic workflow for the given
+// number of rupture variations: 2·vars + 4 tasks.
+func CyberShakeGraph(vars int) (*Graph, error) { return workflows.CyberShakeGraph(vars) }
+
+// LIGOGraph returns the LIGO Inspiral workflow for the given number of
+// analysis blocks: 4·blocks + 2·ceil(blocks/3) tasks.
+func LIGOGraph(blocks int) (*Graph, error) { return workflows.LIGOGraph(blocks) }
+
+// TwoClusters returns a fully connected platform split into two clusters
+// with distinct intra- and inter-cluster bandwidths.
+func TwoClusters(size1, size2 int, intra, inter float64) (*Platform, error) {
+	return platform.TwoClusters(size1, size2, intra, inter)
+}
+
+// AssignCostsOn is AssignCosts against an explicit (e.g. two-cluster)
+// platform.
+func AssignCostsOn(g *Graph, pl *Platform, c CostParams, rng *rand.Rand) (*Problem, error) {
+	return gen.AssignCostsOn(g, pl, c, rng)
+}
+
+// ExtendedAlgorithms returns the paper's six schedulers plus the extra
+// reference schedulers (DHEFT, DLS, DSC, GA, MCT, Min-Min, Max-Min).
+func ExtendedAlgorithms() []Algorithm { return registry.Extended() }
+
+// MergeGraphs combines several workflows into one multi-entry/exit graph
+// for co-scheduling on a shared platform; offsets[i] is the ID shift of
+// input i's tasks.
+func MergeGraphs(graphs ...*Graph) (*Graph, []TaskID, error) { return dag.Merge(graphs...) }
+
+// GraphStats summarises a workflow's structure (size, shape, degrees).
+type GraphStats = dag.GraphStats
+
+// ComputeStats derives GraphStats for an acyclic workflow.
+func ComputeStats(g *Graph) (*GraphStats, error) { return dag.ComputeStats(g) }
+
+// ReadDOT imports a workflow from the Graphviz-DOT subset this library
+// emits (see dag.ReadDOT for the accepted grammar).
+func ReadDOT(r io.Reader) (*Graph, error) { return dag.ReadDOT(r) }
+
+// SlackReport carries per-task schedule float; see Schedule.ComputeSlack.
+type SlackReport = sched.SlackReport
+
+// Compact re-times a complete schedule as early as feasible while keeping
+// every assignment and per-processor order; the result never has a larger
+// makespan. (Schedules from the built-in algorithms are already tight;
+// this is for externally produced or edited schedules.)
+func Compact(s *Schedule) (*Schedule, error) { return s.Compact() }
+
+// Analysis summarises a completed schedule (utilisation, load imbalance,
+// communication volume); obtain one with Schedule.Analyze.
+type Analysis = sched.Analysis
+
+// WriteGanttSVG renders a completed schedule as an SVG Gantt chart.
+func WriteGanttSVG(w io.Writer, s *Schedule, title string) error {
+	return viz.WriteGanttSVG(w, s, viz.GanttConfig{Title: title})
+}

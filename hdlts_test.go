@@ -1,0 +1,195 @@
+package hdlts_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"hdlts"
+)
+
+// TestPublicAPIEndToEnd drives the façade exactly as README documents it.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	pr := hdlts.PaperExample()
+	s, err := hdlts.NewHDLTS().Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 73 {
+		t.Fatalf("makespan = %g, want 73", s.Makespan())
+	}
+	res, err := hdlts.Evaluate("HDLTS", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLR < 1 || res.Efficiency <= 0 || res.Efficiency > 1.001 {
+		t.Fatalf("implausible metrics: %+v", res)
+	}
+}
+
+func TestPublicAPITrace(t *testing.T) {
+	s, steps, err := hdlts.ScheduleWithTrace(hdlts.PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 10 || s.Makespan() != 73 {
+		t.Fatalf("trace: %d steps, makespan %g", len(steps), s.Makespan())
+	}
+}
+
+func TestPublicAPIBuildProblem(t *testing.T) {
+	g := hdlts.NewGraph(2)
+	a := g.AddTask("a")
+	b := g.AddTask("b")
+	if err := g.AddEdge(a, b, 4); err != nil {
+		t.Fatal(err)
+	}
+	w, err := hdlts.CostsFromRows([][]float64{{3, 5}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := hdlts.NewUniformPlatform(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := hdlts.NewProblem(g, pl, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range hdlts.Algorithms() {
+		s, err := alg.Schedule(pr)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		// Optimal here: a on P1 at 3, b locally at 5.
+		if s.Makespan() < 5 {
+			t.Fatalf("%s makespan %g below optimum 5", alg.Name(), s.Makespan())
+		}
+	}
+}
+
+func TestPublicAPIGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pr, err := hdlts.RandomProblem(hdlts.GenParams{
+		V: 60, Alpha: 1, Density: 3, CCR: 2, Procs: 4, WDAG: 80, Beta: 1.2,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.NumTasks() != 60 {
+		t.Fatalf("tasks = %d", pr.NumTasks())
+	}
+
+	for name, build := range map[string]func() (*hdlts.Graph, error){
+		"fft":     func() (*hdlts.Graph, error) { return hdlts.FFTGraph(8) },
+		"montage": func() (*hdlts.Graph, error) { return hdlts.MontageGraph(20) },
+		"moldyn":  func() (*hdlts.Graph, error) { return hdlts.MolDynGraph(), nil },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p2, err := hdlts.AssignCosts(g, hdlts.CostParams{Procs: 3, WDAG: 50, Beta: 1, CCR: 2}, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s, err := hdlts.NewHDLTS().Schedule(p2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPublicAPIRegistry(t *testing.T) {
+	if len(hdlts.Algorithms()) != 6 || len(hdlts.PaperModeAlgorithms()) != 6 {
+		t.Fatal("algorithm pools incomplete")
+	}
+	a, err := hdlts.GetAlgorithm("heft")
+	if err != nil || a.Name() != "HEFT" {
+		t.Fatalf("GetAlgorithm: %v %v", a, err)
+	}
+	if _, err := hdlts.GetAlgorithm("zzz"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestPublicAPIAblations(t *testing.T) {
+	pr := hdlts.PaperExample()
+	v := hdlts.NewHDLTSWithOptions(hdlts.HDLTSOptions{DisableDuplication: true})
+	s, err := v.Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() < 73 {
+		t.Fatalf("nodup beat the published makespan: %g", s.Makespan())
+	}
+}
+
+func TestPublicAPIMetrics(t *testing.T) {
+	pr := hdlts.PaperExample()
+	slr, err := hdlts.SLR(pr, 73)
+	if err != nil || slr < 1 {
+		t.Fatalf("SLR = %g, %v", slr, err)
+	}
+	sp, err := hdlts.Speedup(pr, 73)
+	if err != nil || sp <= 0 {
+		t.Fatalf("Speedup = %g, %v", sp, err)
+	}
+	eff, err := hdlts.Efficiency(pr, 73)
+	if err != nil || eff <= 0 || eff > 1 {
+		t.Fatalf("Efficiency = %g, %v", eff, err)
+	}
+}
+
+func TestPublicAPIGraphTools(t *testing.T) {
+	// MergeGraphs + ComputeStats + DOT round trip through the façade.
+	fft, err := hdlts.FFTGraph(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := hdlts.MolDynGraph()
+	merged, offsets, err := hdlts.MergeGraphs(fft, md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumTasks() != fft.NumTasks()+md.NumTasks() || offsets[1] != hdlts.TaskID(fft.NumTasks()) {
+		t.Fatalf("merge shape: %d tasks, offsets %v", merged.NumTasks(), offsets)
+	}
+	st, err := hdlts.ComputeStats(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 2 || st.Tasks != merged.NumTasks() {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	var dot bytes.Buffer
+	if err := merged.WriteDOT(&dot, "merged"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := hdlts.ReadDOT(&dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTasks() != merged.NumTasks() || back.NumEdges() != merged.NumEdges() {
+		t.Fatal("DOT round trip changed shape")
+	}
+}
+
+func TestPublicAPICompact(t *testing.T) {
+	pr := hdlts.PaperExample()
+	s, err := hdlts.NewHDLTS().Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := hdlts.Compact(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Makespan() != 73 {
+		t.Fatalf("compacted makespan = %g, want 73 (already tight)", c.Makespan())
+	}
+}

@@ -1,0 +1,138 @@
+package hdlts_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hdlts"
+	"hdlts/internal/sched"
+)
+
+// TestFullPipeline drives the complete product path end to end, the way the
+// CLI tools compose it: generate a workload, serialise and reload the
+// problem, schedule it with every registered algorithm, validate, export
+// and reload each schedule, analyse it, and render both Gantt formats.
+func TestFullPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	g, err := hdlts.FFTGraph(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := hdlts.AssignCosts(g, hdlts.CostParams{Procs: 4, WDAG: 70, Beta: 1.2, CCR: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Problem JSON round trip.
+	var pbuf bytes.Buffer
+	if err := pr.WriteJSON(&pbuf); err != nil {
+		t.Fatal(err)
+	}
+	pr2, err := sched.ReadProblemJSON(&pbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr2.NumTasks() != pr.NumTasks() {
+		t.Fatal("problem changed across serialisation")
+	}
+
+	for _, alg := range hdlts.ExtendedAlgorithms() {
+		t.Run(alg.Name(), func(t *testing.T) {
+			s, err := alg.Schedule(pr2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("invalid schedule: %v", err)
+			}
+
+			// Schedule JSON round trip against the algorithm's own
+			// (normalised) problem.
+			var sbuf bytes.Buffer
+			if err := s.WriteScheduleJSON(&sbuf, alg.Name()); err != nil {
+				t.Fatal(err)
+			}
+			back, name, err := sched.ReadScheduleJSON(s.Problem(), &sbuf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name != alg.Name() || back.Makespan() != s.Makespan() {
+				t.Fatalf("schedule round trip drifted: %s %g vs %s %g",
+					name, back.Makespan(), alg.Name(), s.Makespan())
+			}
+
+			// Analysis and rendering.
+			a, err := s.Analyze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.MeanUtilization <= 0 || a.MeanUtilization > 1 {
+				t.Fatalf("utilisation %g out of range", a.MeanUtilization)
+			}
+			var text, svg bytes.Buffer
+			if err := s.WriteGantt(&text, 60); err != nil {
+				t.Fatal(err)
+			}
+			if err := hdlts.WriteGanttSVG(&svg, s, alg.Name()); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(text.String(), "makespan") || !strings.Contains(svg.String(), "</svg>") {
+				t.Fatal("render output malformed")
+			}
+
+			// Metrics are mutually consistent.
+			res, err := hdlts.Evaluate(alg.Name(), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.SLR < 1 || res.Speedup <= 0 || res.Efficiency <= 0 {
+				t.Fatalf("implausible metrics: %+v", res)
+			}
+		})
+	}
+}
+
+// TestFullPipelineOnlineExtension extends the pipeline through the online
+// executor: plan offline, execute under jitter and one failure, and check
+// causal consistency via the executor's own error paths plus a spot makespan
+// sanity bound.
+func TestFullPipelineOnlineExtension(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pr, err := hdlts.RandomProblem(hdlts.GenParams{
+		V: 80, Alpha: 1, Density: 3, CCR: 2, Procs: 6, WDAG: 60, Beta: 1.2,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := pr.Normalize()
+	r, err := hdlts.NewReality(base, hdlts.Uncertainty{ExecJitter: 0.25, CommJitter: 0.25},
+		[]hdlts.Failure{{Proc: 3, At: 100}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := hdlts.NewHDLTS().Schedule(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []hdlts.OnlinePolicy{
+		hdlts.OnlineHDLTSPolicy(),
+		hdlts.StaticMappingPolicy("HDLTS", plan),
+		hdlts.StaticOrderPolicy("HDLTS", plan),
+	} {
+		res, err := hdlts.ExecuteOnline(r, pol)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		// Realised costs are within ±25% of estimates, so the actual
+		// makespan cannot beat 75% of the lower bound.
+		lb, err := base.CPMinLowerBound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan < 0.75*lb {
+			t.Fatalf("%s: makespan %g below jittered bound %g", pol.Name(), res.Makespan, 0.75*lb)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/gen"
+	"hdlts/internal/platform"
+	"hdlts/internal/sched"
+	"hdlts/internal/workflows"
+)
+
+func TestDSCOnPaperExample(t *testing.T) {
+	pr := workflows.PaperExample()
+	s, err := NewDSC().Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	lb, err := pr.CPMinLowerBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk := s.Makespan(); mk < lb || mk > 200 {
+		t.Fatalf("makespan %g implausible (lb %g)", mk, lb)
+	}
+	t.Logf("DSC makespan %g", s.Makespan())
+}
+
+// TestClusterizeZeroesExpensiveChain: a linear chain with huge
+// communication must collapse into a single cluster.
+func TestClusterizeZeroesExpensiveChain(t *testing.T) {
+	g := dag.New(4)
+	prev := g.AddTask("t1")
+	for i := 2; i <= 4; i++ {
+		cur := g.AddTask("t" + string(rune('0'+i)))
+		g.MustAddEdge(prev, cur, 1000)
+		prev = cur
+	}
+	w := platform.MustCostsFromRows([][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}})
+	pr := sched.MustProblem(g, platform.MustUniform(2), w)
+	clusters, err := clusterize(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(clusters); i++ {
+		if clusters[i] != clusters[0] {
+			t.Fatalf("chain split across clusters: %v", clusters)
+		}
+	}
+}
+
+// TestClusterizeKeepsCheapParallelismApart: two independent branches with
+// negligible communication should land in different clusters so they can
+// run in parallel.
+func TestClusterizeKeepsCheapParallelismApart(t *testing.T) {
+	g := dag.New(3)
+	a := g.AddTask("A")
+	b := g.AddTask("B")
+	c := g.AddTask("C")
+	g.MustAddEdge(a, b, 0.001)
+	g.MustAddEdge(a, c, 0.001)
+	w := platform.MustCostsFromRows([][]float64{{10, 10}, {10, 10}, {10, 10}})
+	pr := sched.MustProblem(g, platform.MustUniform(2), w)
+	clusters, err := clusterize(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One branch joins A's cluster (serialised), but the other must escape
+	// to preserve parallelism: its tlevel alone (10.001) beats queueing
+	// behind the sibling (20).
+	if clusters[1] == clusters[2] {
+		t.Fatalf("both branches in one cluster: %v", clusters)
+	}
+}
+
+func TestFoldClustersBalancesLoad(t *testing.T) {
+	// Four unit clusters onto two processors: two each.
+	g := dag.New(4)
+	for i := 0; i < 4; i++ {
+		g.AddTask("")
+	}
+	w := platform.MustCostsFromRows([][]float64{{10, 10}, {10, 10}, {10, 10}, {10, 10}})
+	pr := sched.MustProblem(g, platform.MustUniform(2), w).Normalize()
+	assign := foldClusters(pr, []int{0, 1, 2, 3, 4, 5})
+	perProc := map[platform.Proc]int{}
+	for t := 0; t < 4; t++ { // only the real tasks carry load
+		perProc[assign[t]]++
+	}
+	if perProc[0] != 2 || perProc[1] != 2 {
+		t.Fatalf("unbalanced folding: %v", perProc)
+	}
+}
+
+// TestQuickDSCValid: DSC always yields feasible schedules at or above the
+// lower bound on arbitrary random problems.
+func TestQuickDSCValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pr, err := gen.Random(gen.Params{
+			V: 1 + rng.Intn(80), Alpha: 1.0, Density: 1 + rng.Intn(4),
+			CCR: float64(1 + rng.Intn(5)), Procs: 2 + rng.Intn(6),
+			WDAG: 60, Beta: 1.2, MultiEntry: rng.Intn(2) == 0,
+		}, rng)
+		if err != nil {
+			return false
+		}
+		s, err := NewDSC().Schedule(pr)
+		if err != nil {
+			t.Logf("DSC: %v", err)
+			return false
+		}
+		if err := s.Validate(); err != nil {
+			t.Logf("DSC invalid: %v", err)
+			return false
+		}
+		lb, err := pr.CPMinLowerBound()
+		if err != nil {
+			return false
+		}
+		return s.Makespan() >= lb-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFoldClustersHeterogeneousCosts: with one processor far faster for the
+// whole workload, LPT folding must place the heaviest cluster there.
+func TestFoldClustersHeterogeneousCosts(t *testing.T) {
+	g := dag.New(3)
+	for i := 0; i < 3; i++ {
+		g.AddTask("")
+	}
+	// Task 0 is the heavy cluster; P2 runs everything 10x faster.
+	w := platform.MustCostsFromRows([][]float64{{100, 10}, {10, 1}, {10, 1}})
+	pr := sched.MustProblem(g, platform.MustUniform(2), w).Normalize()
+	assign := foldClusters(pr, []int{0, 1, 2, 3, 4})
+	if assign[0] != 1 {
+		t.Fatalf("heavy cluster folded onto P%d, want the fast P2", assign[0]+1)
+	}
+}

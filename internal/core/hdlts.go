@@ -1,0 +1,330 @@
+// Package core implements HDLTS — Heterogeneous Dynamic List Task
+// Scheduling — the contribution of the reproduced paper (Section IV).
+//
+// HDLTS keeps a dynamic Independent Task Queue (ITQ) holding only the tasks
+// whose parents have all finished. On every iteration it:
+//
+//  1. computes, for every task in the ITQ, the EFT vector across all
+//     processors (Eq. 6–7), virtually considering effective entry-task
+//     duplication (Algorithm 1);
+//  2. assigns each task a Penalty Value PV = sample standard deviation of
+//     its EFT vector (Eq. 8) — its execution-time heterogeneity;
+//  3. removes the highest-PV task and commits it to the processor with the
+//     minimum EFT, materialising an entry duplicate when that is what made
+//     the minimum achievable;
+//  4. inserts any newly independent tasks into the ITQ and repeats.
+//
+// The EFT semantics (virtual duplication during estimation, sample-σ PV,
+// avail-based placement) were pinned down by hand-reproducing every row of
+// the paper's Table I; see DESIGN.md §1.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+	"hdlts/internal/sched"
+	"hdlts/internal/stats"
+)
+
+// Options tune HDLTS variants. The zero value is NOT the paper's algorithm;
+// use DefaultOptions (or New) for the published configuration. The
+// non-default combinations exist for the ablation benches in DESIGN.md §4.
+type Options struct {
+	// DisableDuplication turns off effective entry-task duplication
+	// (Algorithm 1), leaving pure dynamic PV-priority scheduling.
+	DisableDuplication bool
+	// Insertion switches CPU selection from the paper's avail-based
+	// placement (Eq. 6) to HEFT-style insertion-based slot search.
+	Insertion bool
+	// PopulationSigma computes PV with the population standard deviation
+	// (divide by n) instead of the sample form (divide by n−1) that
+	// reproduces Table I.
+	PopulationSigma bool
+	// Lookahead extends CPU selection one level down the workflow: the
+	// selected task goes to the processor minimising its own EFT *plus* the
+	// estimated EFT of its critical child given that placement. This is an
+	// extension targeting the weakness the paper itself diagnoses in its
+	// Fig. 4 discussion — HDLTS "does not take a look at the overall
+	// structure of the application and the impact of a CPU assignment for a
+	// task to its child tasks".
+	Lookahead bool
+}
+
+// DefaultOptions is the configuration published in the paper.
+var DefaultOptions = Options{}
+
+// HDLTS is the scheduler. It is stateless between Schedule calls and safe
+// for concurrent use.
+type HDLTS struct {
+	opts Options
+	// fullRecompute disables the incremental EFT maintenance and rebuilds
+	// every ready task's estimate vector each iteration — the literal
+	// O(|ITQ|·p) loop of the paper. The results are identical (tested
+	// differentially); the knob exists for that test and for benchmarks.
+	fullRecompute bool
+}
+
+// New returns HDLTS exactly as published.
+func New() *HDLTS { return &HDLTS{opts: DefaultOptions} }
+
+// NewWithOptions returns an HDLTS variant for ablation studies.
+func NewWithOptions(o Options) *HDLTS { return &HDLTS{opts: o} }
+
+// Name identifies the algorithm (including any ablation markers) in
+// experiment tables.
+func (h *HDLTS) Name() string {
+	n := "HDLTS"
+	if h.opts.DisableDuplication {
+		n += "-nodup"
+	}
+	if h.opts.Insertion {
+		n += "-ins"
+	}
+	if h.opts.PopulationSigma {
+		n += "-popσ"
+	}
+	if h.opts.Lookahead {
+		n += "-la"
+	}
+	return n
+}
+
+func (h *HDLTS) policy() sched.Policy {
+	return sched.Policy{Insertion: h.opts.Insertion, EntryDuplication: !h.opts.DisableDuplication}
+}
+
+// Step records one ITQ iteration for trace output (Table I reproduction).
+type Step struct {
+	// Ready lists the ITQ content at the start of the step, ascending by ID.
+	Ready []dag.TaskID
+	// PV holds the penalty value of each ready task, aligned with Ready.
+	PV []float64
+	// Selected is the task removed from the ITQ this step.
+	Selected dag.TaskID
+	// EFT is the selected task's earliest-finish-time vector by processor.
+	EFT []float64
+	// Proc is the processor the task was committed to.
+	Proc platform.Proc
+	// Duplicated reports whether an entry duplicate was materialised on
+	// Proc as part of this commit.
+	Duplicated bool
+}
+
+// Schedule maps the problem's workflow onto its platform and returns the
+// complete schedule. Multi-entry/multi-exit workflows are normalised with
+// zero-cost pseudo tasks first; the returned schedule references the
+// normalised problem (its Makespan equals the original workflow's).
+func (h *HDLTS) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
+	s, _, err := h.run(pr, false)
+	return s, err
+}
+
+// ScheduleTrace is Schedule plus the per-iteration trace of ready sets,
+// penalty values, selections, and EFT vectors — the exact content of the
+// paper's Table I.
+func (h *HDLTS) ScheduleTrace(pr *sched.Problem) (*sched.Schedule, []Step, error) {
+	return h.run(pr, true)
+}
+
+func (h *HDLTS) run(pr *sched.Problem, trace bool) (*sched.Schedule, []Step, error) {
+	pr = pr.Normalize()
+	g := pr.G
+	s := sched.NewSchedule(pr)
+	pol := h.policy()
+
+	n := g.NumTasks()
+	// remaining[t] counts unscheduled parents; tasks enter the ITQ at zero.
+	remaining := make([]int, n)
+	itq := make([]dag.TaskID, 0, n)
+	for t := 0; t < n; t++ {
+		remaining[t] = g.InDegree(dag.TaskID(t))
+		if remaining[t] == 0 {
+			itq = append(itq, dag.TaskID(t))
+		}
+	}
+
+	sigma := stats.SampleStdDev
+	if h.opts.PopulationSigma {
+		sigma = stats.PopStdDev
+	}
+
+	var steps []Step
+	estBuf := make([]sched.Estimate, pr.NumProcs())
+	eftBuf := make([]float64, pr.NumProcs())
+	// Per-iteration scratch, reallocated only on ITQ growth.
+	var pvs []float64
+	ests := make(map[dag.TaskID][]sched.Estimate, 8)
+	// fresh[t] marks ITQ members whose estimate vector must be rebuilt from
+	// scratch. Between iterations only the just-committed processor's
+	// column can change for already-queued tasks (their ready times are
+	// fixed once all parents are placed), so the incremental path
+	// re-estimates a single (task, proc) pair per member. Materialising an
+	// entry duplicate adds a new copy of a parent visible from *every*
+	// processor, so that case falls back to full recomputation.
+	fresh := make(map[dag.TaskID]bool, len(itq))
+	for _, t := range itq {
+		fresh[t] = true
+	}
+	var lastProc platform.Proc = -1
+	refreshAll := false
+
+	for len(itq) > 0 {
+		sort.Slice(itq, func(i, j int) bool { return itq[i] < itq[j] })
+		pvs = pvs[:0]
+
+		// Phase 1+2: EFT vectors and penalty values for every ready task.
+		bestIdx := 0
+		for i, t := range itq {
+			esCopy, ok := ests[t]
+			switch {
+			case !ok || fresh[t] || refreshAll || h.fullRecompute:
+				es, err := s.EstimateAll(t, pol, estBuf)
+				if err != nil {
+					return nil, nil, fmt.Errorf("core: estimating task %d: %w", t, err)
+				}
+				if !ok || cap(esCopy) < len(es) {
+					esCopy = make([]sched.Estimate, len(es))
+				}
+				esCopy = esCopy[:len(es)]
+				copy(esCopy, es)
+				ests[t] = esCopy
+				delete(fresh, t)
+			case lastProc >= 0:
+				e, err := s.Estimate(t, lastProc, pol)
+				if err != nil {
+					return nil, nil, fmt.Errorf("core: estimating task %d: %w", t, err)
+				}
+				esCopy[lastProc] = e
+			}
+
+			for p := range esCopy {
+				eftBuf[p] = esCopy[p].EFT
+			}
+			pv := sigma(eftBuf[:len(esCopy)])
+			pvs = append(pvs, pv)
+			// Highest PV wins; ties fall to the smaller task ID, which is
+			// the earlier ITQ position because the queue is sorted.
+			if pv > pvs[bestIdx] {
+				bestIdx = i
+			}
+		}
+		refreshAll = false
+
+		selected := itq[bestIdx]
+		// Phase 3: commit to the minimum-EFT processor (with the optional
+		// one-level lookahead score instead of the bare EFT).
+		es := ests[selected]
+		best := es[0]
+		if h.opts.Lookahead {
+			bestScore := h.lookaheadScore(s, es[0])
+			for _, e := range es[1:] {
+				if sc := h.lookaheadScore(s, e); sc < bestScore {
+					best, bestScore = e, sc
+				}
+			}
+		} else {
+			for _, e := range es[1:] {
+				if e.EFT < best.EFT {
+					best = e
+				}
+			}
+		}
+		if trace {
+			st := Step{
+				Ready:      append([]dag.TaskID(nil), itq...),
+				PV:         append([]float64(nil), pvs...),
+				Selected:   selected,
+				Proc:       best.Proc,
+				Duplicated: best.UseDuplicate,
+			}
+			st.EFT = make([]float64, len(es))
+			for p := range es {
+				st.EFT[p] = es[p].EFT
+			}
+			steps = append(steps, st)
+		}
+		if err := s.Commit(best); err != nil {
+			return nil, nil, fmt.Errorf("core: committing task %d on P%d: %w", selected, best.Proc+1, err)
+		}
+		lastProc = best.Proc
+		if best.UseDuplicate {
+			// The new entry copy is reachable from every processor: stale
+			// ready times are possible everywhere, so rebuild fully.
+			refreshAll = true
+		}
+
+		// Phase 4: update the ITQ.
+		itq = append(itq[:bestIdx], itq[bestIdx+1:]...)
+		delete(ests, selected)
+		for _, a := range g.Succs(selected) {
+			remaining[a.Task]--
+			if remaining[a.Task] == 0 {
+				itq = append(itq, a.Task)
+				fresh[a.Task] = true
+			}
+		}
+	}
+
+	if !s.Complete() {
+		return nil, nil, fmt.Errorf("core: scheduler stalled with %d/%d tasks placed", s.NumPlaced(), n)
+	}
+	return s, steps, nil
+}
+
+// lookaheadScore estimates the downstream cost of committing estimate e:
+// e's own EFT plus the best achievable EFT of e's *critical child* — the
+// child with the largest such minimum — assuming the child's other already-
+// scheduled parents stay put and processor availabilities only change on
+// e.Proc. Unscheduled co-parents are ignored (their arrivals are unknown),
+// making this an optimistic one-level probe in the spirit of
+// lookahead-HEFT.
+func (h *HDLTS) lookaheadScore(s *sched.Schedule, e sched.Estimate) float64 {
+	pr := s.Problem()
+	g := pr.G
+	succs := g.Succs(e.Task)
+	if len(succs) == 0 {
+		return e.EFT
+	}
+	worstChild := 0.0
+	for _, a := range succs {
+		child := a.Task
+		bestEFT := math.Inf(1)
+		for q := 0; q < pr.NumProcs(); q++ {
+			proc := platform.Proc(q)
+			// Arrival of e's output on q under the tentative placement.
+			ready := e.EFT + pr.Comm(a.Data, e.Proc, proc)
+			for _, b := range g.Preds(child) {
+				if b.Task == e.Task || !s.Placed(b.Task) {
+					continue
+				}
+				arr := math.Inf(1)
+				for _, c := range s.Copies(b.Task) {
+					if v := c.Finish + pr.Comm(b.Data, c.Proc, proc); v < arr {
+						arr = v
+					}
+				}
+				if arr > ready {
+					ready = arr
+				}
+			}
+			avail := s.Avail(proc)
+			if proc == e.Proc && e.EFT > avail {
+				avail = e.EFT
+			}
+			if avail > ready {
+				ready = avail
+			}
+			if eft := ready + pr.Exec(child, proc); eft < bestEFT {
+				bestEFT = eft
+			}
+		}
+		if bestEFT > worstChild {
+			worstChild = bestEFT
+		}
+	}
+	return e.EFT + worstChild
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/gen"
+	"hdlts/internal/platform"
+	"hdlts/internal/sched"
+)
+
+func randomProblem(rng *rand.Rand) (*sched.Problem, error) {
+	return gen.Random(gen.Params{
+		V:          1 + rng.Intn(100),
+		Alpha:      []float64{0.5, 1.0, 1.5, 2.0, 2.5}[rng.Intn(5)],
+		Density:    1 + rng.Intn(5),
+		CCR:        float64(1 + rng.Intn(5)),
+		Procs:      2 + 2*rng.Intn(5),
+		WDAG:       50 + float64(10*rng.Intn(6)),
+		Beta:       []float64{0.4, 0.8, 1.2, 1.6, 2.0}[rng.Intn(5)],
+		MultiEntry: rng.Intn(2) == 0,
+	}, rng)
+}
+
+// TestQuickHDLTSValid: HDLTS and all its ablation variants always produce
+// complete, feasible schedules at or above the critical-path lower bound.
+func TestQuickHDLTSValid(t *testing.T) {
+	variants := []*HDLTS{
+		New(),
+		NewWithOptions(Options{DisableDuplication: true}),
+		NewWithOptions(Options{Insertion: true}),
+		NewWithOptions(Options{PopulationSigma: true}),
+		NewWithOptions(Options{DisableDuplication: true, Insertion: true, PopulationSigma: true}),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pr, err := randomProblem(rng)
+		if err != nil {
+			t.Logf("generator: %v", err)
+			return false
+		}
+		lb, err := pr.CPMinLowerBound()
+		if err != nil {
+			t.Logf("bound: %v", err)
+			return false
+		}
+		for _, h := range variants {
+			s, err := h.Schedule(pr)
+			if err != nil {
+				t.Logf("%s: %v", h.Name(), err)
+				return false
+			}
+			if err := s.Validate(); err != nil {
+				t.Logf("%s: %v", h.Name(), err)
+				return false
+			}
+			if s.Makespan() < lb-1e-6 {
+				t.Logf("%s: makespan %g < bound %g", h.Name(), s.Makespan(), lb)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTraceConsistency: the trace replays to the same schedule, every
+// step selects the maximum-PV ready task, and the committed processor always
+// has the minimum EFT in the step's vector.
+func TestQuickTraceConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pr, err := randomProblem(rng)
+		if err != nil {
+			return false
+		}
+		s1, steps, err := New().ScheduleTrace(pr)
+		if err != nil {
+			return false
+		}
+		s2, err := New().Schedule(pr)
+		if err != nil || s1.Makespan() != s2.Makespan() {
+			return false
+		}
+		placed := 0
+		for _, st := range steps {
+			placed++
+			// Selected task carries the maximal PV of its step.
+			selPV := -1.0
+			maxPV := -1.0
+			for i, id := range st.Ready {
+				if st.PV[i] > maxPV {
+					maxPV = st.PV[i]
+				}
+				if id == st.Selected {
+					selPV = st.PV[i]
+				}
+			}
+			if selPV < maxPV-1e-9 {
+				return false
+			}
+			// Committed processor minimises the EFT vector.
+			for _, e := range st.EFT {
+				if e < st.EFT[st.Proc]-1e-9 {
+					return false
+				}
+			}
+		}
+		// One step per task of the (possibly normalised) problem.
+		return placed == s1.Problem().NumTasks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDuplicationHelpsOnAverage: each duplication decision is locally
+// beneficial (Algorithm 1 only fires when it strictly reduces a start time),
+// but it also perturbs later PV orderings, so individual instances can end
+// up worse — a documented property of the greedy heuristic. Statistically,
+// though, enabling duplication must not hurt: the mean makespan over many
+// random instances may not exceed the no-duplication mean.
+func TestDuplicationHelpsOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	var sumDup, sumNoDup float64
+	improved, worsened := 0, 0
+	for i := 0; i < 120; i++ {
+		pr, err := randomProblem(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dup, err := New().Schedule(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodup, err := NewWithOptions(Options{DisableDuplication: true}).Schedule(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumDup += dup.Makespan()
+		sumNoDup += nodup.Makespan()
+		switch {
+		case dup.Makespan() < nodup.Makespan()-1e-9:
+			improved++
+		case dup.Makespan() > nodup.Makespan()+1e-9:
+			worsened++
+		}
+	}
+	if sumDup > sumNoDup {
+		t.Fatalf("duplication hurt on average: mean %g vs %g", sumDup/120, sumNoDup/120)
+	}
+	if improved <= worsened {
+		t.Fatalf("duplication improved %d but worsened %d instances", improved, worsened)
+	}
+}
+
+func TestHDLTSNames(t *testing.T) {
+	cases := map[string]Options{
+		"HDLTS":                {},
+		"HDLTS-nodup":          {DisableDuplication: true},
+		"HDLTS-ins":            {Insertion: true},
+		"HDLTS-popσ":           {PopulationSigma: true},
+		"HDLTS-nodup-ins-popσ": {DisableDuplication: true, Insertion: true, PopulationSigma: true},
+	}
+	for want, opts := range cases {
+		if got := NewWithOptions(opts).Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestHDLTSSingleTask(t *testing.T) {
+	g := dag.New(1)
+	g.AddTask("only")
+	w := platform.MustCostsFromRows([][]float64{{5, 3, 9}})
+	pr := sched.MustProblem(g, platform.MustUniform(3), w)
+	s, err := New().Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 3 {
+		t.Fatalf("makespan = %g, want 3 (fastest processor)", s.Makespan())
+	}
+	pl, _ := s.PlacementOf(0)
+	if pl.Proc != 1 {
+		t.Fatalf("placed on P%d, want P2", pl.Proc+1)
+	}
+}
+
+func TestHDLTSMultiEntryUsesPseudo(t *testing.T) {
+	// Two independent chains: normalisation adds pseudo entry+exit; HDLTS
+	// must schedule all original tasks and never duplicate the pseudo entry
+	// (duplicating a zero-cost task can never strictly help).
+	g := dag.New(4)
+	a := g.AddTask("a")
+	b := g.AddTask("b")
+	c := g.AddTask("c")
+	d := g.AddTask("d")
+	g.MustAddEdge(a, b, 50)
+	g.MustAddEdge(c, d, 50)
+	w := platform.MustCostsFromRows([][]float64{{4, 6}, {3, 3}, {5, 2}, {4, 4}})
+	pr := sched.MustProblem(g, platform.MustUniform(2), w)
+
+	s, err := New().Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Problem().NumTasks() != 6 {
+		t.Fatalf("normalised problem has %d tasks, want 6", s.Problem().NumTasks())
+	}
+	if s.NumDuplicates() != 0 {
+		t.Fatalf("pseudo entry duplicated %d times", s.NumDuplicates())
+	}
+}
+
+func TestHDLTSDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pr, err := randomProblem(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := New().Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New().Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Makespan() != s2.Makespan() {
+		t.Fatalf("non-deterministic: %g vs %g", s1.Makespan(), s2.Makespan())
+	}
+	for i := 0; i < pr.NumTasks(); i++ {
+		p1, _ := s1.PlacementOf(dag.TaskID(i))
+		p2, _ := s2.PlacementOf(dag.TaskID(i))
+		if p1 != p2 {
+			t.Fatalf("task %d placed differently: %+v vs %+v", i, p1, p2)
+		}
+	}
+}
+
+// TestHDLTSConcurrentUse runs the same scheduler value from many goroutines
+// (the experiment harness does this); the race detector guards this test.
+func TestHDLTSConcurrentUse(t *testing.T) {
+	h := New()
+	pr, err := randomProblem(rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan float64, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			s, err := h.Schedule(pr)
+			if err != nil {
+				done <- -1
+				return
+			}
+			done <- s.Makespan()
+		}()
+	}
+	first := <-done
+	for i := 1; i < 8; i++ {
+		if got := <-done; got != first {
+			t.Fatalf("concurrent schedules disagree: %g vs %g", got, first)
+		}
+	}
+}

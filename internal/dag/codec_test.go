@@ -1,0 +1,113 @@
+package dag
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := diamond(t)
+	g.tasks[2].Pseudo = true // exercise the pseudo flag
+
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTasks() != g.NumTasks() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed shape: %v vs %v", &back, g)
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		if back.Task(TaskID(i)) != g.Task(TaskID(i)) {
+			t.Fatalf("task %d mismatch: %+v vs %+v", i, back.Task(TaskID(i)), g.Task(TaskID(i)))
+		}
+	}
+	for u := 0; u < g.NumTasks(); u++ {
+		for _, a := range g.Succs(TaskID(u)) {
+			if d, ok := back.EdgeData(TaskID(u), a.Task); !ok || d != a.Data {
+				t.Fatalf("edge (%d->%d) mismatch after round trip", u, a.Task)
+			}
+		}
+	}
+}
+
+func TestQuickJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 1+rng.Intn(30))
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			return false
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NumTasks() != g.NumTasks() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for u := 0; u < g.NumTasks(); u++ {
+			for _, a := range g.Succs(TaskID(u)) {
+				if d, ok := back.EdgeData(TaskID(u), a.Task); !ok || d != a.Data {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsBadGraphs(t *testing.T) {
+	cases := map[string]string{
+		"not-json":      `{`,
+		"cycle":         `{"tasks":[{"name":"a"},{"name":"b"}],"edges":[{"from":0,"to":1,"data":0},{"from":1,"to":0,"data":0}]}`,
+		"dangling-edge": `{"tasks":[{"name":"a"}],"edges":[{"from":0,"to":5,"data":0}]}`,
+		"negative-data": `{"tasks":[{"name":"a"},{"name":"b"}],"edges":[{"from":0,"to":1,"data":-3}]}`,
+		"empty":         `{"tasks":[],"edges":[]}`,
+	}
+	for name, raw := range cases {
+		t.Run(name, func(t *testing.T) {
+			var g Graph
+			if err := json.Unmarshal([]byte(raw), &g); err == nil {
+				t.Fatalf("accepted %s", name)
+			}
+		})
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := diamond(t)
+	g.tasks[3].Pseudo = true
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`digraph "test"`, `label="A"`, "n0 -> n1", `style=dashed`, `label="3"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTDefaultName(t *testing.T) {
+	var buf bytes.Buffer
+	g := New(1)
+	g.AddTask("") // unnamed task gets a T1 label
+	if err := g.WriteDOT(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `digraph "workflow"`) || !strings.Contains(buf.String(), `label="T1"`) {
+		t.Errorf("DOT default naming wrong:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,177 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+// diamond builds the 4-task diamond A -> {B, C} -> D used by several tests.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New(4)
+	a := g.AddTask("A")
+	b := g.AddTask("B")
+	c := g.AddTask("C")
+	d := g.AddTask("D")
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(a, c, 2)
+	g.MustAddEdge(b, d, 3)
+	g.MustAddEdge(c, d, 4)
+	return g
+}
+
+func TestAddTaskAssignsDenseIDs(t *testing.T) {
+	g := New(0)
+	for i := 0; i < 5; i++ {
+		if id := g.AddTask(""); int(id) != i {
+			t.Fatalf("AddTask #%d returned id %d", i, id)
+		}
+	}
+	if g.NumTasks() != 5 {
+		t.Fatalf("NumTasks = %d, want 5", g.NumTasks())
+	}
+}
+
+func TestAddEdgeRejections(t *testing.T) {
+	g := New(2)
+	a := g.AddTask("a")
+	b := g.AddTask("b")
+	cases := []struct {
+		name    string
+		u, v    TaskID
+		data    float64
+		wantSub string
+	}{
+		{"unknown-target", a, 7, 1, "unknown task"},
+		{"unknown-source", -1, b, 1, "unknown task"},
+		{"self-loop", a, a, 1, "self-loop"},
+		{"negative-data", a, b, -2, "negative data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := g.AddEdge(tc.u, tc.v, tc.data)
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("AddEdge(%d,%d,%g) = %v, want error containing %q", tc.u, tc.v, tc.data, err, tc.wantSub)
+			}
+		})
+	}
+	if err := g.AddEdge(a, b, 1); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	if err := g.AddEdge(a, b, 1); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate edge accepted: %v", err)
+	}
+}
+
+func TestMustAddEdgePanics(t *testing.T) {
+	g := New(1)
+	a := g.AddTask("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddEdge on a self-loop did not panic")
+		}
+	}()
+	g.MustAddEdge(a, a, 0)
+}
+
+func TestAdjacencyAndDegrees(t *testing.T) {
+	g := diamond(t)
+	if got := g.OutDegree(0); got != 2 {
+		t.Errorf("OutDegree(A) = %d, want 2", got)
+	}
+	if got := g.InDegree(3); got != 2 {
+		t.Errorf("InDegree(D) = %d, want 2", got)
+	}
+	if got := g.NumEdges(); got != 4 {
+		t.Errorf("NumEdges = %d, want 4", got)
+	}
+	if d, ok := g.EdgeData(1, 3); !ok || d != 3 {
+		t.Errorf("EdgeData(B,D) = %g,%v, want 3,true", d, ok)
+	}
+	if _, ok := g.EdgeData(3, 0); ok {
+		t.Error("EdgeData found a nonexistent edge D->A")
+	}
+	if _, ok := g.EdgeData(-1, 99); ok {
+		t.Error("EdgeData accepted out-of-range IDs")
+	}
+}
+
+func TestEntriesExits(t *testing.T) {
+	g := diamond(t)
+	if e := g.Entry(); e != 0 {
+		t.Errorf("Entry = %d, want 0", e)
+	}
+	if x := g.Exit(); x != 3 {
+		t.Errorf("Exit = %d, want 3", x)
+	}
+
+	// Two-component graph: two entries, two exits.
+	g2 := New(4)
+	a := g2.AddTask("a")
+	b := g2.AddTask("b")
+	c := g2.AddTask("c")
+	d := g2.AddTask("d")
+	g2.MustAddEdge(a, b, 0)
+	g2.MustAddEdge(c, d, 0)
+	if got := len(g2.Entries()); got != 2 {
+		t.Errorf("Entries = %d, want 2", got)
+	}
+	if g2.Entry() != None || g2.Exit() != None {
+		t.Error("Entry/Exit should be None for multi-entry/exit graphs")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := diamond(t)
+	c := g.Clone()
+	c.MustAddEdge(1, 2, 9) // B -> C only in the clone
+	if _, ok := g.EdgeData(1, 2); ok {
+		t.Fatal("mutating the clone changed the original")
+	}
+	if c.NumEdges() != g.NumEdges()+1 {
+		t.Fatalf("clone edges = %d, want %d", c.NumEdges(), g.NumEdges()+1)
+	}
+}
+
+func TestSortArcs(t *testing.T) {
+	g := New(3)
+	a := g.AddTask("a")
+	c := g.AddTask("c")
+	b := g.AddTask("b")
+	g.MustAddEdge(a, b, 1) // id 2
+	g.MustAddEdge(a, c, 1) // id 1
+	g.SortArcs()
+	succ := g.Succs(a)
+	if succ[0].Task != 1 || succ[1].Task != 2 {
+		t.Fatalf("SortArcs order = %v", succ)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := New(0).Validate(); err == nil {
+		t.Error("empty graph validated")
+	}
+	if err := diamond(t).Validate(); err != nil {
+		t.Errorf("diamond failed validation: %v", err)
+	}
+
+	// A 3-cycle must be rejected by Validate/TopoOrder.
+	g := New(3)
+	a := g.AddTask("a")
+	b := g.AddTask("b")
+	c := g.AddTask("c")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, c, 0)
+	g.MustAddEdge(c, a, 0)
+	err := g.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle not detected: %v", err)
+	}
+}
+
+func TestStringSummaries(t *testing.T) {
+	g := diamond(t)
+	if s := g.String(); !strings.Contains(s, "tasks: 4") || !strings.Contains(s, "edges: 4") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,152 @@
+package dag
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadDOT parses the pragmatic Graphviz-DOT subset this library emits and
+// that hand-written workflow files typically use:
+//
+//	digraph name {
+//	    a;                       // optional node declarations
+//	    b [label="fetch"];       // label attribute becomes the task name
+//	    a -> b;                  // dependency with data volume 0
+//	    a -> c [label="12.5"];   // numeric label = data volume
+//	}
+//
+// Unknown attributes are ignored; `//` and `#` comments, semicolons, and
+// arbitrary whitespace are tolerated. Undeclared endpoints are created on
+// first use. The result is validated (acyclic, well-formed).
+//
+// This is a deliberately small single-statement-per-line parser, not a full
+// DOT implementation: subgraphs, multi-edge statements (a -> b -> c), and
+// quoted identifiers containing "->" are not supported and yield errors or
+// (for unknown syntax) are reported with their line number.
+func ReadDOT(r io.Reader) (*Graph, error) {
+	g := New(16)
+	ids := map[string]TaskID{}
+	intern := func(name string) TaskID {
+		if id, ok := ids[name]; ok {
+			return id
+		}
+		id := g.AddTask(name)
+		ids[name] = id
+		return id
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		// Strip comments.
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		line = strings.TrimSuffix(line, ";")
+		line = strings.TrimSpace(line)
+		if line == "" || line == "}" {
+			continue
+		}
+		if strings.HasPrefix(line, "digraph") {
+			sawHeader = true
+			continue
+		}
+		if !sawHeader {
+			return nil, fmt.Errorf("dag: dot line %d: expected 'digraph' header before %q", lineNo, line)
+		}
+		if strings.HasPrefix(line, "graph") || strings.HasPrefix(line, "node") || strings.HasPrefix(line, "edge") || strings.HasPrefix(line, "rankdir") {
+			continue // global attribute statements
+		}
+
+		// Split off a trailing attribute list.
+		attrs := map[string]string{}
+		if i := strings.Index(line, "["); i >= 0 {
+			j := strings.LastIndex(line, "]")
+			if j < i {
+				return nil, fmt.Errorf("dag: dot line %d: unterminated attribute list", lineNo)
+			}
+			var err error
+			attrs, err = parseDOTAttrs(line[i+1 : j])
+			if err != nil {
+				return nil, fmt.Errorf("dag: dot line %d: %w", lineNo, err)
+			}
+			line = strings.TrimSpace(line[:i])
+		}
+
+		if strings.Contains(line, "->") {
+			parts := strings.Split(line, "->")
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("dag: dot line %d: only single edges 'a -> b' are supported", lineNo)
+			}
+			u := intern(unquoteDOT(strings.TrimSpace(parts[0])))
+			v := intern(unquoteDOT(strings.TrimSpace(parts[1])))
+			data := 0.0
+			if lbl, ok := attrs["label"]; ok {
+				d, err := strconv.ParseFloat(lbl, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dag: dot line %d: edge label %q is not a number", lineNo, lbl)
+				}
+				data = d
+			}
+			if err := g.AddEdge(u, v, data); err != nil {
+				return nil, fmt.Errorf("dag: dot line %d: %w", lineNo, err)
+			}
+			continue
+		}
+
+		// Node declaration: a bare identifier, optionally with a label.
+		name := unquoteDOT(line)
+		if name == "" {
+			return nil, fmt.Errorf("dag: dot line %d: cannot parse %q", lineNo, line)
+		}
+		id := intern(name)
+		if lbl, ok := attrs["label"]; ok {
+			// Rename the task to its label (the emitter writes labels).
+			g.tasks[id].Name = lbl
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// parseDOTAttrs parses `k="v", k2=v2` lists.
+func parseDOTAttrs(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		eq := strings.Index(kv, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("attribute %q has no '='", kv)
+		}
+		k := strings.TrimSpace(kv[:eq])
+		v := unquoteDOT(strings.TrimSpace(kv[eq+1:]))
+		out[k] = v
+	}
+	return out, nil
+}
+
+// unquoteDOT strips optional double quotes.
+func unquoteDOT(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

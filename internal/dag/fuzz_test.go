@@ -1,0 +1,39 @@
+package dag
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzGraphJSON hardens the graph decoder: arbitrary bytes must either fail
+// cleanly or yield a validated graph that round-trips.
+func FuzzGraphJSON(f *testing.F) {
+	f.Add([]byte(`{"tasks":[{"name":"a"},{"name":"b"}],"edges":[{"from":0,"to":1,"data":3}]}`))
+	f.Add([]byte(`{"tasks":[{"name":"x","pseudo":true}],"edges":[]}`))
+	f.Add([]byte(`{"tasks":[],"edges":[]}`))
+	f.Add([]byte(`{"tasks":[{"name":"a"}],"edges":[{"from":0,"to":9,"data":1}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"tasks":[{"name":"a"},{"name":"b"}],"edges":[{"from":0,"to":1,"data":-1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return // clean rejection is fine
+		}
+		// Accepted graphs must be valid and must round-trip losslessly.
+		if err := g.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid graph: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.NumTasks() != g.NumTasks() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}

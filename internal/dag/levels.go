@@ -1,0 +1,73 @@
+package dag
+
+// Levels partitions tasks into precedence levels: level(t) = 0 for entry
+// tasks and level(t) = 1 + max(level(parents)) otherwise (the longest-path
+// depth). Tasks within one level are mutually independent and can execute in
+// parallel (Section III of the paper). The returned slice is indexed by
+// level; IDs within each level are ascending.
+//
+// Levels returns an error if the graph is cyclic.
+func (g *Graph) Levels() ([][]TaskID, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	depth := make([]int, g.NumTasks())
+	maxDepth := 0
+	for _, u := range order {
+		for _, a := range g.Preds(u) {
+			if d := depth[a.Task] + 1; d > depth[u] {
+				depth[u] = d
+			}
+		}
+		if depth[u] > maxDepth {
+			maxDepth = depth[u]
+		}
+	}
+	levels := make([][]TaskID, maxDepth+1)
+	for _, u := range order {
+		levels[depth[u]] = append(levels[depth[u]], u)
+	}
+	return levels, nil
+}
+
+// Height returns the number of precedence levels (the DAG height k used in
+// the paper's complexity analysis). It returns 0 for cyclic graphs.
+func (g *Graph) Height() int {
+	levels, err := g.Levels()
+	if err != nil {
+		return 0
+	}
+	return len(levels)
+}
+
+// Width returns the size of the largest precedence level (the maximum
+// exploitable parallelism). It returns 0 for cyclic graphs.
+func (g *Graph) Width() int {
+	levels, err := g.Levels()
+	if err != nil {
+		return 0
+	}
+	w := 0
+	for _, l := range levels {
+		if len(l) > w {
+			w = len(l)
+		}
+	}
+	return w
+}
+
+// LevelOf returns, for every task, its precedence level.
+func (g *Graph) LevelOf() ([]int, error) {
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, g.NumTasks())
+	for l, ids := range levels {
+		for _, id := range ids {
+			out[id] = l
+		}
+	}
+	return out, nil
+}

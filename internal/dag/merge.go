@@ -1,0 +1,47 @@
+package dag
+
+import "fmt"
+
+// Merge combines several workflows into one disjoint-union graph — the
+// standard construction for scheduling multiple applications that share one
+// HCE (after merging, schedulers normalise the resulting multi-entry/exit
+// graph with pseudo tasks as usual). It returns the merged graph and, for
+// each input graph, the ID offset its tasks were shifted by: task t of
+// input i becomes offsets[i] + t in the merged graph.
+//
+// Task names are prefixed "w<i>." to stay distinguishable; data volumes are
+// preserved verbatim.
+func Merge(graphs ...*Graph) (*Graph, []TaskID, error) {
+	if len(graphs) == 0 {
+		return nil, nil, fmt.Errorf("dag: nothing to merge")
+	}
+	total := 0
+	for i, g := range graphs {
+		if g == nil || g.NumTasks() == 0 {
+			return nil, nil, fmt.Errorf("dag: merge input %d is empty", i)
+		}
+		total += g.NumTasks()
+	}
+	m := New(total)
+	offsets := make([]TaskID, len(graphs))
+	next := TaskID(0)
+	for i, g := range graphs {
+		offsets[i] = next
+		for t := 0; t < g.NumTasks(); t++ {
+			task := g.Task(TaskID(t))
+			name := fmt.Sprintf("w%d.%s", i+1, task.Name)
+			if task.Pseudo {
+				m.AddPseudoTask(name)
+			} else {
+				m.AddTask(name)
+			}
+		}
+		for t := 0; t < g.NumTasks(); t++ {
+			for _, a := range g.Succs(TaskID(t)) {
+				m.MustAddEdge(next+TaskID(t), next+a.Task, a.Data)
+			}
+		}
+		next += TaskID(g.NumTasks())
+	}
+	return m, offsets, nil
+}

@@ -1,0 +1,66 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMergeDisjointUnion(t *testing.T) {
+	g1 := diamond(t)
+	g2 := New(2)
+	a := g2.AddTask("x")
+	b := g2.AddTask("y")
+	g2.MustAddEdge(a, b, 7)
+
+	m, offsets, err := Merge(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTasks() != 6 || m.NumEdges() != 5 {
+		t.Fatalf("merged shape = %d tasks / %d edges", m.NumTasks(), m.NumEdges())
+	}
+	if offsets[0] != 0 || offsets[1] != 4 {
+		t.Fatalf("offsets = %v", offsets)
+	}
+	// Edge data preserved under the offset mapping.
+	if d, ok := m.EdgeData(offsets[1]+0, offsets[1]+1); !ok || d != 7 {
+		t.Fatalf("g2 edge lost: %g %v", d, ok)
+	}
+	// No cross edges: two entries, two exits before normalisation.
+	if len(m.Entries()) != 2 || len(m.Exits()) != 2 {
+		t.Fatalf("entries/exits = %d/%d", len(m.Entries()), len(m.Exits()))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Names are workflow-prefixed.
+	if name := m.Task(offsets[1]).Name; !strings.HasPrefix(name, "w2.") {
+		t.Fatalf("name = %q", name)
+	}
+}
+
+func TestMergePreservesPseudoFlag(t *testing.T) {
+	g := New(2)
+	g.AddPseudoTask("p")
+	g.AddTask("q")
+	g.MustAddEdge(0, 1, 0)
+	m, _, err := Merge(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Task(0).Pseudo || m.Task(1).Pseudo {
+		t.Fatal("pseudo flags lost in merge")
+	}
+}
+
+func TestMergeRejectsEmpty(t *testing.T) {
+	if _, _, err := Merge(); err == nil {
+		t.Error("empty merge accepted")
+	}
+	if _, _, err := Merge(New(0)); err == nil {
+		t.Error("empty input graph accepted")
+	}
+	if _, _, err := Merge(nil); err == nil {
+		t.Error("nil input graph accepted")
+	}
+}

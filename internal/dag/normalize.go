@@ -1,0 +1,36 @@
+package dag
+
+// NormalizeSingleEntryExit returns a graph guaranteed to have exactly one
+// entry task and one exit task. When the input already satisfies this, the
+// original graph is returned unchanged (no copy). Otherwise a clone is made
+// and zero-cost pseudo tasks are attached with zero-data edges, exactly as
+// Section III prescribes: "We use a pseudo task to model the multiple entry
+// and exit task graphs into a single entry and exit task graphs. This pseudo
+// task has zero computation cost and is connected with its child tasks with
+// zero communication cost."
+//
+// The boolean result reports whether any pseudo task was added; when true the
+// caller must extend its cost matrix with zero-cost rows for the new task IDs
+// (the new tasks always receive the highest IDs, pseudo-entry first if both
+// are added).
+func NormalizeSingleEntryExit(g *Graph) (*Graph, bool) {
+	entries := g.Entries()
+	exits := g.Exits()
+	if len(entries) == 1 && len(exits) == 1 {
+		return g, false
+	}
+	c := g.Clone()
+	if len(entries) > 1 {
+		pe := c.AddPseudoTask("pseudo-entry")
+		for _, e := range entries {
+			c.MustAddEdge(pe, e, 0)
+		}
+	}
+	if len(exits) > 1 {
+		px := c.AddPseudoTask("pseudo-exit")
+		for _, x := range exits {
+			c.MustAddEdge(x, px, 0)
+		}
+	}
+	return c, true
+}

@@ -1,0 +1,111 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeNoopOnSingleEntryExit(t *testing.T) {
+	g := diamond(t)
+	n, changed := NormalizeSingleEntryExit(g)
+	if changed {
+		t.Fatal("normalisation reported changes on an already-normalised graph")
+	}
+	if n != g {
+		t.Fatal("normalisation copied an already-normalised graph")
+	}
+}
+
+func TestNormalizeMultiEntry(t *testing.T) {
+	g := New(3)
+	a := g.AddTask("a")
+	b := g.AddTask("b")
+	c := g.AddTask("c")
+	g.MustAddEdge(a, c, 1)
+	g.MustAddEdge(b, c, 1)
+
+	n, changed := NormalizeSingleEntryExit(g)
+	if !changed {
+		t.Fatal("multi-entry graph reported as unchanged")
+	}
+	if g.NumTasks() != 3 {
+		t.Fatal("normalisation mutated the input graph")
+	}
+	if n.NumTasks() != 4 {
+		t.Fatalf("normalised tasks = %d, want 4", n.NumTasks())
+	}
+	entry := n.Entry()
+	if entry == None {
+		t.Fatal("normalised graph still has multiple entries")
+	}
+	if !n.Task(entry).Pseudo {
+		t.Fatal("pseudo entry not marked Pseudo")
+	}
+	for _, arc := range n.Succs(entry) {
+		if arc.Data != 0 {
+			t.Fatalf("pseudo edge carries data %g, want 0", arc.Data)
+		}
+	}
+}
+
+func TestNormalizeMultiExit(t *testing.T) {
+	g := New(3)
+	a := g.AddTask("a")
+	b := g.AddTask("b")
+	c := g.AddTask("c")
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(a, c, 1)
+
+	n, changed := NormalizeSingleEntryExit(g)
+	if !changed || n.Exit() == None || !n.Task(n.Exit()).Pseudo {
+		t.Fatalf("multi-exit normalisation failed: changed=%v exit=%d", changed, n.Exit())
+	}
+}
+
+func TestNormalizeBoth(t *testing.T) {
+	// Two disconnected chains: 2 entries and 2 exits.
+	g := New(4)
+	a := g.AddTask("a")
+	b := g.AddTask("b")
+	c := g.AddTask("c")
+	d := g.AddTask("d")
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(c, d, 1)
+
+	n, changed := NormalizeSingleEntryExit(g)
+	if !changed || n.NumTasks() != 6 {
+		t.Fatalf("normalised tasks = %d, want 6", n.NumTasks())
+	}
+	// Pseudo entry must be added before pseudo exit (documented ID order).
+	if !n.Task(TaskID(4)).Pseudo || n.InDegree(TaskID(4)) != 0 {
+		t.Error("task 4 should be the pseudo entry")
+	}
+	if !n.Task(TaskID(5)).Pseudo || n.OutDegree(TaskID(5)) != 0 {
+		t.Error("task 5 should be the pseudo exit")
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("normalised graph invalid: %v", err)
+	}
+}
+
+// TestQuickNormalizeAlwaysSingleEntryExit: normalisation of arbitrary DAGs
+// always produces exactly one entry and one exit, stays acyclic, and never
+// adds more than two tasks.
+func TestQuickNormalizeAlwaysSingleEntryExit(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 1+rng.Intn(50))
+		n, _ := NormalizeSingleEntryExit(g)
+		if n.Entry() == None || n.Exit() == None {
+			return false
+		}
+		if n.NumTasks() > g.NumTasks()+2 {
+			return false
+		}
+		return n.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

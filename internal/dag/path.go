@@ -1,0 +1,112 @@
+package dag
+
+// WeightFunc supplies a non-negative weight for a task when computing
+// weighted longest paths (e.g. the minimum, mean, or σ of its execution
+// times across processors).
+type WeightFunc func(TaskID) float64
+
+// EdgeWeightFunc supplies a non-negative weight for a dependency edge
+// (typically a communication cost estimate). Use ZeroEdges to ignore
+// communication.
+type EdgeWeightFunc func(from, to TaskID, data float64) float64
+
+// ZeroEdges is an EdgeWeightFunc that ignores communication entirely.
+func ZeroEdges(TaskID, TaskID, float64) float64 { return 0 }
+
+// LongestPath computes, for every task, the weight of the heaviest path from
+// any entry task up to and including that task, using the supplied node and
+// edge weights. It returns the per-task values and the graph-wide maximum.
+// The graph must be acyclic (checked; returns an error otherwise).
+func (g *Graph) LongestPath(node WeightFunc, edge EdgeWeightFunc) ([]float64, float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	dist := make([]float64, g.NumTasks())
+	best := 0.0
+	for _, u := range order {
+		d := 0.0
+		for _, a := range g.Preds(u) {
+			if v := dist[a.Task] + edge(a.Task, u, a.Data); v > d {
+				d = v
+			}
+		}
+		dist[u] = d + node(u)
+		if dist[u] > best {
+			best = dist[u]
+		}
+	}
+	return dist, best, nil
+}
+
+// CriticalPath returns one heaviest entry-to-exit path (as an ordered task
+// list) together with its total weight, under the supplied node and edge
+// weights. Ties are broken toward smaller task IDs so the result is
+// deterministic.
+func (g *Graph) CriticalPath(node WeightFunc, edge EdgeWeightFunc) ([]TaskID, float64, error) {
+	dist, _, err := g.LongestPath(node, edge)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Locate the heaviest exit.
+	end, best := None, -1.0
+	for _, x := range g.Exits() {
+		if dist[x] > best || (dist[x] == best && (end == None || x < end)) {
+			end, best = x, dist[x]
+		}
+	}
+	if end == None {
+		return nil, 0, ErrEmpty
+	}
+	// Walk backwards choosing the predecessor that realises the distance.
+	path := []TaskID{end}
+	cur := end
+	for g.InDegree(cur) > 0 {
+		var pick TaskID = None
+		for _, a := range g.Preds(cur) {
+			if dist[a.Task]+edge(a.Task, cur, a.Data)+node(cur) == dist[cur] {
+				if pick == None || a.Task < pick {
+					pick = a.Task
+				}
+			}
+		}
+		if pick == None {
+			// Floating-point slack: fall back to the heaviest predecessor.
+			for _, a := range g.Preds(cur) {
+				if pick == None || dist[a.Task]+edge(a.Task, cur, a.Data) > dist[pick] {
+					pick = a.Task
+				}
+			}
+		}
+		path = append(path, pick)
+		cur = pick
+	}
+	// Reverse into entry-to-exit order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, best, nil
+}
+
+// DownwardDistance computes, for every task, the weight of the heaviest path
+// from that task (inclusive) down to any exit task. This is the building
+// block for upward ranks: rank_u(t) = DownwardDistance(t) when node and edge
+// weights are the mean computation and communication costs.
+func (g *Graph) DownwardDistance(node WeightFunc, edge EdgeWeightFunc) ([]float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	dist := make([]float64, g.NumTasks())
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		d := 0.0
+		for _, a := range g.Succs(u) {
+			if v := edge(u, a.Task, a.Data) + dist[a.Task]; v > d {
+				d = v
+			}
+		}
+		dist[u] = d + node(u)
+	}
+	return dist, nil
+}

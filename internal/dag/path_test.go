@@ -1,0 +1,189 @@
+package dag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func unitNode(TaskID) float64                    { return 1 }
+func dataEdge(_, _ TaskID, data float64) float64 { return data }
+func weightOf(w []float64) WeightFunc            { return func(t TaskID) float64 { return w[t] } }
+func constEdge(c float64) EdgeWeightFunc         { return func(_, _ TaskID, _ float64) float64 { return c } }
+
+func TestLongestPathUnitWeights(t *testing.T) {
+	g := diamond(t)
+	dist, best, err := g.LongestPath(unitNode, ZeroEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 2, 3}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("dist = %v, want %v", dist, want)
+		}
+	}
+	if best != 3 {
+		t.Fatalf("best = %g, want 3", best)
+	}
+}
+
+func TestLongestPathWithEdgeWeights(t *testing.T) {
+	g := diamond(t)
+	// Node weight 1 everywhere; edge weight = data volume (A-B-D: 1+3,
+	// A-C-D: 2+4 -> heavier path through C).
+	_, best, err := g.LongestPath(unitNode, dataEdge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 3+2+4 {
+		t.Fatalf("best = %g, want 9", best)
+	}
+}
+
+func TestCriticalPathDiamond(t *testing.T) {
+	g := diamond(t)
+	w := []float64{5, 1, 10, 2} // C is heavy: CP must be A-C-D.
+	path, total, err := g.CriticalPath(weightOf(w), ZeroEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 17 {
+		t.Fatalf("total = %g, want 17", total)
+	}
+	want := []TaskID{0, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestCriticalPathTieBreaksDeterministically(t *testing.T) {
+	g := diamond(t)
+	w := []float64{1, 2, 2, 1} // both middle paths weigh the same
+	p1, _, err := g.CriticalPath(weightOf(w), ZeroEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := g.CriticalPath(weightOf(w), ZeroEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("critical path not deterministic")
+		}
+	}
+	if p1[1] != 1 {
+		t.Fatalf("tie should break to the smaller ID, got %v", p1)
+	}
+}
+
+func TestDownwardDistance(t *testing.T) {
+	g := diamond(t)
+	w := []float64{5, 1, 10, 2}
+	dist, err := g.DownwardDistance(weightOf(w), ZeroEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From A the heaviest downward path is A+C+D = 17.
+	want := []float64{17, 3, 12, 2}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("DownwardDistance = %v, want %v", dist, want)
+		}
+	}
+}
+
+// TestQuickPathConsistency: for arbitrary DAGs, the critical path total
+// equals the longest-path maximum, the path is a real graph path from an
+// entry to an exit, and its node+edge weights sum to the total.
+func TestQuickPathConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 1+rng.Intn(40))
+		w := make([]float64, g.NumTasks())
+		for i := range w {
+			w[i] = rng.Float64() * 10
+		}
+		path, total, err := g.CriticalPath(weightOf(w), dataEdge)
+		if err != nil {
+			return false
+		}
+		_, best, err := g.LongestPath(weightOf(w), dataEdge)
+		if err != nil || math.Abs(best-total) > 1e-9 {
+			return false
+		}
+		if g.InDegree(path[0]) != 0 || g.OutDegree(path[len(path)-1]) != 0 {
+			return false
+		}
+		sum := w[path[0]]
+		for i := 1; i < len(path); i++ {
+			d, ok := g.EdgeData(path[i-1], path[i])
+			if !ok {
+				return false
+			}
+			sum += d + w[path[i]]
+		}
+		return math.Abs(sum-total) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDownwardDistanceIsRankU: rank_u(t) computed via DownwardDistance
+// must satisfy the defining recurrence.
+func TestQuickDownwardDistanceIsRankU(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 1+rng.Intn(40))
+		w := make([]float64, g.NumTasks())
+		for i := range w {
+			w[i] = rng.Float64() * 10
+		}
+		edge := constEdge(2.5)
+		dist, err := g.DownwardDistance(weightOf(w), edge)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < g.NumTasks(); u++ {
+			want := 0.0
+			for _, a := range g.Succs(TaskID(u)) {
+				if v := 2.5 + dist[a.Task]; v > want {
+					want = v
+				}
+			}
+			want += w[u]
+			if math.Abs(dist[u]-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathsOnCycleFail(t *testing.T) {
+	g := New(2)
+	a := g.AddTask("a")
+	b := g.AddTask("b")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, a, 0)
+	if _, _, err := g.LongestPath(unitNode, ZeroEdges); err == nil {
+		t.Error("LongestPath accepted a cycle")
+	}
+	if _, _, err := g.CriticalPath(unitNode, ZeroEdges); err == nil {
+		t.Error("CriticalPath accepted a cycle")
+	}
+	if _, err := g.DownwardDistance(unitNode, ZeroEdges); err == nil {
+		t.Error("DownwardDistance accepted a cycle")
+	}
+}

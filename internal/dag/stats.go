@@ -1,0 +1,81 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GraphStats summarises the structural characteristics the paper's
+// generator controls (Table II): size, shape, and degree distribution.
+type GraphStats struct {
+	Tasks   int
+	Edges   int
+	Entries int
+	Exits   int
+	// Height is the number of precedence levels; Width the largest level.
+	Height int
+	Width  int
+	// MeanOutDegree counts only non-terminal tasks (matching the
+	// generator's "density" parameter semantics).
+	MeanOutDegree float64
+	MaxOutDegree  int
+	MaxInDegree   int
+	// LevelWidths lists the size of every precedence level in order.
+	LevelWidths []int
+	// TotalData is the sum of edge data volumes (the CCR numerator).
+	TotalData float64
+}
+
+// ComputeStats derives the statistics; the graph must be acyclic.
+func ComputeStats(g *Graph) (*GraphStats, error) {
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	st := &GraphStats{
+		Tasks:   g.NumTasks(),
+		Edges:   g.NumEdges(),
+		Entries: len(g.Entries()),
+		Exits:   len(g.Exits()),
+		Height:  len(levels),
+	}
+	for _, l := range levels {
+		st.LevelWidths = append(st.LevelWidths, len(l))
+		if len(l) > st.Width {
+			st.Width = len(l)
+		}
+	}
+	nonTerminal := 0
+	outSum := 0
+	for t := 0; t < g.NumTasks(); t++ {
+		id := TaskID(t)
+		if d := g.OutDegree(id); d > 0 {
+			nonTerminal++
+			outSum += d
+			if d > st.MaxOutDegree {
+				st.MaxOutDegree = d
+			}
+		}
+		if d := g.InDegree(id); d > st.MaxInDegree {
+			st.MaxInDegree = d
+		}
+		for _, a := range g.Succs(id) {
+			st.TotalData += a.Data
+		}
+	}
+	if nonTerminal > 0 {
+		st.MeanOutDegree = float64(outSum) / float64(nonTerminal)
+	}
+	return st, nil
+}
+
+// String renders a compact multi-line report.
+func (st *GraphStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tasks %d, edges %d, entries %d, exits %d\n", st.Tasks, st.Edges, st.Entries, st.Exits)
+	fmt.Fprintf(&b, "height %d, width %d, mean out-degree %.2f (max out %d, max in %d)\n",
+		st.Height, st.Width, st.MeanOutDegree, st.MaxOutDegree, st.MaxInDegree)
+	fmt.Fprintf(&b, "level widths: %v\n", st.LevelWidths)
+	fmt.Fprintf(&b, "total edge data: %.4g\n", st.TotalData)
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package dag
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestComputeStatsDiamond(t *testing.T) {
+	g := diamond(t)
+	st, err := ComputeStats(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 4 || st.Edges != 4 || st.Entries != 1 || st.Exits != 1 {
+		t.Fatalf("shape: %+v", st)
+	}
+	if st.Height != 3 || st.Width != 2 {
+		t.Fatalf("height/width: %+v", st)
+	}
+	// Non-terminal tasks: A (out 2), B (1), C (1) -> mean 4/3.
+	if math.Abs(st.MeanOutDegree-4.0/3.0) > 1e-12 {
+		t.Fatalf("mean out-degree = %g", st.MeanOutDegree)
+	}
+	if st.MaxOutDegree != 2 || st.MaxInDegree != 2 {
+		t.Fatalf("degrees: %+v", st)
+	}
+	if st.TotalData != 1+2+3+4 {
+		t.Fatalf("total data = %g", st.TotalData)
+	}
+	if len(st.LevelWidths) != 3 || st.LevelWidths[1] != 2 {
+		t.Fatalf("level widths = %v", st.LevelWidths)
+	}
+	if rep := st.String(); !strings.Contains(rep, "height 3") {
+		t.Fatalf("report = %q", rep)
+	}
+}
+
+func TestComputeStatsRejectsCycle(t *testing.T) {
+	g := New(2)
+	a := g.AddTask("a")
+	b := g.AddTask("b")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, a, 0)
+	if _, err := ComputeStats(g); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestReadDOTBasic(t *testing.T) {
+	src := `
+digraph "flow" {
+    rankdir=TB;
+    node [shape=box];
+    a [label="fetch"];
+    b; // plain node
+    a -> b [label="12.5"];
+    a -> "c d";        # quoted identifier with a space
+    "c d" -> b [label="3"];
+}
+`
+	g, err := ReadDOT(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("shape: %d tasks, %d edges", g.NumTasks(), g.NumEdges())
+	}
+	if g.Task(0).Name != "fetch" {
+		t.Fatalf("label rename failed: %q", g.Task(0).Name)
+	}
+	if d, ok := g.EdgeData(0, 1); !ok || d != 12.5 {
+		t.Fatalf("edge data = %g, %v", d, ok)
+	}
+	if d, ok := g.EdgeData(0, 2); !ok || d != 0 {
+		t.Fatalf("unlabelled edge data = %g, %v", d, ok)
+	}
+}
+
+func TestReadDOTRoundTripWithEmitter(t *testing.T) {
+	g := diamond(t)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "rt"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDOT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTasks() != g.NumTasks() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip shape: %v vs %v", back, g)
+	}
+	// Names and data survive (IDs are assigned in emission order).
+	for i := 0; i < g.NumTasks(); i++ {
+		if back.Task(TaskID(i)).Name != g.Task(TaskID(i)).Name {
+			t.Fatalf("task %d name %q vs %q", i, back.Task(TaskID(i)).Name, g.Task(TaskID(i)).Name)
+		}
+	}
+	for u := 0; u < g.NumTasks(); u++ {
+		for _, a := range g.Succs(TaskID(u)) {
+			if d, ok := back.EdgeData(TaskID(u), a.Task); !ok || d != a.Data {
+				t.Fatalf("edge (%d->%d) lost or changed", u, a.Task)
+			}
+		}
+	}
+}
+
+func TestReadDOTErrors(t *testing.T) {
+	cases := map[string]string{
+		"no-header":     `a -> b`,
+		"chain-edge":    "digraph x {\na -> b -> c\n}",
+		"bad-label":     "digraph x {\na -> b [label=\"twelve\"]\n}",
+		"unterminated":  "digraph x {\na [label=\"y\"\n}",
+		"self-loop":     "digraph x {\na -> a\n}",
+		"cycle":         "digraph x {\na -> b\nb -> a\n}",
+		"bad-attr":      "digraph x {\na [label]\n}",
+		"empty-digraph": "digraph x {\n}",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadDOT(strings.NewReader(src)); err == nil {
+				t.Fatalf("accepted %s", name)
+			}
+		})
+	}
+}

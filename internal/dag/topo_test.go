@@ -1,0 +1,164 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopoOrderDeterministicAndValid(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TaskID{0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("TopoOrder = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	g := New(2)
+	a := g.AddTask("a")
+	b := g.AddTask("b")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, a, 0)
+	if _, err := g.TopoOrder(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+// randomDAG builds a random acyclic graph by only ever adding forward edges
+// in ID order.
+func randomDAG(rng *rand.Rand, n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddTask("")
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < 0.15 {
+				g.MustAddEdge(TaskID(u), TaskID(v), rng.Float64()*10)
+			}
+		}
+	}
+	return g
+}
+
+// TestQuickTopoProperties checks, for arbitrary random DAGs, that the
+// topological order contains every task exactly once and respects every
+// edge.
+func TestQuickTopoProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 2+rng.Intn(60))
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		pos := make(map[TaskID]int, len(order))
+		for i, id := range order {
+			if _, dup := pos[id]; dup {
+				return false
+			}
+			pos[id] = i
+		}
+		if len(pos) != g.NumTasks() {
+			return false
+		}
+		for u := 0; u < g.NumTasks(); u++ {
+			for _, a := range g.Succs(TaskID(u)) {
+				if pos[TaskID(u)] >= pos[a.Task] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g := diamond(t)
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 {
+		t.Fatalf("levels = %d, want 3", len(levels))
+	}
+	if len(levels[1]) != 2 {
+		t.Fatalf("middle level size = %d, want 2", len(levels[1]))
+	}
+	if g.Height() != 3 || g.Width() != 2 {
+		t.Fatalf("Height/Width = %d/%d, want 3/2", g.Height(), g.Width())
+	}
+	lv, err := g.LevelOf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 1, 2}
+	for i := range want {
+		if lv[i] != want[i] {
+			t.Fatalf("LevelOf = %v, want %v", lv, want)
+		}
+	}
+}
+
+// TestQuickLevelsIndependentWithinLevel verifies the paper's property that
+// tasks on the same level are mutually independent (no edge inside a level).
+func TestQuickLevelsIndependentWithinLevel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 2+rng.Intn(60))
+		lv, err := g.LevelOf()
+		if err != nil {
+			return false
+		}
+		for u := 0; u < g.NumTasks(); u++ {
+			for _, a := range g.Succs(TaskID(u)) {
+				if lv[u] >= lv[a.Task] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelsOnCycleFails(t *testing.T) {
+	g := New(2)
+	a := g.AddTask("a")
+	b := g.AddTask("b")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, a, 0)
+	if _, err := g.Levels(); err == nil {
+		t.Fatal("Levels accepted a cyclic graph")
+	}
+	if g.Height() != 0 || g.Width() != 0 {
+		t.Fatal("Height/Width should be 0 for cyclic graphs")
+	}
+}
+
+func TestMinIDHeapOrdering(t *testing.T) {
+	var h minIDHeap
+	for _, v := range []TaskID{5, 1, 4, 1, 3, 9, 0} {
+		h.push(v)
+	}
+	prev := TaskID(-1)
+	for h.len() > 0 {
+		v := h.pop()
+		if v < prev {
+			t.Fatalf("heap popped %d after %d", v, prev)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,114 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCycle is wrapped by Validate when the graph contains a dependency cycle.
+var ErrCycle = errors.New("dag: graph contains a cycle")
+
+// ErrEmpty is returned by Validate for graphs with no tasks.
+var ErrEmpty = errors.New("dag: graph has no tasks")
+
+// Validate checks structural invariants required by every scheduler:
+//
+//   - the graph has at least one task;
+//   - the graph is acyclic;
+//   - the graph has at least one entry and one exit task (implied by
+//     acyclicity plus non-emptiness, but checked explicitly for clarity).
+//
+// Endpoint validity, self-loops, duplicate edges, and negative data volumes
+// are already rejected by AddEdge.
+func (g *Graph) Validate() error {
+	if g.NumTasks() == 0 {
+		return ErrEmpty
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	if len(g.Entries()) == 0 {
+		return errors.New("dag: graph has no entry task")
+	}
+	if len(g.Exits()) == 0 {
+		return errors.New("dag: graph has no exit task")
+	}
+	return nil
+}
+
+// TopoOrder returns the task IDs in a deterministic topological order
+// (Kahn's algorithm with a smallest-ID-first tie break), or a wrapped
+// ErrCycle if the graph is cyclic.
+func (g *Graph) TopoOrder() ([]TaskID, error) {
+	n := g.NumTasks()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = g.InDegree(TaskID(i))
+	}
+	// A min-heap over ready IDs keeps the order deterministic regardless of
+	// construction order. Sizes here are modest (<= tens of thousands), so a
+	// simple binary heap over a slice is plenty.
+	var heap minIDHeap
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			heap.push(TaskID(i))
+		}
+	}
+	order := make([]TaskID, 0, n)
+	for heap.len() > 0 {
+		u := heap.pop()
+		order = append(order, u)
+		for _, a := range g.Succs(u) {
+			indeg[a.Task]--
+			if indeg[a.Task] == 0 {
+				heap.push(a.Task)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("%w (%d of %d tasks ordered)", ErrCycle, len(order), n)
+	}
+	return order, nil
+}
+
+// minIDHeap is a tiny binary min-heap of TaskIDs used by TopoOrder.
+type minIDHeap struct{ a []TaskID }
+
+func (h *minIDHeap) len() int { return len(h.a) }
+
+func (h *minIDHeap) push(v TaskID) {
+	h.a = append(h.a, v)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *minIDHeap) pop() TaskID {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h.a) && h.a[l] < h.a[m] {
+			m = l
+		}
+		if r < len(h.a) && h.a[r] < h.a[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.a[i], h.a[m] = h.a[m], h.a[i]
+		i = m
+	}
+	return top
+}

@@ -1,0 +1,93 @@
+package dynamic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hdlts/internal/core"
+	"hdlts/internal/heuristics"
+	"hdlts/internal/sched"
+	"hdlts/internal/stats"
+)
+
+// Summary aggregates one policy's behaviour over repeated realities.
+type Summary struct {
+	Policy string
+	// Makespan aggregates actual makespans.
+	Makespan stats.Running
+	// SLR aggregates the actual scheduling length ratio: realised makespan
+	// over the estimated critical-path lower bound (Eq. 10 applied to the
+	// execution rather than the plan), comparable across policies and
+	// problems.
+	SLR stats.Running
+	// Degradation aggregates actual/planned makespan ratios, where planned
+	// is the offline HDLTS makespan on estimated costs (a common yardstick
+	// for every policy so ratios are comparable).
+	Degradation stats.Running
+}
+
+// Merge folds another summary for the same policy into s.
+func (s *Summary) Merge(o Summary) {
+	s.Makespan.Merge(o.Makespan)
+	s.SLR.Merge(o.SLR)
+	s.Degradation.Merge(o.Degradation)
+}
+
+// Compare executes the standard policy panel — online HDLTS, HEFT deployed
+// as a static mapping, HEFT order with dynamic EFT, and HDLTS's own offline
+// plan deployed statically — over reps independent realities drawn from the
+// uncertainty model, all facing identical cost draws per repetition.
+func Compare(pr *sched.Problem, u Uncertainty, failures []Failure, reps int, rng *rand.Rand) ([]Summary, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("dynamic: reps = %d, want >= 1", reps)
+	}
+	base := pr.Normalize()
+
+	hdltsPlan, err := core.New().Schedule(base)
+	if err != nil {
+		return nil, err
+	}
+	heftPlan, err := heuristics.NewHEFT().Schedule(base)
+	if err != nil {
+		return nil, err
+	}
+	planned := hdltsPlan.Makespan()
+	if planned <= 0 {
+		return nil, fmt.Errorf("dynamic: degenerate plan with makespan %g", planned)
+	}
+	lb, err := base.CPMinLowerBound()
+	if err != nil {
+		return nil, err
+	}
+	if lb <= 0 {
+		return nil, fmt.Errorf("dynamic: degenerate lower bound %g", lb)
+	}
+
+	policies := []Policy{
+		OnlineHDLTS{},
+		NewStaticMapping("HDLTS", hdltsPlan),
+		NewStaticMapping("HEFT", heftPlan),
+		NewStaticOrderDynamicEFT("HEFT", heftPlan),
+	}
+	out := make([]Summary, len(policies))
+	for i, p := range policies {
+		out[i].Policy = p.Name()
+	}
+
+	for rep := 0; rep < reps; rep++ {
+		r, err := NewReality(base, u, failures, rng)
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range policies {
+			res, err := Execute(r, p)
+			if err != nil {
+				return nil, fmt.Errorf("dynamic: rep %d policy %s: %w", rep, p.Name(), err)
+			}
+			out[i].Makespan.Add(res.Makespan)
+			out[i].SLR.Add(res.Makespan / lb)
+			out[i].Degradation.Add(res.Makespan / planned)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,333 @@
+package dynamic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hdlts/internal/core"
+	"hdlts/internal/dag"
+	"hdlts/internal/gen"
+	"hdlts/internal/heuristics"
+	"hdlts/internal/platform"
+	"hdlts/internal/sched"
+	"hdlts/internal/workflows"
+)
+
+func TestUncertaintyValidate(t *testing.T) {
+	good := []Uncertainty{{}, {ExecJitter: 0.5}, {CommJitter: 0.99}, {ExecJitter: 0.3, CommJitter: 0.3}}
+	for _, u := range good {
+		if err := u.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", u, err)
+		}
+	}
+	bad := []Uncertainty{{ExecJitter: -0.1}, {ExecJitter: 1}, {CommJitter: 1.5}, {CommJitter: -1}}
+	for _, u := range bad {
+		if err := u.Validate(); err == nil {
+			t.Errorf("%+v accepted", u)
+		}
+	}
+}
+
+func TestRealityZeroJitterMatchesEstimates(t *testing.T) {
+	pr := workflows.PaperExample()
+	r, err := NewReality(pr, Uncertainty{}, nil, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task := 0; task < pr.NumTasks(); task++ {
+		for p := 0; p < pr.NumProcs(); p++ {
+			if r.Exec(dag.TaskID(task), platform.Proc(p)) != pr.Exec(dag.TaskID(task), platform.Proc(p)) {
+				t.Fatalf("zero-jitter exec differs at (%d,%d)", task, p)
+			}
+		}
+	}
+	if got := r.Comm(0, 1, 18, 0, 1); got != 18 {
+		t.Fatalf("zero-jitter comm = %g, want 18", got)
+	}
+	if got := r.Comm(0, 1, 18, 1, 1); got != 0 {
+		t.Fatalf("local comm = %g, want 0", got)
+	}
+}
+
+func TestRealityJitterBounds(t *testing.T) {
+	pr := workflows.PaperExample()
+	u := Uncertainty{ExecJitter: 0.4, CommJitter: 0.4}
+	r, err := NewReality(pr, u, nil, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task := 0; task < pr.NumTasks(); task++ {
+		for p := 0; p < pr.NumProcs(); p++ {
+			est := pr.Exec(dag.TaskID(task), platform.Proc(p))
+			got := r.Exec(dag.TaskID(task), platform.Proc(p))
+			if got < est*0.6-1e-9 || got > est*1.4+1e-9 {
+				t.Fatalf("exec (%d,%d) = %g outside ±40%% of %g", task, p, got, est)
+			}
+		}
+	}
+}
+
+func TestRealityFailureValidation(t *testing.T) {
+	pr := workflows.PaperExample()
+	rng := rand.New(rand.NewSource(3))
+	if _, err := NewReality(pr, Uncertainty{}, []Failure{{Proc: 9, At: 1}}, rng); err == nil {
+		t.Error("unknown processor accepted")
+	}
+	if _, err := NewReality(pr, Uncertainty{}, []Failure{{Proc: 0, At: -1}}, rng); err == nil {
+		t.Error("negative failure time accepted")
+	}
+	all := []Failure{{Proc: 0, At: 5}, {Proc: 1, At: 5}, {Proc: 2, At: 5}}
+	if _, err := NewReality(pr, Uncertainty{}, all, rng); err == nil {
+		t.Error("all-processors failure accepted")
+	}
+	r, err := NewReality(pr, Uncertainty{}, []Failure{{Proc: 1, At: 20}, {Proc: 1, At: 10}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Alive(1, 15) {
+		t.Error("earliest failure time should win")
+	}
+	if !r.Alive(1, 5) || !r.Alive(0, 1e12) {
+		t.Error("Alive wrong for healthy cases")
+	}
+}
+
+func TestExecuteZeroJitterOnlineHDLTSMatchesExample(t *testing.T) {
+	// Without jitter or failures, online HDLTS on the Fig. 1 instance is
+	// HDLTS without entry duplication; its makespan must at least match the
+	// no-duplication offline variant and respect the 73 lower line loosely.
+	pr := workflows.PaperExample()
+	r, err := NewReality(pr, Uncertainty{}, nil, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(r, OnlineHDLTS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := core.NewWithOptions(core.Options{DisableDuplication: true}).Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-offline.Makespan()) > 1e-9 {
+		t.Fatalf("online zero-jitter makespan %g, offline no-dup %g", res.Makespan, offline.Makespan())
+	}
+}
+
+func TestExecuteStaticMappingZeroJitterReproducesPlan(t *testing.T) {
+	// With zero jitter and no failures, deploying an offline plan must
+	// reproduce its makespan exactly (for plans without duplicates; entry
+	// duplicates are an offline-only construct, so use HEFT).
+	pr := workflows.PaperExample()
+	plan, err := heuristics.NewHEFT().Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReality(plan.Problem(), Uncertainty{}, nil, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(r, NewStaticMapping("HEFT", plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-plan.Makespan()) > 1e-9 {
+		t.Fatalf("replayed makespan %g, planned %g", res.Makespan, plan.Makespan())
+	}
+	// Every task must run on its planned processor.
+	for task := 0; task < pr.NumTasks(); task++ {
+		pl, _ := plan.PlacementOf(dag.TaskID(task))
+		if res.Proc[task] != pl.Proc {
+			t.Fatalf("task %d ran on P%d, planned P%d", task, res.Proc[task]+1, pl.Proc+1)
+		}
+	}
+}
+
+func TestExecuteWithFailureRoutesAround(t *testing.T) {
+	pr := workflows.PaperExample()
+	// P3 (the fastest for the entry) dies immediately: nothing may run on it.
+	r, err := NewReality(pr, Uncertainty{}, []Failure{{Proc: 2, At: 0}}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(r, OnlineHDLTS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task, p := range res.Proc {
+		if p == 2 {
+			t.Fatalf("task %d ran on the failed processor", task)
+		}
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("empty execution")
+	}
+}
+
+func TestExecuteStaticMappingFailover(t *testing.T) {
+	pr := workflows.PaperExample()
+	plan, err := heuristics.NewHEFT().Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill a processor the plan uses, from t=0; the failover must reroute.
+	used := map[platform.Proc]bool{}
+	for task := 0; task < pr.NumTasks(); task++ {
+		pl, _ := plan.PlacementOf(dag.TaskID(task))
+		used[pl.Proc] = true
+	}
+	var victim platform.Proc = -1
+	for p := range used {
+		victim = p
+		break
+	}
+	r, err := NewReality(plan.Problem(), Uncertainty{}, []Failure{{Proc: victim, At: 0}}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(r, NewStaticMapping("HEFT", plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task, p := range res.Proc {
+		if p == victim {
+			t.Fatalf("task %d ran on failed P%d", task, victim+1)
+		}
+	}
+}
+
+// TestQuickExecutionFeasible: for random problems, jitters, and a possible
+// failure, every policy completes with a causally consistent execution:
+// every task starts (finish − actual exec) no earlier than every parent's
+// finish plus actual transfer time, and never on a dead processor.
+func TestQuickExecutionFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pr, err := gen.Random(gen.Params{
+			V: 1 + rng.Intn(60), Alpha: 1.0, Density: 1 + rng.Intn(4),
+			CCR: float64(1 + rng.Intn(5)), Procs: 2 + rng.Intn(6),
+			WDAG: 60, Beta: 1.2,
+		}, rng)
+		if err != nil {
+			return false
+		}
+		base := pr.Normalize()
+		u := Uncertainty{ExecJitter: 0.3 * rng.Float64(), CommJitter: 0.3 * rng.Float64()}
+		var failures []Failure
+		if rng.Intn(2) == 0 && base.NumProcs() > 1 {
+			failures = append(failures, Failure{Proc: platform.Proc(rng.Intn(base.NumProcs())), At: float64(rng.Intn(200))})
+		}
+		r, err := NewReality(base, u, failures, rng)
+		if err != nil {
+			return false
+		}
+		hdltsPlan, err := core.New().Schedule(base)
+		if err != nil {
+			return false
+		}
+		heftPlan, err := heuristics.NewHEFT().Schedule(base)
+		if err != nil {
+			return false
+		}
+		policies := []Policy{
+			OnlineHDLTS{},
+			NewStaticMapping("HDLTS", hdltsPlan),
+			NewStaticMapping("HEFT", heftPlan),
+			NewStaticOrderDynamicEFT("HEFT", heftPlan),
+		}
+		for _, p := range policies {
+			res, err := Execute(r, p)
+			if err != nil {
+				t.Logf("%s: %v", p.Name(), err)
+				return false
+			}
+			if !causallyConsistent(base, r, res) {
+				t.Logf("%s: causality violated", p.Name())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// causallyConsistent re-derives feasibility of an execution trace.
+func causallyConsistent(pr *sched.Problem, r *Reality, res *Result) bool {
+	g := pr.G
+	for task := 0; task < pr.NumTasks(); task++ {
+		t := dag.TaskID(task)
+		p := res.Proc[task]
+		if p < 0 || res.Finish[task] < 0 {
+			return false
+		}
+		start := res.Finish[task] - r.Exec(t, p)
+		if start < -1e-9 {
+			return false
+		}
+		for _, a := range g.Preds(t) {
+			arr := res.Finish[a.Task] + r.Comm(a.Task, t, a.Data, res.Proc[a.Task], p)
+			if start < arr-1e-9 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCompare(t *testing.T) {
+	pr := workflows.PaperExample()
+	sums, err := Compare(pr, Uncertainty{ExecJitter: 0.3, CommJitter: 0.3}, nil, 20, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 4 {
+		t.Fatalf("policies = %d, want 4", len(sums))
+	}
+	for _, s := range sums {
+		if s.Makespan.N() != 20 {
+			t.Errorf("%s: N = %d", s.Policy, s.Makespan.N())
+		}
+		if s.Makespan.Mean() <= 0 || s.Degradation.Mean() <= 0 {
+			t.Errorf("%s: degenerate summary %s", s.Policy, s.Makespan.String())
+		}
+	}
+	if _, err := Compare(pr, Uncertainty{}, nil, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero reps accepted")
+	}
+}
+
+// TestRealityCommJitterCoherentPerEdge: one edge's realised transfer scale
+// is drawn once, so shipping the same edge between different processor
+// pairs scales both base costs by the same factor.
+func TestRealityCommJitterCoherentPerEdge(t *testing.T) {
+	g := dag.New(2)
+	a := g.AddTask("a")
+	b := g.AddTask("b")
+	g.MustAddEdge(a, b, 12)
+	pl, err := platform.TwoClusters(2, 2, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := platform.MustCostsFromRows([][]float64{{1, 1, 1, 1}, {2, 2, 2, 2}})
+	pr := sched.MustProblem(g, pl, w)
+	r, err := NewReality(pr, Uncertainty{CommJitter: 0.5}, nil, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra := r.Comm(a, b, 12, 0, 1) // base 12
+	inter := r.Comm(a, b, 12, 0, 2) // base 24
+	if intra <= 0 || inter <= 0 {
+		t.Fatal("non-positive realised comm")
+	}
+	if ratio := inter / intra; ratio < 1.999 || ratio > 2.001 {
+		t.Fatalf("edge scale not coherent across pairs: ratio %g, want 2", ratio)
+	}
+	// And the realised scale is within the ±50% band of the base.
+	if intra < 6-1e-9 || intra > 18+1e-9 {
+		t.Fatalf("realised comm %g outside jitter band [6, 18]", intra)
+	}
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hdlts/internal/dynamic"
+	"hdlts/internal/gen"
+	"hdlts/internal/platform"
+	"hdlts/internal/sched"
+)
+
+// The extension experiments realise the paper's future-work scenario
+// (Section VI): executing workflows under uncertain costs and processor
+// failures. They compare the online-HDLTS policy against static deployments
+// of offline plans (see package dynamic). These are additions beyond the
+// paper's figures; EXPERIMENTS.md reports them separately.
+
+// RunExtUncertain measures mean makespan degradation (actual / planned) as
+// execution and communication jitter grows from 0 to 50%.
+func RunExtUncertain(cfg Config) (*Table, error) {
+	jitters := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	labels := make([]string, len(jitters))
+	for i, j := range jitters {
+		labels[i] = fmt.Sprintf("%.0f%%", j*100)
+	}
+	return runExt("ext-uncertain",
+		"Actual SLR vs run-time jitter — extension, not a paper figure",
+		"jitter", labels, cfg,
+		func(x int, rng *rand.Rand) (dynamic.Uncertainty, []dynamic.Failure) {
+			u := dynamic.Uncertainty{ExecJitter: jitters[x], CommJitter: jitters[x]}
+			return u, nil
+		})
+}
+
+// RunExtFailure measures mean makespan degradation as 0 to 3 of 8
+// processors fail at random times during execution, with 20% cost jitter.
+func RunExtFailure(cfg Config) (*Table, error) {
+	counts := []int{0, 1, 2, 3}
+	labels := make([]string, len(counts))
+	for i, c := range counts {
+		labels[i] = fmt.Sprintf("%d", c)
+	}
+	return runExt("ext-failure",
+		"Actual SLR vs failed CPUs of 8 — extension, not a paper figure",
+		"failures", labels, cfg,
+		func(x int, rng *rand.Rand) (dynamic.Uncertainty, []dynamic.Failure) {
+			u := dynamic.Uncertainty{ExecJitter: 0.2, CommJitter: 0.2}
+			var fails []dynamic.Failure
+			for i := 0; i < counts[x]; i++ {
+				fails = append(fails, dynamic.Failure{
+					Proc: platform.Proc(i), // distinct victims
+					At:   float64(rng.Intn(400)),
+				})
+			}
+			return u, fails
+		})
+}
+
+// RunExtNetwork measures how the offline schedulers cope with a
+// heterogeneous network: a two-cluster platform (4+4 processors) whose
+// intra-cluster bandwidth is 1 while the inter-cluster bandwidth shrinks
+// from 1 (uniform, the paper's assumption) down to 1/8. Lower inter-cluster
+// bandwidth punishes algorithms that scatter communicating tasks across
+// clusters.
+func RunExtNetwork(cfg Config) (*Table, error) {
+	if len(cfg.Algorithms) == 0 {
+		return nil, fmt.Errorf("experiments: no algorithms configured")
+	}
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	ratios := []float64{1, 0.5, 0.25, 0.125}
+	labels := make([]string, len(ratios))
+	for i, r := range ratios {
+		labels[i] = fmt.Sprintf("1/%g", 1/r)
+	}
+	e := Experiment{
+		Name:   "ext-network",
+		Title:  "Average SLR vs inter-cluster bandwidth (two 4-CPU clusters) — extension, not a paper figure",
+		XLabel: "inter-bw", Metric: MetricSLR, X: labels,
+	}
+	for _, r := range ratios {
+		r := r
+		e.Gen = append(e.Gen, func(_ int, rng *rand.Rand) (*sched.Problem, error) {
+			pl, err := platform.TwoClusters(4, 4, 1, r)
+			if err != nil {
+				return nil, err
+			}
+			g, err := gen.Graph(gen.Params{
+				V: 100, Alpha: 1.0, Density: 3, CCR: 2, Procs: 8, WDAG: 80, Beta: 1.2,
+			}, rng)
+			if err != nil {
+				return nil, err
+			}
+			return gen.AssignCostsOn(g, pl, gen.CostParams{Procs: 8, WDAG: 80, Beta: 1.2, CCR: 2}, rng)
+		})
+	}
+	return Run(e, cfg)
+}
+
+// runExt drives dynamic.Compare across an x-axis of scenario setups,
+// drawing a fresh random problem per repetition (with three realities each)
+// so the curves average over workloads as well as cost draws.
+func runExt(name, title, xlabel string, labels []string, cfg Config,
+	scenario func(x int, rng *rand.Rand) (dynamic.Uncertainty, []dynamic.Failure)) (*Table, error) {
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	const realitiesPerProblem = 3
+	problems := (cfg.Reps + realitiesPerProblem - 1) / realitiesPerProblem
+
+	t := &Table{Name: name, Title: title, XLabel: xlabel, Metric: "ActualSLR", X: labels}
+	var acc []dynamic.Summary
+	for x := range labels {
+		for rep := 0; rep < problems; rep++ {
+			rng := rand.New(rand.NewSource(subSeed(cfg.Seed, name, x, rep)))
+			pr, err := gen.Random(gen.Params{
+				V: 100, Alpha: 1.0, Density: 3, CCR: 2.0, Procs: 8, WDAG: 80, Beta: 1.2,
+			}, rng)
+			if err != nil {
+				return nil, err
+			}
+			u, fails := scenario(x, rng)
+			sums, err := dynamic.Compare(pr, u, fails, realitiesPerProblem, rng)
+			if err != nil {
+				return nil, err
+			}
+			if acc == nil {
+				acc = make([]dynamic.Summary, len(sums)*len(labels))
+				for i, s := range sums {
+					for xx := range labels {
+						acc[i*len(labels)+xx].Policy = s.Policy
+					}
+				}
+			}
+			for i, s := range sums {
+				acc[i*len(labels)+x].Merge(s)
+			}
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%s: finished %s=%s (%d problems)", name, xlabel, labels[x], problems))
+		}
+	}
+
+	nPolicies := len(acc) / len(labels)
+	for i := 0; i < nPolicies; i++ {
+		s := Series{Algorithm: acc[i*len(labels)].Policy,
+			Mean: make([]float64, len(labels)),
+			CI95: make([]float64, len(labels)),
+			N:    make([]int, len(labels)),
+		}
+		for x := range labels {
+			sum := acc[i*len(labels)+x]
+			s.Mean[x] = sum.SLR.Mean()
+			s.CI95[x] = sum.SLR.CI95()
+			s.N[x] = sum.SLR.N()
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}

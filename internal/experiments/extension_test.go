@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hdlts/internal/registry"
+)
+
+func TestRunExtUncertain(t *testing.T) {
+	tbl, err := RunExtUncertain(Config{Reps: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 4 {
+		t.Fatalf("policies = %d, want 4", len(tbl.Series))
+	}
+	names := map[string]bool{}
+	for _, s := range tbl.Series {
+		names[s.Algorithm] = true
+		for x, m := range s.Mean {
+			if m < 1 {
+				t.Errorf("%s: actual SLR %g < 1 at %s", s.Algorithm, m, tbl.X[x])
+			}
+			if s.N[x] < 6 {
+				t.Errorf("%s: N = %d at %s, want >= 6", s.Algorithm, s.N[x], tbl.X[x])
+			}
+		}
+	}
+	for _, want := range []string{"HDLTS-online", "HDLTS-static", "HEFT-static", "HEFT-order"} {
+		if !names[want] {
+			t.Errorf("missing policy %s", want)
+		}
+	}
+	var b strings.Builder
+	if err := tbl.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "ext-uncertain") {
+		t.Error("render missing experiment name")
+	}
+}
+
+func TestRunExtFailure(t *testing.T) {
+	tbl, err := RunExtFailure(Config{Reps: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.X) != 4 {
+		t.Fatalf("x-points = %d, want 4", len(tbl.X))
+	}
+	// Robustness claim: under three failures the online policy must beat
+	// the static HDLTS deployment on average (that is the point of the
+	// extension — verified at small N, so use a generous margin).
+	online := tbl.SeriesByName("HDLTS-online")
+	static_ := tbl.SeriesByName("HDLTS-static")
+	last := len(tbl.X) - 1
+	if online.Mean[last] > static_.Mean[last]*1.05 {
+		t.Errorf("online HDLTS (%g) much worse than its static deployment (%g) under failures",
+			online.Mean[last], static_.Mean[last])
+	}
+}
+
+func TestRunExtDeterministic(t *testing.T) {
+	a, err := RunExtUncertain(Config{Reps: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunExtUncertain(Config{Reps: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Series {
+		for x := range a.Series[i].Mean {
+			if a.Series[i].Mean[x] != b.Series[i].Mean[x] {
+				t.Fatalf("nondeterministic extension results")
+			}
+		}
+	}
+}
+
+func TestRunExtNetwork(t *testing.T) {
+	tbl, err := RunExtNetwork(Config{Reps: 4, Seed: 3, Algorithms: registry.All(), Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.X) != 4 || len(tbl.Series) != 6 {
+		t.Fatalf("shape: %d x-points, %d series", len(tbl.X), len(tbl.Series))
+	}
+	for _, s := range tbl.Series {
+		for x, m := range s.Mean {
+			if m < 1 {
+				t.Errorf("%s: SLR %g < 1 at %s", s.Algorithm, m, tbl.X[x])
+			}
+		}
+		// SLR must not improve when the inter-cluster link degrades.
+		if s.Mean[len(s.Mean)-1] < s.Mean[0]*0.9 {
+			t.Errorf("%s improved under a degraded network: %v", s.Algorithm, s.Mean)
+		}
+	}
+}

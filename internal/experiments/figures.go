@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/gen"
+	"hdlts/internal/sched"
+	"hdlts/internal/workflows"
+)
+
+// Table II value lists used to sample the nuisance dimensions of each
+// figure: the paper averages every figure over the full factorial grid; we
+// sample the non-plotted dimensions uniformly per repetition, which
+// estimates the same average without enumerating 150 000 combinations per
+// point.
+var (
+	tableII = gen.TableII()
+	// smallVs restricts task counts for figures that do not plot V, keeping
+	// default campaign runtimes laptop-sized (Fig. 3 still covers the full
+	// range up to 10 000 tasks).
+	smallVs = []int{100, 200, 300, 400, 500}
+	fftMs   = []int{4, 8, 16, 32}
+)
+
+func pick[T any](rng *rand.Rand, xs []T) T { return xs[rng.Intn(len(xs))] }
+
+// randomPoint builds a PointGen for synthetic graphs with the given fixed
+// overrides; every parameter not fixed is sampled from Table II.
+func randomPoint(fix func(*gen.Params, *rand.Rand)) PointGen {
+	return func(_ int, rng *rand.Rand) (*sched.Problem, error) {
+		p := gen.Params{
+			V:       pick(rng, smallVs),
+			Alpha:   pick(rng, tableII.Alphas),
+			Density: pick(rng, tableII.Densities),
+			CCR:     pick(rng, tableII.CCRs),
+			Procs:   pick(rng, tableII.Procs),
+			WDAG:    pick(rng, tableII.WDAGs),
+			Beta:    pick(rng, tableII.Betas),
+		}
+		fix(&p, rng)
+		return gen.Random(p, rng)
+	}
+}
+
+// structuredPoint builds a PointGen for a fixed workflow structure with
+// sampled cost parameters and the given overrides.
+func structuredPoint(build func(*rand.Rand) (*dag.Graph, error), fix func(*gen.CostParams, *rand.Rand)) PointGen {
+	return func(_ int, rng *rand.Rand) (*sched.Problem, error) {
+		b, err := build(rng)
+		if err != nil {
+			return nil, err
+		}
+		c := gen.CostParams{
+			Procs: pick(rng, tableII.Procs),
+			WDAG:  pick(rng, tableII.WDAGs),
+			Beta:  pick(rng, tableII.Betas),
+			CCR:   pick(rng, tableII.CCRs),
+		}
+		fix(&c, rng)
+		return gen.AssignCosts(b, c, rng)
+	}
+}
+
+// ccrLabels / procLabels are the x-axes shared by several figures.
+var (
+	ccrValues  = []float64{1, 2, 3, 4, 5}
+	procValues = []int{2, 4, 6, 8, 10}
+)
+
+func labelsF(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%g", x)
+	}
+	return out
+}
+
+func labelsI(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%d", x)
+	}
+	return out
+}
+
+// All returns every experiment, keyed by figure id, in paper order.
+func All() []Experiment {
+	return []Experiment{
+		Fig2(), Fig3(), Fig4(),
+		Fig6(), Fig7(), Fig8(),
+		Fig10("fig10a", 50), Fig10("fig10b", 100), Fig11(),
+		Fig13(), Fig14(),
+	}
+}
+
+// ByName returns the experiment with the given id.
+func ByName(name string) (Experiment, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	known := make([]string, 0)
+	for _, e := range All() {
+		known = append(known, e.Name)
+	}
+	sort.Strings(known)
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, known)
+}
+
+// Fig2 — average SLR of random workflows vs CCR.
+func Fig2() Experiment {
+	e := Experiment{
+		Name: "fig2", Title: "Average SLR of random application workflows vs CCR",
+		XLabel: "CCR", Metric: MetricSLR, X: labelsF(ccrValues),
+	}
+	for _, ccr := range ccrValues {
+		ccr := ccr
+		e.Gen = append(e.Gen, randomPoint(func(p *gen.Params, _ *rand.Rand) { p.CCR = ccr }))
+	}
+	return e
+}
+
+// Fig3 — average SLR of random workflows vs task count. Repetitions are
+// scaled down for the very large graphs so a default campaign stays
+// laptop-sized; the scaling is reported in the table's N column.
+func Fig3() Experiment {
+	vs := []int{100, 200, 300, 400, 500, 1000, 5000, 10000}
+	e := Experiment{
+		Name: "fig3", Title: "Average SLR of random application workflows vs task size",
+		XLabel: "V", Metric: MetricSLR, X: labelsI(vs),
+		RepsScale: []float64{1, 1, 1, 1, 1, 0.5, 0.1, 0.05},
+	}
+	for _, v := range vs {
+		v := v
+		e.Gen = append(e.Gen, randomPoint(func(p *gen.Params, _ *rand.Rand) { p.V = v }))
+	}
+	return e
+}
+
+// Fig4 — efficiency of random workflows vs number of CPUs.
+func Fig4() Experiment {
+	e := Experiment{
+		Name: "fig4", Title: "Efficiency of random application workflows vs number of CPUs",
+		XLabel: "CPUs", Metric: MetricEfficiency, X: labelsI(procValues),
+	}
+	for _, p := range procValues {
+		p := p
+		e.Gen = append(e.Gen, randomPoint(func(g *gen.Params, _ *rand.Rand) { g.Procs = p }))
+	}
+	return e
+}
+
+// Fig6 — average SLR of FFT workflows vs input points (m = 4..32, i.e. 15
+// to 223 tasks).
+func Fig6() Experiment {
+	e := Experiment{
+		Name: "fig6", Title: "Average SLR of FFT application workflows vs input points",
+		XLabel: "points", Metric: MetricSLR, X: labelsI(fftMs),
+	}
+	for _, m := range fftMs {
+		m := m
+		e.Gen = append(e.Gen, structuredPoint(
+			func(*rand.Rand) (*dag.Graph, error) { return workflows.FFTGraph(m) },
+			func(*gen.CostParams, *rand.Rand) {},
+		))
+	}
+	return e
+}
+
+// Fig7 — average SLR of FFT workflows vs CCR (input points sampled).
+func Fig7() Experiment {
+	e := Experiment{
+		Name: "fig7", Title: "Average SLR of FFT application workflows vs CCR",
+		XLabel: "CCR", Metric: MetricSLR, X: labelsF(ccrValues),
+	}
+	for _, ccr := range ccrValues {
+		ccr := ccr
+		e.Gen = append(e.Gen, structuredPoint(
+			func(rng *rand.Rand) (*dag.Graph, error) { return workflows.FFTGraph(pick(rng, fftMs)) },
+			func(c *gen.CostParams, _ *rand.Rand) { c.CCR = ccr },
+		))
+	}
+	return e
+}
+
+// Fig8 — efficiency of FFT workflows (m = 16) vs number of CPUs.
+func Fig8() Experiment {
+	e := Experiment{
+		Name: "fig8", Title: "Efficiency of FFT application workflows (16 points) vs number of CPUs",
+		XLabel: "CPUs", Metric: MetricEfficiency, X: labelsI(procValues),
+	}
+	for _, p := range procValues {
+		p := p
+		e.Gen = append(e.Gen, structuredPoint(
+			func(*rand.Rand) (*dag.Graph, error) { return workflows.FFTGraph(16) },
+			func(c *gen.CostParams, _ *rand.Rand) { c.Procs = p },
+		))
+	}
+	return e
+}
+
+// Fig10 — average SLR of Montage workflows vs CCR at 5 CPUs, for a fixed
+// node count (the paper plots 50- and 100-node variants).
+func Fig10(name string, nodes int) Experiment {
+	e := Experiment{
+		Name: name, Title: fmt.Sprintf("Average SLR of Montage (%d nodes) vs CCR, 5 CPUs", nodes),
+		XLabel: "CCR", Metric: MetricSLR, X: labelsF(ccrValues),
+	}
+	for _, ccr := range ccrValues {
+		ccr := ccr
+		e.Gen = append(e.Gen, structuredPoint(
+			func(*rand.Rand) (*dag.Graph, error) { return workflows.MontageGraph(nodes) },
+			func(c *gen.CostParams, _ *rand.Rand) { c.CCR, c.Procs = ccr, 5 },
+		))
+	}
+	return e
+}
+
+// Fig11 — efficiency of Montage workflows vs number of CPUs at CCR = 3
+// (node count sampled from the paper's 50/100 variants).
+func Fig11() Experiment {
+	e := Experiment{
+		Name: "fig11", Title: "Efficiency of Montage application workflows vs number of CPUs (CCR 3)",
+		XLabel: "CPUs", Metric: MetricEfficiency, X: labelsI(procValues),
+	}
+	for _, p := range procValues {
+		p := p
+		e.Gen = append(e.Gen, structuredPoint(
+			func(rng *rand.Rand) (*dag.Graph, error) { return workflows.MontageGraph(pick(rng, []int{50, 100})) },
+			func(c *gen.CostParams, _ *rand.Rand) { c.CCR, c.Procs = 3, p },
+		))
+	}
+	return e
+}
+
+// Fig13 — average SLR of the Molecular Dynamics workflow vs CCR.
+func Fig13() Experiment {
+	e := Experiment{
+		Name: "fig13", Title: "Average SLR of Molecular Dynamics application workflow vs CCR",
+		XLabel: "CCR", Metric: MetricSLR, X: labelsF(ccrValues),
+	}
+	for _, ccr := range ccrValues {
+		ccr := ccr
+		e.Gen = append(e.Gen, structuredPoint(
+			func(*rand.Rand) (*dag.Graph, error) { return workflows.MolDynGraph(), nil },
+			func(c *gen.CostParams, _ *rand.Rand) { c.CCR = ccr },
+		))
+	}
+	return e
+}
+
+// Fig14 — efficiency of the Molecular Dynamics workflow vs number of CPUs
+// at CCR = 3.
+func Fig14() Experiment {
+	e := Experiment{
+		Name: "fig14", Title: "Efficiency of Molecular Dynamics application workflow vs number of CPUs (CCR 3)",
+		XLabel: "CPUs", Metric: MetricEfficiency, X: labelsI(procValues),
+	}
+	for _, p := range procValues {
+		p := p
+		e.Gen = append(e.Gen, structuredPoint(
+			func(*rand.Rand) (*dag.Graph, error) { return workflows.MolDynGraph(), nil },
+			func(c *gen.CostParams, _ *rand.Rand) { c.CCR, c.Procs = 3, p },
+		))
+	}
+	return e
+}

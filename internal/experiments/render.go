@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders the table as aligned plain text: one row per x-point,
+// one column per algorithm, plus a Winner column naming the best algorithm
+// at that point (lowest value for SLR/Makespan, highest for
+// Efficiency/Speedup).
+func (t *Table) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s  [metric: %s]\n", t.Name, t.Title, t.Metric); err != nil {
+		return err
+	}
+	higherBetter := t.Metric == MetricEfficiency || t.Metric == MetricSpeedup
+
+	head := []string{t.XLabel}
+	for _, s := range t.Series {
+		head = append(head, s.Algorithm)
+	}
+	head = append(head, "N", "Winner")
+	rows := [][]string{head}
+	for x := range t.X {
+		row := []string{t.X[x]}
+		winner, winVal := "", 0.0
+		for si, s := range t.Series {
+			row = append(row, fmt.Sprintf("%.4f", s.Mean[x]))
+			better := si == 0 || (higherBetter && s.Mean[x] > winVal) || (!higherBetter && s.Mean[x] < winVal)
+			if better {
+				winner, winVal = s.Algorithm, s.Mean[x]
+			}
+		}
+		n := 0
+		if len(t.Series) > 0 {
+			n = t.Series[0].N[x]
+		}
+		row = append(row, strconv.Itoa(n), winner)
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(head))
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, r := range rows {
+		var b strings.Builder
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " ")); err != nil {
+			return err
+		}
+		if ri == 0 {
+			if _, err := fmt.Fprintln(w, strings.Repeat("-", lineWidth(widths))); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func lineWidth(widths []int) int {
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	return total - 2
+}
+
+// WriteCSV emits the table as CSV with columns
+// experiment,metric,x,algorithm,mean,ci95,n.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"experiment", "metric", t.XLabel, "algorithm", "mean", "ci95", "n", "winrate_vs_first"}); err != nil {
+		return err
+	}
+	for x := range t.X {
+		for _, s := range t.Series {
+			win := ""
+			if x < len(s.WinRate) {
+				win = strconv.FormatFloat(s.WinRate[x], 'g', 4, 64)
+			}
+			rec := []string{
+				t.Name, t.Metric, t.X[x], s.Algorithm,
+				strconv.FormatFloat(s.Mean[x], 'g', 8, 64),
+				strconv.FormatFloat(s.CI95[x], 'g', 4, 64),
+				strconv.Itoa(s.N[x]),
+				win,
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Winners returns, per x-point, the name of the winning algorithm.
+func (t *Table) Winners() []string {
+	higherBetter := t.Metric == MetricEfficiency || t.Metric == MetricSpeedup
+	out := make([]string, len(t.X))
+	for x := range t.X {
+		winner, winVal := "", 0.0
+		for si, s := range t.Series {
+			if si == 0 || (higherBetter && s.Mean[x] > winVal) || (!higherBetter && s.Mean[x] < winVal) {
+				winner, winVal = s.Algorithm, s.Mean[x]
+			}
+		}
+		out[x] = winner
+	}
+	return out
+}
+
+// SeriesByName returns the series for one algorithm, or nil.
+func (t *Table) SeriesByName(alg string) *Series {
+	for i := range t.Series {
+		if t.Series[i].Algorithm == alg {
+			return &t.Series[i]
+		}
+	}
+	return nil
+}

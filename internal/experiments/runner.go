@@ -1,0 +1,254 @@
+// Package experiments defines and runs the paper's evaluation campaigns:
+// one Experiment per published figure (average SLR or efficiency curves for
+// HDLTS and the five baselines over random, FFT, Montage, and Molecular
+// Dynamics workflows), executed by a deterministic parallel runner, plus
+// text/CSV table rendering.
+//
+// Determinism: every (experiment, x-point, repetition) derives its own RNG
+// from the campaign seed via FNV hashing, so results are bit-identical
+// regardless of worker count or scheduling order.
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"hdlts/internal/metrics"
+	"hdlts/internal/sched"
+	"hdlts/internal/stats"
+)
+
+// Metric names accepted by experiments.
+const (
+	MetricSLR        = "SLR"
+	MetricEfficiency = "Efficiency"
+	MetricSpeedup    = "Speedup"
+	MetricMakespan   = "Makespan"
+)
+
+// PointGen builds the problem instance for one repetition of one x-point.
+// Implementations draw every random quantity from rng only.
+type PointGen func(rep int, rng *rand.Rand) (*sched.Problem, error)
+
+// Experiment is one figure: an x-axis of labelled points, a problem
+// generator per point, and the metric plotted on the y-axis.
+type Experiment struct {
+	Name   string // short id: "fig2", "fig10a", ...
+	Title  string // caption from the paper
+	XLabel string
+	Metric string
+	X      []string   // tick labels, parallel to Gen
+	Gen    []PointGen // problem generator per x-point
+	// RepsScale optionally scales the configured repetition count per
+	// x-point (e.g. fewer repetitions for 10000-task graphs). A zero or
+	// missing entry means 1.0.
+	RepsScale []float64
+}
+
+// Config controls a campaign run.
+type Config struct {
+	// Reps is the number of problem instances averaged per x-point
+	// (the paper uses 1000).
+	Reps int
+	// Seed is the campaign master seed.
+	Seed int64
+	// Workers caps parallel workers; 0 means GOMAXPROCS.
+	Workers int
+	// Algorithms compared; nil panics (callers pass registry.All() or a
+	// subset).
+	Algorithms []sched.Algorithm
+	// Validate re-checks every schedule's feasibility (slower; used by
+	// integration tests).
+	Validate bool
+	// Progress, when non-nil, receives a line per completed x-point.
+	Progress func(string)
+}
+
+// Series is one algorithm's curve across the x-axis.
+type Series struct {
+	Algorithm string
+	Mean      []float64 // per x-point mean of the metric
+	CI95      []float64 // half-width of the 95% CI per x-point
+	N         []int     // observations per x-point
+	// WinRate is the paired win fraction against the first configured
+	// algorithm (HDLTS in the standard pools): the share of instances on
+	// which this algorithm's metric is strictly better on the *same*
+	// problem. The first series' WinRate is all zeros by construction.
+	WinRate []float64
+}
+
+// Table is the rendered result of one experiment.
+type Table struct {
+	Name   string
+	Title  string
+	XLabel string
+	Metric string
+	X      []string
+	Series []Series
+}
+
+// Run executes the experiment under the configuration and returns its table.
+func Run(e Experiment, cfg Config) (*Table, error) {
+	if len(cfg.Algorithms) == 0 {
+		return nil, fmt.Errorf("experiments: no algorithms configured")
+	}
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	nAlg := len(cfg.Algorithms)
+	// vals[x][alg][rep] buffers every observation so the final fold happens
+	// in deterministic (x, alg, rep) order: results are bit-identical for
+	// any worker count.
+	repsAt := func(x int) int {
+		reps := cfg.Reps
+		if x < len(e.RepsScale) && e.RepsScale[x] > 0 {
+			reps = int(float64(cfg.Reps)*e.RepsScale[x] + 0.5)
+			if reps < 1 {
+				reps = 1
+			}
+		}
+		return reps
+	}
+	vals := make([][][]float64, len(e.X))
+	for x := range vals {
+		vals[x] = make([][]float64, nAlg)
+		for a := range vals[x] {
+			vals[x][a] = make([]float64, repsAt(x))
+		}
+	}
+
+	type job struct{ x, rep int }
+	jobs := make(chan job)
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				rng := rand.New(rand.NewSource(subSeed(cfg.Seed, e.Name, j.x, j.rep)))
+				pr, err := e.Gen[j.x](j.rep, rng)
+				if err != nil {
+					setErr(fmt.Errorf("experiments: %s x=%s rep=%d: %w", e.Name, e.X[j.x], j.rep, err))
+					continue
+				}
+				for ai, alg := range cfg.Algorithms {
+					s, err := alg.Schedule(pr)
+					if err != nil {
+						setErr(fmt.Errorf("experiments: %s x=%s rep=%d alg=%s: %w", e.Name, e.X[j.x], j.rep, alg.Name(), err))
+						continue
+					}
+					if cfg.Validate {
+						if err := s.Validate(); err != nil {
+							setErr(fmt.Errorf("experiments: %s x=%s rep=%d alg=%s: invalid schedule: %w", e.Name, e.X[j.x], j.rep, alg.Name(), err))
+							continue
+						}
+					}
+					v, err := metricValue(e.Metric, s)
+					if err != nil {
+						setErr(err)
+						continue
+					}
+					// Each (x, alg, rep) cell is written by exactly one job.
+					vals[j.x][ai][j.rep] = v
+				}
+			}
+		}()
+	}
+
+	for x := range e.X {
+		reps := repsAt(x)
+		for rep := 0; rep < reps; rep++ {
+			jobs <- job{x: x, rep: rep}
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%s: queued %s=%s (%d reps)", e.Name, e.XLabel, e.X[x], reps))
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Deterministic fold.
+	acc := make([][]stats.Running, len(e.X))
+	for x := range acc {
+		acc[x] = make([]stats.Running, nAlg)
+		for a := 0; a < nAlg; a++ {
+			for _, v := range vals[x][a] {
+				acc[x][a].Add(v)
+			}
+		}
+	}
+
+	higherBetter := e.Metric == MetricEfficiency || e.Metric == MetricSpeedup
+	t := &Table{Name: e.Name, Title: e.Title, XLabel: e.XLabel, Metric: e.Metric, X: e.X}
+	for ai, alg := range cfg.Algorithms {
+		s := Series{Algorithm: alg.Name(),
+			Mean:    make([]float64, len(e.X)),
+			CI95:    make([]float64, len(e.X)),
+			N:       make([]int, len(e.X)),
+			WinRate: make([]float64, len(e.X)),
+		}
+		for x := range e.X {
+			s.Mean[x] = acc[x][ai].Mean()
+			s.CI95[x] = acc[x][ai].CI95()
+			s.N[x] = acc[x][ai].N()
+			if ai > 0 && len(vals[x][ai]) > 0 {
+				wins := 0
+				for rep := range vals[x][ai] {
+					a, ref := vals[x][ai][rep], vals[x][0][rep]
+					if (higherBetter && a > ref) || (!higherBetter && a < ref) {
+						wins++
+					}
+				}
+				s.WinRate[x] = float64(wins) / float64(len(vals[x][ai]))
+			}
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}
+
+// metricValue extracts the configured metric from a completed schedule.
+func metricValue(metric string, s *sched.Schedule) (float64, error) {
+	switch metric {
+	case MetricMakespan:
+		return s.Makespan(), nil
+	case MetricSLR:
+		return metrics.SLR(s.Problem(), s.Makespan())
+	case MetricSpeedup:
+		return metrics.Speedup(s.Problem(), s.Makespan())
+	case MetricEfficiency:
+		return metrics.Efficiency(s.Problem(), s.Makespan())
+	default:
+		return 0, fmt.Errorf("experiments: unknown metric %q", metric)
+	}
+}
+
+// subSeed derives a deterministic per-job seed from the campaign seed, the
+// experiment name, the x-point index, and the repetition number.
+func subSeed(seed int64, name string, x, rep int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d|%d", seed, name, x, rep)
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}

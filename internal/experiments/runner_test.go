@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hdlts/internal/gen"
+	"hdlts/internal/registry"
+	"hdlts/internal/sched"
+)
+
+// tinyExperiment is a fast two-point experiment over small random graphs.
+func tinyExperiment(metric string) Experiment {
+	gen1 := func(_ int, rng *rand.Rand) (*sched.Problem, error) {
+		return gen.Random(gen.Params{V: 20, Alpha: 1, Density: 2, CCR: 1, Procs: 3, WDAG: 50, Beta: 1.2}, rng)
+	}
+	gen2 := func(_ int, rng *rand.Rand) (*sched.Problem, error) {
+		return gen.Random(gen.Params{V: 20, Alpha: 1, Density: 2, CCR: 4, Procs: 3, WDAG: 50, Beta: 1.2}, rng)
+	}
+	return Experiment{
+		Name: "tiny", Title: "tiny", XLabel: "CCR", Metric: metric,
+		X: []string{"1", "4"}, Gen: []PointGen{gen1, gen2},
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	e := tinyExperiment(MetricSLR)
+	base := Config{Reps: 8, Seed: 42, Algorithms: registry.All()}
+
+	cfg1 := base
+	cfg1.Workers = 1
+	t1, err := Run(e, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg8 := base
+	cfg8.Workers = 8
+	t8, err := Run(e, cfg8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t1.Series {
+		if !reflect.DeepEqual(t1.Series[i].Mean, t8.Series[i].Mean) {
+			t.Fatalf("means differ across worker counts: %v vs %v", t1.Series[i].Mean, t8.Series[i].Mean)
+		}
+	}
+}
+
+func TestRunRepsScale(t *testing.T) {
+	e := tinyExperiment(MetricMakespan)
+	e.RepsScale = []float64{1, 0.25}
+	tbl, err := Run(e, Config{Reps: 8, Seed: 1, Algorithms: registry.All()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Series[0].N[0] != 8 || tbl.Series[0].N[1] != 2 {
+		t.Fatalf("N = %v, want [8 2]", tbl.Series[0].N)
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	e := tinyExperiment(MetricSLR)
+	if _, err := Run(e, Config{Reps: 1}); err == nil {
+		t.Fatal("empty algorithm pool accepted")
+	}
+	bad := tinyExperiment("Bogus")
+	if _, err := Run(bad, Config{Reps: 1, Algorithms: registry.All()}); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}
+
+func TestRunPropagatesGeneratorError(t *testing.T) {
+	e := Experiment{
+		Name: "boom", Title: "boom", XLabel: "x", Metric: MetricSLR,
+		X: []string{"1"},
+		Gen: []PointGen{func(int, *rand.Rand) (*sched.Problem, error) {
+			return gen.Random(gen.Params{}, rand.New(rand.NewSource(1))) // invalid params
+		}},
+	}
+	if _, err := Run(e, Config{Reps: 1, Algorithms: registry.All()}); err == nil {
+		t.Fatal("generator error swallowed")
+	}
+}
+
+func TestByNameCoversAllFigures(t *testing.T) {
+	want := []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig10a", "fig10b", "fig11", "fig13", "fig14"}
+	for _, name := range want {
+		e, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+			continue
+		}
+		if e.Name != name {
+			t.Errorf("ByName(%s).Name = %s", name, e.Name)
+		}
+		if len(e.X) == 0 || len(e.Gen) != len(e.X) {
+			t.Errorf("%s: %d x-points, %d generators", name, len(e.X), len(e.Gen))
+		}
+		if e.Metric != MetricSLR && e.Metric != MetricEfficiency {
+			t.Errorf("%s: unexpected metric %s", name, e.Metric)
+		}
+	}
+	if _, err := ByName("fig99"); err == nil {
+		t.Error("ByName(fig99) succeeded")
+	}
+	if len(All()) != len(want) {
+		t.Errorf("All() has %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func TestEveryFigureGeneratorProducesValidProblems(t *testing.T) {
+	for _, e := range All() {
+		for x := range e.Gen {
+			rng := rand.New(rand.NewSource(int64(x) + 1))
+			pr, err := e.Gen[x](0, rng)
+			if err != nil {
+				t.Errorf("%s x=%s: %v", e.Name, e.X[x], err)
+				continue
+			}
+			if err := pr.G.Validate(); err != nil {
+				t.Errorf("%s x=%s: invalid graph: %v", e.Name, e.X[x], err)
+			}
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	e := tinyExperiment(MetricSLR)
+	tbl, err := Run(e, Config{Reps: 2, Seed: 3, Algorithms: registry.All()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// header + 2 x-points × 6 algorithms
+	if len(lines) != 1+2*6 {
+		t.Fatalf("CSV has %d lines, want 13:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "experiment,metric,CCR,algorithm,mean,ci95,n,winrate_vs_first") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+func TestWinRates(t *testing.T) {
+	e := tinyExperiment(MetricSLR)
+	tbl, err := Run(e, Config{Reps: 10, Seed: 5, Algorithms: registry.All()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first (reference) series' win rate is zero by construction.
+	for x := range tbl.X {
+		if tbl.Series[0].WinRate[x] != 0 {
+			t.Fatalf("reference win rate = %v", tbl.Series[0].WinRate)
+		}
+	}
+	// Other series' win rates are valid fractions and at least one
+	// algorithm beats HDLTS on at least one instance somewhere.
+	any := false
+	for _, s := range tbl.Series[1:] {
+		for x, wr := range s.WinRate {
+			if wr < 0 || wr > 1 {
+				t.Fatalf("%s win rate %g at x=%d", s.Algorithm, wr, x)
+			}
+			if wr > 0 {
+				any = true
+			}
+		}
+	}
+	if !any {
+		t.Fatal("no algorithm ever beat the reference — implausible for these pools")
+	}
+}
+
+func TestWinnersAndSeriesByName(t *testing.T) {
+	tbl := &Table{
+		Metric: MetricEfficiency, X: []string{"a", "b"},
+		Series: []Series{
+			{Algorithm: "X", Mean: []float64{0.5, 0.9}},
+			{Algorithm: "Y", Mean: []float64{0.7, 0.2}},
+		},
+	}
+	w := tbl.Winners()
+	if w[0] != "Y" || w[1] != "X" {
+		t.Fatalf("Winners = %v", w)
+	}
+	tbl.Metric = MetricSLR // lower is better now
+	w = tbl.Winners()
+	if w[0] != "X" || w[1] != "Y" {
+		t.Fatalf("Winners (SLR) = %v", w)
+	}
+	if s := tbl.SeriesByName("Y"); s == nil || s.Mean[0] != 0.7 {
+		t.Fatal("SeriesByName failed")
+	}
+	if tbl.SeriesByName("Z") != nil {
+		t.Fatal("SeriesByName invented a series")
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	e := tinyExperiment(MetricSLR)
+	var mu []string
+	cfg := Config{Reps: 1, Seed: 1, Algorithms: registry.All(),
+		Progress: func(s string) { mu = append(mu, s) }}
+	if _, err := Run(e, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(mu) != len(e.X) {
+		t.Fatalf("progress lines = %d, want %d", len(mu), len(e.X))
+	}
+}

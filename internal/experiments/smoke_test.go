@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hdlts/internal/registry"
+	"hdlts/internal/sched"
+)
+
+// TestSmokeFig2 runs a miniature Fig. 2 campaign with validation enabled:
+// every schedule from every algorithm must be feasible, SLR means must be
+// >= 1, and the table must render.
+func TestSmokeFig2(t *testing.T) {
+	tbl, err := Run(Fig2(), Config{Reps: 3, Seed: 1, Algorithms: registry.All(), Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 6 {
+		t.Fatalf("got %d series, want 6", len(tbl.Series))
+	}
+	for _, s := range tbl.Series {
+		for x, m := range s.Mean {
+			if m < 1 {
+				t.Errorf("%s: mean SLR %g < 1 at %s=%s", s.Algorithm, m, tbl.XLabel, tbl.X[x])
+			}
+			if s.N[x] != 3 {
+				t.Errorf("%s: N = %d at x=%d, want 3", s.Algorithm, s.N[x], x)
+			}
+		}
+	}
+	var b strings.Builder
+	if err := tbl.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + b.String())
+}
+
+// TestSmokeAllFiguresValidated runs every figure with one repetition and
+// schedule validation enabled in both baseline modes: a regression net over
+// the entire figure matrix (the feasibility of every algorithm on every
+// workload family under both placement policies).
+func TestSmokeAllFiguresValidated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
+	pools := map[string][]sched.Algorithm{
+		"canonical": registry.All(),
+		"paper":     registry.PaperMode(),
+	}
+	for mode, pool := range pools {
+		for _, e := range All() {
+			e := e
+			t.Run(mode+"/"+e.Name, func(t *testing.T) {
+				t.Parallel()
+				// Skip the giant tail of fig3 (V >= 5000) to keep the net fast.
+				if e.Name == "fig3" {
+					e.X = e.X[:6]
+					e.Gen = e.Gen[:6]
+					e.RepsScale = e.RepsScale[:6]
+				}
+				tbl, err := Run(e, Config{Reps: 1, Seed: 11, Algorithms: pool, Validate: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, s := range tbl.Series {
+					for x, m := range s.Mean {
+						if m <= 0 {
+							t.Errorf("%s: non-positive %s %g at %s", s.Algorithm, tbl.Metric, m, tbl.X[x])
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"io"
+
+	"hdlts/internal/viz"
+)
+
+// WriteSVG renders the table as an SVG chart — grouped bars for efficiency
+// figures (matching the paper's bar-style efficiency plots) and lines with
+// point markers for everything else. Both carry 95%-CI whiskers.
+func (t *Table) WriteSVG(w io.Writer) error {
+	var series []viz.Series
+	for _, s := range t.Series {
+		series = append(series, viz.Series{Name: s.Algorithm, Y: s.Mean, CI: s.CI95})
+	}
+	title := t.Name + " — " + t.Title
+	if t.Metric == MetricEfficiency {
+		c := viz.BarChart{Title: title, XLabel: t.XLabel, YLabel: t.Metric, X: t.X, Series: series}
+		return c.WriteSVG(w)
+	}
+	c := viz.LineChart{Title: title, XLabel: t.XLabel, YLabel: t.Metric, X: t.X, Series: series}
+	return c.WriteSVG(w)
+}

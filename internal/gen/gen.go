@@ -1,0 +1,247 @@
+// Package gen implements the synthetic task-graph generator of Section V-B:
+// random layered DAGs controlled by the seven Table II parameters (task
+// count V, shape α, out-degree density, CCR, processor count, mean DAG
+// computation time W_dag, and heterogeneity β), plus the cost-assignment
+// model (Eq. 13–14) that is reused for the fixed real-world workflow
+// structures. Like the paper's generator it can produce multi-entry /
+// multi-exit graphs, which schedulers normalise with pseudo tasks.
+//
+// All randomness flows through an explicit *rand.Rand so experiments are
+// reproducible from a seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+	"hdlts/internal/sched"
+)
+
+// Params selects one point of the Table II parameter space.
+type Params struct {
+	// V is the number of tasks in the graph.
+	V int
+	// Alpha is the shape parameter: height ≈ √V/α levels and mean width
+	// ≈ √V·α, so small α gives tall thin graphs (low parallelism) and large
+	// α gives wide fat graphs (high parallelism).
+	Alpha float64
+	// Density is the target out-degree of non-terminal tasks (number of
+	// dependency edges toward later levels).
+	Density int
+	// CCR is the communication-to-computation ratio: every out-edge of task
+	// i carries w̄_i × CCR units of data (Eq. 14).
+	CCR float64
+	// Procs is the number of processors in the generated platform.
+	Procs int
+	// WDAG is the mean computation time scale: w̄_i ~ U(0, 2·W_dag).
+	WDAG float64
+	// Beta is the processor-heterogeneity factor:
+	// w(i,p) ~ U(w̄_i·(1−β/2), w̄_i·(1+β/2)) (Eq. 13).
+	Beta float64
+	// MultiEntry lets the first level hold several parentless tasks, as the
+	// paper's generator optionally does; schedulers then normalise the graph
+	// with a zero-cost pseudo entry. The default (false) emits a single real
+	// entry task like the Topcuoglu generator the paper parameterises after
+	// — entry-task duplication is only meaningful in that mode.
+	MultiEntry bool
+}
+
+// Validate rejects parameter combinations outside the meaningful ranges.
+func (p Params) Validate() error {
+	switch {
+	case p.V < 1:
+		return fmt.Errorf("gen: V = %d, want >= 1", p.V)
+	case p.Alpha <= 0:
+		return fmt.Errorf("gen: alpha = %g, want > 0", p.Alpha)
+	case p.Density < 1:
+		return fmt.Errorf("gen: density = %d, want >= 1", p.Density)
+	case p.CCR < 0:
+		return fmt.Errorf("gen: CCR = %g, want >= 0", p.CCR)
+	case p.Procs < 1:
+		return fmt.Errorf("gen: procs = %d, want >= 1", p.Procs)
+	case p.WDAG <= 0:
+		return fmt.Errorf("gen: W_dag = %g, want > 0", p.WDAG)
+	case p.Beta < 0 || p.Beta > 2:
+		return fmt.Errorf("gen: beta = %g, want in [0, 2]", p.Beta)
+	}
+	return nil
+}
+
+// String renders the parameter point compactly for table captions.
+func (p Params) String() string {
+	return fmt.Sprintf("V=%d α=%g density=%d CCR=%g procs=%d Wdag=%g β=%g",
+		p.V, p.Alpha, p.Density, p.CCR, p.Procs, p.WDAG, p.Beta)
+}
+
+// Graph generates the random DAG structure for the parameters: tasks are
+// spread over ≈ √V/α levels, and each non-last-level task draws `density`
+// forward edges, biased toward the immediately following level. Tasks left
+// parentless form extra entries (the paper's generator explicitly produces
+// multi-entry/exit graphs; schedulers normalise them with pseudo tasks).
+// Edge data volumes are filled in by AssignCosts.
+func Graph(p Params, rng *rand.Rand) (*dag.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	height := int(math.Round(math.Sqrt(float64(p.V)) / p.Alpha))
+	if height < 1 {
+		height = 1
+	}
+	if height > p.V {
+		height = p.V
+	}
+	if !p.MultiEntry && p.V > 1 && height < 2 {
+		height = 2 // reserve a dedicated entry level
+	}
+
+	// One task per level guarantees the full height; the rest land on
+	// uniformly random levels, giving mean width V/height ≈ √V·α. In
+	// single-entry mode level 0 holds exactly one task.
+	g := dag.New(p.V)
+	level := make([]int, p.V)
+	for t := 0; t < p.V; t++ {
+		g.AddTask(fmt.Sprintf("t%d", t+1))
+		switch {
+		case t < height:
+			level[t] = t
+		case p.MultiEntry:
+			level[t] = rng.Intn(height)
+		default:
+			level[t] = 1 + rng.Intn(height-1)
+		}
+	}
+	byLevel := make([][]dag.TaskID, height)
+	for t, l := range level {
+		byLevel[l] = append(byLevel[l], dag.TaskID(t))
+	}
+	// laterCount[l] = number of tasks at levels > l.
+	laterCount := make([]int, height)
+	for l := height - 2; l >= 0; l-- {
+		laterCount[l] = laterCount[l+1] + len(byLevel[l+1])
+	}
+
+	for l := 0; l < height-1; l++ {
+		for _, u := range byLevel[l] {
+			want := p.Density
+			if want > laterCount[l] {
+				want = laterCount[l]
+			}
+			for tries, added := 0, 0; added < want && tries < 8*want; tries++ {
+				// 75% of edges go to the next level (keeping the layered
+				// shape), the rest skip ahead uniformly.
+				var v dag.TaskID
+				if rng.Float64() < 0.75 || l == height-2 {
+					nl := byLevel[l+1]
+					v = nl[rng.Intn(len(nl))]
+				} else {
+					tl := l + 2 + rng.Intn(height-l-2)
+					v = byLevel[tl][rng.Intn(len(byLevel[tl]))]
+				}
+				if _, dup := g.EdgeData(u, v); dup {
+					continue
+				}
+				g.MustAddEdge(u, v, 0)
+				added++
+			}
+		}
+	}
+	// Every task beyond the first level gets at least one parent so the
+	// graph does not degenerate into a pile of isolated entries; parents
+	// come from the immediately preceding level.
+	for l := 1; l < height; l++ {
+		for _, v := range byLevel[l] {
+			if g.InDegree(v) > 0 {
+				continue
+			}
+			pl := byLevel[l-1]
+			g.MustAddEdge(pl[rng.Intn(len(pl))], v, 0)
+		}
+	}
+	return g, nil
+}
+
+// CostParams is the cost-model subset of Params, reused for real-world
+// workflow structures whose shape is fixed.
+type CostParams struct {
+	Procs int
+	WDAG  float64
+	Beta  float64
+	CCR   float64
+}
+
+// Validate rejects meaningless cost parameters.
+func (c CostParams) Validate() error {
+	return Params{V: 1, Alpha: 1, Density: 1, CCR: c.CCR, Procs: c.Procs, WDAG: c.WDAG, Beta: c.Beta}.Validate()
+}
+
+// AssignCosts draws the computation matrix and edge data volumes for an
+// existing graph structure per Eq. 13–14: each task's mean cost w̄_i is
+// uniform on (0, 2·W_dag); its per-processor costs are uniform on
+// w̄_i·[1−β/2, 1+β/2]; and every out-edge of task i carries w̄_i·CCR data.
+// Pseudo tasks keep zero cost. The input graph is left untouched (a
+// reweighted copy is built).
+func AssignCosts(g *dag.Graph, c CostParams, rng *rand.Rand) (*sched.Problem, error) {
+	pl, err := platform.NewUniform(c.Procs)
+	if err != nil {
+		return nil, err
+	}
+	return AssignCostsOn(g, pl, c, rng)
+}
+
+// AssignCostsOn is AssignCosts against an explicit platform (e.g. a
+// two-cluster heterogeneous network); c.Procs must match the platform.
+func AssignCostsOn(g *dag.Graph, pl *platform.Platform, c CostParams, rng *rand.Rand) (*sched.Problem, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if pl.NumProcs() != c.Procs {
+		return nil, fmt.Errorf("gen: cost params specify %d processors, platform has %d", c.Procs, pl.NumProcs())
+	}
+	w, err := platform.NewCosts(g.NumTasks(), c.Procs)
+	if err != nil {
+		return nil, err
+	}
+	meanCost := make([]float64, g.NumTasks())
+	for t := 0; t < g.NumTasks(); t++ {
+		if g.Task(dag.TaskID(t)).Pseudo {
+			continue
+		}
+		wbar := rng.Float64() * 2 * c.WDAG
+		meanCost[t] = wbar
+		lo, hi := wbar*(1-c.Beta/2), wbar*(1+c.Beta/2)
+		for p := 0; p < c.Procs; p++ {
+			if err := w.Set(t, platform.Proc(p), lo+rng.Float64()*(hi-lo)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Rewrite edge data volumes in place: data(i→j) = w̄_i × CCR.
+	reweighted := dag.New(g.NumTasks())
+	for t := 0; t < g.NumTasks(); t++ {
+		tk := g.Task(dag.TaskID(t))
+		if tk.Pseudo {
+			reweighted.AddPseudoTask(tk.Name)
+		} else {
+			reweighted.AddTask(tk.Name)
+		}
+	}
+	for t := 0; t < g.NumTasks(); t++ {
+		for _, a := range g.Succs(dag.TaskID(t)) {
+			reweighted.MustAddEdge(dag.TaskID(t), a.Task, meanCost[t]*c.CCR)
+		}
+	}
+	return sched.NewProblem(reweighted, pl, w)
+}
+
+// Random generates one complete random problem instance: structure per
+// Graph, costs per AssignCosts.
+func Random(p Params, rng *rand.Rand) (*sched.Problem, error) {
+	g, err := Graph(p, rng)
+	if err != nil {
+		return nil, err
+	}
+	return AssignCosts(g, CostParams{Procs: p.Procs, WDAG: p.WDAG, Beta: p.Beta, CCR: p.CCR}, rng)
+}

@@ -1,0 +1,307 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+)
+
+func baseParams() Params {
+	return Params{V: 120, Alpha: 1.0, Density: 3, CCR: 2.0, Procs: 4, WDAG: 80, Beta: 1.2}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := baseParams().Validate(); err != nil {
+		t.Fatalf("base params rejected: %v", err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.V = 0 },
+		func(p *Params) { p.Alpha = 0 },
+		func(p *Params) { p.Alpha = -1 },
+		func(p *Params) { p.Density = 0 },
+		func(p *Params) { p.CCR = -0.5 },
+		func(p *Params) { p.Procs = 0 },
+		func(p *Params) { p.WDAG = 0 },
+		func(p *Params) { p.Beta = -0.1 },
+		func(p *Params) { p.Beta = 2.5 },
+	}
+	for i, mutate := range bad {
+		p := baseParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params #%d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestGraphShape(t *testing.T) {
+	p := baseParams()
+	rng := rand.New(rand.NewSource(42))
+	g, err := Graph(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != p.V {
+		t.Fatalf("tasks = %d, want %d", g.NumTasks(), p.V)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("generated graph invalid: %v", err)
+	}
+	wantHeight := int(math.Round(math.Sqrt(float64(p.V)) / p.Alpha))
+	if got := g.Height(); got != wantHeight {
+		t.Errorf("height = %d, want %d", got, wantHeight)
+	}
+	if entries := g.Entries(); len(entries) != 1 {
+		t.Errorf("single-entry mode produced %d entries", len(entries))
+	}
+}
+
+func TestGraphMultiEntry(t *testing.T) {
+	p := baseParams()
+	p.Alpha = 2.5 // wide graph: first level would hold many tasks
+	p.MultiEntry = true
+	rng := rand.New(rand.NewSource(7))
+	g, err := Graph(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Entries()) < 2 {
+		t.Errorf("multi-entry mode produced %d entries", len(g.Entries()))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphDeterministicUnderSeed(t *testing.T) {
+	p := baseParams()
+	g1, err := Graph(p, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Graph(p, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("same seed produced %d vs %d edges", g1.NumEdges(), g2.NumEdges())
+	}
+	for u := 0; u < g1.NumTasks(); u++ {
+		s1, s2 := g1.Succs(dag.TaskID(u)), g2.Succs(dag.TaskID(u))
+		if len(s1) != len(s2) {
+			t.Fatalf("task %d out-degree differs", u)
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("task %d arc %d differs", u, i)
+			}
+		}
+	}
+}
+
+func TestGraphTinyV(t *testing.T) {
+	for v := 1; v <= 4; v++ {
+		p := baseParams()
+		p.V = v
+		g, err := Graph(p, rand.New(rand.NewSource(int64(v))))
+		if err != nil {
+			t.Fatalf("V=%d: %v", v, err)
+		}
+		if g.NumTasks() != v {
+			t.Fatalf("V=%d produced %d tasks", v, g.NumTasks())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("V=%d invalid: %v", v, err)
+		}
+	}
+}
+
+func TestAssignCostsRanges(t *testing.T) {
+	p := baseParams()
+	rng := rand.New(rand.NewSource(3))
+	g, err := Graph(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := AssignCosts(g, CostParams{Procs: p.Procs, WDAG: p.WDAG, Beta: p.Beta, CCR: p.CCR}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq. 13: every per-processor cost within w̄·[1−β/2, 1+β/2] where
+	// w̄ ∈ (0, 2·W_dag); so all costs within (0, 2·W_dag·(1+β/2)).
+	limit := 2 * p.WDAG * (1 + p.Beta/2)
+	for task := 0; task < pr.NumTasks(); task++ {
+		row := pr.W.Row(task)
+		for _, c := range row {
+			if c < 0 || c > limit {
+				t.Fatalf("cost %g outside (0, %g)", c, limit)
+			}
+		}
+		// Eq. 14: every out-edge of a task carries w̄·CCR; since costs are
+		// within w̄·[1−β/2, 1+β/2] the edge data must lie within
+		// [mean/(1+β/2), mean/(1−β/2)]·CCR — verify loosely: data > 0.
+		for _, a := range pr.G.Succs(dag.TaskID(task)) {
+			if a.Data <= 0 {
+				t.Fatalf("edge (%d->%d) has non-positive data %g", task, a.Task, a.Data)
+			}
+		}
+	}
+}
+
+func TestAssignCostsPreservesStructure(t *testing.T) {
+	p := baseParams()
+	rng := rand.New(rand.NewSource(11))
+	g, err := Graph(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := AssignCosts(g, CostParams{Procs: 4, WDAG: 50, Beta: 1.0, CCR: 1.0}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.G.NumTasks() != g.NumTasks() || pr.G.NumEdges() != g.NumEdges() {
+		t.Fatal("cost assignment changed the structure")
+	}
+	for u := 0; u < g.NumTasks(); u++ {
+		for _, a := range g.Succs(dag.TaskID(u)) {
+			if _, ok := pr.G.EdgeData(dag.TaskID(u), a.Task); !ok {
+				t.Fatalf("edge (%d->%d) lost", u, a.Task)
+			}
+		}
+	}
+}
+
+func TestAssignCostsPseudoRowsStayZero(t *testing.T) {
+	g := dag.New(2)
+	g.AddTask("a")
+	g.AddPseudoTask("pseudo")
+	g.MustAddEdge(dag.TaskID(1), dag.TaskID(0), 0)
+	rng := rand.New(rand.NewSource(1))
+	pr, err := AssignCosts(g, CostParams{Procs: 3, WDAG: 50, Beta: 1, CCR: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		if pr.W.At(1, platform.Proc(p)) != 0 {
+			t.Fatal("pseudo task received a non-zero cost")
+		}
+	}
+	if d, _ := pr.G.EdgeData(1, 0); d != 0 {
+		t.Fatal("pseudo out-edge received non-zero data")
+	}
+}
+
+func TestAssignCostsRejectsBadParams(t *testing.T) {
+	g := dag.New(1)
+	g.AddTask("a")
+	rng := rand.New(rand.NewSource(1))
+	if _, err := AssignCosts(g, CostParams{Procs: 0, WDAG: 50, Beta: 1, CCR: 1}, rng); err == nil {
+		t.Error("zero processors accepted")
+	}
+	if _, err := AssignCosts(g, CostParams{Procs: 2, WDAG: -1, Beta: 1, CCR: 1}, rng); err == nil {
+		t.Error("negative W_dag accepted")
+	}
+}
+
+func TestAssignCostsOnTwoClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, err := Graph(baseParams(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := platform.TwoClusters(2, 2, 1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := AssignCostsOn(g, pl, CostParams{Procs: 4, WDAG: 80, Beta: 1.2, CCR: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inter-cluster communication is 4x slower than intra.
+	if intra, inter := pr.Comm(8, 0, 1), pr.Comm(8, 0, 2); inter != 4*intra {
+		t.Fatalf("comm ratio: intra %g, inter %g", intra, inter)
+	}
+	// Processor-count mismatch must be rejected.
+	if _, err := AssignCostsOn(g, pl, CostParams{Procs: 6, WDAG: 80, Beta: 1.2, CCR: 2}, rng); err == nil {
+		t.Fatal("mismatched processor count accepted")
+	}
+}
+
+func TestRandomEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	pr, err := Random(baseParams(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pr.NumProcs() != 4 {
+		t.Fatalf("procs = %d, want 4", pr.NumProcs())
+	}
+}
+
+func TestRandomRejectsBadParams(t *testing.T) {
+	p := baseParams()
+	p.V = 0
+	if _, err := Random(p, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+// TestQuickGeneratedGraphsAreSchedulable: arbitrary Table II-ish parameter
+// points always generate valid, acyclic graphs of exactly V tasks whose
+// densities are bounded by the requested out-degree.
+func TestQuickGeneratedGraphsAreSchedulable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{
+			V:          1 + rng.Intn(300),
+			Alpha:      []float64{0.5, 1.0, 1.5, 2.0, 2.5}[rng.Intn(5)],
+			Density:    1 + rng.Intn(5),
+			CCR:        1 + float64(rng.Intn(5)),
+			Procs:      2 + 2*rng.Intn(5),
+			WDAG:       50 + float64(10*rng.Intn(6)),
+			Beta:       []float64{0.4, 0.8, 1.2, 1.6, 2.0}[rng.Intn(5)],
+			MultiEntry: rng.Intn(2) == 0,
+		}
+		g, err := Graph(p, rng)
+		if err != nil || g.NumTasks() != p.V || g.Validate() != nil {
+			return false
+		}
+		if !p.MultiEntry && p.V > 1 && len(g.Entries()) != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableIISpace(t *testing.T) {
+	s := TableII()
+	want := 8 * 5 * 5 * 5 * 5 * 6 * 5
+	if got := s.Size(); got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+	// ForEach visits Size() combinations and honours early stop.
+	n := 0
+	s.ForEach(func(Params) bool { n++; return n < 1000 })
+	if n != 1000 {
+		t.Fatalf("early stop visited %d, want 1000", n)
+	}
+	// Every visited combination validates.
+	checked := 0
+	s.ForEach(func(p Params) bool {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Table II point invalid: %v", err)
+		}
+		checked++
+		return checked < 5000
+	})
+}

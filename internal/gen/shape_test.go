@@ -1,0 +1,102 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdlts/internal/dag"
+)
+
+// TestGeneratorShapeStatistics verifies the Table II shape semantics
+// statistically: over many graphs, the mean level width approaches
+// √V·α and the height approaches √V/α (Section V-B definitions).
+func TestGeneratorShapeStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, tc := range []struct {
+		v     int
+		alpha float64
+	}{
+		{400, 0.5},
+		{400, 1.0},
+		{400, 2.0},
+	} {
+		var sumW, sumH float64
+		const n = 30
+		for i := 0; i < n; i++ {
+			g, err := Graph(Params{V: tc.v, Alpha: tc.alpha, Density: 3, CCR: 1, Procs: 4, WDAG: 50, Beta: 1}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := g.Height()
+			sumH += float64(h)
+			sumW += float64(tc.v) / float64(h) // mean width = V / levels
+		}
+		wantH := math.Round(math.Sqrt(float64(tc.v)) / tc.alpha)
+		gotH := sumH / n
+		if math.Abs(gotH-wantH) > 1.5 { // the single-entry level adds at most 1
+			t.Errorf("α=%g: mean height %.1f, want ≈ %g", tc.alpha, gotH, wantH)
+		}
+		wantW := math.Sqrt(float64(tc.v)) * tc.alpha
+		gotW := sumW / n
+		if gotW < wantW*0.6 || gotW > wantW*1.6 {
+			t.Errorf("α=%g: mean width %.1f, want ≈ %.1f", tc.alpha, gotW, wantW)
+		}
+	}
+}
+
+// TestGeneratorDensityBoundsOutDegree: the generated forward out-degree of
+// interior tasks never exceeds density + 1 (sampled edges plus at most one
+// connectivity repair per child).
+func TestGeneratorDensityBoundsOutDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, density := range []int{1, 3, 5} {
+		g, err := Graph(Params{V: 300, Alpha: 1.5, Density: density, CCR: 1, Procs: 4, WDAG: 50, Beta: 1}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, count := 0, 0
+		for u := 0; u < g.NumTasks(); u++ {
+			if d := g.OutDegree(dag.TaskID(u)); d > 0 && g.InDegree(dag.TaskID(u)) > 0 {
+				total += d
+				count++
+			}
+		}
+		if count == 0 {
+			t.Fatal("no interior tasks")
+		}
+		mean := float64(total) / float64(count)
+		// Sampled edges target `density`; repairs can add a little.
+		if mean > float64(density)*2.5+1 {
+			t.Errorf("density %d: mean interior out-degree %.2f implausibly high", density, mean)
+		}
+	}
+}
+
+// TestGeneratorCCRRealised: the realised communication-to-computation ratio
+// of generated problems tracks the requested CCR (Eq. 14 ties edge data to
+// the source task's mean cost, so realised CCR = CCR × meanOutDegree).
+func TestGeneratorCCRRealised(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, ccr := range []float64{1, 3, 5} {
+		pr, err := Random(Params{V: 300, Alpha: 1.0, Density: 2, CCR: ccr, Procs: 4, WDAG: 80, Beta: 1.2}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, comm := 0.0, 0.0
+		for u := 0; u < pr.NumTasks(); u++ {
+			comp += pr.W.Mean(u)
+			for _, a := range pr.G.Succs(dag.TaskID(u)) {
+				comm += a.Data
+			}
+		}
+		// Per Eq. 14 every out-edge carries w̄·CCR, so comm/comp should be
+		// close to CCR × (mean out-degree over all tasks).
+		meanOut := float64(pr.G.NumEdges()) / float64(pr.NumTasks())
+		want := ccr * meanOut
+		got := comm / comp
+		if got < want*0.8 || got > want*1.2 {
+			t.Errorf("CCR %g: realised comm/comp %.2f, want ≈ %.2f", ccr, got, want)
+		}
+	}
+}

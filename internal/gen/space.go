@@ -1,0 +1,57 @@
+package gen
+
+// Space is a full-factorial parameter grid (Table II). Iterating a Space
+// visits the Cartesian product of all dimension values.
+type Space struct {
+	Vs        []int
+	Alphas    []float64
+	Densities []int
+	CCRs      []float64
+	Procs     []int
+	WDAGs     []float64
+	Betas     []float64
+}
+
+// TableII returns the exact parameter grid of the paper's Table II: 8 task
+// sizes × 5 shapes × 5 densities × 5 CCRs × 5 processor counts × 6 W_dag
+// values × 5 betas = 150 000 combinations ("125K unique application
+// workflow graphs" after accounting for collisions, per the paper).
+func TableII() Space {
+	return Space{
+		Vs:        []int{100, 200, 300, 400, 500, 1000, 5000, 10000},
+		Alphas:    []float64{0.5, 1.0, 1.5, 2.0, 2.5},
+		Densities: []int{1, 2, 3, 4, 5},
+		CCRs:      []float64{1.0, 2.0, 3.0, 4.0, 5.0},
+		Procs:     []int{2, 4, 6, 8, 10},
+		WDAGs:     []float64{50, 60, 70, 80, 90, 100},
+		Betas:     []float64{0.4, 0.8, 1.2, 1.6, 2.0},
+	}
+}
+
+// Size returns the number of parameter combinations in the grid.
+func (s Space) Size() int {
+	return len(s.Vs) * len(s.Alphas) * len(s.Densities) * len(s.CCRs) *
+		len(s.Procs) * len(s.WDAGs) * len(s.Betas)
+}
+
+// ForEach visits every combination in deterministic (row-major) order.
+// Iteration stops early if f returns false.
+func (s Space) ForEach(f func(Params) bool) {
+	for _, v := range s.Vs {
+		for _, a := range s.Alphas {
+			for _, d := range s.Densities {
+				for _, ccr := range s.CCRs {
+					for _, p := range s.Procs {
+						for _, w := range s.WDAGs {
+							for _, b := range s.Betas {
+								if !f(Params{V: v, Alpha: a, Density: d, CCR: ccr, Procs: p, WDAG: w, Beta: b}) {
+									return
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

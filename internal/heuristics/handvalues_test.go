@@ -1,0 +1,155 @@
+package heuristics
+
+import (
+	"math"
+	"testing"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+	"hdlts/internal/sched"
+	"hdlts/internal/workflows"
+)
+
+// tinyFork builds A -> {B, C} with fixed costs for hand-computed checks:
+//
+//	costs (2 procs):  A: 4/6   B: 2/10   C: 8/4
+//	edges:            A->B data 3, A->C data 5
+func tinyFork(t *testing.T) *sched.Problem {
+	t.Helper()
+	g := dag.New(3)
+	a := g.AddTask("A")
+	b := g.AddTask("B")
+	c := g.AddTask("C")
+	g.MustAddEdge(a, b, 3)
+	g.MustAddEdge(a, c, 5)
+	w := platform.MustCostsFromRows([][]float64{{4, 6}, {2, 10}, {8, 4}})
+	return sched.MustProblem(g, platform.MustUniform(2), w)
+}
+
+// TestPETSRanksHandComputed pins the PETS rank formula on tinyFork:
+//
+//	ACC(A)=5, DTC(A)=3+5=8, RPT(A)=0        -> rank 13
+//	ACC(B)=6, DTC(B)=0, RPT(B)=rank(A)=13   -> rank 19
+//	ACC(C)=6, DTC(C)=0, RPT(C)=13           -> rank 19
+func TestPETSRanksHandComputed(t *testing.T) {
+	pr := tinyFork(t).Normalize()
+	g := pr.G
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := make([]float64, g.NumTasks())
+	for _, level := range levels {
+		for _, id := range level {
+			acc := pr.W.Mean(int(id))
+			dtc := 0.0
+			for _, a := range g.Succs(id) {
+				dtc += pr.MeanComm(a.Data)
+			}
+			rpt := 0.0
+			for _, a := range g.Preds(id) {
+				if rank[a.Task] > rpt {
+					rpt = rank[a.Task]
+				}
+			}
+			rank[id] = math.Round(acc + dtc + rpt)
+		}
+	}
+	want := []float64{13, 19, 19}
+	for i, w := range want {
+		if rank[i] != w {
+			t.Errorf("rank(%s) = %g, want %g", g.Task(dag.TaskID(i)).Name, rank[i], w)
+		}
+	}
+}
+
+// TestPEFTOCTHandComputed pins the optimistic cost table on tinyFork.
+//
+// Exit tasks B and C have OCT = 0 on both processors. For A:
+//
+//	via B: min( OCT+W(B,P1)=2 (+c̄ if cross), ... )
+//	  on P1: min(B@P1: 2+0, B@P2: 10+3) = 2
+//	  on P2: min(B@P1: 2+3,  B@P2: 10+0) = 5
+//	via C:
+//	  on P1: min(C@P1: 8+0, C@P2: 4+5) = 8
+//	  on P2: min(C@P1: 8+5, C@P2: 4+0) = 4
+//	OCT(A,P1) = max(2, 8) = 8;  OCT(A,P2) = max(5, 4) = 5
+func TestPEFTOCTHandComputed(t *testing.T) {
+	pr := tinyFork(t)
+	table, err := oct(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table[1][0] != 0 || table[1][1] != 0 || table[2][0] != 0 || table[2][1] != 0 {
+		t.Fatalf("exit OCT rows must be zero: %v", table[1:])
+	}
+	if table[0][0] != 8 || table[0][1] != 5 {
+		t.Fatalf("OCT(A) = %v, want [8 5]", table[0])
+	}
+}
+
+// TestCPOPCriticalPathOnPaperExample: |CP| = priority(entry), and the
+// published critical path of the Fig. 1 instance (with mean costs) is
+// T1 -> T2 -> T9 -> T10.
+func TestCPOPCriticalPathOnPaperExample(t *testing.T) {
+	pr := workflows.PaperExample()
+	up, err := UpwardRank(pr, meanNode(pr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := DownwardRank(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := pr.G.Entry()
+	cpLen := up[entry] + down[entry]
+	if math.Abs(cpLen-108) > 0.01 {
+		t.Fatalf("|CP| = %g, want 108 (rank_u of the entry)", cpLen)
+	}
+	// Tasks on the CP satisfy rank_u + rank_d == |CP| (within rounding).
+	onCP := []int{}
+	for i := range up {
+		if math.Abs(up[i]+down[i]-cpLen) < 0.01 {
+			onCP = append(onCP, i+1)
+		}
+	}
+	want := []int{1, 2, 9, 10}
+	if len(onCP) != len(want) {
+		t.Fatalf("CP tasks = %v, want %v", onCP, want)
+	}
+	for i := range want {
+		if onCP[i] != want[i] {
+			t.Fatalf("CP tasks = %v, want %v", onCP, want)
+		}
+	}
+}
+
+// TestDLSDynamicLevelHandComputed: on tinyFork after A is placed on P1,
+// DL(B, p) = SL(B) − EST(B, p) + (w̄(B) − w(B, p)).
+//
+//	SL(B) = mean(B) = 6 (no successors, comm ignored in SL)
+//	A on P1 finishes at 4.
+//	B on P1: EST = 4 (local), Δ = 6−2 = 4  -> DL = 6 − 4 + 4 = 6
+//	B on P2: EST = 4+3 = 7, Δ = 6−10 = −4  -> DL = 6 − 7 − 4 = −5
+func TestDLSDynamicLevelHandComputed(t *testing.T) {
+	pr := tinyFork(t)
+	g := pr.G
+	sl, err := g.DownwardDistance(meanNode(pr), dag.ZeroEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.NewSchedule(pr)
+	if err := s.Place(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for p, want := range map[platform.Proc]float64{0: 6, 1: -5} {
+		e, err := s.Estimate(1, p, sched.Policy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dl := sl[1] - e.EST + (pr.W.Mean(1) - pr.Exec(1, p))
+		if math.Abs(dl-want) > 1e-9 {
+			t.Errorf("DL(B, P%d) = %g, want %g", p+1, dl, want)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package heuristics
+
+import (
+	"container/heap"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+	"hdlts/internal/sched"
+)
+
+// PEFT is the Predict Earliest Finish Time algorithm (Arabnejad, Barbosa
+// 2014). It precomputes the Optimistic Cost Table
+//
+//	OCT(t, p) = max over successors s of
+//	            min over processors q of ( OCT(s, q) + W(s, q) + c̄(t,s) if q ≠ p else 0 )
+//
+// (zero for the exit task), prioritises ready tasks by rank_oct(t) = mean
+// over processors of OCT(t, p), and maps each to the processor minimising
+// the *optimistic* EFT, O_EFT(t, p) = EFT(t, p) + OCT(t, p), with the
+// insertion policy. Complexity O(V² · P).
+type PEFT struct {
+	// Pol is the placement policy; canonical PEFT uses insertion.
+	Pol sched.Policy
+}
+
+// NewPEFT returns the canonical (insertion-based) PEFT scheduler.
+func NewPEFT() *PEFT { return &PEFT{Pol: sched.InsertionPolicy} }
+
+// Name implements sched.Algorithm.
+func (*PEFT) Name() string { return "PEFT" }
+
+// oct computes the optimistic cost table, rows indexed by task.
+func oct(pr *sched.Problem) ([][]float64, error) {
+	g := pr.G
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n, p := g.NumTasks(), pr.NumProcs()
+	table := make([][]float64, n)
+	for i := range table {
+		table[i] = make([]float64, p)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		for pk := 0; pk < p; pk++ {
+			best := 0.0
+			for _, a := range g.Succs(t) {
+				s := a.Task
+				comm := pr.MeanComm(a.Data)
+				minCost := -1.0
+				for q := 0; q < p; q++ {
+					c := table[s][q] + pr.Exec(s, platform.Proc(q))
+					if q != pk {
+						c += comm
+					}
+					if minCost < 0 || c < minCost {
+						minCost = c
+					}
+				}
+				if minCost > best {
+					best = minCost
+				}
+			}
+			table[t][pk] = best
+		}
+	}
+	return table, nil
+}
+
+// Schedule implements sched.Algorithm.
+func (pe *PEFT) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
+	pr = pr.Normalize()
+	g := pr.G
+	table, err := oct(pr)
+	if err != nil {
+		return nil, err
+	}
+	rank := make([]float64, g.NumTasks())
+	for t := range rank {
+		sum := 0.0
+		for _, v := range table[t] {
+			sum += v
+		}
+		rank[t] = sum / float64(pr.NumProcs())
+	}
+
+	s := sched.NewSchedule(pr)
+	remaining := make([]int, g.NumTasks())
+	q := &priorityQueue{prio: rank}
+	heap.Init(q)
+	for t := 0; t < g.NumTasks(); t++ {
+		remaining[t] = g.InDegree(dag.TaskID(t))
+		if remaining[t] == 0 {
+			heap.Push(q, dag.TaskID(t))
+		}
+	}
+	for q.Len() > 0 {
+		t := heap.Pop(q).(dag.TaskID)
+		var best sched.Estimate
+		bestOEFT := -1.0
+		for p := 0; p < pr.NumProcs(); p++ {
+			e, err := s.Estimate(t, platform.Proc(p), pe.Pol)
+			if err != nil {
+				return nil, err
+			}
+			if oeft := e.EFT + table[t][p]; bestOEFT < 0 || oeft < bestOEFT {
+				bestOEFT, best = oeft, e
+			}
+		}
+		if err := s.Commit(best); err != nil {
+			return nil, err
+		}
+		for _, a := range g.Succs(t) {
+			remaining[a.Task]--
+			if remaining[a.Task] == 0 {
+				heap.Push(q, a.Task)
+			}
+		}
+	}
+	return s, nil
+}

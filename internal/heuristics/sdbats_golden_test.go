@@ -1,0 +1,76 @@
+package heuristics
+
+import (
+	"testing"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+	"hdlts/internal/workflows"
+)
+
+// TestSDBATSGoldenSchedule pins the complete hand-derived SDBATS schedule
+// on the Fig. 1 example (worked step by step in EXPERIMENTS.md's Table I
+// section): σ-weighted ranks give the order T1, T3, T4, T2, T6, T5, T7,
+// T9, T8, T10; the entry is duplicated on both idle processors
+// unconditionally; insertion-based min-EFT placement then yields makespan
+// 74 — the value the paper quotes for SDBATS.
+func TestSDBATSGoldenSchedule(t *testing.T) {
+	pr := workflows.PaperExample()
+	s, err := NewSDBATS().Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if got := s.Makespan(); got != 74 {
+		t.Fatalf("makespan = %g, want 74", got)
+	}
+
+	want := []struct {
+		task   int // 1-based
+		proc   int // 1-based
+		start  float64
+		finish float64
+	}{
+		{1, 3, 0, 9},
+		{2, 3, 9, 27},
+		{3, 1, 14, 25},
+		{4, 2, 16, 24},
+		{5, 1, 25, 37},
+		{6, 3, 27, 36},
+		{7, 1, 37, 44},
+		{8, 1, 51, 56},
+		{9, 2, 50, 62},
+		{10, 2, 67, 74},
+	}
+	for _, w := range want {
+		pl, ok := s.PlacementOf(dag.TaskID(w.task - 1))
+		if !ok {
+			t.Fatalf("T%d unscheduled", w.task)
+		}
+		if int(pl.Proc)+1 != w.proc || pl.Start != w.start || pl.Finish != w.finish {
+			t.Errorf("T%d: got P%d [%g,%g), want P%d [%g,%g)",
+				w.task, pl.Proc+1, pl.Start, pl.Finish, w.proc, w.start, w.finish)
+		}
+	}
+
+	// Entry duplicates on P1 [0,14) and P2 [0,16).
+	if s.NumDuplicates() != 2 {
+		t.Fatalf("duplicates = %d, want 2", s.NumDuplicates())
+	}
+	for _, d := range []struct {
+		proc   platform.Proc
+		finish float64
+	}{{0, 14}, {1, 16}} {
+		found := false
+		for _, c := range s.Copies(0) {
+			if c.Duplicate && c.Proc == d.proc && c.Start == 0 && c.Finish == d.finish {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing entry duplicate on P%d finishing at %g", d.proc+1, d.finish)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package metrics implements the paper's three comparison metrics
+// (Section V-A): Scheduling Length Ratio, Speedup, and Efficiency.
+package metrics
+
+import (
+	"fmt"
+
+	"hdlts/internal/sched"
+)
+
+// Result bundles the metrics of one schedule against its problem.
+type Result struct {
+	Algorithm  string
+	Makespan   float64
+	SLR        float64
+	Speedup    float64
+	Efficiency float64
+	Duplicates int
+}
+
+// SLR returns the Scheduling Length Ratio (Eq. 10): makespan divided by the
+// sum of minimum execution times along the minimum-cost critical path. An
+// SLR of 1 means the schedule matches the absolute lower bound; larger is
+// worse. An error is returned for degenerate problems whose lower bound is
+// zero (e.g. all-zero cost matrices).
+func SLR(pr *sched.Problem, makespan float64) (float64, error) {
+	lb, err := pr.CPMinLowerBound()
+	if err != nil {
+		return 0, err
+	}
+	if lb <= 0 {
+		return 0, fmt.Errorf("metrics: critical-path lower bound is %g; SLR undefined", lb)
+	}
+	return makespan / lb, nil
+}
+
+// Speedup returns Eq. 11: the best single-processor sequential execution
+// time of the whole workflow divided by the parallel makespan.
+func Speedup(pr *sched.Problem, makespan float64) (float64, error) {
+	if makespan <= 0 {
+		return 0, fmt.Errorf("metrics: non-positive makespan %g", makespan)
+	}
+	return pr.SeqTimeOnBestProc() / makespan, nil
+}
+
+// Efficiency returns Eq. 12: Speedup divided by the number of processors.
+func Efficiency(pr *sched.Problem, makespan float64) (float64, error) {
+	sp, err := Speedup(pr, makespan)
+	if err != nil {
+		return 0, err
+	}
+	return sp / float64(pr.NumProcs()), nil
+}
+
+// RPD returns the Relative Percentage Deviation of each makespan from the
+// best (smallest) one in the slice: 100·(m−best)/best. The winner scores 0.
+// This is the standard cross-algorithm comparison when several schedulers
+// run on the *same* instance (complementing SLR, which compares against an
+// absolute bound). An error is returned for empty input or non-positive
+// makespans.
+func RPD(makespans []float64) ([]float64, error) {
+	if len(makespans) == 0 {
+		return nil, fmt.Errorf("metrics: RPD of nothing")
+	}
+	best := makespans[0]
+	for _, m := range makespans {
+		if m <= 0 {
+			return nil, fmt.Errorf("metrics: non-positive makespan %g", m)
+		}
+		if m < best {
+			best = m
+		}
+	}
+	out := make([]float64, len(makespans))
+	for i, m := range makespans {
+		out[i] = 100 * (m - best) / best
+	}
+	return out, nil
+}
+
+// Evaluate computes every metric for a completed schedule. The schedule's
+// own (possibly normalised) problem is used, so pseudo tasks contribute
+// zero cost to bounds and sums, keeping metrics identical to the original
+// workflow's.
+func Evaluate(algorithm string, s *sched.Schedule) (Result, error) {
+	pr := s.Problem()
+	mk := s.Makespan()
+	slr, err := SLR(pr, mk)
+	if err != nil {
+		return Result{}, err
+	}
+	sp, err := Speedup(pr, mk)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Algorithm:  algorithm,
+		Makespan:   mk,
+		SLR:        slr,
+		Speedup:    sp,
+		Efficiency: sp / float64(pr.NumProcs()),
+		Duplicates: s.NumDuplicates(),
+	}, nil
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"hdlts/internal/core"
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+	"hdlts/internal/sched"
+	"hdlts/internal/workflows"
+)
+
+func TestMetricsOnPaperExample(t *testing.T) {
+	pr := workflows.PaperExample()
+	s, err := core.New().Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate("HDLTS", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 73 {
+		t.Fatalf("makespan = %g, want 73", res.Makespan)
+	}
+	// Sequential time on the best single processor:
+	// P1 127, P2 130, P3 143 -> min 127. Speedup = 127/73.
+	if want := 127.0 / 73.0; math.Abs(res.Speedup-want) > 1e-9 {
+		t.Errorf("speedup = %g, want %g", res.Speedup, want)
+	}
+	if want := 127.0 / 73.0 / 3.0; math.Abs(res.Efficiency-want) > 1e-9 {
+		t.Errorf("efficiency = %g, want %g", res.Efficiency, want)
+	}
+	if res.SLR < 1 {
+		t.Errorf("SLR = %g < 1: lower bound broken", res.SLR)
+	}
+	if res.Duplicates != 2 {
+		t.Errorf("duplicates = %d, want 2", res.Duplicates)
+	}
+	if res.Algorithm != "HDLTS" {
+		t.Errorf("algorithm = %q", res.Algorithm)
+	}
+}
+
+func TestSLRLowerBoundPath(t *testing.T) {
+	// Chain a->b with min costs 2 and 3: LB = 5; makespan 10 -> SLR 2.
+	g := dag.New(2)
+	a := g.AddTask("a")
+	b := g.AddTask("b")
+	g.MustAddEdge(a, b, 1)
+	w := platform.MustCostsFromRows([][]float64{{2, 4}, {3, 6}})
+	pr := sched.MustProblem(g, platform.MustUniform(2), w)
+	slr, err := SLR(pr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slr != 2 {
+		t.Fatalf("SLR = %g, want 2", slr)
+	}
+}
+
+func TestSLRDegenerate(t *testing.T) {
+	g := dag.New(1)
+	g.AddTask("a")
+	w := platform.MustCostsFromRows([][]float64{{0, 0}})
+	pr := sched.MustProblem(g, platform.MustUniform(2), w)
+	if _, err := SLR(pr, 5); err == nil {
+		t.Fatal("zero lower bound accepted")
+	}
+}
+
+func TestSpeedupAndEfficiencyErrors(t *testing.T) {
+	pr := workflows.PaperExample()
+	if _, err := Speedup(pr, 0); err == nil {
+		t.Error("zero makespan accepted")
+	}
+	if _, err := Efficiency(pr, -1); err == nil {
+		t.Error("negative makespan accepted")
+	}
+}
+
+func TestRPD(t *testing.T) {
+	got, err := RPD([]float64{80, 73, 86})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{100 * 7 / 73.0, 0, 100 * 13 / 73.0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("RPD = %v, want %v", got, want)
+		}
+	}
+	if _, err := RPD(nil); err == nil {
+		t.Error("empty RPD accepted")
+	}
+	if _, err := RPD([]float64{5, 0}); err == nil {
+		t.Error("zero makespan accepted")
+	}
+}
+
+func TestEfficiencyMatchesSpeedupOverProcs(t *testing.T) {
+	pr := workflows.PaperExample()
+	sp, err := Speedup(pr, 73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff, err := Efficiency(pr, 73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eff-sp/3) > 1e-12 {
+		t.Fatalf("efficiency %g != speedup/procs %g", eff, sp/3)
+	}
+}

@@ -1,0 +1,155 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// Costs is the W matrix of Definition 1: Costs.At(t, p) is the execution
+// time of task t on processor p. Rows are tasks, columns processors.
+// Pseudo tasks (normalisation artifacts) have all-zero rows.
+type Costs struct {
+	tasks int
+	procs int
+	w     []float64 // row-major tasks x procs
+}
+
+// NewCosts returns an all-zero cost matrix for tasks x procs.
+func NewCosts(tasks, procs int) (*Costs, error) {
+	if tasks < 0 || procs <= 0 {
+		return nil, fmt.Errorf("platform: invalid cost matrix shape %dx%d", tasks, procs)
+	}
+	return &Costs{tasks: tasks, procs: procs, w: make([]float64, tasks*procs)}, nil
+}
+
+// CostsFromRows builds a cost matrix from per-task rows. All rows must have
+// the same length and contain only finite, non-negative values.
+func CostsFromRows(rows [][]float64) (*Costs, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("platform: no cost rows")
+	}
+	procs := len(rows[0])
+	c, err := NewCosts(len(rows), procs)
+	if err != nil {
+		return nil, err
+	}
+	for t, row := range rows {
+		if len(row) != procs {
+			return nil, fmt.Errorf("platform: cost row %d has %d entries, want %d", t, len(row), procs)
+		}
+		for p, v := range row {
+			if err := c.Set(t, Proc(p), v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// MustCostsFromRows is CostsFromRows that panics on error.
+func MustCostsFromRows(rows [][]float64) *Costs {
+	c, err := CostsFromRows(rows)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NumTasks reports the number of task rows.
+func (c *Costs) NumTasks() int { return c.tasks }
+
+// NumProcs reports the number of processor columns.
+func (c *Costs) NumProcs() int { return c.procs }
+
+// At returns W(t, p), the execution time of task t on processor p.
+func (c *Costs) At(task int, p Proc) float64 { return c.w[task*c.procs+int(p)] }
+
+// Set stores W(t, p). Values must be finite and non-negative.
+func (c *Costs) Set(task int, p Proc, v float64) error {
+	if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return fmt.Errorf("platform: invalid cost W(%d,%d)=%g", task, p, v)
+	}
+	c.w[task*c.procs+int(p)] = v
+	return nil
+}
+
+// Row returns a copy of task t's execution times across all processors.
+func (c *Costs) Row(task int) []float64 {
+	return append([]float64(nil), c.w[task*c.procs:(task+1)*c.procs]...)
+}
+
+// Mean returns the mean execution time of task t across processors (Eq. 1).
+func (c *Costs) Mean(task int) float64 {
+	sum := 0.0
+	for p := 0; p < c.procs; p++ {
+		sum += c.At(task, Proc(p))
+	}
+	return sum / float64(c.procs)
+}
+
+// Min returns the minimum execution time of task t and the processor that
+// achieves it (smallest index on ties).
+func (c *Costs) Min(task int) (float64, Proc) {
+	best, bp := math.Inf(1), Proc(0)
+	for p := 0; p < c.procs; p++ {
+		if v := c.At(task, Proc(p)); v < best {
+			best, bp = v, Proc(p)
+		}
+	}
+	return best, bp
+}
+
+// Max returns the maximum execution time of task t across processors.
+func (c *Costs) Max(task int) float64 {
+	best := math.Inf(-1)
+	for p := 0; p < c.procs; p++ {
+		if v := c.At(task, Proc(p)); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// SampleStdDev returns the sample standard deviation (n−1 denominator) of
+// task t's execution times across processors — the weight SDBATS uses for
+// its upward rank. It returns 0 when there is a single processor.
+func (c *Costs) SampleStdDev(task int) float64 {
+	if c.procs < 2 {
+		return 0
+	}
+	mean := c.Mean(task)
+	ss := 0.0
+	for p := 0; p < c.procs; p++ {
+		d := c.At(task, Proc(p)) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(c.procs-1))
+}
+
+// ExtendZeroRows returns a cost matrix with extra all-zero task rows
+// appended (used after pseudo-task normalisation). When extra == 0 the
+// receiver itself is returned.
+func (c *Costs) ExtendZeroRows(extra int) *Costs {
+	if extra == 0 {
+		return c
+	}
+	n := &Costs{tasks: c.tasks + extra, procs: c.procs, w: make([]float64, (c.tasks+extra)*c.procs)}
+	copy(n.w, c.w)
+	return n
+}
+
+// Clone returns a deep copy of the matrix.
+func (c *Costs) Clone() *Costs {
+	return &Costs{tasks: c.tasks, procs: c.procs, w: append([]float64(nil), c.w...)}
+}
+
+// Validate checks the matrix shape against a task count and processor count.
+func (c *Costs) Validate(tasks, procs int) error {
+	if c.tasks != tasks {
+		return fmt.Errorf("platform: cost matrix has %d task rows, workflow has %d tasks", c.tasks, tasks)
+	}
+	if c.procs != procs {
+		return fmt.Errorf("platform: cost matrix has %d processor columns, platform has %d processors", c.procs, procs)
+	}
+	return nil
+}

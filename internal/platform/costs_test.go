@@ -1,0 +1,157 @@
+package platform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCostsShapeValidation(t *testing.T) {
+	if _, err := NewCosts(-1, 3); err == nil {
+		t.Error("negative task count accepted")
+	}
+	if _, err := NewCosts(3, 0); err == nil {
+		t.Error("zero processors accepted")
+	}
+	c, err := NewCosts(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(2, 3); err != nil {
+		t.Errorf("Validate failed on matching shape: %v", err)
+	}
+	if err := c.Validate(3, 3); err == nil {
+		t.Error("Validate accepted wrong task count")
+	}
+	if err := c.Validate(2, 2); err == nil {
+		t.Error("Validate accepted wrong processor count")
+	}
+}
+
+func TestCostsFromRows(t *testing.T) {
+	if _, err := CostsFromRows(nil); err == nil {
+		t.Error("empty rows accepted")
+	}
+	if _, err := CostsFromRows([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := CostsFromRows([][]float64{{1, -2}}); err == nil {
+		t.Error("negative cost accepted")
+	}
+	if _, err := CostsFromRows([][]float64{{1, math.NaN()}}); err == nil {
+		t.Error("NaN cost accepted")
+	}
+	if _, err := CostsFromRows([][]float64{{1, math.Inf(1)}}); err == nil {
+		t.Error("infinite cost accepted")
+	}
+	c, err := CostsFromRows([][]float64{{14, 16, 9}, {13, 19, 18}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumTasks() != 2 || c.NumProcs() != 3 {
+		t.Fatalf("shape = %dx%d, want 2x3", c.NumTasks(), c.NumProcs())
+	}
+	if got := c.At(1, 2); got != 18 {
+		t.Errorf("At(1,2) = %g, want 18", got)
+	}
+}
+
+func TestMustCostsFromRowsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCostsFromRows did not panic on bad input")
+		}
+	}()
+	MustCostsFromRows([][]float64{{-1}})
+}
+
+func TestCostsStatistics(t *testing.T) {
+	c := MustCostsFromRows([][]float64{{14, 16, 9}})
+	if got := c.Mean(0); math.Abs(got-13) > 1e-12 {
+		t.Errorf("Mean = %g, want 13", got)
+	}
+	min, p := c.Min(0)
+	if min != 9 || p != 2 {
+		t.Errorf("Min = %g on P%d, want 9 on P3", min, p+1)
+	}
+	if got := c.Max(0); got != 16 {
+		t.Errorf("Max = %g, want 16", got)
+	}
+	// Sample σ of {14,16,9}: mean 13, squared devs 1+9+16 = 26, /2 = 13.
+	if got := c.SampleStdDev(0); math.Abs(got-math.Sqrt(13)) > 1e-12 {
+		t.Errorf("SampleStdDev = %g, want %g", got, math.Sqrt(13))
+	}
+}
+
+func TestSampleStdDevSingleProc(t *testing.T) {
+	c := MustCostsFromRows([][]float64{{42}})
+	if got := c.SampleStdDev(0); got != 0 {
+		t.Errorf("single-processor σ = %g, want 0", got)
+	}
+}
+
+func TestMinTieBreaksToLowerProc(t *testing.T) {
+	c := MustCostsFromRows([][]float64{{5, 5, 5}})
+	if _, p := c.Min(0); p != 0 {
+		t.Errorf("Min tie went to P%d, want P1", p+1)
+	}
+}
+
+func TestRowIsACopy(t *testing.T) {
+	c := MustCostsFromRows([][]float64{{1, 2}})
+	r := c.Row(0)
+	r[0] = 99
+	if c.At(0, 0) != 1 {
+		t.Fatal("Row returned a live reference")
+	}
+}
+
+func TestExtendZeroRows(t *testing.T) {
+	c := MustCostsFromRows([][]float64{{1, 2}})
+	same := c.ExtendZeroRows(0)
+	if same != c {
+		t.Error("ExtendZeroRows(0) should return the receiver")
+	}
+	e := c.ExtendZeroRows(2)
+	if e.NumTasks() != 3 {
+		t.Fatalf("extended tasks = %d, want 3", e.NumTasks())
+	}
+	if e.At(0, 1) != 2 || e.At(1, 0) != 0 || e.At(2, 1) != 0 {
+		t.Error("extension corrupted values")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := MustCostsFromRows([][]float64{{1, 2}})
+	cl := c.Clone()
+	if err := cl.Set(0, 0, 77); err != nil {
+		t.Fatal(err)
+	}
+	if c.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+// TestQuickMeanMinMaxConsistency: min <= mean <= max for arbitrary rows, and
+// σ >= 0.
+func TestQuickMeanMinMaxConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		procs := 1 + rng.Intn(10)
+		row := make([]float64, procs)
+		for i := range row {
+			row[i] = rng.Float64() * 100
+		}
+		c, err := CostsFromRows([][]float64{row})
+		if err != nil {
+			return false
+		}
+		min, _ := c.Min(0)
+		mean, max := c.Mean(0), c.Max(0)
+		return min <= mean+1e-9 && mean <= max+1e-9 && c.SampleStdDev(0) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

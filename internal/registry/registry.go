@@ -1,0 +1,116 @@
+// Package registry enumerates every scheduling algorithm in the
+// reproduction — HDLTS plus the five published baselines — behind the
+// shared sched.Algorithm interface, for the CLI tools, the experiment
+// harness, and the public façade.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hdlts/internal/cluster"
+	"hdlts/internal/core"
+	"hdlts/internal/ga"
+	"hdlts/internal/heuristics"
+	"hdlts/internal/sched"
+)
+
+// builders maps canonical lower-case names to constructors. Constructors
+// return fresh values, but all algorithms are stateless and safe to share.
+var builders = map[string]func() sched.Algorithm{
+	"hdlts":  func() sched.Algorithm { return core.New() },
+	"heft":   func() sched.Algorithm { return heuristics.NewHEFT() },
+	"cpop":   func() sched.Algorithm { return heuristics.NewCPOP() },
+	"pets":   func() sched.Algorithm { return heuristics.NewPETS() },
+	"peft":   func() sched.Algorithm { return heuristics.NewPEFT() },
+	"sdbats": func() sched.Algorithm { return heuristics.NewSDBATS() },
+	// Beyond the paper's comparison set: classic schedulers kept as extra
+	// reference points (see Extended).
+	"dls":    func() sched.Algorithm { return heuristics.NewDLS() },
+	"mct":    func() sched.Algorithm { return heuristics.NewMCT() },
+	"minmin": func() sched.Algorithm { return heuristics.NewMinMin() },
+	"maxmin": func() sched.Algorithm { return heuristics.NewMaxMin() },
+	// Representatives of the other scheduler families the paper's Related
+	// Work surveys: task duplication (II-B), clustering (II-C), and genetic
+	// search (II, refs [12]-[17]).
+	"dheft": func() sched.Algorithm { return heuristics.NewDHEFT() },
+	"dsc":   func() sched.Algorithm { return cluster.NewDSC() },
+	"ga":    func() sched.Algorithm { return ga.New() },
+}
+
+// paperOrder is the comparison order used in the paper's figures.
+var paperOrder = []string{"hdlts", "heft", "pets", "cpop", "peft", "sdbats"}
+
+// extraOrder lists the additional reference schedulers.
+var extraOrder = []string{"dheft", "dls", "dsc", "ga", "mct", "minmin", "maxmin"}
+
+// Names returns the canonical algorithm names in the paper's comparison
+// order.
+func Names() []string { return append([]string(nil), paperOrder...) }
+
+// ExtendedNames returns every registered algorithm name: the paper's six
+// followed by the extra reference schedulers.
+func ExtendedNames() []string {
+	return append(Names(), extraOrder...)
+}
+
+// Extended returns the paper's six algorithms followed by the extra
+// reference schedulers: DHEFT (task duplication), DLS, DSC (clustering),
+// GA (genetic search), MCT, Min-Min, and Max-Min.
+func Extended() []sched.Algorithm {
+	out := All()
+	for _, n := range extraOrder {
+		out = append(out, builders[n]())
+	}
+	return out
+}
+
+// Get returns the algorithm with the given (case-insensitive) name.
+func Get(name string) (sched.Algorithm, error) {
+	b, ok := builders[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		known := ExtendedNames()
+		sort.Strings(known)
+		return nil, fmt.Errorf("registry: unknown algorithm %q (known: %s)", name, strings.Join(known, ", "))
+	}
+	return b(), nil
+}
+
+// MustGet is Get that panics on unknown names, for static configuration.
+func MustGet(name string) sched.Algorithm {
+	a, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// All returns one instance of every algorithm, in the paper's order, with
+// every baseline in its canonical configuration (insertion-based placement
+// where the original papers specify it).
+func All() []sched.Algorithm {
+	out := make([]sched.Algorithm, 0, len(paperOrder))
+	for _, n := range paperOrder {
+		out = append(out, builders[n]())
+	}
+	return out
+}
+
+// PaperMode returns every algorithm with uniform avail-based placement
+// (Eq. 6 applied to all schedulers), reconstructing the placement policy the
+// paper's own simulator most plausibly used: the HDLTS paper defines EST
+// exclusively through Avail(m_p) and its published comparison shape —
+// HDLTS ≈ HEFT at low CCR, ahead at high CCR — reproduces under this mode
+// but not under canonical insertion baselines. See EXPERIMENTS.md.
+func PaperMode() []sched.Algorithm {
+	avail := sched.Policy{}
+	return []sched.Algorithm{
+		core.New(),
+		&heuristics.HEFT{Pol: avail},
+		&heuristics.PETS{Pol: avail},
+		&heuristics.CPOP{Pol: avail},
+		&heuristics.PEFT{Pol: avail},
+		&heuristics.SDBATS{Pol: avail},
+	}
+}

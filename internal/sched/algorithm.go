@@ -1,0 +1,13 @@
+package sched
+
+// Algorithm is a workflow scheduler: given a problem it produces a complete
+// schedule. Implementations must be safe for concurrent use (the experiment
+// harness runs them from a worker pool) and must normalise multi-entry/exit
+// workflows themselves (Problem.Normalize).
+type Algorithm interface {
+	// Name identifies the algorithm in experiment tables ("HDLTS", "HEFT", ...).
+	Name() string
+	// Schedule maps the workflow onto the platform. The returned schedule is
+	// complete and feasible; it may reference a normalised variant of pr.
+	Schedule(pr *Problem) (*Schedule, error)
+}

@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hdlts/internal/platform"
+)
+
+// Analysis summarises a completed schedule beyond its makespan: how busy
+// each processor was, how much time went idle, how much data crossed the
+// network, and how the load spread. These are the quantities one inspects
+// when two algorithms' makespans are close.
+type Analysis struct {
+	Makespan float64
+	// BusyTime is the total occupied time per processor (including entry
+	// duplicates).
+	BusyTime []float64
+	// Utilization is BusyTime / Makespan per processor.
+	Utilization []float64
+	// MeanUtilization averages Utilization over processors.
+	MeanUtilization float64
+	// LoadImbalance is (max busy − min busy) / max busy; 0 is perfect.
+	LoadImbalance float64
+	// CommVolume is the total data shipped between distinct processors
+	// (each dependency counted once, from the copy actually used: the one
+	// yielding the earliest arrival).
+	CommVolume float64
+	// LocalDeps counts dependencies satisfied without network transfer.
+	LocalDeps int
+	// RemoteDeps counts dependencies that crossed the network.
+	RemoteDeps int
+	// Duplicates is the number of redundant entry-task copies.
+	Duplicates int
+}
+
+// Analyze computes the schedule analysis. The schedule must be complete.
+func (s *Schedule) Analyze() (*Analysis, error) {
+	if !s.Complete() {
+		return nil, fmt.Errorf("sched: cannot analyse an incomplete schedule (%d/%d placed)", s.NumPlaced(), s.prob.NumTasks())
+	}
+	a := &Analysis{
+		Makespan:    s.Makespan(),
+		BusyTime:    make([]float64, s.prob.NumProcs()),
+		Utilization: make([]float64, s.prob.NumProcs()),
+		Duplicates:  s.NumDuplicates(),
+	}
+	for p := range a.BusyTime {
+		for _, sl := range s.ProcSlots(platform.Proc(p)) {
+			a.BusyTime[p] += sl.Dur()
+		}
+	}
+	if a.Makespan > 0 {
+		sum := 0.0
+		for p, b := range a.BusyTime {
+			a.Utilization[p] = b / a.Makespan
+			sum += a.Utilization[p]
+		}
+		a.MeanUtilization = sum / float64(len(a.BusyTime))
+	}
+	minB, maxB := a.BusyTime[0], a.BusyTime[0]
+	for _, b := range a.BusyTime[1:] {
+		if b < minB {
+			minB = b
+		}
+		if b > maxB {
+			maxB = b
+		}
+	}
+	if maxB > 0 {
+		a.LoadImbalance = (maxB - minB) / maxB
+	}
+
+	// Attribute each dependency to the parent copy that actually served it:
+	// the copy with the earliest arrival at the child's processor.
+	g := s.prob.G
+	for t := 0; t < s.prob.NumTasks(); t++ {
+		child := s.primary[t]
+		for _, arc := range g.Preds(child.Task) {
+			bestArr, bestProc := -1.0, child.Proc
+			for _, c := range s.Copies(arc.Task) {
+				arr := c.Finish + s.prob.Comm(arc.Data, c.Proc, child.Proc)
+				if bestArr < 0 || arr < bestArr {
+					bestArr, bestProc = arr, c.Proc
+				}
+			}
+			if bestProc == child.Proc || arc.Data == 0 {
+				a.LocalDeps++
+			} else {
+				a.RemoteDeps++
+				a.CommVolume += arc.Data
+			}
+		}
+	}
+	return a, nil
+}
+
+// String renders a compact multi-line report.
+func (a *Analysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %.4g, mean utilization %.1f%%, imbalance %.1f%%\n",
+		a.Makespan, a.MeanUtilization*100, a.LoadImbalance*100)
+	fmt.Fprintf(&b, "deps: %d local / %d remote, comm volume %.4g, duplicates %d\n",
+		a.LocalDeps, a.RemoteDeps, a.CommVolume, a.Duplicates)
+	for p, u := range a.Utilization {
+		fmt.Fprintf(&b, "  P%-3d busy %.4g (%.1f%%)\n", p+1, a.BusyTime[p], u*100)
+	}
+	return b.String()
+}
+
+// CompareSchedules reports, task by task, where two complete schedules of
+// the same problem differ — a debugging aid when algorithm variants
+// diverge. The result lists task IDs whose (processor, start) pair differs,
+// in ascending order.
+func CompareSchedules(a, b *Schedule) ([]int, error) {
+	if a.prob.NumTasks() != b.prob.NumTasks() {
+		return nil, fmt.Errorf("sched: schedules cover different problems (%d vs %d tasks)", a.prob.NumTasks(), b.prob.NumTasks())
+	}
+	if !a.Complete() || !b.Complete() {
+		return nil, fmt.Errorf("sched: cannot compare incomplete schedules")
+	}
+	var diff []int
+	for t := 0; t < a.prob.NumTasks(); t++ {
+		pa, pb := a.primary[t], b.primary[t]
+		if pa.Proc != pb.Proc || pa.Start != pb.Start {
+			diff = append(diff, t)
+		}
+	}
+	sort.Ints(diff)
+	return diff, nil
+}

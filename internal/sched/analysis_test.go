@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func completedChain(t *testing.T) *Schedule {
+	t.Helper()
+	pr := chainProblem(t)
+	s := NewSchedule(pr)
+	// A on P1 [0,2); B on P2 [7,8) after comm 5; C on P2 [8,10) local.
+	if err := s.Place(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(1, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(2, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAnalyzeIncomplete(t *testing.T) {
+	pr := chainProblem(t)
+	if _, err := NewSchedule(pr).Analyze(); err == nil {
+		t.Fatal("incomplete schedule analysed")
+	}
+}
+
+func TestAnalyzeChain(t *testing.T) {
+	s := completedChain(t)
+	a, err := s.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != 10 {
+		t.Errorf("makespan = %g", a.Makespan)
+	}
+	if a.BusyTime[0] != 2 || a.BusyTime[1] != 3 {
+		t.Errorf("busy = %v, want [2 3]", a.BusyTime)
+	}
+	if math.Abs(a.Utilization[0]-0.2) > 1e-12 || math.Abs(a.Utilization[1]-0.3) > 1e-12 {
+		t.Errorf("utilization = %v", a.Utilization)
+	}
+	if math.Abs(a.MeanUtilization-0.25) > 1e-12 {
+		t.Errorf("mean utilization = %g", a.MeanUtilization)
+	}
+	// Imbalance: (3-2)/3.
+	if math.Abs(a.LoadImbalance-1.0/3.0) > 1e-12 {
+		t.Errorf("imbalance = %g", a.LoadImbalance)
+	}
+	// A->B crossed the network (5 units); B->C stayed local.
+	if a.RemoteDeps != 1 || a.LocalDeps != 1 || a.CommVolume != 5 {
+		t.Errorf("deps = %d local / %d remote, volume %g", a.LocalDeps, a.RemoteDeps, a.CommVolume)
+	}
+	if a.Duplicates != 0 {
+		t.Errorf("duplicates = %d", a.Duplicates)
+	}
+	if rep := a.String(); !strings.Contains(rep, "P1") || !strings.Contains(rep, "remote") {
+		t.Errorf("report = %q", rep)
+	}
+}
+
+func TestAnalyzeDuplicateServesLocally(t *testing.T) {
+	// With a duplicate of A on P2, the A->B dependency is served locally
+	// and counts as local, not remote.
+	pr := chainProblem(t)
+	s := NewSchedule(pr)
+	_ = s.Place(0, 0, 0)
+	if err := s.PlaceDuplicate(0, 1, 0); err != nil { // finishes at 4 on P2
+		t.Fatal(err)
+	}
+	_ = s.Place(1, 1, 4)
+	_ = s.Place(2, 1, 5)
+	a, err := s.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RemoteDeps != 0 || a.LocalDeps != 2 {
+		t.Errorf("deps = %d local / %d remote, want 2/0", a.LocalDeps, a.RemoteDeps)
+	}
+	if a.Duplicates != 1 {
+		t.Errorf("duplicates = %d", a.Duplicates)
+	}
+	// The duplicate's busy time counts toward P2.
+	if a.BusyTime[1] != 4+1+2 {
+		t.Errorf("P2 busy = %g, want 7", a.BusyTime[1])
+	}
+}
+
+func TestCompareSchedules(t *testing.T) {
+	s1 := completedChain(t)
+	s2 := completedChain(t)
+	diff, err := CompareSchedules(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != 0 {
+		t.Fatalf("identical schedules differ: %v", diff)
+	}
+
+	pr := chainProblem(t)
+	s3 := NewSchedule(pr)
+	_ = s3.Place(0, 1, 0) // A on P2 instead
+	_ = s3.Place(1, 1, 4)
+	_ = s3.Place(2, 1, 5)
+	diff, err = CompareSchedules(s1, s3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != 3 {
+		t.Fatalf("diff = %v, want all three tasks", diff)
+	}
+
+	if _, err := CompareSchedules(s1, NewSchedule(pr)); err == nil {
+		t.Fatal("incomplete comparison accepted")
+	}
+}

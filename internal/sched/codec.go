@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+)
+
+// jsonProblem is the on-disk representation of a Problem: the workflow, the
+// processor count (with optional pairwise bandwidth), and the W matrix as
+// per-task rows.
+type jsonProblem struct {
+	Graph     *dag.Graph  `json:"graph"`
+	Procs     int         `json:"procs"`
+	Bandwidth [][]float64 `json:"bandwidth,omitempty"`
+	Costs     [][]float64 `json:"costs"`
+}
+
+// WriteJSON serialises the problem as indented JSON.
+func (pr *Problem) WriteJSON(w io.Writer) error {
+	jp := jsonProblem{Graph: pr.G, Procs: pr.NumProcs()}
+	for t := 0; t < pr.NumTasks(); t++ {
+		jp.Costs = append(jp.Costs, pr.W.Row(t))
+	}
+	// Emit the bandwidth matrix only when it is non-uniform.
+	nonUniform := false
+	for a := 0; a < pr.NumProcs() && !nonUniform; a++ {
+		for b := 0; b < pr.NumProcs(); b++ {
+			if a != b && pr.P.Bandwidth(platform.Proc(a), platform.Proc(b)) != 1 {
+				nonUniform = true
+				break
+			}
+		}
+	}
+	if nonUniform {
+		jp.Bandwidth = make([][]float64, pr.NumProcs())
+		for a := 0; a < pr.NumProcs(); a++ {
+			jp.Bandwidth[a] = make([]float64, pr.NumProcs())
+			for b := 0; b < pr.NumProcs(); b++ {
+				if a != b {
+					jp.Bandwidth[a][b] = pr.P.Bandwidth(platform.Proc(a), platform.Proc(b))
+				}
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jp)
+}
+
+// ReadProblemJSON deserialises and validates a problem written by WriteJSON.
+func ReadProblemJSON(r io.Reader) (*Problem, error) {
+	var jp jsonProblem
+	if err := json.NewDecoder(r).Decode(&jp); err != nil {
+		return nil, fmt.Errorf("sched: decode problem: %w", err)
+	}
+	if jp.Graph == nil {
+		return nil, fmt.Errorf("sched: problem file has no graph")
+	}
+	var pl *platform.Platform
+	var err error
+	if jp.Bandwidth != nil {
+		// Re-fill the (ignored) diagonal so validation passes.
+		for i := range jp.Bandwidth {
+			if i < len(jp.Bandwidth[i]) {
+				jp.Bandwidth[i][i] = 1
+			}
+		}
+		pl, err = platform.NewWithBandwidth(jp.Bandwidth)
+	} else {
+		pl, err = platform.NewUniform(jp.Procs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w, err := platform.CostsFromRows(jp.Costs)
+	if err != nil {
+		return nil, err
+	}
+	return NewProblem(jp.Graph, pl, w)
+}

@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+)
+
+func TestProblemJSONRoundTripUniform(t *testing.T) {
+	pr := chainProblem(t)
+	var buf bytes.Buffer
+	if err := pr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "bandwidth") {
+		t.Error("uniform problem should omit the bandwidth matrix")
+	}
+	back, err := ReadProblemJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTasks() != pr.NumTasks() || back.NumProcs() != pr.NumProcs() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d", back.NumTasks(), back.NumProcs(), pr.NumTasks(), pr.NumProcs())
+	}
+	for task := 0; task < pr.NumTasks(); task++ {
+		for p := 0; p < pr.NumProcs(); p++ {
+			if back.W.At(task, platform.Proc(p)) != pr.W.At(task, platform.Proc(p)) {
+				t.Fatalf("cost (%d,%d) changed", task, p)
+			}
+		}
+	}
+}
+
+func TestProblemJSONRoundTripBandwidth(t *testing.T) {
+	g := dag.New(2)
+	a := g.AddTask("a")
+	b := g.AddTask("b")
+	g.MustAddEdge(a, b, 10)
+	pl, err := platform.NewWithBandwidth([][]float64{{0, 2}, {2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := platform.MustCostsFromRows([][]float64{{1, 1}, {2, 2}})
+	pr := MustProblem(g, pl, w)
+
+	var buf bytes.Buffer
+	if err := pr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bandwidth") {
+		t.Fatal("non-uniform bandwidth not serialised")
+	}
+	back, err := ReadProblemJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.P.Bandwidth(0, 1); got != 2 {
+		t.Fatalf("bandwidth after round trip = %g, want 2", got)
+	}
+	if got := back.Comm(10, 0, 1); got != 5 {
+		t.Fatalf("comm time after round trip = %g, want 5", got)
+	}
+}
+
+func TestReadProblemJSONRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not-json":   "{",
+		"no-graph":   `{"procs":2,"costs":[[1,1]]}`,
+		"bad-costs":  `{"graph":{"tasks":[{"name":"a"}],"edges":[]},"procs":2,"costs":[[1,-1]]}`,
+		"shape":      `{"graph":{"tasks":[{"name":"a"}],"edges":[]},"procs":3,"costs":[[1,1]]}`,
+		"zero-procs": `{"graph":{"tasks":[{"name":"a"}],"edges":[]},"procs":0,"costs":[[1]]}`,
+	}
+	for name, raw := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadProblemJSON(strings.NewReader(raw)); err == nil {
+				t.Fatalf("accepted %s", name)
+			}
+		})
+	}
+}
+
+func TestGanttOutput(t *testing.T) {
+	pr := chainProblem(t)
+	s := NewSchedule(pr)
+	_ = s.Place(0, 0, 0)
+	_ = s.PlaceDuplicate(0, 1, 0)
+	_ = s.Place(1, 1, 7)
+	_ = s.Place(2, 1, 8)
+
+	var buf bytes.Buffer
+	if err := s.WriteGantt(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"P1", "P2", "makespan = 10", "A*[0,4)", "B[7,8)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Gantt missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	pr := chainProblem(t)
+	var buf bytes.Buffer
+	if err := NewSchedule(pr).WriteGantt(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty schedule") {
+		t.Errorf("empty Gantt output = %q", buf.String())
+	}
+}

@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"hdlts/internal/dag"
+)
+
+// Compact rebuilds a complete schedule keeping every placement decision —
+// the processor of each task copy and the relative order of copies on each
+// processor — but re-timing every copy to start as early as precedence,
+// communication, and its processor predecessor allow. Compaction never
+// increases the makespan; it is a standard post-pass that recovers slack
+// left by avail-based placement (insertion-based schedules are usually
+// already tight).
+func (s *Schedule) Compact() (*Schedule, error) {
+	if !s.Complete() {
+		return nil, fmt.Errorf("sched: cannot compact an incomplete schedule (%d/%d placed)", s.NumPlaced(), s.prob.NumTasks())
+	}
+
+	// Collect every copy and order them so that all constraints point
+	// backwards: ascending original start time, ties broken by topological
+	// position (which orders zero-duration pseudo chains correctly).
+	order, err := s.prob.G.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	topoPos := make([]int, s.prob.NumTasks())
+	for i, t := range order {
+		topoPos[t] = i
+	}
+	type copyRef struct {
+		p Placement
+	}
+	var copies []copyRef
+	for t := 0; t < s.prob.NumTasks(); t++ {
+		for _, c := range s.Copies(dag.TaskID(t)) {
+			copies = append(copies, copyRef{p: c})
+		}
+	}
+	sort.SliceStable(copies, func(i, j int) bool {
+		a, b := copies[i].p, copies[j].p
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if topoPos[a.Task] != topoPos[b.Task] {
+			return topoPos[a.Task] < topoPos[b.Task]
+		}
+		return a.Proc < b.Proc
+	})
+
+	n := NewSchedule(s.prob)
+	procTail := make([]float64, s.prob.NumProcs())
+	for _, cr := range copies {
+		c := cr.p
+		// Earliest start: data from every parent (via the nearest already
+		// re-timed copy) and the processor's running tail (order preserved).
+		ready := procTail[c.Proc]
+		for _, a := range s.prob.G.Preds(c.Task) {
+			arr := n.arrivalFromCopies(a.Task, a.Data, c.Proc)
+			if arr > ready {
+				ready = arr
+			}
+		}
+		var placeErr error
+		if c.Duplicate {
+			placeErr = n.PlaceDuplicate(c.Task, c.Proc, ready)
+		} else {
+			placeErr = n.Place(c.Task, c.Proc, ready)
+		}
+		if placeErr != nil {
+			return nil, fmt.Errorf("sched: compaction re-placement failed: %w", placeErr)
+		}
+		end := ready + s.prob.Exec(c.Task, c.Proc)
+		if end > procTail[c.Proc] {
+			procTail[c.Proc] = end
+		}
+	}
+	return n, nil
+}

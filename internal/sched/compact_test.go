@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hdlts/internal/dag"
+)
+
+func TestCompactIncomplete(t *testing.T) {
+	pr := chainProblem(t)
+	if _, err := NewSchedule(pr).Compact(); err == nil {
+		t.Fatal("compacted an incomplete schedule")
+	}
+}
+
+func TestCompactRemovesSlack(t *testing.T) {
+	pr := chainProblem(t)
+	s := NewSchedule(pr)
+	// Wasteful but valid: A [0,2) on P1; B delayed to [20,21) on P2 (ready
+	// at 7); C [30,32) on P2 (ready at 21).
+	_ = s.Place(0, 0, 0)
+	_ = s.Place(1, 1, 20)
+	_ = s.Place(2, 1, 30)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("compacted schedule invalid: %v", err)
+	}
+	// B should pull back to 7 (comm-bound) and C to 8: makespan 10.
+	if got := c.Makespan(); got != 10 {
+		t.Fatalf("compacted makespan = %g, want 10", got)
+	}
+	// Assignments and order preserved.
+	for task := 0; task < 3; task++ {
+		orig, _ := s.PlacementOf(dag.TaskID(task))
+		comp, _ := c.PlacementOf(dag.TaskID(task))
+		if orig.Proc != comp.Proc {
+			t.Fatalf("task %d moved from P%d to P%d", task, orig.Proc+1, comp.Proc+1)
+		}
+	}
+}
+
+func TestCompactKeepsDuplicates(t *testing.T) {
+	pr := chainProblem(t)
+	s := NewSchedule(pr)
+	_ = s.Place(0, 0, 0)
+	_ = s.PlaceDuplicate(0, 1, 5) // late duplicate of A on P2 [5,9)
+	_ = s.Place(1, 1, 12)         // B fed by the duplicate, slack of 3
+	_ = s.Place(2, 1, 16)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDuplicates() != 1 {
+		t.Fatalf("duplicates = %d, want 1", c.NumDuplicates())
+	}
+	// The duplicate pulls to [0,4), B to 4, C to 5: makespan 7.
+	if got := c.Makespan(); got != 7 {
+		t.Fatalf("compacted makespan = %g, want 7", got)
+	}
+}
+
+// TestQuickCompactNeverWorsens: compacting any complete feasible schedule
+// yields a valid schedule with makespan <= the original, preserving every
+// task's processor.
+func TestQuickCompactNeverWorsens(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, pending, err := randomPartialSchedule(rng)
+		if err != nil {
+			return false
+		}
+		// Finish the schedule with randomly chosen feasible placements.
+		for _, task := range pending {
+			e, err := s.BestEFT(task, Policy{Insertion: rng.Intn(2) == 0})
+			if err != nil {
+				return false
+			}
+			// Inject slack sometimes to give compaction work to do.
+			slack := float64(rng.Intn(3)) * 7
+			start := e.EST + slack
+			if !s.FreeAt(e.Proc, start, s.Problem().Exec(task, e.Proc)) {
+				start = e.EST
+			}
+			if err := s.Place(task, e.Proc, start); err != nil {
+				return false
+			}
+		}
+		if err := s.Validate(); err != nil {
+			return false
+		}
+		c, err := s.Compact()
+		if err != nil {
+			t.Logf("compact: %v", err)
+			return false
+		}
+		if err := c.Validate(); err != nil {
+			t.Logf("compacted invalid: %v", err)
+			return false
+		}
+		if c.Makespan() > s.Makespan()+1e-9 {
+			t.Logf("compaction worsened: %g -> %g", s.Makespan(), c.Makespan())
+			return false
+		}
+		for task := 0; task < s.Problem().NumTasks(); task++ {
+			a, _ := s.PlacementOf(dag.TaskID(task))
+			b, _ := c.PlacementOf(dag.TaskID(task))
+			if a.Proc != b.Proc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

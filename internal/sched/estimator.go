@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+)
+
+// Policy selects how EST/EFT are computed and how tasks are committed onto
+// timelines. The paper's heuristics differ exactly along these two axes.
+type Policy struct {
+	// Insertion enables the insertion-based slot search (HEFT, CPOP, PETS,
+	// PEFT). When false, placement is avail-based: EST = max(ready, Avail(p))
+	// per Eq. (6), which is what HDLTS uses.
+	Insertion bool
+	// EntryDuplication enables Algorithm 1's effective entry-task
+	// duplication: while estimating EST on processor p, a child of the entry
+	// task may virtually restart the entry task at time 0 on p; the duplicate
+	// is materialised at commit time only when it strictly improves the
+	// committed start time (HDLTS, SDBATS).
+	EntryDuplication bool
+}
+
+// HDLTSPolicy is the policy used by the paper's algorithm.
+var HDLTSPolicy = Policy{Insertion: false, EntryDuplication: true}
+
+// InsertionPolicy is the plain insertion-based policy of HEFT/PETS/PEFT/CPOP.
+var InsertionPolicy = Policy{Insertion: true}
+
+// Estimate is the result of evaluating one (task, processor) pair.
+type Estimate struct {
+	Task  dag.TaskID
+	Proc  platform.Proc
+	Ready float64 // earliest time all inputs are available on Proc
+	EST   float64 // earliest start time (Eq. 6 or insertion slot)
+	EFT   float64 // EST + W(task, Proc) (Eq. 7)
+	// UseDuplicate is set when Ready relies on a not-yet-materialised entry
+	// duplicate on Proc; committing this estimate must materialise it.
+	UseDuplicate bool
+	// DupTask is the parentless parent the duplicate copies (valid only
+	// when UseDuplicate). Normalised problems have at most one candidate
+	// (the unique entry); for raw multi-entry graphs only the first
+	// parentless parent is ever considered, keeping the single-duplicate
+	// estimate sound.
+	DupTask dag.TaskID
+	// DupStart/DupFinish describe the virtual duplicate when UseDuplicate.
+	DupStart, DupFinish float64
+}
+
+// ReadyTime computes Ready(t, p) (Definition 5): the earliest time every
+// parent output is available on processor p, taking all scheduled copies
+// (including existing duplicates) into account. With entry duplication
+// enabled it additionally considers restarting the entry-task parent at
+// time 0 on p when no copy exists there and the [0, W(entry, p)) interval is
+// idle; only the first parentless parent is considered (normalised problems
+// have at most one). It reports whether the virtual duplicate lowered the
+// ready time, which task it copies, and its would-be finish time.
+//
+// ReadyTime returns an error if some parent of t is still unscheduled: the
+// caller must submit tasks in precedence order (the ITQ guarantees this).
+func (s *Schedule) ReadyTime(t dag.TaskID, p platform.Proc, pol Policy) (ready float64, usedDup bool, dupTask dag.TaskID, dupFinish float64, err error) {
+	g := s.prob.G
+	readyWith, readyWithout := 0.0, 0.0
+	dupTask = dag.None
+	dupFinish = math.NaN()
+	dupConsidered := false
+	for _, a := range g.Preds(t) {
+		u := a.Task
+		arr := s.arrivalFromCopies(u, a.Data, p)
+		if math.IsInf(arr, 1) {
+			return 0, false, dag.None, 0, fmt.Errorf("sched: parent %d of task %d is not scheduled yet", u, t)
+		}
+		arrWith := arr
+		if pol.EntryDuplication && !dupConsidered && g.InDegree(u) == 0 {
+			dupConsidered = true
+			if !s.HasCopyOn(u, p) {
+				if w := s.prob.Exec(u, p); s.FreeAt(p, 0, w) && w < arrWith {
+					arrWith = w
+					dupTask = u
+					dupFinish = w
+				}
+			}
+		}
+		if arrWith > readyWith {
+			readyWith = arrWith
+		}
+		if arr > readyWithout {
+			readyWithout = arr
+		}
+	}
+	if pol.EntryDuplication && dupTask != dag.None && readyWith < readyWithout {
+		return readyWith, true, dupTask, dupFinish, nil
+	}
+	return readyWithout, false, dag.None, 0, nil
+}
+
+// Estimate evaluates task t on processor p under the policy: it computes
+// Ready, EST, and EFT, deciding whether the virtual entry duplicate is
+// actually beneficial for the *committed* start (a duplicate that does not
+// strictly reduce EST is discarded, implementing "duplicate the entry task
+// only if it helps to reduce the overall application execution time").
+func (s *Schedule) Estimate(t dag.TaskID, p platform.Proc, pol Policy) (Estimate, error) {
+	dur := s.prob.Exec(t, p)
+
+	est := func(ready float64) float64 {
+		if pol.Insertion {
+			return s.EarliestFit(p, ready, dur)
+		}
+		if a := s.Avail(p); a > ready {
+			return a
+		}
+		return ready
+	}
+
+	ready, usedDup, dupTask, dupFinish, err := s.ReadyTime(t, p, pol)
+	if err != nil {
+		return Estimate{}, err
+	}
+	e := Estimate{Task: t, Proc: p, Ready: ready, EST: est(ready), DupTask: dag.None}
+	if usedDup {
+		// Compare against the duplication-free alternative; keep the
+		// duplicate only when it strictly improves the start time.
+		readyPlain, _, _, _, err := s.ReadyTime(t, p, Policy{Insertion: pol.Insertion})
+		if err != nil {
+			return Estimate{}, err
+		}
+		if estPlain := est(readyPlain); e.EST < estPlain {
+			e.UseDuplicate = true
+			e.DupTask = dupTask
+			e.DupStart = 0
+			e.DupFinish = dupFinish
+		} else {
+			e.Ready = readyPlain
+			e.EST = estPlain
+		}
+	}
+	e.EFT = e.EST + dur
+	return e, nil
+}
+
+// EstimateAll evaluates t on every processor, reusing a caller-provided
+// buffer when it has sufficient capacity. The result is indexed by
+// processor.
+func (s *Schedule) EstimateAll(t dag.TaskID, pol Policy, buf []Estimate) ([]Estimate, error) {
+	n := s.prob.NumProcs()
+	if cap(buf) < n {
+		buf = make([]Estimate, n)
+	}
+	buf = buf[:n]
+	for p := 0; p < n; p++ {
+		e, err := s.Estimate(t, platform.Proc(p), pol)
+		if err != nil {
+			return nil, err
+		}
+		buf[p] = e
+	}
+	return buf, nil
+}
+
+// BestEFT evaluates t on every processor and returns the estimate with the
+// minimum EFT (Eq. 7); ties go to the lower processor index, keeping
+// schedules deterministic.
+func (s *Schedule) BestEFT(t dag.TaskID, pol Policy) (Estimate, error) {
+	var best Estimate
+	found := false
+	for p := 0; p < s.prob.NumProcs(); p++ {
+		e, err := s.Estimate(t, platform.Proc(p), pol)
+		if err != nil {
+			return Estimate{}, err
+		}
+		if !found || e.EFT < best.EFT {
+			best, found = e, true
+		}
+	}
+	return best, nil
+}
+
+// Commit places task t per the estimate, materialising the entry duplicate
+// first when the estimate relies on one.
+func (s *Schedule) Commit(e Estimate) error {
+	if e.UseDuplicate {
+		// The duplicate must copy a parentless parent of the committed task
+		// (hand-built estimates could otherwise duplicate arbitrary tasks).
+		valid := false
+		for _, a := range s.prob.G.Preds(e.Task) {
+			if a.Task == e.DupTask && s.prob.G.InDegree(a.Task) == 0 {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return fmt.Errorf("sched: estimate for task %d names duplicate task %d, which is not a parentless parent", e.Task, e.DupTask)
+		}
+		if err := s.PlaceDuplicate(e.DupTask, e.Proc, e.DupStart); err != nil {
+			return err
+		}
+	}
+	return s.Place(e.Task, e.Proc, e.EST)
+}

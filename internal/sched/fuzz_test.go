@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"bytes"
+	"testing"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+)
+
+// FuzzProblemJSON hardens the problem decoder: arbitrary bytes must either
+// fail cleanly or produce a problem that validates and round-trips.
+func FuzzProblemJSON(f *testing.F) {
+	// Seed with a real serialised problem.
+	g := dag.New(3)
+	a := g.AddTask("a")
+	b := g.AddTask("b")
+	c := g.AddTask("c")
+	g.MustAddEdge(a, b, 5)
+	g.MustAddEdge(b, c, 5)
+	pr := MustProblem(g, platform.MustUniform(2),
+		platform.MustCostsFromRows([][]float64{{2, 4}, {3, 1}, {2, 2}}))
+	var seed bytes.Buffer
+	if err := pr.WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(`{"graph":{"tasks":[{"name":"a"}],"edges":[]},"procs":2,"costs":[[1,2]]}`))
+	f.Add([]byte(`{"graph":{"tasks":[{"name":"a"}],"edges":[]},"procs":0,"costs":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"graph":{"tasks":[{"name":"a"},{"name":"b"}],"edges":[{"from":0,"to":1,"data":2}]},"procs":2,"bandwidth":[[0,4],[4,0]],"costs":[[1,2],[3,4]]}`))
+	f.Add([]byte(`{"graph":{"tasks":[{"name":"a"},{"name":"b"}],"edges":[]},"procs":2,"bandwidth":[[0,-4],[-4,0]],"costs":[[1,2],[3,4]]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pr, err := ReadProblemJSON(bytes.NewReader(data))
+		if err != nil {
+			return // clean rejection is fine
+		}
+		if err := pr.G.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid workflow: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := pr.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := ReadProblemJSON(&buf); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"hdlts/internal/platform"
+)
+
+// WriteGantt renders the schedule as a plain-text Gantt chart, one row per
+// processor, at the given character width. Duplicated copies are marked
+// with a trailing '*'.
+func (s *Schedule) WriteGantt(w io.Writer, width int) error {
+	if width < 20 {
+		width = 20
+	}
+	mk := s.Makespan()
+	if mk == 0 {
+		_, err := fmt.Fprintln(w, "(empty schedule)")
+		return err
+	}
+	scale := float64(width) / mk
+	for p := 0; p < s.prob.NumProcs(); p++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		var legend strings.Builder
+		for _, sl := range s.ProcSlots(platform.Proc(p)) {
+			if sl.Dur() == 0 {
+				continue
+			}
+			from := int(sl.Start * scale)
+			to := int(sl.End * scale)
+			if to <= from {
+				to = from + 1
+			}
+			if to > width {
+				to = width
+			}
+			ch := byte('A' + int(sl.Task)%26)
+			for i := from; i < to; i++ {
+				row[i] = ch
+			}
+			name := s.prob.G.Task(sl.Task).Name
+			if name == "" {
+				name = fmt.Sprintf("T%d", int(sl.Task)+1)
+			}
+			mark := ""
+			if sl.Duplicate {
+				mark = "*"
+			}
+			fmt.Fprintf(&legend, " %c=%s%s[%g,%g)", ch, name, mark, sl.Start, sl.End)
+		}
+		if _, err := fmt.Fprintf(w, "%-4s |%s|%s\n", s.prob.P.Name(platform.Proc(p)), row, legend.String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "makespan = %g\n", mk)
+	return err
+}
+
+// Summary returns a one-line description of the schedule.
+func (s *Schedule) Summary() string {
+	return fmt.Sprintf("schedule: %d/%d tasks placed, %d duplicates, makespan %g",
+		s.NumPlaced(), s.prob.NumTasks(), s.NumDuplicates(), s.Makespan())
+}

@@ -1,0 +1,127 @@
+// Package sched provides the scheduling substrate shared by every heuristic
+// in this reproduction: the Problem bundle (workflow + platform + cost
+// matrix), per-processor timelines with both avail-based (Eq. 3/6) and
+// insertion-based placement, EST/EFT computation with optional effective
+// entry-task duplication (Algorithm 1 of the paper), schedule validation,
+// and Gantt-chart rendering.
+package sched
+
+import (
+	"fmt"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+)
+
+// Problem is one task-scheduling instance: an application workflow G, a
+// heterogeneous platform P, and the W computation-cost matrix. This is the
+// tuple G = (V, E, W, C) of Section IV, with C derived from edge data
+// volumes and platform bandwidth.
+type Problem struct {
+	G *dag.Graph
+	P *platform.Platform
+	W *platform.Costs
+}
+
+// NewProblem validates shape compatibility and workflow well-formedness and
+// returns the bundled problem.
+func NewProblem(g *dag.Graph, p *platform.Platform, w *platform.Costs) (*Problem, error) {
+	if g == nil || p == nil || w == nil {
+		return nil, fmt.Errorf("sched: nil problem component")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(g.NumTasks(), p.NumProcs()); err != nil {
+		return nil, err
+	}
+	return &Problem{G: g, P: p, W: w}, nil
+}
+
+// MustProblem is NewProblem that panics on error, for fixture construction.
+func MustProblem(g *dag.Graph, p *platform.Platform, w *platform.Costs) *Problem {
+	pr, err := NewProblem(g, p, w)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// Normalize returns a problem whose workflow has exactly one entry and one
+// exit task, adding zero-cost pseudo tasks (and matching zero-cost matrix
+// rows) when needed. If the workflow is already normalised the receiver is
+// returned unchanged.
+func (pr *Problem) Normalize() *Problem {
+	g, changed := dag.NormalizeSingleEntryExit(pr.G)
+	if !changed {
+		return pr
+	}
+	extra := g.NumTasks() - pr.G.NumTasks()
+	return &Problem{G: g, P: pr.P, W: pr.W.ExtendZeroRows(extra)}
+}
+
+// Exec returns W(t, p), the execution time of task t on processor p.
+func (pr *Problem) Exec(t dag.TaskID, p platform.Proc) float64 {
+	return pr.W.At(int(t), p)
+}
+
+// Comm returns the communication time for the dependency carrying data
+// units when producer and consumer run on processors a and b.
+func (pr *Problem) Comm(data float64, a, b platform.Proc) float64 {
+	return pr.P.CommTime(data, a, b)
+}
+
+// MeanComm returns the average communication time of a dependency over all
+// distinct processor pairs — the edge weight used by mean-based upward ranks
+// (HEFT, CPOP). Under uniform bandwidth this is simply the data volume.
+func (pr *Problem) MeanComm(data float64) float64 {
+	p := pr.P.NumProcs()
+	if p < 2 || data == 0 {
+		return 0
+	}
+	sum := 0.0
+	for a := 0; a < p; a++ {
+		for b := 0; b < p; b++ {
+			if a != b {
+				sum += pr.Comm(data, platform.Proc(a), platform.Proc(b))
+			}
+		}
+	}
+	return sum / float64(p*(p-1))
+}
+
+// NumTasks is shorthand for the workflow task count.
+func (pr *Problem) NumTasks() int { return pr.G.NumTasks() }
+
+// NumProcs is shorthand for the platform processor count.
+func (pr *Problem) NumProcs() int { return pr.P.NumProcs() }
+
+// SeqTimeOnBestProc returns min over processors of the sum of all task
+// execution times on that processor — the numerator of Speedup (Eq. 11).
+func (pr *Problem) SeqTimeOnBestProc() float64 {
+	best := 0.0
+	for p := 0; p < pr.NumProcs(); p++ {
+		sum := 0.0
+		for t := 0; t < pr.NumTasks(); t++ {
+			sum += pr.W.At(t, platform.Proc(p))
+		}
+		if p == 0 || sum < best {
+			best = sum
+		}
+	}
+	return best
+}
+
+// CPMinLowerBound returns the makespan lower bound used as the SLR
+// denominator (Eq. 10): the critical path is computed with every task
+// weighted by its minimum execution time (communication excluded, since a
+// perfect schedule co-locates the path), and the bound is the sum of those
+// minimum times along the path.
+func (pr *Problem) CPMinLowerBound() (float64, error) {
+	node := func(t dag.TaskID) float64 {
+		m, _ := pr.W.Min(int(t))
+		return m
+	}
+	_, total, err := pr.G.CriticalPath(node, dag.ZeroEdges)
+	return total, err
+}

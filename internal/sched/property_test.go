@@ -1,0 +1,195 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+)
+
+// randomPartialSchedule builds a random problem and places a random prefix
+// of its tasks (in topological order) with random feasible choices, leaving
+// the rest for estimator probing.
+func randomPartialSchedule(rng *rand.Rand) (*Schedule, []dag.TaskID, error) {
+	n := 2 + rng.Intn(30)
+	procs := 1 + rng.Intn(5)
+	g := dag.New(n)
+	for i := 0; i < n; i++ {
+		g.AddTask("")
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < 0.2 {
+				g.MustAddEdge(dag.TaskID(u), dag.TaskID(v), rng.Float64()*50)
+			}
+		}
+	}
+	w, err := platform.NewCosts(n, procs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for t := 0; t < n; t++ {
+		for p := 0; p < procs; p++ {
+			if err := w.Set(t, platform.Proc(p), 1+rng.Float64()*20); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	pr, err := NewProblem(g, platform.MustUniform(procs), w)
+	if err != nil {
+		return nil, nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, nil, err
+	}
+	s := NewSchedule(pr)
+	placed := rng.Intn(len(order))
+	for _, t := range order[:placed] {
+		e, err := s.BestEFT(t, Policy{Insertion: rng.Intn(2) == 0})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := s.Commit(e); err != nil {
+			return nil, nil, err
+		}
+	}
+	return s, order[placed:], nil
+}
+
+// TestQuickEstimatorInvariants checks, for random partial schedules and
+// every (pending-ready task, processor, policy) combination:
+//
+//   - EFT = EST + W (Eq. 7);
+//   - EST >= Ready and EST >= 0;
+//   - the insertion EST never exceeds the avail-based EST (a slot found by
+//     insertion is at worst the end-of-timeline slot avail uses);
+//   - the chosen slot is actually idle;
+//   - BestEFT returns the minimum over EstimateAll.
+func TestQuickEstimatorInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, pending, err := randomPartialSchedule(rng)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if len(pending) == 0 {
+			return true
+		}
+		// Probe the first pending task whose parents are all placed.
+		var probe dag.TaskID = dag.None
+		for _, c := range pending {
+			ok := true
+			for _, a := range s.Problem().G.Preds(c) {
+				if !s.Placed(a.Task) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				probe = c
+				break
+			}
+		}
+		if probe == dag.None {
+			return true
+		}
+		for _, pol := range []Policy{{}, {Insertion: true}, HDLTSPolicy, {Insertion: true, EntryDuplication: true}} {
+			es, err := s.EstimateAll(probe, pol, nil)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			best, err := s.BestEFT(probe, pol)
+			if err != nil {
+				return false
+			}
+			minEFT := es[0].EFT
+			for _, e := range es {
+				if e.EFT != e.EST+s.Problem().Exec(probe, e.Proc) {
+					t.Logf("EFT != EST + W for task %d on P%d", probe, e.Proc+1)
+					return false
+				}
+				if e.EST < e.Ready-1e-9 || e.EST < 0 {
+					t.Logf("EST %g below ready %g", e.EST, e.Ready)
+					return false
+				}
+				if !s.FreeAt(e.Proc, e.EST, s.Problem().Exec(probe, e.Proc)) {
+					t.Logf("estimated slot not idle")
+					return false
+				}
+				if e.EFT < minEFT {
+					minEFT = e.EFT
+				}
+			}
+			if best.EFT != minEFT {
+				t.Logf("BestEFT %g != min %g", best.EFT, minEFT)
+				return false
+			}
+		}
+		// Insertion dominates avail-based per (task, proc).
+		for p := 0; p < s.Problem().NumProcs(); p++ {
+			ins, err := s.Estimate(probe, platform.Proc(p), Policy{Insertion: true})
+			if err != nil {
+				return false
+			}
+			av, err := s.Estimate(probe, platform.Proc(p), Policy{})
+			if err != nil {
+				return false
+			}
+			if ins.EST > av.EST+1e-9 {
+				t.Logf("insertion EST %g exceeds avail EST %g", ins.EST, av.EST)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCommitMatchesEstimate: committing an estimate yields exactly the
+// start/finish the estimate promised, under every policy.
+func TestQuickCommitMatchesEstimate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, pending, err := randomPartialSchedule(rng)
+		if err != nil || len(pending) == 0 {
+			return err == nil
+		}
+		var probe dag.TaskID = dag.None
+		for _, c := range pending {
+			ok := true
+			for _, a := range s.Problem().G.Preds(c) {
+				if !s.Placed(a.Task) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				probe = c
+				break
+			}
+		}
+		if probe == dag.None {
+			return true
+		}
+		best, err := s.BestEFT(probe, HDLTSPolicy)
+		if err != nil {
+			return false
+		}
+		if err := s.Commit(best); err != nil {
+			t.Logf("commit failed: %v", err)
+			return false
+		}
+		pl, ok := s.PlacementOf(probe)
+		return ok && pl.Proc == best.Proc && pl.Start == best.EST && pl.Finish == best.EFT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

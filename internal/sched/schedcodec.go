@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+)
+
+// jsonSchedule is the on-disk representation of a completed schedule: one
+// record per task copy, ordered by (processor, start) for readability.
+type jsonSchedule struct {
+	Algorithm  string          `json:"algorithm,omitempty"`
+	Makespan   float64         `json:"makespan"`
+	Placements []jsonPlacement `json:"placements"`
+}
+
+type jsonPlacement struct {
+	Task      dag.TaskID    `json:"task"`
+	Name      string        `json:"name,omitempty"`
+	Proc      platform.Proc `json:"proc"`
+	Start     float64       `json:"start"`
+	Finish    float64       `json:"finish"`
+	Duplicate bool          `json:"duplicate,omitempty"`
+}
+
+// WriteScheduleJSON serialises a completed schedule (placements of every
+// task copy plus the makespan) as indented JSON. The problem itself is not
+// embedded — pair the file with the problem JSON it was computed from.
+func (s *Schedule) WriteScheduleJSON(w io.Writer, algorithm string) error {
+	if !s.Complete() {
+		return fmt.Errorf("sched: cannot serialise an incomplete schedule (%d/%d placed)", s.NumPlaced(), s.prob.NumTasks())
+	}
+	js := jsonSchedule{Algorithm: algorithm, Makespan: s.Makespan()}
+	for t := 0; t < s.prob.NumTasks(); t++ {
+		for _, c := range s.Copies(dag.TaskID(t)) {
+			js.Placements = append(js.Placements, jsonPlacement{
+				Task: c.Task, Name: s.prob.G.Task(c.Task).Name,
+				Proc: c.Proc, Start: c.Start, Finish: c.Finish, Duplicate: c.Duplicate,
+			})
+		}
+	}
+	sort.Slice(js.Placements, func(i, j int) bool {
+		a, b := js.Placements[i], js.Placements[j]
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Task < b.Task
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(js)
+}
+
+// ReadScheduleJSON reconstructs a schedule for the given problem from a
+// file written by WriteScheduleJSON. The reconstruction re-applies every
+// placement through the normal mutation path, so overlaps and double
+// placements are rejected; call Validate afterwards for full precedence
+// checking. It returns the algorithm name recorded in the file.
+func ReadScheduleJSON(pr *Problem, r io.Reader) (*Schedule, string, error) {
+	var js jsonSchedule
+	if err := json.NewDecoder(r).Decode(&js); err != nil {
+		return nil, "", fmt.Errorf("sched: decode schedule: %w", err)
+	}
+	s := NewSchedule(pr)
+	for _, p := range js.Placements {
+		if int(p.Task) < 0 || int(p.Task) >= pr.NumTasks() {
+			return nil, "", fmt.Errorf("sched: placement references unknown task %d", p.Task)
+		}
+		if int(p.Proc) < 0 || int(p.Proc) >= pr.NumProcs() {
+			return nil, "", fmt.Errorf("sched: placement references unknown processor %d", p.Proc)
+		}
+		var err error
+		if p.Duplicate {
+			err = s.PlaceDuplicate(p.Task, p.Proc, p.Start)
+		} else {
+			err = s.Place(p.Task, p.Proc, p.Start)
+		}
+		if err != nil {
+			return nil, "", err
+		}
+		// Cross-check the recorded finish against the cost matrix.
+		want := p.Start + pr.Exec(p.Task, p.Proc)
+		if diff := p.Finish - want; diff > eps || diff < -eps {
+			return nil, "", fmt.Errorf("sched: task %d finish %g inconsistent with costs (want %g)", p.Task, p.Finish, want)
+		}
+	}
+	if !s.Complete() {
+		return nil, "", fmt.Errorf("sched: schedule file covers %d of %d tasks", s.NumPlaced(), pr.NumTasks())
+	}
+	if diff := js.Makespan - s.Makespan(); diff > eps || diff < -eps {
+		return nil, "", fmt.Errorf("sched: recorded makespan %g does not match reconstructed %g", js.Makespan, s.Makespan())
+	}
+	return s, js.Algorithm, nil
+}

@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	pr := chainProblem(t)
+	s := NewSchedule(pr)
+	_ = s.Place(0, 0, 0)
+	_ = s.PlaceDuplicate(0, 1, 0)
+	_ = s.Place(1, 1, 4)
+	_ = s.Place(2, 1, 5)
+
+	var buf bytes.Buffer
+	if err := s.WriteScheduleJSON(&buf, "TEST"); err != nil {
+		t.Fatal(err)
+	}
+	back, alg, err := ReadScheduleJSON(pr, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg != "TEST" {
+		t.Errorf("algorithm = %q", alg)
+	}
+	if back.Makespan() != s.Makespan() {
+		t.Errorf("makespan %g != %g", back.Makespan(), s.Makespan())
+	}
+	if back.NumDuplicates() != 1 {
+		t.Errorf("duplicates = %d", back.NumDuplicates())
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("reconstructed schedule invalid: %v", err)
+	}
+	if diff, err := CompareSchedules(s, back); err != nil || len(diff) != 0 {
+		t.Errorf("round trip changed placements: %v %v", diff, err)
+	}
+}
+
+func TestWriteScheduleJSONIncomplete(t *testing.T) {
+	pr := chainProblem(t)
+	var buf bytes.Buffer
+	if err := NewSchedule(pr).WriteScheduleJSON(&buf, ""); err == nil {
+		t.Fatal("incomplete schedule serialised")
+	}
+}
+
+func TestReadScheduleJSONRejectsCorruption(t *testing.T) {
+	pr := chainProblem(t)
+	cases := map[string]string{
+		"garbage":      `{`,
+		"unknown-task": `{"makespan":1,"placements":[{"task":9,"proc":0,"start":0,"finish":1}]}`,
+		"unknown-proc": `{"makespan":1,"placements":[{"task":0,"proc":5,"start":0,"finish":1}]}`,
+		"bad-finish":   `{"makespan":5,"placements":[{"task":0,"proc":0,"start":0,"finish":5}]}`,
+		"incomplete":   `{"makespan":2,"placements":[{"task":0,"proc":0,"start":0,"finish":2}]}`,
+		"double":       `{"makespan":2,"placements":[{"task":0,"proc":0,"start":0,"finish":2},{"task":0,"proc":1,"start":0,"finish":4}]}`,
+		"bad-makespan": `{"makespan":99,"placements":[{"task":0,"proc":0,"start":0,"finish":2},{"task":1,"proc":0,"start":2,"finish":5},{"task":2,"proc":0,"start":5,"finish":7}]}`,
+	}
+	for name, raw := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, _, err := ReadScheduleJSON(pr, strings.NewReader(raw)); err == nil {
+				t.Fatalf("accepted %s", name)
+			}
+		})
+	}
+	// The valid variant of the bad-makespan fixture parses.
+	ok := `{"makespan":7,"placements":[{"task":0,"proc":0,"start":0,"finish":2},{"task":1,"proc":0,"start":2,"finish":5},{"task":2,"proc":0,"start":5,"finish":7}]}`
+	if _, _, err := ReadScheduleJSON(pr, strings.NewReader(ok)); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}

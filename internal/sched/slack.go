@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+)
+
+// SlackReport describes how much schedule-internal float each task has: the
+// amount its start could slip — holding every assignment, every
+// per-processor order, and every data route fixed — without growing the
+// makespan. Zero-slack tasks form the schedule's critical chain(s): the
+// places where any runtime overrun translates one-for-one into a longer
+// execution.
+type SlackReport struct {
+	// Slack is indexed by task (primary copies).
+	Slack []float64
+	// Critical lists the tasks with (near-)zero slack, ascending by ID.
+	Critical []dag.TaskID
+	// TotalSlack sums all task slacks (a schedule-robustness indicator).
+	TotalSlack float64
+}
+
+// slackNode identifies one task copy in the constraint graph.
+type slackNode struct {
+	task dag.TaskID
+	proc platform.Proc
+	dup  bool
+}
+
+// ComputeSlack performs the backward (latest-start) pass over the
+// schedule's realised constraint graph:
+//
+//   - data constraints use the *serving copy* of each dependency — the copy
+//     whose output actually arrives first at the consumer's processor;
+//   - sequence constraints chain consecutive slots on each processor;
+//   - every copy's latest finish is bounded by the makespan.
+//
+// The schedule must be complete.
+func (s *Schedule) ComputeSlack() (*SlackReport, error) {
+	if !s.Complete() {
+		return nil, fmt.Errorf("sched: cannot compute slack for an incomplete schedule (%d/%d placed)", s.NumPlaced(), s.prob.NumTasks())
+	}
+	mk := s.Makespan()
+	g := s.prob.G
+
+	// latestFinish per copy, initialised to the makespan.
+	latest := map[slackNode]float64{}
+	key := func(p Placement) slackNode { return slackNode{task: p.Task, proc: p.Proc, dup: p.Duplicate} }
+	var all []Placement
+	for t := 0; t < s.prob.NumTasks(); t++ {
+		for _, c := range s.Copies(dag.TaskID(t)) {
+			latest[key(c)] = mk
+			all = append(all, c)
+		}
+	}
+	// Process copies in reverse start order: every constraint successor
+	// (data consumer or next slot on the processor) starts no earlier, so
+	// it has already been tightened when we reach its predecessor.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Start != all[j].Start {
+			return all[i].Start > all[j].Start
+		}
+		return all[i].Task > all[j].Task
+	})
+
+	tighten := func(n slackNode, bound float64) {
+		if bound < latest[n] {
+			latest[n] = bound
+		}
+	}
+
+	// Pre-compute, per dependency per consumer, the serving copy.
+	servingCopy := func(u dag.TaskID, data float64, consumer Placement) Placement {
+		best := Placement{Proc: -1}
+		bestArr := math.Inf(1)
+		for _, c := range s.Copies(u) {
+			if arr := c.Finish + s.prob.Comm(data, c.Proc, consumer.Proc); arr < bestArr {
+				bestArr, best = arr, c
+			}
+		}
+		return best
+	}
+
+	// Sequence constraints: for each processor, map each slot to its
+	// successor slot.
+	nextOnProc := map[slackNode]slackNode{}
+	hasNext := map[slackNode]bool{}
+	for p := 0; p < s.prob.NumProcs(); p++ {
+		slots := s.ProcSlots(platform.Proc(p))
+		for i := 0; i+1 < len(slots); i++ {
+			a := slackNode{task: slots[i].Task, proc: platform.Proc(p), dup: slots[i].Duplicate}
+			b := slackNode{task: slots[i+1].Task, proc: platform.Proc(p), dup: slots[i+1].Duplicate}
+			nextOnProc[a] = b
+			hasNext[a] = true
+		}
+	}
+
+	// latestStart(copy) = latest[copy] − exec; propagate backwards.
+	for _, c := range all {
+		n := key(c)
+		// Sequence: this copy must finish before the next slot's latest start.
+		if hasNext[n] {
+			nx := nextOnProc[n]
+			var nxExec float64
+			nxExec = s.prob.Exec(nx.task, nx.proc)
+			tighten(n, latest[nx]-nxExec)
+		}
+		// Data: for every consumer fed by this copy.
+		for _, a := range g.Succs(c.Task) {
+			consumer := s.primary[a.Task]
+			serving := servingCopy(c.Task, a.Data, consumer)
+			if serving.Proc == c.Proc && serving.Duplicate == c.Duplicate {
+				cn := key(consumer)
+				bound := latest[cn] - s.prob.Exec(consumer.Task, consumer.Proc) - s.prob.Comm(a.Data, c.Proc, consumer.Proc)
+				tighten(n, bound)
+			}
+		}
+	}
+
+	rep := &SlackReport{Slack: make([]float64, s.prob.NumTasks())}
+	const tol = 1e-9
+	for t := 0; t < s.prob.NumTasks(); t++ {
+		c := s.primary[t]
+		sl := (latest[key(c)] - s.prob.Exec(c.Task, c.Proc)) - c.Start
+		// Clamp floating-point dust in both directions.
+		if sl < tol && sl > -tol {
+			sl = 0
+		}
+		if sl < 0 {
+			return nil, fmt.Errorf("sched: negative slack %g for task %d — constraint graph inconsistent", sl, t)
+		}
+		rep.Slack[t] = sl
+		rep.TotalSlack += sl
+		if sl <= tol {
+			rep.Critical = append(rep.Critical, dag.TaskID(t))
+		}
+	}
+	return rep, nil
+}

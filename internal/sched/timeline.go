@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"hdlts/internal/dag"
+)
+
+// Slot is one occupied interval [Start, End) on a processor timeline.
+type Slot struct {
+	Start, End float64
+	Task       dag.TaskID
+	// Duplicate marks redundant copies placed by entry-task duplication; the
+	// primary copy of every task has Duplicate == false.
+	Duplicate bool
+}
+
+// Dur returns the slot length.
+func (s Slot) Dur() float64 { return s.End - s.Start }
+
+// timeline is the occupied-interval set of one processor, kept sorted by
+// start time. Intervals are half-open, so zero-duration slots (pseudo tasks)
+// never conflict with anything.
+type timeline struct {
+	slots []Slot
+}
+
+// avail returns the paper's Avail(m_p) (Definition 3): the finish time of
+// the last task on the processor, or 0 when it is idle.
+func (tl *timeline) avail() float64 {
+	if len(tl.slots) == 0 {
+		return 0
+	}
+	// Slots are sorted by start and non-overlapping, so the last slot also
+	// has the greatest end.
+	return tl.slots[len(tl.slots)-1].End
+}
+
+// freeAt reports whether the interval [start, start+dur) is entirely idle.
+func (tl *timeline) freeAt(start, dur float64) bool {
+	if dur == 0 {
+		return true
+	}
+	end := start + dur
+	// Find the first slot with Start >= end; everything before it could clash.
+	i := sort.Search(len(tl.slots), func(i int) bool { return tl.slots[i].Start >= end })
+	for j := 0; j < i; j++ {
+		if tl.slots[j].End > start {
+			return false
+		}
+	}
+	return true
+}
+
+// earliestFit returns the earliest start >= ready at which a task of length
+// dur fits, using the insertion-based policy of HEFT/PETS/PEFT: scan idle
+// gaps between consecutive slots and fall back to the end of the timeline.
+func (tl *timeline) earliestFit(ready, dur float64) float64 {
+	if dur == 0 {
+		return ready
+	}
+	prevEnd := 0.0
+	for _, s := range tl.slots {
+		gapStart := prevEnd
+		if gapStart < ready {
+			gapStart = ready
+		}
+		if gapStart+dur <= s.Start {
+			return gapStart
+		}
+		if s.End > prevEnd {
+			prevEnd = s.End
+		}
+	}
+	if prevEnd < ready {
+		prevEnd = ready
+	}
+	return prevEnd
+}
+
+// insert adds a slot, preserving order, and rejects overlap.
+func (tl *timeline) insert(s Slot) error {
+	if s.Start < 0 || s.End < s.Start {
+		return fmt.Errorf("sched: invalid slot [%g, %g) for task %d", s.Start, s.End, s.Task)
+	}
+	if !tl.freeAt(s.Start, s.Dur()) {
+		return fmt.Errorf("sched: slot [%g, %g) for task %d overlaps an existing reservation", s.Start, s.End, s.Task)
+	}
+	i := sort.Search(len(tl.slots), func(i int) bool { return tl.slots[i].Start > s.Start })
+	tl.slots = append(tl.slots, Slot{})
+	copy(tl.slots[i+1:], tl.slots[i:])
+	tl.slots[i] = s
+	return nil
+}
+
+// snapshot returns a copy of the slots (for rendering and inspection).
+func (tl *timeline) snapshot() []Slot {
+	return append([]Slot(nil), tl.slots...)
+}

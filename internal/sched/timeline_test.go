@@ -1,0 +1,179 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimelineAvail(t *testing.T) {
+	var tl timeline
+	if tl.avail() != 0 {
+		t.Fatalf("empty avail = %g, want 0", tl.avail())
+	}
+	if err := tl.insert(Slot{Start: 5, End: 9, Task: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.insert(Slot{Start: 0, End: 3, Task: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if tl.avail() != 9 {
+		t.Fatalf("avail = %g, want 9", tl.avail())
+	}
+}
+
+func TestTimelineOverlapRejection(t *testing.T) {
+	var tl timeline
+	if err := tl.insert(Slot{Start: 2, End: 6, Task: 0}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Slot{
+		{Start: 0, End: 3, Task: 1},
+		{Start: 5, End: 7, Task: 1},
+		{Start: 3, End: 4, Task: 1},
+		{Start: 2, End: 6, Task: 1},
+	} {
+		if err := tl.insert(s); err == nil {
+			t.Errorf("overlap [%g,%g) accepted", s.Start, s.End)
+		}
+	}
+	// Touching intervals are fine (half-open).
+	if err := tl.insert(Slot{Start: 6, End: 8, Task: 1}); err != nil {
+		t.Errorf("adjacent slot rejected: %v", err)
+	}
+	if err := tl.insert(Slot{Start: 0, End: 2, Task: 2}); err != nil {
+		t.Errorf("preceding adjacent slot rejected: %v", err)
+	}
+}
+
+func TestTimelineRejectsMalformedSlots(t *testing.T) {
+	var tl timeline
+	if err := tl.insert(Slot{Start: -1, End: 2}); err == nil {
+		t.Error("negative start accepted")
+	}
+	if err := tl.insert(Slot{Start: 3, End: 2}); err == nil {
+		t.Error("end < start accepted")
+	}
+}
+
+func TestZeroDurationSlots(t *testing.T) {
+	var tl timeline
+	if err := tl.insert(Slot{Start: 4, End: 8, Task: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// A zero-length pseudo-task slot never conflicts, even inside busy time.
+	if err := tl.insert(Slot{Start: 5, End: 5, Task: 1}); err != nil {
+		t.Errorf("zero-duration slot rejected: %v", err)
+	}
+	if !tl.freeAt(3, 0) {
+		t.Error("freeAt with dur 0 should always hold")
+	}
+}
+
+func TestEarliestFitGaps(t *testing.T) {
+	var tl timeline
+	for _, s := range []Slot{{Start: 0, End: 4, Task: 0}, {Start: 10, End: 12, Task: 1}, {Start: 20, End: 25, Task: 2}} {
+		if err := tl.insert(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		ready, dur, want float64
+	}{
+		{0, 3, 4},   // fits the [4,10) gap
+		{0, 6, 4},   // exactly fills [4,10)
+		{0, 7, 12},  // too big for [4,10), fits [12,20)
+		{5, 5, 5},   // ready inside the gap, still fits
+		{6, 5, 12},  // ready leaves only 4 units in [4,10)
+		{0, 9, 25},  // only fits at the very end
+		{30, 2, 30}, // ready beyond the last slot
+		{11, 1, 12}, // ready inside a busy slot -> next gap
+		{0, 0, 0},   // zero duration starts at ready
+		{22, 0, 22}, // zero duration even inside busy time
+	}
+	for _, c := range cases {
+		if got := tl.earliestFit(c.ready, c.dur); got != c.want {
+			t.Errorf("earliestFit(ready=%g, dur=%g) = %g, want %g", c.ready, c.dur, got, c.want)
+		}
+	}
+}
+
+func TestEarliestFitEmpty(t *testing.T) {
+	var tl timeline
+	if got := tl.earliestFit(7, 3); got != 7 {
+		t.Fatalf("earliestFit on empty = %g, want 7", got)
+	}
+}
+
+// TestQuickTimelineInvariant: after arbitrary successful insertions the slot
+// list is sorted and non-overlapping, earliestFit always returns a feasible
+// start, and freeAt agrees with insert.
+func TestQuickTimelineInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tl timeline
+		for i := 0; i < 40; i++ {
+			start := float64(rng.Intn(100))
+			dur := float64(rng.Intn(10))
+			free := tl.freeAt(start, dur)
+			err := tl.insert(Slot{Start: start, End: start + dur, Task: 0})
+			if free != (err == nil) {
+				return false
+			}
+		}
+		if !sort.SliceIsSorted(tl.slots, func(i, j int) bool { return tl.slots[i].Start < tl.slots[j].Start }) {
+			return false
+		}
+		// Non-empty slots must not overlap (zero-duration pseudo slots may
+		// legitimately sit inside busy intervals).
+		prevEnd := 0.0
+		for _, s := range tl.slots {
+			if s.Dur() == 0 {
+				continue
+			}
+			if s.Start < prevEnd {
+				return false
+			}
+			prevEnd = s.End
+		}
+		for i := 0; i < 20; i++ {
+			ready := float64(rng.Intn(120))
+			dur := float64(1 + rng.Intn(10))
+			at := tl.earliestFit(ready, dur)
+			if at < ready || !tl.freeAt(at, dur) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEarliestFitIsEarliest: no feasible start earlier than the one
+// earliestFit returns exists on integer grid points.
+func TestQuickEarliestFitIsEarliest(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tl timeline
+		for i := 0; i < 15; i++ {
+			start := float64(rng.Intn(50))
+			dur := float64(1 + rng.Intn(6))
+			_ = tl.insert(Slot{Start: start, End: start + dur, Task: 0})
+		}
+		ready := float64(rng.Intn(40))
+		dur := float64(1 + rng.Intn(6))
+		at := tl.earliestFit(ready, dur)
+		for s := ready; s < at; s++ {
+			if tl.freeAt(s, dur) {
+				return false // found an earlier feasible integer start
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

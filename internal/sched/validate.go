@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hdlts/internal/dag"
+)
+
+// ErrIncomplete is wrapped by Validate when some task has no placement.
+var ErrIncomplete = errors.New("sched: schedule is incomplete")
+
+// eps absorbs floating-point rounding in feasibility comparisons.
+const eps = 1e-9
+
+// Validate re-checks a complete schedule from first principles,
+// independently of the invariants enforced during construction:
+//
+//  1. every task has exactly one primary placement with Finish = Start + W;
+//  2. duplicates have consistent durations and no processor hosts two
+//     copies of the same task (duplicates of any task are allowed — entry
+//     tasks for HDLTS/SDBATS, arbitrary parents for DHEFT — because rule 4
+//     holds for every copy, a duplicate can never launder an infeasible
+//     start);
+//  3. no two slots on one processor overlap;
+//  4. precedence with communication: every copy of every task starts no
+//     earlier than the earliest moment each parent's output can reach its
+//     processor, considering all copies of the parent (Definition 5).
+//
+// It returns nil for a feasible schedule.
+func (s *Schedule) Validate() error {
+	g := s.prob.G
+	for t := 0; t < s.prob.NumTasks(); t++ {
+		id := dag.TaskID(t)
+		pl, ok := s.PlacementOf(id)
+		if !ok {
+			return fmt.Errorf("%w: task %d has no placement", ErrIncomplete, t)
+		}
+		if want := pl.Start + s.prob.Exec(id, pl.Proc); math.Abs(pl.Finish-want) > eps {
+			return fmt.Errorf("sched: task %d on P%d finishes at %g, want %g", t, pl.Proc+1, pl.Finish, want)
+		}
+		if pl.Start < 0 {
+			return fmt.Errorf("sched: task %d starts at negative time %g", t, pl.Start)
+		}
+		for _, d := range s.dups[id] {
+			if want := d.Start + s.prob.Exec(id, d.Proc); math.Abs(d.Finish-want) > eps {
+				return fmt.Errorf("sched: duplicate of task %d on P%d finishes at %g, want %g", t, d.Proc+1, d.Finish, want)
+			}
+		}
+		seen := map[int]bool{}
+		for _, c := range s.Copies(id) {
+			if seen[int(c.Proc)] {
+				return fmt.Errorf("sched: task %d has two copies on P%d", t, c.Proc+1)
+			}
+			seen[int(c.Proc)] = true
+		}
+	}
+
+	// Per-processor overlap, re-derived from the slot lists. Zero-duration
+	// slots (pseudo tasks) occupy no time and may legally sit anywhere.
+	for p := range s.timelines {
+		prev := Slot{Task: dag.None}
+		for _, sl := range s.timelines[p].snapshot() {
+			if sl.Dur() == 0 {
+				continue
+			}
+			if prev.Task != dag.None && sl.Start < prev.End-eps {
+				return fmt.Errorf("sched: P%d slots overlap: task %d [%g,%g) and task %d [%g,%g)",
+					p+1, prev.Task, prev.Start, prev.End, sl.Task, sl.Start, sl.End)
+			}
+			prev = sl
+		}
+	}
+
+	// Precedence + communication feasibility for every copy of every task.
+	for t := 0; t < s.prob.NumTasks(); t++ {
+		id := dag.TaskID(t)
+		for _, c := range s.Copies(id) {
+			for _, a := range g.Preds(id) {
+				arr := s.arrivalFromCopies(a.Task, a.Data, c.Proc)
+				if c.Start < arr-eps {
+					return fmt.Errorf("sched: task %d starts at %g on P%d before parent %d's data arrives at %g",
+						t, c.Start, c.Proc+1, a.Task, arr)
+				}
+			}
+		}
+	}
+	return nil
+}

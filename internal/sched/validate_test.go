@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+)
+
+func TestValidateIncomplete(t *testing.T) {
+	pr := chainProblem(t)
+	s := NewSchedule(pr)
+	_ = s.Place(0, 0, 0)
+	err := s.Validate()
+	if !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("Validate = %v, want ErrIncomplete", err)
+	}
+}
+
+func TestValidateHappyPath(t *testing.T) {
+	pr := chainProblem(t)
+	s := NewSchedule(pr)
+	// A on P1 [0,2); B on P2 must wait for comm: ready 2+5=7, [7,8);
+	// C on P2 local: [8,10).
+	_ = s.Place(0, 0, 0)
+	_ = s.Place(1, 1, 7)
+	_ = s.Place(2, 1, 8)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesPrematureStart(t *testing.T) {
+	pr := chainProblem(t)
+	s := NewSchedule(pr)
+	_ = s.Place(0, 0, 0) // A [0,2) on P1
+	_ = s.Place(1, 1, 3) // B on P2 at 3 < ready 7: infeasible
+	_ = s.Place(2, 1, 20)
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "before parent") {
+		t.Fatalf("premature start not caught: %v", err)
+	}
+}
+
+func TestValidateChecksDuplicatePrecedence(t *testing.T) {
+	pr := chainProblem(t)
+	s := NewSchedule(pr)
+	_ = s.Place(0, 0, 0)
+	_ = s.Place(1, 0, 2)
+	_ = s.Place(2, 0, 5)
+	// A duplicate of the middle task at time 0 on P2 cannot have received
+	// its parent's output (arrival there is 2 + 5 = 7).
+	if err := s.PlaceDuplicate(1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "before parent") {
+		t.Fatalf("infeasible duplicate not caught: %v", err)
+	}
+
+	// The same duplicate placed after the data arrives is legal (DHEFT-style
+	// general duplication).
+	s2 := NewSchedule(pr)
+	_ = s2.Place(0, 0, 0)
+	_ = s2.Place(1, 0, 2)
+	_ = s2.Place(2, 0, 5)
+	if err := s2.PlaceDuplicate(1, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Validate(); err != nil {
+		t.Fatalf("feasible non-entry duplicate rejected: %v", err)
+	}
+}
+
+func TestValidateAcceptsDuplicateFed(t *testing.T) {
+	// B on P2 fed by a duplicate of A on P2 placed at [0,4): B may start at
+	// 4 even though the remote copy would only arrive at 2+5=7.
+	pr := chainProblem(t)
+	s := NewSchedule(pr)
+	_ = s.Place(0, 0, 0)
+	if err := s.PlaceDuplicate(0, 1, 0); err != nil { // [0,4) on P2
+		t.Fatal(err)
+	}
+	_ = s.Place(1, 1, 4)
+	_ = s.Place(2, 1, 5)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("duplicate-fed schedule rejected: %v", err)
+	}
+}
+
+func TestValidateChecksDurationConsistency(t *testing.T) {
+	pr := chainProblem(t)
+	s := NewSchedule(pr)
+	_ = s.Place(0, 0, 0)
+	_ = s.Place(1, 1, 7)
+	_ = s.Place(2, 1, 8)
+	// Corrupt a finish time directly (white-box).
+	s.primary[2].Finish = 11
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "finishes at") {
+		t.Fatalf("duration corruption not caught: %v", err)
+	}
+}
+
+func TestValidateChecksOverlapFromRawSlots(t *testing.T) {
+	pr := chainProblem(t)
+	s := NewSchedule(pr)
+	_ = s.Place(0, 0, 0)
+	_ = s.Place(1, 0, 7)
+	_ = s.Place(2, 0, 10)
+	// Corrupt the timeline directly (white-box): force an overlap.
+	s.timelines[0].slots[1].Start = 1
+	s.primary[1].Start = 1
+	s.primary[1].Finish = 1 + pr.Exec(1, 0)
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("overlap corruption not caught: %v", err)
+	}
+}
+
+func TestValidatePseudoTasksZeroCost(t *testing.T) {
+	// Normalised multi-entry problem: pseudo entry with zero cost placed at
+	// time 0 anywhere must validate.
+	g := dag.New(2)
+	g.AddTask("a")
+	g.AddTask("b")
+	w := platform.MustCostsFromRows([][]float64{{2, 2}, {3, 3}})
+	pr := MustProblem(g, platform.MustUniform(2), w).Normalize()
+
+	s := NewSchedule(pr)
+	// pseudo entry id 2, pseudo exit id 3
+	_ = s.Place(2, 0, 0)
+	_ = s.Place(0, 0, 0)
+	_ = s.Place(1, 1, 0)
+	_ = s.Place(3, 0, 3)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("pseudo-task schedule rejected: %v", err)
+	}
+	if mk := s.Makespan(); mk != 3 {
+		t.Fatalf("makespan = %g, want 3", mk)
+	}
+}

@@ -1,0 +1,187 @@
+// Package stats provides the small set of statistics used across the
+// reproduction: means, sample standard deviations (the paper's penalty value
+// uses the n−1 denominator — verified against Table I), extrema, and
+// streaming aggregation for experiment averaging.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// SampleStdDev returns the sample standard deviation of xs (denominator
+// n−1). It returns 0 when len(xs) < 2. This is the σ of Eq. (8): the
+// paper's Table I penalty values reproduce only with the n−1 form.
+func SampleStdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// PopStdDev returns the population standard deviation (denominator n); kept
+// for the σ-definition ablation bench.
+func PopStdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Min returns the minimum of xs; +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs (average of the two central values for
+// even lengths), or 0 for an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// Running accumulates a stream of observations with O(1) memory using
+// Welford's algorithm, giving numerically stable means and variances for
+// the long experiment sweeps (up to 125K graphs × repetitions).
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// Merge folds another accumulator into r (parallel reduction).
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	n := r.n + o.n
+	d := o.mean - r.mean
+	mean := r.mean + d*float64(o.n)/float64(n)
+	m2 := r.m2 + o.m2 + d*d*float64(r.n)*float64(o.n)/float64(n)
+	min, max := r.min, r.max
+	if o.min < min {
+		min = o.min
+	}
+	if o.max > max {
+		max = o.max
+	}
+	*r = Running{n: n, mean: mean, m2: m2, min: min, max: max}
+}
+
+// N returns the number of observations folded in so far.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean (0 when empty).
+func (r *Running) Mean() float64 { return r.mean }
+
+// SampleStdDev returns the running sample standard deviation (0 when n < 2).
+func (r *Running) SampleStdDev() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return math.Sqrt(r.m2 / float64(r.n-1))
+}
+
+// Min returns the smallest observation (0 when empty).
+func (r *Running) Min() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (r *Running) Max() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.max
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean (0 when n < 2).
+func (r *Running) CI95() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return 1.96 * r.SampleStdDev() / math.Sqrt(float64(r.n))
+}
+
+// String summarises the accumulator.
+func (r *Running) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g", r.n, r.Mean(), r.SampleStdDev(), r.Min(), r.Max())
+}

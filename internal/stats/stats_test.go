@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{14, 16, 9}), 13) {
+		t.Errorf("Mean = %g, want 13", Mean([]float64{14, 16, 9}))
+	}
+}
+
+func TestSampleStdDevMatchesTableI(t *testing.T) {
+	// EFT vectors from the paper's Table I and their published PVs (1 d.p.).
+	cases := []struct {
+		eft []float64
+		pv  float64
+	}{
+		{[]float64{27, 35, 27}, 4.6},
+		{[]float64{25, 29, 28}, 2.1}, // paper prints 2.0; exact σ is 2.08
+		{[]float64{27, 24, 26}, 1.5},
+		{[]float64{26, 29, 19}, 5.1},
+		{[]float64{27, 32, 18}, 7.1}, // paper prints 7.0; exact σ is 7.09
+		{[]float64{32, 63, 59}, 16.9},
+		{[]float64{98, 73, 93}, 13.2},
+	}
+	for _, c := range cases {
+		got := SampleStdDev(c.eft)
+		if math.Abs(got-c.pv) > 0.06 {
+			t.Errorf("SampleStdDev(%v) = %.3f, want ≈ %.1f", c.eft, got, c.pv)
+		}
+	}
+}
+
+func TestStdDevEdgeCases(t *testing.T) {
+	if SampleStdDev([]float64{5}) != 0 {
+		t.Error("sample σ of one value != 0")
+	}
+	if SampleStdDev(nil) != 0 {
+		t.Error("sample σ of nothing != 0")
+	}
+	if PopStdDev(nil) != 0 {
+		t.Error("population σ of nothing != 0")
+	}
+	if PopStdDev([]float64{4, 4, 4}) != 0 {
+		t.Error("population σ of constants != 0")
+	}
+}
+
+func TestPopVsSample(t *testing.T) {
+	xs := []float64{27, 35, 27}
+	if !(SampleStdDev(xs) > PopStdDev(xs)) {
+		t.Error("sample σ should exceed population σ for n > 1")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Errorf("Min/Max = %g/%g", Min(xs), Max(xs))
+	}
+	if Median(xs) != 3 {
+		t.Errorf("Median = %g, want 3", Median(xs))
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Error("even-length median wrong")
+	}
+	if Median(nil) != 0 {
+		t.Error("Median(nil) != 0")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max should be ±Inf")
+	}
+	// Median must not mutate its input.
+	if xs[0] != 3 {
+		t.Error("Median sorted the caller's slice")
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	xs := []float64{27, 35, 27, 19, 42.5, 3}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	if r.N() != len(xs) {
+		t.Fatalf("N = %d", r.N())
+	}
+	if !almost(r.Mean(), Mean(xs)) {
+		t.Errorf("running mean %g vs batch %g", r.Mean(), Mean(xs))
+	}
+	if !almost(r.SampleStdDev(), SampleStdDev(xs)) {
+		t.Errorf("running σ %g vs batch %g", r.SampleStdDev(), SampleStdDev(xs))
+	}
+	if r.Min() != 3 || r.Max() != 42.5 {
+		t.Errorf("running min/max = %g/%g", r.Min(), r.Max())
+	}
+	if r.CI95() <= 0 {
+		t.Error("CI95 should be positive for varied data")
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.SampleStdDev() != 0 || r.Min() != 0 || r.Max() != 0 || r.CI95() != 0 {
+		t.Error("empty Running should report zeros")
+	}
+	if !strings.Contains(r.String(), "n=0") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+// TestQuickMergeEqualsBatch: merging two independently-filled accumulators
+// must equal accumulating the concatenation.
+func TestQuickMergeEqualsBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n1, n2 := rng.Intn(20), rng.Intn(20)
+		var a, b, all Running
+		for i := 0; i < n1; i++ {
+			x := rng.NormFloat64() * 10
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < n2; i++ {
+			x := rng.NormFloat64() * 10
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != all.N() {
+			return false
+		}
+		if a.N() == 0 {
+			return true
+		}
+		return math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.SampleStdDev()-all.SampleStdDev()) < 1e-9 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	var a, b Running
+	b.Add(5)
+	b.Add(7)
+	a.Merge(b)
+	if a.N() != 2 || !almost(a.Mean(), 6) {
+		t.Fatalf("merge into empty: %s", a.String())
+	}
+	// Merging an empty accumulator is a no-op.
+	before := a
+	var empty Running
+	a.Merge(empty)
+	if a != before {
+		t.Fatal("merging empty changed the accumulator")
+	}
+}

@@ -1,0 +1,120 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// BarChart renders grouped vertical bars: one group per x tick, one bar per
+// series within each group — the layout of the paper's efficiency figures.
+// The y-axis always starts at zero (bar areas must be comparable).
+type BarChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []string
+	Series []Series
+	// Width/Height are the SVG canvas size in px; zero selects 640×400.
+	Width, Height int
+}
+
+// WriteSVG renders the chart. Every series must have len(Y) == len(X) and
+// non-negative finite values.
+func (c *BarChart) WriteSVG(w io.Writer) error {
+	if len(c.X) == 0 || len(c.Series) == 0 {
+		return fmt.Errorf("viz: empty chart")
+	}
+	hi := 0.0
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.X) {
+			return fmt.Errorf("viz: series %q has %d points for %d x ticks", s.Name, len(s.Y), len(c.X))
+		}
+		if s.CI != nil && len(s.CI) != len(c.X) {
+			return fmt.Errorf("viz: series %q has %d CI entries for %d x ticks", s.Name, len(s.CI), len(c.X))
+		}
+		for i, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) || y < 0 {
+				return fmt.Errorf("viz: series %q has invalid bar value %g", s.Name, y)
+			}
+			if s.CI != nil {
+				y += s.CI[i]
+			}
+			hi = math.Max(hi, y)
+		}
+	}
+	if hi == 0 {
+		hi = 1
+	}
+	hi *= 1.08 // headroom
+
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 400
+	}
+	const (
+		marginL = 62.0
+		marginR = 150.0
+		marginT = 40.0
+		marginB = 52.0
+	)
+	plotW := float64(width) - marginL - marginR
+	plotH := float64(height) - marginT - marginB
+	if plotW < 50 || plotH < 50 {
+		return fmt.Errorf("viz: canvas %dx%d too small", width, height)
+	}
+
+	groupW := plotW / float64(len(c.X))
+	// Bars fill 80% of the group, split across series.
+	barW := groupW * 0.8 / float64(len(c.Series))
+	yAt := func(v float64) float64 { return marginT + plotH*(1-v/hi) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="12">`+"\n", width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%g" y="22" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+
+	for i := 0; i <= 5; i++ {
+		v := hi * float64(i) / 5
+		y := yAt(v)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n", marginL, y, marginL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end" fill="#444">%.3g</text>`+"\n", marginL-6, y+4, v)
+	}
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`+"\n", marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`+"\n", marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+
+	for gi, tick := range c.X {
+		groupX := marginL + groupW*float64(gi) + groupW*0.1
+		for si, s := range c.Series {
+			color := palette[si%len(palette)]
+			x := groupX + barW*float64(si)
+			y := yAt(s.Y[gi])
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" stroke="#333" stroke-width="0.5"/>`+"\n",
+				x, y, barW, marginT+plotH-y, color)
+			if s.CI != nil && s.CI[gi] > 0 {
+				cx := x + barW/2
+				top, bot := yAt(s.Y[gi]+s.CI[gi]), yAt(math.Max(0, s.Y[gi]-s.CI[gi]))
+				fmt.Fprintf(&b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="#111" stroke-width="1"/>`+"\n", cx, top, cx, bot)
+				fmt.Fprintf(&b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="#111" stroke-width="1"/>`+"\n", cx-2.5, top, cx+2.5, top)
+			}
+		}
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle" fill="#444">%s</text>`+"\n",
+			marginL+groupW*(float64(gi)+0.5), marginT+plotH+18, esc(tick))
+	}
+	fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle" fill="#222">%s</text>`+"\n", marginL+plotW/2, float64(height)-12, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%g" transform="rotate(-90 16 %g)" text-anchor="middle" fill="#222">%s</text>`+"\n", marginT+plotH/2, marginT+plotH/2, esc(c.YLabel))
+
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		ly := marginT + 16*float64(si)
+		fmt.Fprintf(&b, `<rect x="%g" y="%g" width="12" height="12" fill="%s"/>`+"\n", marginL+plotW+10, ly-6, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" fill="#222">%s</text>`+"\n", marginL+plotW+28, ly+4, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

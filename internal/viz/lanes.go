@@ -1,0 +1,113 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Span is one rendered interval in a lane chart.
+type Span struct {
+	Start, End float64
+	Label      string
+	// Color indexes the palette; negative selects the hatch pattern used
+	// for redundant/duplicate work.
+	Color int
+	// Hatch renders the span with the duplicate-work pattern.
+	Hatch bool
+}
+
+// Lane is one horizontal row of a lane chart (a processor, usually).
+type Lane struct {
+	Name  string
+	Spans []Span
+}
+
+// LaneChart is the generic Gantt-style renderer underlying both offline
+// schedule charts and online execution traces.
+type LaneChart struct {
+	Title string
+	Lanes []Lane
+	// Makespan fixes the time-axis extent; zero derives it from the spans.
+	Makespan float64
+	// Width is the canvas width in px (default 900); RowHeight the per-lane
+	// height (default 36).
+	Width, RowHeight int
+}
+
+// WriteSVG renders the chart.
+func (c *LaneChart) WriteSVG(w io.Writer) error {
+	if len(c.Lanes) == 0 {
+		return fmt.Errorf("viz: lane chart has no lanes")
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 900
+	}
+	rowH := c.RowHeight
+	if rowH <= 0 {
+		rowH = 36
+	}
+	mk := c.Makespan
+	for _, lane := range c.Lanes {
+		for _, sp := range lane.Spans {
+			if sp.End < sp.Start {
+				return fmt.Errorf("viz: span [%g, %g) in lane %q is inverted", sp.Start, sp.End, lane.Name)
+			}
+			if sp.End > mk {
+				mk = sp.End
+			}
+		}
+	}
+	if mk <= 0 {
+		return fmt.Errorf("viz: lane chart has zero extent")
+	}
+	const (
+		marginL = 52.0
+		marginR = 16.0
+		marginT = 34.0
+		marginB = 30.0
+	)
+	plotW := float64(width) - marginL - marginR
+	height := int(marginT) + rowH*len(c.Lanes) + int(marginB)
+	xAt := func(t float64) float64 { return marginL + plotW*t/mk }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`+"\n", width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="20" font-size="13" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+	}
+	b.WriteString(`<defs><pattern id="dup" width="6" height="6" patternUnits="userSpaceOnUse" patternTransform="rotate(45)"><rect width="6" height="6" fill="#ffffff"/><line x1="0" y1="0" x2="0" y2="6" stroke="#888" stroke-width="2"/></pattern></defs>` + "\n")
+
+	for li, lane := range c.Lanes {
+		laneY := marginT + float64(li*rowH)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end" fill="#222">%s</text>`+"\n", marginL-8, laneY+float64(rowH)/2+4, esc(lane.Name))
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ccc"/>`+"\n", marginL, laneY+float64(rowH), marginL+plotW, laneY+float64(rowH))
+		for _, sp := range lane.Spans {
+			if sp.End == sp.Start {
+				continue
+			}
+			x := xAt(sp.Start)
+			wpx := xAt(sp.End) - x
+			fill := palette[((sp.Color%len(palette))+len(palette))%len(palette)]
+			if sp.Hatch {
+				fill = "url(#dup)"
+			}
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%d" fill="%s" stroke="#333" stroke-width="0.6"/>`+"\n",
+				x, laneY+4, wpx, rowH-8, fill)
+			if wpx > float64(6*len(sp.Label)) && sp.Label != "" {
+				fmt.Fprintf(&b, `<text x="%.2f" y="%.2f" text-anchor="middle" fill="#111">%s</text>`+"\n",
+					x+wpx/2, laneY+float64(rowH)/2+4, esc(sp.Label))
+			}
+		}
+	}
+	axisY := marginT + float64(len(c.Lanes)*rowH)
+	for i := 0; i <= 8; i++ {
+		tv := mk * float64(i) / 8
+		fmt.Fprintf(&b, `<text x="%.2f" y="%.2f" text-anchor="middle" fill="#444">%.4g</text>`+"\n", xAt(tv), axisY+18, tv)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,155 @@
+// Package viz renders experiment curves and schedules as standalone SVG
+// documents using only the standard library — the paper's figures as
+// images, and Gantt charts for individual schedules.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// palette cycles through visually distinct stroke colours.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#17becf", "#e377c2", "#7f7f7f", "#bcbd22",
+}
+
+// Series is one named curve of a line chart.
+type Series struct {
+	Name string
+	Y    []float64
+	// CI, when non-nil, draws a ±CI[i] whisker at each point (e.g. the 95%
+	// confidence half-width). Must match len(Y) when present.
+	CI []float64
+}
+
+// LineChart describes one figure: labelled x ticks and one Y value per
+// series per tick.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []string
+	Series []Series
+	// Width/Height are the SVG canvas size in px; zero selects 640×400.
+	Width, Height int
+}
+
+// WriteSVG renders the chart. Every series must have len(Y) == len(X).
+func (c *LineChart) WriteSVG(w io.Writer) error {
+	if len(c.X) == 0 || len(c.Series) == 0 {
+		return fmt.Errorf("viz: empty chart")
+	}
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.X) {
+			return fmt.Errorf("viz: series %q has %d points for %d x ticks", s.Name, len(s.Y), len(c.X))
+		}
+		if s.CI != nil && len(s.CI) != len(c.X) {
+			return fmt.Errorf("viz: series %q has %d CI entries for %d x ticks", s.Name, len(s.CI), len(c.X))
+		}
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 400
+	}
+	const (
+		marginL = 62.0
+		marginR = 150.0
+		marginT = 40.0
+		marginB = 52.0
+	)
+	plotW := float64(width) - marginL - marginR
+	plotH := float64(height) - marginT - marginB
+	if plotW < 50 || plotH < 50 {
+		return fmt.Errorf("viz: canvas %dx%d too small", width, height)
+	}
+
+	// Y range: pad a little around the data; keep zero-baseline when the
+	// data is non-negative and close to zero.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				return fmt.Errorf("viz: series %q contains a non-finite value", s.Name)
+			}
+			lo, hi = math.Min(lo, y), math.Max(hi, y)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	pad := (hi - lo) * 0.08
+	lo, hi = lo-pad, hi+pad
+	if lo > 0 && lo < (hi-lo)*0.5 {
+		lo = 0
+	}
+
+	xAt := func(i int) float64 {
+		if len(c.X) == 1 {
+			return marginL + plotW/2
+		}
+		return marginL + plotW*float64(i)/float64(len(c.X)-1)
+	}
+	yAt := func(v float64) float64 {
+		return marginT + plotH*(1-(v-lo)/(hi-lo))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="12">`+"\n", width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%g" y="22" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+
+	// Axes and grid: 5 horizontal gridlines with tick labels.
+	for i := 0; i <= 5; i++ {
+		v := lo + (hi-lo)*float64(i)/5
+		y := yAt(v)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n", marginL, y, marginL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end" fill="#444">%.3g</text>`+"\n", marginL-6, y+4, v)
+	}
+	for i := range c.X {
+		x := xAt(i)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#eee"/>`+"\n", x, marginT, x, marginT+plotH)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle" fill="#444">%s</text>`+"\n", x, marginT+plotH+18, esc(c.X[i]))
+	}
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`+"\n", marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`+"\n", marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle" fill="#222">%s</text>`+"\n", marginL+plotW/2, float64(height)-12, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%g" transform="rotate(-90 16 %g)" text-anchor="middle" fill="#222">%s</text>`+"\n", marginT+plotH/2, marginT+plotH/2, esc(c.YLabel))
+
+	// Curves with point markers and a legend on the right.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i, y := range s.Y {
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", xAt(i), yAt(y)))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n", strings.Join(pts, " "), color)
+		for i, y := range s.Y {
+			fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="3" fill="%s"/>`+"\n", xAt(i), yAt(y), color)
+			if s.CI != nil && s.CI[i] > 0 {
+				x := xAt(i)
+				top, bot := yAt(y+s.CI[i]), yAt(y-s.CI[i])
+				fmt.Fprintf(&b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="1"/>`+"\n", x, top, x, bot, color)
+				fmt.Fprintf(&b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="1"/>`+"\n", x-3, top, x+3, top, color)
+				fmt.Fprintf(&b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="1"/>`+"\n", x-3, bot, x+3, bot, color)
+			}
+		}
+		ly := marginT + 16*float64(si)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n", marginL+plotW+10, ly, marginL+plotW+34, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" fill="#222">%s</text>`+"\n", marginL+plotW+40, ly+4, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// esc escapes the five XML-special characters for text nodes.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}

@@ -1,0 +1,75 @@
+package workflows
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hdlts/internal/dag"
+)
+
+// FFTGraph builds the Fast Fourier Transform application workflow for m
+// input points (m must be a power of two, m >= 2), following the structure
+// used by the paper (Section V-C1, after Topcuoglu et al.):
+//
+//   - a recursive-call binary tree of 2·(m−1)+1 tasks rooted at the entry,
+//     splitting the input down to m leaves; followed by
+//   - log₂(m) rows of m butterfly tasks each (m·log₂m tasks), wired with the
+//     classic decimation-in-time pattern: butterfly(r, j) consumes the
+//     outputs of stage r−1 at columns j and j XOR (m >> (r+1)); row 0
+//     consumes the tree leaves at columns j and j XOR m/2.
+//
+// The last butterfly row forms m exit tasks, so the graph is multi-exit;
+// schedulers normalise it with a pseudo exit task. Total task count is
+// 2(m−1)+1 + m·log₂m — 15 for m=4 and 223 for m=32, matching the paper.
+//
+// Edge data volumes are zero; assign costs with gen.AssignCosts.
+func FFTGraph(m int) (*dag.Graph, error) {
+	if m < 2 || m&(m-1) != 0 {
+		return nil, fmt.Errorf("workflows: FFT input points m = %d must be a power of two >= 2", m)
+	}
+	stages := bits.TrailingZeros(uint(m)) // log2(m)
+
+	g := dag.New(2*m - 1 + m*stages)
+	// Recursive tree in heap order: node k (1-based, 1..2m−1) has children
+	// 2k and 2k+1. Our TaskID for heap node k is k−1.
+	for k := 1; k <= 2*m-1; k++ {
+		g.AddTask(fmt.Sprintf("rec%d", k))
+	}
+	for k := 1; k <= m-1; k++ {
+		g.MustAddEdge(dag.TaskID(k-1), dag.TaskID(2*k-1), 0)
+		g.MustAddEdge(dag.TaskID(k-1), dag.TaskID(2*k), 0)
+	}
+	// Leaves are heap nodes m..2m−1; leaf column j is heap node m+j.
+	leaf := func(j int) dag.TaskID { return dag.TaskID(m + j - 1) }
+
+	// Butterfly rows.
+	bf := make([][]dag.TaskID, stages)
+	for r := 0; r < stages; r++ {
+		bf[r] = make([]dag.TaskID, m)
+		for j := 0; j < m; j++ {
+			bf[r][j] = g.AddTask(fmt.Sprintf("bfly%d.%d", r+1, j))
+		}
+	}
+	for r := 0; r < stages; r++ {
+		stride := m >> (r + 1) // XOR distance combined at this stage
+		for j := 0; j < m; j++ {
+			var in1, in2 dag.TaskID
+			if r == 0 {
+				in1, in2 = leaf(j), leaf(j^stride)
+			} else {
+				in1, in2 = bf[r-1][j], bf[r-1][j^stride]
+			}
+			g.MustAddEdge(in1, bf[r][j], 0)
+			if in2 != in1 {
+				g.MustAddEdge(in2, bf[r][j], 0)
+			}
+		}
+	}
+	return g, nil
+}
+
+// FFTTaskCount returns the number of tasks in FFTGraph(m) without building
+// it: 2(m−1)+1 recursive tasks plus m·log₂m butterfly tasks.
+func FFTTaskCount(m int) int {
+	return 2*(m-1) + 1 + m*bits.TrailingZeros(uint(m))
+}

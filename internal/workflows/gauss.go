@@ -1,0 +1,47 @@
+package workflows
+
+import (
+	"fmt"
+
+	"hdlts/internal/dag"
+)
+
+// GaussianGraph builds the Gaussian-elimination workflow for an m×m matrix
+// (m >= 2) — the third classic real-world DAG of the HEFT literature,
+// included beyond the paper's own set as a reference workload.
+//
+// For every elimination step k = 1..m−1 there is one pivot task V_k
+// followed by m−k update tasks U_{k,j} (j = k+1..m):
+//
+//	V_k → U_{k,j}              (the pivot row feeds every update)
+//	U_{k,k+1} → V_{k+1}        (the next pivot needs the first update)
+//	U_{k,j}   → U_{k+1,j}      (column j's next update needs this one)
+//
+// Total tasks: (m² + m − 2) / 2 — e.g. 14 for m = 5.
+func GaussianGraph(m int) (*dag.Graph, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("workflows: Gaussian elimination needs matrix size >= 2, got %d", m)
+	}
+	g := dag.New((m*m + m - 2) / 2)
+	pivot := make([]dag.TaskID, m)    // pivot[k] for k = 1..m-1
+	update := make([][]dag.TaskID, m) // update[k][j] for j = k+1..m
+	for k := 1; k < m; k++ {
+		pivot[k] = g.AddTask(fmt.Sprintf("V%d", k))
+		update[k] = make([]dag.TaskID, m+1)
+		for j := k + 1; j <= m; j++ {
+			update[k][j] = g.AddTask(fmt.Sprintf("U%d.%d", k, j))
+			g.MustAddEdge(pivot[k], update[k][j], 0)
+		}
+	}
+	for k := 1; k < m-1; k++ {
+		g.MustAddEdge(update[k][k+1], pivot[k+1], 0)
+		for j := k + 2; j <= m; j++ {
+			g.MustAddEdge(update[k][j], update[k+1][j], 0)
+		}
+	}
+	return g, nil
+}
+
+// GaussianTaskCount returns the task count of GaussianGraph(m) without
+// building it.
+func GaussianTaskCount(m int) int { return (m*m + m - 2) / 2 }

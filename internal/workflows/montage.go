@@ -1,0 +1,92 @@
+package workflows
+
+import (
+	"fmt"
+
+	"hdlts/internal/dag"
+)
+
+// MontageGraph builds a Montage astronomy-mosaic workflow with exactly n
+// tasks (n >= 11), following the canonical Pegasus structure the paper's
+// Fig. 9 shows (Section V-C2):
+//
+//	mProjectPP×a → mDiffFit×b → mConcatFit → mBgModel →
+//	mBackground×a → mImgtbl → mAdd → mShrink×s → mJPEG
+//
+// The level widths scale with n while keeping the published proportions:
+// b ≈ 1.5·a overlap-difference fits (each consuming two adjacent
+// projections), one task each for the concat/model/table/add/jpeg stages,
+// a background corrections (each consuming the model and its matching
+// projection), and s ≈ a/4 shrink tasks fanning out of mAdd. n = 20
+// reproduces the 20-node workflow of the paper's figure (4 projections, 6
+// diff-fits, 4 backgrounds, 1 shrink); the paper's experiments use n = 50
+// and n = 100.
+//
+// Edge data volumes are zero; assign costs with gen.AssignCosts.
+func MontageGraph(n int) (*dag.Graph, error) {
+	if n < 11 {
+		return nil, fmt.Errorf("workflows: Montage needs at least 11 tasks, got %d", n)
+	}
+	// Pick the largest projection count a whose structural total fits n,
+	// then pad with extra mDiffFit tasks (the widest real level) to land
+	// exactly on n.
+	a, b, s := 0, 0, 0
+	for try := 1; ; try++ {
+		tb := (3*try + 1) / 2
+		ts := try / 4
+		if ts < 1 {
+			ts = 1
+		}
+		if total := try + tb + try + ts + 5; total > n {
+			break
+		}
+		a, b, s = try, (3*try+1)/2, try/4
+		if s < 1 {
+			s = 1
+		}
+	}
+	b += n - (a + b + a + s + 5) // pad to exactly n tasks
+
+	g := dag.New(n)
+	proj := make([]dag.TaskID, a)
+	for i := range proj {
+		proj[i] = g.AddTask(fmt.Sprintf("mProjectPP%d", i+1))
+	}
+	diff := make([]dag.TaskID, b)
+	for i := range diff {
+		diff[i] = g.AddTask(fmt.Sprintf("mDiffFit%d", i+1))
+		// Each difference fit overlaps two adjacent projections.
+		g.MustAddEdge(proj[i%a], diff[i], 0)
+		if second := (i + 1) % a; second != i%a {
+			g.MustAddEdge(proj[second], diff[i], 0)
+		}
+	}
+	concat := g.AddTask("mConcatFit")
+	for _, d := range diff {
+		g.MustAddEdge(d, concat, 0)
+	}
+	model := g.AddTask("mBgModel")
+	g.MustAddEdge(concat, model, 0)
+	back := make([]dag.TaskID, a)
+	for i := range back {
+		back[i] = g.AddTask(fmt.Sprintf("mBackground%d", i+1))
+		g.MustAddEdge(model, back[i], 0)
+		g.MustAddEdge(proj[i], back[i], 0)
+	}
+	imgtbl := g.AddTask("mImgtbl")
+	for _, bk := range back {
+		g.MustAddEdge(bk, imgtbl, 0)
+	}
+	add := g.AddTask("mAdd")
+	g.MustAddEdge(imgtbl, add, 0)
+	shrink := make([]dag.TaskID, s)
+	for i := range shrink {
+		shrink[i] = g.AddTask(fmt.Sprintf("mShrink%d", i+1))
+		g.MustAddEdge(add, shrink[i], 0)
+	}
+	jpeg := g.AddTask("mJPEG")
+	for _, sh := range shrink {
+		g.MustAddEdge(sh, jpeg, 0)
+	}
+	return g, nil
+}

@@ -1,0 +1,113 @@
+package workflows
+
+import (
+	"fmt"
+
+	"hdlts/internal/dag"
+)
+
+// This file adds the remaining standard Pegasus scientific workflows of the
+// scheduling literature — Epigenomics, CyberShake, and LIGO Inspiral — as
+// parameterised structures alongside Montage. The paper evaluates only
+// Montage from this suite; the others are included so library users can
+// exercise the same pipeline (costs via gen.AssignCosts) on the workloads
+// neighbouring papers report.
+
+// EpigenomicsGraph builds the Epigenomics genome-sequencing workflow for
+// the given number of parallel lanes: a fan-out split feeding `lanes`
+// four-stage chains (filterContams → sol2sanger → fastq2bfq → map) that
+// merge into the four-stage global tail (mapMerge → maqIndex → pileup).
+// Total tasks: 4·lanes + 4.
+func EpigenomicsGraph(lanes int) (*dag.Graph, error) {
+	if lanes < 1 {
+		return nil, fmt.Errorf("workflows: Epigenomics needs at least 1 lane, got %d", lanes)
+	}
+	g := dag.New(4*lanes + 4)
+	split := g.AddTask("fastQSplit")
+	merge := make([]dag.TaskID, 0, lanes)
+	stages := []string{"filterContams", "sol2sanger", "fastq2bfq", "map"}
+	for l := 1; l <= lanes; l++ {
+		prev := split
+		for _, stage := range stages {
+			cur := g.AddTask(fmt.Sprintf("%s%d", stage, l))
+			g.MustAddEdge(prev, cur, 0)
+			prev = cur
+		}
+		merge = append(merge, prev)
+	}
+	mapMerge := g.AddTask("mapMerge")
+	for _, m := range merge {
+		g.MustAddEdge(m, mapMerge, 0)
+	}
+	maqIndex := g.AddTask("maqIndex")
+	g.MustAddEdge(mapMerge, maqIndex, 0)
+	pileup := g.AddTask("pileup")
+	g.MustAddEdge(maqIndex, pileup, 0)
+	return g, nil
+}
+
+// CyberShakeGraph builds the CyberShake seismic-hazard workflow for the
+// given number of rupture variations: two ExtractSGT tasks (the X and Y
+// strain Green tensors) each feed all `vars` SeismogramSynthesis tasks;
+// each synthesis feeds one PeakValCalc; a ZipSeis collects all seismograms
+// and a ZipPSA collects all peak values. Total tasks: 2·vars + 4.
+func CyberShakeGraph(vars int) (*dag.Graph, error) {
+	if vars < 1 {
+		return nil, fmt.Errorf("workflows: CyberShake needs at least 1 variation, got %d", vars)
+	}
+	g := dag.New(2*vars + 4)
+	extractX := g.AddTask("extractSGT_X")
+	extractY := g.AddTask("extractSGT_Y")
+	zipSeis := g.AddTask("zipSeis")
+	zipPSA := g.AddTask("zipPSA")
+	for v := 1; v <= vars; v++ {
+		synth := g.AddTask(fmt.Sprintf("seismogram%d", v))
+		g.MustAddEdge(extractX, synth, 0)
+		g.MustAddEdge(extractY, synth, 0)
+		peak := g.AddTask(fmt.Sprintf("peakVal%d", v))
+		g.MustAddEdge(synth, peak, 0)
+		g.MustAddEdge(synth, zipSeis, 0)
+		g.MustAddEdge(peak, zipPSA, 0)
+	}
+	return g, nil
+}
+
+// LIGOGraph builds the LIGO Inspiral gravitational-wave workflow for the
+// given number of analysis blocks: each block is a TmpltBank → Inspiral
+// chain; blocks are grouped (three per group) into first-stage Thinca
+// coincidence tasks, each of which fans back out into per-block TrigBank →
+// Inspiral2 chains that merge into one second-stage Thinca per group.
+// Total tasks: 4·blocks + 2·ceil(blocks/3).
+func LIGOGraph(blocks int) (*dag.Graph, error) {
+	if blocks < 1 {
+		return nil, fmt.Errorf("workflows: LIGO needs at least 1 block, got %d", blocks)
+	}
+	groups := (blocks + 2) / 3
+	g := dag.New(4*blocks + 2*groups)
+	inspiral := make([]dag.TaskID, blocks)
+	for b := 0; b < blocks; b++ {
+		bank := g.AddTask(fmt.Sprintf("tmpltBank%d", b+1))
+		insp := g.AddTask(fmt.Sprintf("inspiral%d", b+1))
+		g.MustAddEdge(bank, insp, 0)
+		inspiral[b] = insp
+	}
+	for grp := 0; grp < groups; grp++ {
+		lo, hi := grp*3, (grp+1)*3
+		if hi > blocks {
+			hi = blocks
+		}
+		thinca1 := g.AddTask(fmt.Sprintf("thinca1_%d", grp+1))
+		for b := lo; b < hi; b++ {
+			g.MustAddEdge(inspiral[b], thinca1, 0)
+		}
+		thinca2 := g.AddTask(fmt.Sprintf("thinca2_%d", grp+1))
+		for b := lo; b < hi; b++ {
+			trig := g.AddTask(fmt.Sprintf("trigBank%d", b+1))
+			g.MustAddEdge(thinca1, trig, 0)
+			insp2 := g.AddTask(fmt.Sprintf("inspiral2_%d", b+1))
+			g.MustAddEdge(trig, insp2, 0)
+			g.MustAddEdge(insp2, thinca2, 0)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,127 @@
+package workflows
+
+import (
+	"math/rand"
+	"testing"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/gen"
+)
+
+func TestEpigenomicsShape(t *testing.T) {
+	for _, lanes := range []int{1, 4, 10} {
+		g, err := EpigenomicsGraph(lanes)
+		if err != nil {
+			t.Fatalf("lanes=%d: %v", lanes, err)
+		}
+		if want := 4*lanes + 4; g.NumTasks() != want {
+			t.Errorf("lanes=%d: tasks = %d, want %d", lanes, g.NumTasks(), want)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("lanes=%d: %v", lanes, err)
+		}
+		if len(g.Entries()) != 1 || len(g.Exits()) != 1 {
+			t.Errorf("lanes=%d: entries/exits = %d/%d, want 1/1", lanes, len(g.Entries()), len(g.Exits()))
+		}
+		// Pipeline depth: split + 4 chain stages + 3 tail stages = 8 levels.
+		if h := g.Height(); h != 8 {
+			t.Errorf("lanes=%d: height = %d, want 8", lanes, h)
+		}
+		// The split fans out to exactly `lanes` chains.
+		if d := g.OutDegree(g.Entry()); d != lanes {
+			t.Errorf("lanes=%d: split out-degree = %d", lanes, d)
+		}
+	}
+	if _, err := EpigenomicsGraph(0); err == nil {
+		t.Error("EpigenomicsGraph(0) accepted")
+	}
+}
+
+func TestCyberShakeShape(t *testing.T) {
+	for _, vars := range []int{1, 5, 20} {
+		g, err := CyberShakeGraph(vars)
+		if err != nil {
+			t.Fatalf("vars=%d: %v", vars, err)
+		}
+		if want := 2*vars + 4; g.NumTasks() != want {
+			t.Errorf("vars=%d: tasks = %d, want %d", vars, g.NumTasks(), want)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("vars=%d: %v", vars, err)
+		}
+		// Two entries (the X/Y extractions), two exits (the two zips):
+		// schedulers normalise via pseudo tasks.
+		if len(g.Entries()) != 2 || len(g.Exits()) != 2 {
+			t.Errorf("vars=%d: entries/exits = %d/%d, want 2/2", vars, len(g.Entries()), len(g.Exits()))
+		}
+	}
+	if _, err := CyberShakeGraph(0); err == nil {
+		t.Error("CyberShakeGraph(0) accepted")
+	}
+	// Every synthesis consumes both tensors.
+	g, err := CyberShakeGraph(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		id := dag.TaskID(i)
+		name := g.Task(id).Name
+		if len(name) > 10 && name[:10] == "seismogram" {
+			if d := g.InDegree(id); d != 2 {
+				t.Errorf("%s in-degree = %d, want 2", name, d)
+			}
+		}
+	}
+}
+
+func TestLIGOShape(t *testing.T) {
+	for _, blocks := range []int{1, 3, 7, 12} {
+		g, err := LIGOGraph(blocks)
+		if err != nil {
+			t.Fatalf("blocks=%d: %v", blocks, err)
+		}
+		groups := (blocks + 2) / 3
+		if want := 4*blocks + 2*groups; g.NumTasks() != want {
+			t.Errorf("blocks=%d: tasks = %d, want %d", blocks, g.NumTasks(), want)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("blocks=%d: %v", blocks, err)
+		}
+		// One entry per block (the template banks), one exit per group (the
+		// second-stage coincidences).
+		if len(g.Entries()) != blocks || len(g.Exits()) != groups {
+			t.Errorf("blocks=%d: entries/exits = %d/%d, want %d/%d",
+				blocks, len(g.Entries()), len(g.Exits()), blocks, groups)
+		}
+	}
+	if _, err := LIGOGraph(0); err == nil {
+		t.Error("LIGOGraph(0) accepted")
+	}
+}
+
+// TestPegasusWorkflowsSchedulable runs the whole pipeline — structure, cost
+// assignment, HDLTS-compatible normalisation — for each new workflow.
+func TestPegasusWorkflowsSchedulable(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for name, build := range map[string]func() (*dag.Graph, error){
+		"epigenomics": func() (*dag.Graph, error) { return EpigenomicsGraph(6) },
+		"cybershake":  func() (*dag.Graph, error) { return CyberShakeGraph(10) },
+		"ligo":        func() (*dag.Graph, error) { return LIGOGraph(9) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		pr, err := gen.AssignCosts(g, gen.CostParams{Procs: 4, WDAG: 70, Beta: 1.0, CCR: 2}, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := pr.G.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		n := pr.Normalize()
+		if n.G.Entry() == dag.None || n.G.Exit() == dag.None {
+			t.Fatalf("%s: normalisation failed", name)
+		}
+	}
+}

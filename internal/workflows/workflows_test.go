@@ -1,0 +1,223 @@
+package workflows
+
+import (
+	"math/rand"
+	"testing"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/gen"
+)
+
+func TestPaperExampleShape(t *testing.T) {
+	pr := PaperExample()
+	if pr.NumTasks() != 10 || pr.NumProcs() != 3 {
+		t.Fatalf("shape = %d tasks / %d procs, want 10/3", pr.NumTasks(), pr.NumProcs())
+	}
+	if pr.G.NumEdges() != 15 {
+		t.Fatalf("edges = %d, want 15", pr.G.NumEdges())
+	}
+	if pr.G.Entry() != 0 || pr.G.Exit() != 9 {
+		t.Fatalf("entry/exit = %d/%d, want 0/9", pr.G.Entry(), pr.G.Exit())
+	}
+	// Spot-check published values.
+	if pr.Exec(0, 2) != 9 || pr.Exec(9, 1) != 7 {
+		t.Fatal("cost matrix mismatch with the paper")
+	}
+	if d, ok := pr.G.EdgeData(3, 7); !ok || d != 27 {
+		t.Fatal("edge (T4->T8) should carry 27")
+	}
+	// SLR denominator: CP by min cost is T1-T2-T9-T10 (9+13+12+7 = 41)
+	// or better; recompute and sanity-bound it.
+	lb, err := pr.CPMinLowerBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb <= 0 || lb > 73 {
+		t.Fatalf("lower bound = %g, want within (0, 73]", lb)
+	}
+}
+
+func TestFFTTaskCounts(t *testing.T) {
+	// The paper: m=4 -> 15 tasks ... m=32 -> 223 tasks.
+	want := map[int]int{2: 5, 4: 15, 8: 39, 16: 95, 32: 223}
+	for m, n := range want {
+		g, err := FFTGraph(m)
+		if err != nil {
+			t.Fatalf("FFTGraph(%d): %v", m, err)
+		}
+		if g.NumTasks() != n {
+			t.Errorf("FFTGraph(%d) has %d tasks, want %d", m, g.NumTasks(), n)
+		}
+		if FFTTaskCount(m) != n {
+			t.Errorf("FFTTaskCount(%d) = %d, want %d", m, FFTTaskCount(m), n)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("FFTGraph(%d) invalid: %v", m, err)
+		}
+	}
+}
+
+func TestFFTStructure(t *testing.T) {
+	g, err := FFTGraph(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single entry (tree root), m exits (last butterfly row).
+	if len(g.Entries()) != 1 {
+		t.Errorf("entries = %d, want 1", len(g.Entries()))
+	}
+	if len(g.Exits()) != 4 {
+		t.Errorf("exits = %d, want 4 (m)", len(g.Exits()))
+	}
+	// Height: tree levels log2(m)+1 plus log2(m) butterfly rows.
+	if h := g.Height(); h != 5 {
+		t.Errorf("height = %d, want 5", h)
+	}
+	// Each butterfly task has exactly 2 inputs.
+	for i := 7; i < g.NumTasks(); i++ {
+		if d := g.InDegree(dag.TaskID(i)); d != 2 {
+			t.Errorf("butterfly task %d has in-degree %d, want 2", i, d)
+		}
+	}
+}
+
+func TestFFTRejectsBadM(t *testing.T) {
+	for _, m := range []int{0, 1, 3, 6, -8} {
+		if _, err := FFTGraph(m); err == nil {
+			t.Errorf("FFTGraph(%d) accepted", m)
+		}
+	}
+}
+
+func TestMontageSizes(t *testing.T) {
+	for _, n := range []int{11, 20, 50, 100, 137} {
+		g, err := MontageGraph(n)
+		if err != nil {
+			t.Fatalf("MontageGraph(%d): %v", n, err)
+		}
+		if g.NumTasks() != n {
+			t.Errorf("MontageGraph(%d) has %d tasks", n, g.NumTasks())
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("MontageGraph(%d) invalid: %v", n, err)
+		}
+		if len(g.Exits()) != 1 {
+			t.Errorf("MontageGraph(%d) has %d exits, want 1 (mJPEG)", n, len(g.Exits()))
+		}
+	}
+	if _, err := MontageGraph(10); err == nil {
+		t.Error("MontageGraph(10) accepted")
+	}
+}
+
+func TestMontage20MatchesPaperFigure(t *testing.T) {
+	g, err := MontageGraph(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 20-node Montage of the paper's Fig. 9: 4 projections, 6 diff-fits,
+	// 1 concat, 1 model, 4 backgrounds, 1 imgtbl, 1 add, 1 shrink, 1 jpeg.
+	counts := map[string]int{}
+	for i := 0; i < g.NumTasks(); i++ {
+		name := g.Task(dag.TaskID(i)).Name
+		// Strip trailing digits to group by stage.
+		for len(name) > 0 && name[len(name)-1] >= '0' && name[len(name)-1] <= '9' {
+			name = name[:len(name)-1]
+		}
+		counts[name]++
+	}
+	want := map[string]int{
+		"mProjectPP": 4, "mDiffFit": 6, "mConcatFit": 1, "mBgModel": 1,
+		"mBackground": 4, "mImgtbl": 1, "mAdd": 1, "mShrink": 1, "mJPEG": 1,
+	}
+	for stage, n := range want {
+		if counts[stage] != n {
+			t.Errorf("stage %s has %d tasks, want %d (all: %v)", stage, counts[stage], n, counts)
+		}
+	}
+}
+
+func TestMolDynShape(t *testing.T) {
+	g := MolDynGraph()
+	if g.NumTasks() != 41 {
+		t.Fatalf("tasks = %d, want 41", g.NumTasks())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("MD graph invalid: %v", err)
+	}
+	if len(g.Entries()) != 1 {
+		t.Errorf("entries = %d, want 1", len(g.Entries()))
+	}
+	if len(g.Exits()) != 1 {
+		t.Errorf("exits = %d, want 1", len(g.Exits()))
+	}
+	if g.Entry() != 0 || g.Exit() != 40 {
+		t.Errorf("entry/exit = %d/%d, want 0/40", g.Entry(), g.Exit())
+	}
+	// Irregular fan-out from the entry: seven level-1 streams.
+	if d := g.OutDegree(0); d != 7 {
+		t.Errorf("entry out-degree = %d, want 7", d)
+	}
+}
+
+func TestGaussianShape(t *testing.T) {
+	for _, m := range []int{2, 3, 5, 8} {
+		g, err := GaussianGraph(m)
+		if err != nil {
+			t.Fatalf("GaussianGraph(%d): %v", m, err)
+		}
+		want := (m*m + m - 2) / 2
+		if g.NumTasks() != want {
+			t.Errorf("GaussianGraph(%d) has %d tasks, want %d", m, g.NumTasks(), want)
+		}
+		if GaussianTaskCount(m) != want {
+			t.Errorf("GaussianTaskCount(%d) = %d, want %d", m, GaussianTaskCount(m), want)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("GaussianGraph(%d) invalid: %v", m, err)
+		}
+		if len(g.Entries()) != 1 {
+			t.Errorf("GaussianGraph(%d) has %d entries, want 1 (V1)", m, len(g.Entries()))
+		}
+	}
+	if _, err := GaussianGraph(1); err == nil {
+		t.Error("GaussianGraph(1) accepted")
+	}
+	// m = 5: the final update U4.5 is the unique exit.
+	g, err := GaussianGraph(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exits := g.Exits()
+	if len(exits) != 1 || g.Task(exits[0]).Name != "U4.5" {
+		t.Errorf("GaussianGraph(5) exits = %v", exits)
+	}
+	// Elimination height: 2(m−1) levels (pivot + update per step).
+	if h := g.Height(); h != 8 {
+		t.Errorf("GaussianGraph(5) height = %d, want 8", h)
+	}
+}
+
+func TestWorkflowsScheduleEndToEnd(t *testing.T) {
+	// Every fixed structure must survive cost assignment and produce a
+	// validatable problem.
+	rng := rand.New(rand.NewSource(4))
+	builders := map[string]func() (*dag.Graph, error){
+		"fft16":     func() (*dag.Graph, error) { return FFTGraph(16) },
+		"montage50": func() (*dag.Graph, error) { return MontageGraph(50) },
+		"moldyn":    func() (*dag.Graph, error) { return MolDynGraph(), nil },
+	}
+	for name, build := range builders {
+		g, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		pr, err := gen.AssignCosts(g, gen.CostParams{Procs: 4, WDAG: 60, Beta: 1.2, CCR: 2}, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := pr.G.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
