@@ -19,6 +19,7 @@ import (
 	"hdlts/internal/dynamic"
 	"hdlts/internal/experiments"
 	"hdlts/internal/gen"
+	"hdlts/internal/obs"
 	"hdlts/internal/registry"
 	"hdlts/internal/sched"
 	"hdlts/internal/stats"
@@ -285,6 +286,59 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// Observability-overhead benches: HDLTS on a ~1000-task problem with no
+// tracer attached vs. the explicit no-op tracer. The no-op path adds one
+// Enabled() call per guarded site and allocates nothing, so the two benches
+// should agree within noise (<5%; measured ~1% on the reference container —
+// see docs/OBSERVABILITY.md).
+
+func benchObsProblem(b *testing.B) *sched.Problem {
+	b.Helper()
+	rng := rand.New(rand.NewSource(11))
+	pr, err := gen.Random(gen.Params{V: 1000, Alpha: 1.5, Density: 3, CCR: 2, Procs: 8, WDAG: 80, Beta: 1.2}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pr
+}
+
+func BenchmarkObsOverheadUntraced(b *testing.B) {
+	pr := benchObsProblem(b)
+	h := core.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Schedule(pr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObsOverheadNopTracer(b *testing.B) {
+	pr := benchObsProblem(b).WithTracer(obs.Nop)
+	h := core.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Schedule(pr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObsOverheadCollector bounds the enabled-tracer cost: every
+// event materialised into an in-memory collector (reset each iteration).
+func BenchmarkObsOverheadCollector(b *testing.B) {
+	col := obs.NewCollector()
+	pr := benchObsProblem(b).WithTracer(col)
+	h := core.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col.Reset()
+		if _, err := h.Schedule(pr); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkAblationCompaction measures the post-pass compaction's effect on

@@ -27,25 +27,50 @@ import (
 
 	"hdlts/internal/core"
 	"hdlts/internal/experiments"
+	"hdlts/internal/obs"
 	"hdlts/internal/registry"
 	"hdlts/internal/sched"
 	"hdlts/internal/workflows"
 )
 
+// options collects every CLI knob; tests drive mainErr directly with one.
+type options struct {
+	Run      string
+	Reps     int
+	Seed     int64
+	Workers  int
+	Mode     string
+	Algs     string
+	CSVDir   string
+	SVGDir   string
+	Validate bool
+	Quiet    bool
+	// Events streams every campaign's decision events as JSON Lines to
+	// this file (use -workers 1 for a reproducible stream).
+	Events string
+	// Stats dumps the runtime metrics registry (Prometheus text) to Err
+	// after the campaigns.
+	Stats bool
+	// Err receives progress, -stats output, and diagnostics (defaults to
+	// os.Stderr).
+	Err io.Writer
+}
+
 func main() {
-	var (
-		run      = flag.String("run", "all", "comma-separated experiment ids (fig2,...,fig14,tableI) or 'all'")
-		reps     = flag.Int("reps", 100, "repetitions per x-point (the paper used 1000)")
-		seed     = flag.Int64("seed", 1, "campaign master seed")
-		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		mode     = flag.String("mode", "canonical", "baseline mode: canonical | paper")
-		algs     = flag.String("algs", "", "comma-separated algorithm subset (default: all six)")
-		csvDir   = flag.String("csv", "", "directory to also write one CSV per figure")
-		svgDir   = flag.String("svg", "", "directory to also write one SVG chart per figure")
-		validate = flag.Bool("validate", false, "re-validate every schedule (slower)")
-		quiet    = flag.Bool("q", false, "suppress progress output")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-	)
+	var o options
+	flag.StringVar(&o.Run, "run", "all", "comma-separated experiment ids (fig2,...,fig14,tableI) or 'all'")
+	flag.IntVar(&o.Reps, "reps", 100, "repetitions per x-point (the paper used 1000)")
+	flag.Int64Var(&o.Seed, "seed", 1, "campaign master seed")
+	flag.IntVar(&o.Workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	flag.StringVar(&o.Mode, "mode", "canonical", "baseline mode: canonical | paper")
+	flag.StringVar(&o.Algs, "algs", "", "comma-separated algorithm subset (default: all six)")
+	flag.StringVar(&o.CSVDir, "csv", "", "directory to also write one CSV per figure")
+	flag.StringVar(&o.SVGDir, "svg", "", "directory to also write one SVG chart per figure")
+	flag.BoolVar(&o.Validate, "validate", false, "re-validate every schedule (slower)")
+	flag.BoolVar(&o.Quiet, "q", false, "suppress progress output")
+	flag.StringVar(&o.Events, "events", "", "write decision events as JSON Lines to this file (-workers 1 for a stable order)")
+	flag.BoolVar(&o.Stats, "stats", false, "print runtime metrics (Prometheus text) to stderr")
+	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 	if *list {
 		fmt.Println("tableI")
@@ -55,25 +80,28 @@ func main() {
 		fmt.Println("ext-uncertain\next-failure\next-network")
 		return
 	}
-	if err := mainErr(os.Stdout, *run, *reps, *seed, *workers, *mode, *algs, *csvDir, *svgDir, *validate, *quiet); err != nil {
+	if err := mainErr(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func mainErr(out io.Writer, run string, reps int, seed int64, workers int, mode, algs, csvDir, svgDir string, validate, quiet bool) error {
+func mainErr(out io.Writer, o options) error {
+	if o.Err == nil {
+		o.Err = os.Stderr
+	}
 	var pool []sched.Algorithm
-	switch mode {
+	switch o.Mode {
 	case "canonical":
 		pool = registry.All()
 	case "paper":
 		pool = registry.PaperMode()
 	default:
-		return fmt.Errorf("unknown -mode %q (want canonical or paper)", mode)
+		return fmt.Errorf("unknown -mode %q (want canonical or paper)", o.Mode)
 	}
-	if algs != "" {
+	if o.Algs != "" {
 		keep := map[string]bool{}
-		for _, a := range strings.Split(algs, ",") {
+		for _, a := range strings.Split(o.Algs, ",") {
 			keep[strings.ToLower(strings.TrimSpace(a))] = true
 		}
 		var sel []sched.Algorithm
@@ -83,25 +111,35 @@ func mainErr(out io.Writer, run string, reps int, seed int64, workers int, mode,
 			}
 		}
 		if len(sel) == 0 {
-			return fmt.Errorf("-algs %q selected no algorithms", algs)
+			return fmt.Errorf("-algs %q selected no algorithms", o.Algs)
 		}
 		pool = sel
 	}
 
 	var ids []string
-	if run == "all" {
+	if o.Run == "all" {
 		ids = append(ids, "tableI")
 		for _, e := range experiments.All() {
 			ids = append(ids, e.Name)
 		}
 		ids = append(ids, "ext-uncertain", "ext-failure", "ext-network")
 	} else {
-		ids = strings.Split(run, ",")
+		ids = strings.Split(o.Run, ",")
 	}
 
-	cfg := experiments.Config{Reps: reps, Seed: seed, Workers: workers, Algorithms: pool, Validate: validate}
-	if !quiet {
-		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	cfg := experiments.Config{Reps: o.Reps, Seed: o.Seed, Workers: o.Workers, Algorithms: pool, Validate: o.Validate}
+	if !o.Quiet {
+		cfg.Progress = func(s string) { fmt.Fprintln(o.Err, s) }
+	}
+	var jsonl *obs.JSONLSink
+	if o.Events != "" {
+		f, err := os.Create(o.Events)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsonl = obs.NewJSONL(f)
+		cfg.Tracer = jsonl
 	}
 
 	for _, id := range ids {
@@ -131,21 +169,31 @@ func mainErr(out io.Writer, run string, reps int, seed int64, workers int, mode,
 		if err != nil {
 			return err
 		}
-		if !quiet {
-			fmt.Fprintf(os.Stderr, "%s finished in %v\n", id, time.Since(start).Round(time.Millisecond))
+		if !o.Quiet {
+			fmt.Fprintf(o.Err, "%s finished in %v\n", id, time.Since(start).Round(time.Millisecond))
 		}
 		if err := tbl.WriteText(out); err != nil {
 			return err
 		}
-		if csvDir != "" {
-			if err := writeArtifact(csvDir, id+".csv", tbl.WriteCSV); err != nil {
+		if o.CSVDir != "" {
+			if err := writeArtifact(o.CSVDir, id+".csv", tbl.WriteCSV); err != nil {
 				return err
 			}
 		}
-		if svgDir != "" {
-			if err := writeArtifact(svgDir, id+".svg", tbl.WriteSVG); err != nil {
+		if o.SVGDir != "" {
+			if err := writeArtifact(o.SVGDir, id+".svg", tbl.WriteSVG); err != nil {
 				return err
 			}
+		}
+	}
+	if jsonl != nil {
+		if err := jsonl.Flush(); err != nil {
+			return fmt.Errorf("writing %s: %w", o.Events, err)
+		}
+	}
+	if o.Stats {
+		if err := obs.Default().WritePrometheus(o.Err); err != nil {
+			return err
 		}
 	}
 	return nil

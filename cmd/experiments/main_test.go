@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,7 +30,7 @@ func TestPrintTableI(t *testing.T) {
 
 func TestMainErrTableIOnly(t *testing.T) {
 	var buf bytes.Buffer
-	if err := mainErr(&buf, "tableI", 1, 1, 1, "canonical", "", "", "", false, true); err != nil {
+	if err := mainErr(&buf, options{Run: "tableI", Reps: 1, Seed: 1, Workers: 1, Mode: "canonical", Quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "makespan = 73") {
@@ -39,7 +40,7 @@ func TestMainErrTableIOnly(t *testing.T) {
 
 func TestMainErrRunsOneFigure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := mainErr(&buf, "fig13", 2, 1, 0, "canonical", "", "", "", true, true); err != nil {
+	if err := mainErr(&buf, options{Run: "fig13", Reps: 2, Seed: 1, Mode: "canonical", Validate: true, Quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -50,7 +51,7 @@ func TestMainErrRunsOneFigure(t *testing.T) {
 
 func TestMainErrPaperModeAndSubset(t *testing.T) {
 	var buf bytes.Buffer
-	if err := mainErr(&buf, "fig13", 1, 1, 0, "paper", "hdlts,heft", "", "", false, true); err != nil {
+	if err := mainErr(&buf, options{Run: "fig13", Reps: 1, Seed: 1, Mode: "paper", Algs: "hdlts,heft", Quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -65,7 +66,7 @@ func TestMainErrPaperModeAndSubset(t *testing.T) {
 func TestMainErrCSVAndSVGOutput(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	if err := mainErr(&buf, "fig13", 1, 1, 0, "canonical", "hdlts,heft", dir, dir, false, true); err != nil {
+	if err := mainErr(&buf, options{Run: "fig13", Reps: 1, Seed: 1, Mode: "canonical", Algs: "hdlts,heft", CSVDir: dir, SVGDir: dir, Quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"fig13.csv", "fig13.svg"} {
@@ -79,15 +80,51 @@ func TestMainErrCSVAndSVGOutput(t *testing.T) {
 	}
 }
 
+// TestMainErrEventsAndStats drives a tiny campaign with the JSONL event
+// sink and -stats enabled and checks both outputs.
+func TestMainErrEventsAndStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ev.jsonl")
+	var buf, errBuf bytes.Buffer
+	o := options{Run: "fig13", Reps: 1, Seed: 1, Workers: 1, Mode: "canonical",
+		Algs: "hdlts,heft", Quiet: true, Events: path, Stats: true, Err: &errBuf}
+	if err := mainErr(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no events written")
+	}
+	algs := map[string]bool{}
+	for i, ln := range lines {
+		var ev struct {
+			Alg string `json:"alg"`
+		}
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i+1, err, ln)
+		}
+		algs[ev.Alg] = true
+	}
+	if !algs["HDLTS"] || !algs["HEFT"] {
+		t.Fatalf("events missing algorithm stamps: %v", algs)
+	}
+	if !strings.Contains(errBuf.String(), "experiments_reps_total") {
+		t.Fatalf("-stats output missing counters:\n%s", errBuf.String())
+	}
+}
+
 func TestMainErrRejectsBadInput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := mainErr(&buf, "fig2", 1, 1, 0, "bogus", "", "", "", false, true); err == nil {
+	if err := mainErr(&buf, options{Run: "fig2", Reps: 1, Seed: 1, Mode: "bogus", Quiet: true}); err == nil {
 		t.Error("bad mode accepted")
 	}
-	if err := mainErr(&buf, "fig99", 1, 1, 0, "canonical", "", "", "", false, true); err == nil {
+	if err := mainErr(&buf, options{Run: "fig99", Reps: 1, Seed: 1, Mode: "canonical", Quiet: true}); err == nil {
 		t.Error("unknown figure accepted")
 	}
-	if err := mainErr(&buf, "fig2", 1, 1, 0, "canonical", "nosuchalg", "", "", false, true); err == nil {
+	if err := mainErr(&buf, options{Run: "fig2", Reps: 1, Seed: 1, Mode: "canonical", Algs: "nosuchalg", Quiet: true}); err == nil {
 		t.Error("empty algorithm subset accepted")
 	}
 }

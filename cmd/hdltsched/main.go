@@ -8,6 +8,7 @@
 //	hdltsched -alg heft -in problem.json
 //	hdltsched -alg all -in problem.json        # compare all six algorithms
 //	hdltsched -alg hdlts -trace -in problem.json
+//	hdltsched -alg all -events ev.jsonl -chrome-trace trace.json -stats
 package main
 
 import (
@@ -22,35 +23,75 @@ import (
 	"hdlts/internal/core"
 	"hdlts/internal/dag"
 	"hdlts/internal/metrics"
+	"hdlts/internal/obs"
 	"hdlts/internal/registry"
 	"hdlts/internal/sched"
 	"hdlts/internal/viz"
 )
 
+// options collects every CLI knob; tests drive run directly with one.
+type options struct {
+	Alg      string
+	In       string
+	Gantt    bool
+	Trace    bool
+	Validate bool
+	Width    int
+	SVG      string
+	OutJSON  string
+	Analyze  bool
+	CP       bool
+	// Events streams decision events as JSON Lines to this file.
+	Events string
+	// ChromeTrace writes a Chrome trace-event JSON (chrome://tracing /
+	// Perfetto) with one process track per algorithm.
+	ChromeTrace string
+	// Stats dumps the runtime metrics registry (Prometheus text) to Err
+	// after scheduling.
+	Stats bool
+	// Err receives -stats output and diagnostics (defaults to os.Stderr).
+	Err io.Writer
+}
+
 func main() {
-	var (
-		alg      = flag.String("alg", "hdlts", "algorithm (hdlts|heft|cpop|pets|peft|sdbats|all)")
-		in       = flag.String("in", "-", "input problem JSON file ('-' = stdin)")
-		gantt    = flag.Bool("gantt", false, "print a Gantt chart")
-		trace    = flag.Bool("trace", false, "print the HDLTS per-step trace (hdlts only)")
-		validate = flag.Bool("validate", true, "re-validate the schedule")
-		width    = flag.Int("width", 72, "Gantt chart width in characters")
-		svg      = flag.String("svg", "", "write an SVG Gantt chart to this file (per-algorithm suffix with -alg all)")
-		outJSON  = flag.String("out", "", "write the schedule as JSON to this file (per-algorithm suffix with -alg all)")
-		analyze  = flag.Bool("analyze", false, "print utilisation / communication analysis")
-		cp       = flag.Bool("cp", false, "print the minimum-cost critical path and the SLR lower bound")
-	)
+	var o options
+	flag.StringVar(&o.Alg, "alg", "hdlts", "algorithm (hdlts|heft|cpop|pets|peft|sdbats|all)")
+	flag.StringVar(&o.In, "in", "-", "input problem JSON file ('-' = stdin)")
+	flag.BoolVar(&o.Gantt, "gantt", false, "print a Gantt chart")
+	flag.BoolVar(&o.Trace, "trace", false, "print the HDLTS per-step trace (hdlts only)")
+	flag.BoolVar(&o.Validate, "validate", true, "re-validate the schedule")
+	flag.IntVar(&o.Width, "width", 72, "Gantt chart width in characters")
+	flag.StringVar(&o.SVG, "svg", "", "write an SVG Gantt chart to this file (per-algorithm suffix with -alg all)")
+	flag.StringVar(&o.OutJSON, "out", "", "write the schedule as JSON to this file (per-algorithm suffix with -alg all)")
+	flag.BoolVar(&o.Analyze, "analyze", false, "print utilisation / communication analysis")
+	flag.BoolVar(&o.CP, "cp", false, "print the minimum-cost critical path and the SLR lower bound")
+	flag.StringVar(&o.Events, "events", "", "write decision events as JSON Lines to this file")
+	flag.StringVar(&o.ChromeTrace, "chrome-trace", "", "write a Chrome trace-event JSON to this file")
+	flag.BoolVar(&o.Stats, "stats", false, "print runtime metrics (Prometheus text) to stderr")
 	flag.Parse()
-	if err := run(os.Stdout, os.Stdin, *alg, *in, *gantt, *trace, *validate, *width, *svg, *outJSON, *analyze, *cp); err != nil {
+	if err := run(os.Stdout, os.Stdin, o); err != nil {
 		fmt.Fprintln(os.Stderr, "hdltsched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, stdin io.Reader, alg, in string, gantt, trace, validate bool, width int, svgPath, outPath string, analyze, cp bool) error {
+// tracedAlgs lists the algorithms that produce a per-step decision trace
+// for the -trace flag.
+var tracedAlgs = []string{"hdlts"}
+
+func run(out io.Writer, stdin io.Reader, o options) error {
+	if o.Err == nil {
+		o.Err = os.Stderr
+	}
+	if o.Trace && !traceSupported(o.Alg) {
+		return fmt.Errorf("-trace is only available for algorithms with a decision trace (%s); "+
+			"got -alg %s — use -alg %s, or -alg all to include it, or drop -trace (-events works with every algorithm)",
+			strings.Join(tracedAlgs, ", "), o.Alg, tracedAlgs[0])
+	}
+
 	r := stdin
-	if in != "-" {
-		f, err := os.Open(in)
+	if o.In != "-" {
+		f, err := os.Open(o.In)
 		if err != nil {
 			return err
 		}
@@ -62,41 +103,65 @@ func run(out io.Writer, stdin io.Reader, alg, in string, gantt, trace, validate 
 		return err
 	}
 	fmt.Fprintf(out, "problem: %d tasks, %d edges, %d processors\n", pr.NumTasks(), pr.G.NumEdges(), pr.NumProcs())
-	if cp {
+	if o.CP {
 		if err := printCriticalPath(out, pr); err != nil {
 			return err
 		}
 	}
 
 	var algos []sched.Algorithm
-	if strings.EqualFold(alg, "all") {
+	if strings.EqualFold(o.Alg, "all") {
 		algos = registry.All()
 	} else {
-		a, err := registry.Get(alg)
+		a, err := registry.Get(o.Alg)
 		if err != nil {
 			return err
 		}
 		algos = append(algos, a)
 	}
 
+	// Observability sinks: JSONL events and/or a Chrome trace, fanned out
+	// through one tracer attached per algorithm run.
+	var sinks []obs.Tracer
+	var jsonl *obs.JSONLSink
+	if o.Events != "" {
+		f, err := os.Create(o.Events)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsonl = obs.NewJSONL(f)
+		sinks = append(sinks, jsonl)
+	}
+	var chrome *obs.ChromeSink
+	if o.ChromeTrace != "" {
+		chrome = obs.NewChrome()
+		sinks = append(sinks, chrome)
+	}
+	tracer := obs.Multi(sinks...)
+
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "algorithm\tmakespan\tSLR\tspeedup\tefficiency\tduplicates")
 	for _, a := range algos {
+		prA := pr
+		if tracer.Enabled() {
+			prA = pr.WithTracer(obs.Named(tracer, a.Name()))
+		}
 		var s *sched.Schedule
-		if trace && a.Name() == "HDLTS" {
+		if o.Trace && a.Name() == "HDLTS" {
 			var steps []core.Step
-			s, steps, err = core.New().ScheduleTrace(pr)
+			s, steps, err = core.New().ScheduleTrace(prA)
 			if err != nil {
 				return err
 			}
 			printTrace(out, steps)
 		} else {
-			s, err = a.Schedule(pr)
+			s, err = a.Schedule(prA)
 			if err != nil {
 				return fmt.Errorf("%s: %w", a.Name(), err)
 			}
 		}
-		if validate {
+		if o.Validate {
 			if err := s.Validate(); err != nil {
 				return fmt.Errorf("%s: invalid schedule: %w", a.Name(), err)
 			}
@@ -107,13 +172,13 @@ func run(out io.Writer, stdin io.Reader, alg, in string, gantt, trace, validate 
 		}
 		fmt.Fprintf(tw, "%s\t%.4g\t%.4f\t%.4f\t%.4f\t%d\n",
 			res.Algorithm, res.Makespan, res.SLR, res.Speedup, res.Efficiency, res.Duplicates)
-		if gantt {
+		if o.Gantt {
 			tw.Flush()
-			if err := s.WriteGantt(out, width); err != nil {
+			if err := s.WriteGantt(out, o.Width); err != nil {
 				return err
 			}
 		}
-		if analyze {
+		if o.Analyze {
 			tw.Flush()
 			an, err := s.Analyze()
 			if err != nil {
@@ -127,17 +192,17 @@ func run(out io.Writer, stdin io.Reader, alg, in string, gantt, trace, validate 
 			fmt.Fprintf(out, "slack: total %.4g across %d tasks, %d critical\n",
 				slack.TotalSlack, len(slack.Slack), len(slack.Critical))
 		}
-		if svgPath != "" {
+		if o.SVG != "" {
 			cfg := viz.GanttConfig{Title: fmt.Sprintf("%s — makespan %.4g", a.Name(), s.Makespan())}
-			err := writeFile(perAlgPath(svgPath, a.Name(), len(algos) > 1), func(w io.Writer) error {
+			err := writeFile(perAlgPath(o.SVG, a.Name(), len(algos) > 1), func(w io.Writer) error {
 				return viz.WriteGanttSVG(w, s, cfg)
 			})
 			if err != nil {
 				return err
 			}
 		}
-		if outPath != "" {
-			err := writeFile(perAlgPath(outPath, a.Name(), len(algos) > 1), func(w io.Writer) error {
+		if o.OutJSON != "" {
+			err := writeFile(perAlgPath(o.OutJSON, a.Name(), len(algos) > 1), func(w io.Writer) error {
 				return s.WriteScheduleJSON(w, a.Name())
 			})
 			if err != nil {
@@ -145,7 +210,40 @@ func run(out io.Writer, stdin io.Reader, alg, in string, gantt, trace, validate 
 			}
 		}
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if jsonl != nil {
+		if err := jsonl.Flush(); err != nil {
+			return fmt.Errorf("writing %s: %w", o.Events, err)
+		}
+	}
+	if chrome != nil {
+		err := writeFile(o.ChromeTrace, func(w io.Writer) error { return chrome.WriteJSON(w) })
+		if err != nil {
+			return err
+		}
+	}
+	if o.Stats {
+		if err := obs.Default().WritePrometheus(o.Err); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceSupported reports whether -trace can honour the algorithm selection
+// ("all" includes HDLTS, so it qualifies).
+func traceSupported(alg string) bool {
+	if strings.EqualFold(alg, "all") {
+		return true
+	}
+	for _, a := range tracedAlgs {
+		if strings.EqualFold(alg, a) {
+			return true
+		}
+	}
+	return false
 }
 
 // perAlgPath suffixes path with the algorithm name when several schedules

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,7 +24,7 @@ func exampleJSON(t *testing.T) string {
 
 func TestRunSingleAlgorithmFromStdin(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, strings.NewReader(exampleJSON(t)), "hdlts", "-", false, false, true, 60, "", "", false, false); err != nil {
+	if err := run(&out, strings.NewReader(exampleJSON(t)), options{Alg: "hdlts", In: "-", Validate: true, Width: 60}); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -37,7 +38,7 @@ func TestRunSingleAlgorithmFromStdin(t *testing.T) {
 
 func TestRunAllAlgorithmsWithGantt(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, strings.NewReader(exampleJSON(t)), "all", "-", true, false, true, 60, "", "", false, false); err != nil {
+	if err := run(&out, strings.NewReader(exampleJSON(t)), options{Alg: "all", In: "-", Gantt: true, Validate: true, Width: 60}); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -53,11 +54,150 @@ func TestRunAllAlgorithmsWithGantt(t *testing.T) {
 
 func TestRunTrace(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, strings.NewReader(exampleJSON(t)), "hdlts", "-", false, true, true, 60, "", "", false, false); err != nil {
+	if err := run(&out, strings.NewReader(exampleJSON(t)), options{Alg: "hdlts", In: "-", Trace: true, Validate: true, Width: 60}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "HDLTS trace:") || !strings.Contains(out.String(), "step 10") {
 		t.Fatalf("trace missing:\n%s", out.String())
+	}
+}
+
+// TestRunTraceUnsupportedAlgorithm checks the guard: -trace with an
+// algorithm that has no decision trace must fail up front, and the error
+// must name which algorithms do support it.
+func TestRunTraceUnsupportedAlgorithm(t *testing.T) {
+	for _, alg := range []string{"heft", "cpop", "pets", "peft", "sdbats"} {
+		var out bytes.Buffer
+		err := run(&out, strings.NewReader(exampleJSON(t)), options{Alg: alg, In: "-", Trace: true, Validate: true, Width: 60})
+		if err == nil {
+			t.Fatalf("-trace -alg %s accepted", alg)
+		}
+		if !strings.Contains(err.Error(), "hdlts") || !strings.Contains(err.Error(), alg) {
+			t.Errorf("-trace -alg %s error does not name the supported algorithms and the offender: %v", alg, err)
+		}
+	}
+	// -alg all includes HDLTS, so -trace stays legal there.
+	var out bytes.Buffer
+	if err := run(&out, strings.NewReader(exampleJSON(t)), options{Alg: "all", In: "-", Trace: true, Validate: true, Width: 60}); err != nil {
+		t.Fatalf("-trace -alg all rejected: %v", err)
+	}
+	if !strings.Contains(out.String(), "HDLTS trace:") {
+		t.Fatalf("-trace -alg all did not print the HDLTS trace:\n%s", out.String())
+	}
+}
+
+// TestRunEventsJSONL checks the -events sink: one JSON object per line,
+// algorithm-stamped, covering every configured algorithm.
+func TestRunEventsJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ev.jsonl")
+	var out bytes.Buffer
+	if err := run(&out, strings.NewReader(exampleJSON(t)), options{Alg: "all", In: "-", Validate: true, Width: 60, Events: path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no events written")
+	}
+	algs := map[string]bool{}
+	for i, ln := range lines {
+		var ev struct {
+			Seq int    `json:"seq"`
+			Ev  string `json:"ev"`
+			Alg string `json:"alg"`
+		}
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i+1, err, ln)
+		}
+		if ev.Seq != i+1 {
+			t.Fatalf("line %d has seq %d", i+1, ev.Seq)
+		}
+		algs[ev.Alg] = true
+	}
+	// HDLTS emits the full decision stream; baselines at least phase-free
+	// commit events via the shared estimator.
+	for _, alg := range []string{"HDLTS", "HEFT", "CPOP", "PETS", "PEFT", "SDBATS"} {
+		if !algs[alg] {
+			t.Errorf("no events stamped %s (saw %v)", alg, algs)
+		}
+	}
+}
+
+// TestRunChromeTraceAcceptance is the issue's acceptance check: hdltsched
+// -alg all -chrome-trace on the Fig. 1 example must emit valid Chrome
+// trace-event JSON whose HDLTS process track shows the schedule ending at
+// makespan 73.
+func TestRunChromeTraceAcceptance(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	if err := run(&out, strings.NewReader(exampleJSON(t)), options{Alg: "all", In: "-", Validate: true, Width: 60, ChromeTrace: path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	// Find the HDLTS process id from its process_name metadata record.
+	hdltsPID := -1
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			if name, _ := ev.Args["name"].(string); name == "HDLTS" {
+				hdltsPID = ev.PID
+			}
+		}
+	}
+	if hdltsPID < 0 {
+		t.Fatal("no HDLTS process track in the chrome trace")
+	}
+	// The latest span end on the HDLTS track is the makespan: 73 sim units
+	// = 73 000 µs at the default 1 ms scale.
+	maxEnd := 0.0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.PID == hdltsPID {
+			if end := ev.TS + ev.Dur; end > maxEnd {
+				maxEnd = end
+			}
+		}
+	}
+	if maxEnd != 73000 {
+		t.Fatalf("HDLTS track ends at %g µs, want 73000 (makespan 73)", maxEnd)
+	}
+}
+
+// TestRunStats checks that -stats dumps the Prometheus-text registry to the
+// error stream, not stdout.
+func TestRunStats(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(&out, strings.NewReader(exampleJSON(t)), options{Alg: "hdlts", In: "-", Validate: true, Width: 60, Stats: true, Err: &errOut}); err != nil {
+		t.Fatal(err)
+	}
+	s := errOut.String()
+	if !strings.Contains(s, "sched_commits_total") || !strings.Contains(s, "hdlts_iterations_total") {
+		t.Fatalf("-stats output missing counters:\n%s", s)
+	}
+	if strings.Contains(out.String(), "sched_commits_total") {
+		t.Fatal("-stats leaked into stdout")
 	}
 }
 
@@ -67,7 +207,7 @@ func TestRunFromFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run(&out, nil, "heft", path, false, false, true, 60, "", "", false, false); err != nil {
+	if err := run(&out, nil, options{Alg: "heft", In: path, Validate: true, Width: 60}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "HEFT") || !strings.Contains(out.String(), "80") {
@@ -79,7 +219,7 @@ func TestRunSVGAndAnalyze(t *testing.T) {
 	dir := t.TempDir()
 	svg := filepath.Join(dir, "gantt.svg")
 	var out bytes.Buffer
-	if err := run(&out, strings.NewReader(exampleJSON(t)), "all", "-", false, false, true, 60, svg, filepath.Join(dir, "sched.json"), true, false); err != nil {
+	if err := run(&out, strings.NewReader(exampleJSON(t)), options{Alg: "all", In: "-", Validate: true, Width: 60, SVG: svg, OutJSON: filepath.Join(dir, "sched.json"), Analyze: true}); err != nil {
 		t.Fatal(err)
 	}
 	// Per-algorithm suffixing with -alg all.
@@ -113,20 +253,20 @@ func TestRunSVGAndAnalyze(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, strings.NewReader("{"), "hdlts", "-", false, false, true, 60, "", "", false, false); err == nil {
+	if err := run(&out, strings.NewReader("{"), options{Alg: "hdlts", In: "-", Validate: true, Width: 60}); err == nil {
 		t.Error("garbage input accepted")
 	}
-	if err := run(&out, strings.NewReader(exampleJSON(t)), "nosuch", "-", false, false, true, 60, "", "", false, false); err == nil {
+	if err := run(&out, strings.NewReader(exampleJSON(t)), options{Alg: "nosuch", In: "-", Validate: true, Width: 60}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run(&out, nil, "hdlts", "/does/not/exist.json", false, false, true, 60, "", "", false, false); err == nil {
+	if err := run(&out, nil, options{Alg: "hdlts", In: "/does/not/exist.json", Validate: true, Width: 60}); err == nil {
 		t.Error("missing file accepted")
 	}
 }
 
 func TestRunCriticalPath(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, strings.NewReader(exampleJSON(t)), "hdlts", "-", false, false, true, 60, "", "", false, true); err != nil {
+	if err := run(&out, strings.NewReader(exampleJSON(t)), options{Alg: "hdlts", In: "-", Validate: true, Width: 60, CP: true}); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()

@@ -8,6 +8,7 @@
 //	sweep -reps 3 -maxv 500 -stride 100 > sweep.csv     # every 100th combo
 //	sweep -offset 0 -limit 2000 -reps 5 > part1.csv     # shard 1
 //	sweep -offset 2000 -limit 2000 -reps 5 > part2.csv  # shard 2
+//	sweep -limit 50 -events ev.jsonl -stats > head.csv  # with observability
 package main
 
 import (
@@ -25,45 +26,71 @@ import (
 
 	"hdlts/internal/gen"
 	"hdlts/internal/metrics"
+	"hdlts/internal/obs"
 	"hdlts/internal/registry"
 	"hdlts/internal/sched"
 	"hdlts/internal/stats"
 )
 
+// options collects every CLI knob; tests drive run directly with one.
+type options struct {
+	Reps    int
+	Seed    int64
+	Offset  int
+	Limit   int
+	Stride  int
+	MaxV    int
+	Algs    string
+	Workers int
+	Mode    string
+	// Events streams decision events as JSON Lines to this file (use
+	// -workers 1 for a reproducible stream).
+	Events string
+	// Stats dumps the runtime metrics registry (Prometheus text) to Err
+	// after the sweep.
+	Stats bool
+	// Err receives -stats output (defaults to os.Stderr).
+	Err io.Writer
+}
+
 func main() {
-	var (
-		reps    = flag.Int("reps", 3, "random graphs per parameter combination")
-		seed    = flag.Int64("seed", 1, "campaign seed")
-		offset  = flag.Int("offset", 0, "skip the first N combinations")
-		limit   = flag.Int("limit", 1000, "process at most N combinations (0 = all)")
-		stride  = flag.Int("stride", 1, "take every Nth combination")
-		maxv    = flag.Int("maxv", 1000, "skip combinations with more than N tasks (0 = no cap)")
-		algs    = flag.String("algs", "hdlts,heft,sdbats", "comma-separated algorithms")
-		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		mode    = flag.String("mode", "canonical", "baseline mode: canonical | paper")
-	)
+	var o options
+	flag.IntVar(&o.Reps, "reps", 3, "random graphs per parameter combination")
+	flag.Int64Var(&o.Seed, "seed", 1, "campaign seed")
+	flag.IntVar(&o.Offset, "offset", 0, "skip the first N combinations")
+	flag.IntVar(&o.Limit, "limit", 1000, "process at most N combinations (0 = all)")
+	flag.IntVar(&o.Stride, "stride", 1, "take every Nth combination")
+	flag.IntVar(&o.MaxV, "maxv", 1000, "skip combinations with more than N tasks (0 = no cap)")
+	flag.StringVar(&o.Algs, "algs", "hdlts,heft,sdbats", "comma-separated algorithms")
+	flag.IntVar(&o.Workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	flag.StringVar(&o.Mode, "mode", "canonical", "baseline mode: canonical | paper")
+	flag.StringVar(&o.Events, "events", "", "write decision events as JSON Lines to this file (-workers 1 for a stable order)")
+	flag.BoolVar(&o.Stats, "stats", false, "print runtime metrics (Prometheus text) to stderr")
 	flag.Parse()
-	if err := run(os.Stdout, *reps, *seed, *offset, *limit, *stride, *maxv, *algs, *workers, *mode); err != nil {
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, reps int, seed int64, offset, limit, stride, maxv int, algNames string, workers int, mode string) error {
-	if reps < 1 || stride < 1 || offset < 0 {
-		return fmt.Errorf("invalid slicing: reps %d, stride %d, offset %d", reps, stride, offset)
+func run(out io.Writer, o options) error {
+	if o.Err == nil {
+		o.Err = os.Stderr
+	}
+	if o.Reps < 1 || o.Stride < 1 || o.Offset < 0 {
+		return fmt.Errorf("invalid slicing: reps %d, stride %d, offset %d", o.Reps, o.Stride, o.Offset)
 	}
 	var pool []sched.Algorithm
-	switch mode {
+	switch o.Mode {
 	case "canonical":
 		pool = registry.All()
 	case "paper":
 		pool = registry.PaperMode()
 	default:
-		return fmt.Errorf("unknown -mode %q", mode)
+		return fmt.Errorf("unknown -mode %q", o.Mode)
 	}
 	keep := map[string]bool{}
-	for _, a := range strings.Split(algNames, ",") {
+	for _, a := range strings.Split(o.Algs, ",") {
 		keep[strings.ToLower(strings.TrimSpace(a))] = true
 	}
 	var algos []sched.Algorithm
@@ -73,23 +100,36 @@ func run(out io.Writer, reps int, seed int64, offset, limit, stride, maxv int, a
 		}
 	}
 	if len(algos) == 0 {
-		return fmt.Errorf("-algs %q selected no algorithms", algNames)
+		return fmt.Errorf("-algs %q selected no algorithms", o.Algs)
 	}
+	workers := o.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var tracer obs.Tracer = obs.Nop
+	var jsonl *obs.JSONLSink
+	if o.Events != "" {
+		f, err := os.Create(o.Events)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsonl = obs.NewJSONL(f)
+		tracer = jsonl
 	}
 
 	// Collect the selected combination slice deterministically.
 	var combos []gen.Params
 	idx, taken := 0, 0
 	gen.TableII().ForEach(func(p gen.Params) bool {
-		if maxv > 0 && p.V > maxv {
+		if o.MaxV > 0 && p.V > o.MaxV {
 			return true
 		}
-		if idx >= offset && (idx-offset)%stride == 0 {
+		if idx >= o.Offset && (idx-o.Offset)%o.Stride == 0 {
 			combos = append(combos, p)
 			taken++
-			if limit > 0 && taken >= limit {
+			if o.Limit > 0 && taken >= o.Limit {
 				return false
 			}
 		}
@@ -116,7 +156,7 @@ func run(out io.Writer, reps int, seed int64, offset, limit, stride, maxv int, a
 		go func() {
 			defer wg.Done()
 			for ci := range jobs {
-				row, err := sweepOne(combos[ci], algos, reps, seed)
+				row, err := sweepOne(combos[ci], algos, o.Reps, o.Seed, tracer)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -143,12 +183,25 @@ func run(out io.Writer, reps int, seed int64, offset, limit, stride, maxv int, a
 		}
 	}
 	cw.Flush()
-	return cw.Error()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	if jsonl != nil {
+		if err := jsonl.Flush(); err != nil {
+			return fmt.Errorf("writing %s: %w", o.Events, err)
+		}
+	}
+	if o.Stats {
+		if err := obs.Default().WritePrometheus(o.Err); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // sweepOne evaluates one parameter combination: reps random graphs, every
 // algorithm on each, mean SLR per algorithm.
-func sweepOne(p gen.Params, algos []sched.Algorithm, reps int, seed int64) ([]string, error) {
+func sweepOne(p gen.Params, algos []sched.Algorithm, reps int, seed int64, tracer obs.Tracer) ([]string, error) {
 	acc := make([]stats.Running, len(algos))
 	for rep := 0; rep < reps; rep++ {
 		rng := rand.New(rand.NewSource(comboSeed(seed, p, rep)))
@@ -157,7 +210,11 @@ func sweepOne(p gen.Params, algos []sched.Algorithm, reps int, seed int64) ([]st
 			return nil, err
 		}
 		for ai, alg := range algos {
-			s, err := alg.Schedule(pr)
+			prA := pr
+			if tracer.Enabled() {
+				prA = pr.WithTracer(obs.Named(tracer, alg.Name()))
+			}
+			s, err := alg.Schedule(prA)
 			if err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", alg.Name(), p, err)
 			}

@@ -3,13 +3,16 @@ package main
 import (
 	"bytes"
 	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func TestSweepSlice(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 2, 1, 0, 5, 1, 500, "hdlts,heft", 2, "canonical"); err != nil {
+	if err := run(&buf, options{Reps: 2, Seed: 1, Limit: 5, Stride: 1, MaxV: 500, Algs: "hdlts,heft", Workers: 2, Mode: "canonical"}); err != nil {
 		t.Fatal(err)
 	}
 	recs, err := csv.NewReader(&buf).ReadAll()
@@ -36,10 +39,10 @@ func TestSweepSlice(t *testing.T) {
 
 func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	var a, b bytes.Buffer
-	if err := run(&a, 1, 7, 10, 4, 3, 500, "hdlts", 1, "canonical"); err != nil {
+	if err := run(&a, options{Reps: 1, Seed: 7, Offset: 10, Limit: 4, Stride: 3, MaxV: 500, Algs: "hdlts", Workers: 1, Mode: "canonical"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, 1, 7, 10, 4, 3, 500, "hdlts", 4, "canonical"); err != nil {
+	if err := run(&b, options{Reps: 1, Seed: 7, Offset: 10, Limit: 4, Stride: 3, MaxV: 500, Algs: "hdlts", Workers: 4, Mode: "canonical"}); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {
@@ -49,13 +52,13 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 
 func TestSweepShardsPartitionTheGrid(t *testing.T) {
 	var whole, p1, p2 bytes.Buffer
-	if err := run(&whole, 1, 3, 0, 6, 1, 500, "hdlts", 2, "canonical"); err != nil {
+	if err := run(&whole, options{Reps: 1, Seed: 3, Limit: 6, Stride: 1, MaxV: 500, Algs: "hdlts", Workers: 2, Mode: "canonical"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&p1, 1, 3, 0, 3, 1, 500, "hdlts", 2, "canonical"); err != nil {
+	if err := run(&p1, options{Reps: 1, Seed: 3, Limit: 3, Stride: 1, MaxV: 500, Algs: "hdlts", Workers: 2, Mode: "canonical"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&p2, 1, 3, 3, 3, 1, 500, "hdlts", 2, "canonical"); err != nil {
+	if err := run(&p2, options{Reps: 1, Seed: 3, Offset: 3, Limit: 3, Stride: 1, MaxV: 500, Algs: "hdlts", Workers: 2, Mode: "canonical"}); err != nil {
 		t.Fatal(err)
 	}
 	wl := strings.Split(strings.TrimSpace(whole.String()), "\n")
@@ -75,7 +78,7 @@ func TestSweepShardsPartitionTheGrid(t *testing.T) {
 func TestSweepMaxVFilter(t *testing.T) {
 	var buf bytes.Buffer
 	// maxv 100 keeps only V=100 combos; take a stride crossing V groups.
-	if err := run(&buf, 1, 1, 0, 10, 5000, 100, "hdlts", 2, "canonical"); err != nil {
+	if err := run(&buf, options{Reps: 1, Seed: 1, Limit: 10, Stride: 5000, MaxV: 100, Algs: "hdlts", Workers: 2, Mode: "canonical"}); err != nil {
 		t.Fatal(err)
 	}
 	recs, err := csv.NewReader(&buf).ReadAll()
@@ -89,15 +92,51 @@ func TestSweepMaxVFilter(t *testing.T) {
 	}
 }
 
+// TestSweepEventsAndStats checks the -events JSONL sink and the -stats
+// registry dump on a tiny slice.
+func TestSweepEventsAndStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ev.jsonl")
+	var buf, errBuf bytes.Buffer
+	o := options{Reps: 1, Seed: 1, Limit: 2, Stride: 1, MaxV: 500, Algs: "hdlts,heft",
+		Workers: 1, Mode: "canonical", Events: path, Stats: true, Err: &errBuf}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no events written")
+	}
+	algs := map[string]bool{}
+	for i, ln := range lines {
+		var ev struct {
+			Alg string `json:"alg"`
+		}
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i+1, err, ln)
+		}
+		algs[ev.Alg] = true
+	}
+	if !algs["HDLTS"] || !algs["HEFT"] {
+		t.Fatalf("events missing algorithm stamps: %v", algs)
+	}
+	if !strings.Contains(errBuf.String(), "sched_commits_total") {
+		t.Fatalf("-stats output missing counters:\n%s", errBuf.String())
+	}
+}
+
 func TestSweepRejectsBadInput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 0, 1, 0, 1, 1, 0, "hdlts", 1, "canonical"); err == nil {
+	if err := run(&buf, options{Seed: 1, Limit: 1, Stride: 1, Algs: "hdlts", Workers: 1, Mode: "canonical"}); err == nil {
 		t.Error("zero reps accepted")
 	}
-	if err := run(&buf, 1, 1, 0, 1, 1, 0, "nosuch", 1, "canonical"); err == nil {
+	if err := run(&buf, options{Reps: 1, Seed: 1, Limit: 1, Stride: 1, Algs: "nosuch", Workers: 1, Mode: "canonical"}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run(&buf, 1, 1, 0, 1, 1, 0, "hdlts", 1, "weird"); err == nil {
+	if err := run(&buf, options{Reps: 1, Seed: 1, Limit: 1, Stride: 1, Algs: "hdlts", Workers: 1, Mode: "weird"}); err == nil {
 		t.Error("unknown mode accepted")
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"hdlts/internal/metrics"
+	"hdlts/internal/obs"
 	"hdlts/internal/sched"
 )
 
@@ -28,11 +29,18 @@ func main() {
 		problem  = flag.String("problem", "", "problem JSON file (required)")
 		schedule = flag.String("schedule", "", "schedule JSON file (required)")
 		compact  = flag.Bool("compact", false, "also compact the schedule and report recovered slack")
+		stats    = flag.Bool("stats", false, "print runtime metrics (validation timing) to stderr")
 	)
 	flag.Parse()
 	if err := run(os.Stdout, *problem, *schedule, *compact); err != nil {
 		fmt.Fprintln(os.Stderr, "validate:", err)
 		os.Exit(1)
+	}
+	if *stats {
+		if err := obs.Default().WritePrometheus(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "validate:", err)
+			os.Exit(1)
+		}
 	}
 }
 

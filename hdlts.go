@@ -8,6 +8,7 @@ import (
 	"hdlts/internal/dag"
 	"hdlts/internal/gen"
 	"hdlts/internal/metrics"
+	"hdlts/internal/obs"
 	"hdlts/internal/platform"
 	"hdlts/internal/registry"
 	"hdlts/internal/sched"
@@ -235,3 +236,55 @@ type Analysis = sched.Analysis
 func WriteGanttSVG(w io.Writer, s *Schedule, title string) error {
 	return viz.WriteGanttSVG(w, s, viz.GanttConfig{Title: title})
 }
+
+// Observability re-exports. Attach a Tracer to a Problem with
+// Problem.WithTracer to receive structured decision events from any
+// scheduler or the online executor; see docs/OBSERVABILITY.md.
+type (
+	// Tracer receives structured scheduling events; implementations must be
+	// safe for concurrent use. The default on every Problem is a no-op.
+	Tracer = obs.Tracer
+	// Event is one structured scheduling decision (iteration, PV, estimate,
+	// commit, dispatch, completion, failure, drain, or replan).
+	Event = obs.Event
+	// EventType discriminates Event records.
+	EventType = obs.EventType
+	// Stats is a registry of counters, gauges, and timing histograms with
+	// Prometheus-text and JSON exposition.
+	Stats = obs.Registry
+	// JSONLTracer streams events as JSON Lines (one object per line).
+	JSONLTracer = obs.JSONLSink
+	// ChromeTracer accumulates events into a Chrome trace-event JSON
+	// (chrome://tracing / Perfetto): one process track per algorithm, one
+	// thread lane per processor, one span per committed task execution.
+	ChromeTracer = obs.ChromeSink
+	// EventCollector buffers events in memory for tests and analysis.
+	EventCollector = obs.Collector
+)
+
+// NopTracer is the guaranteed-allocation-free tracer every untraced
+// Problem uses.
+var NopTracer = obs.Nop
+
+// NewJSONLTracer returns a tracer streaming events to w as JSON Lines.
+// Call Flush when done.
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return obs.NewJSONL(w) }
+
+// NewChromeTracer returns a tracer accumulating a Chrome trace; render it
+// with WriteJSON after scheduling.
+func NewChromeTracer() *ChromeTracer { return obs.NewChrome() }
+
+// NewEventCollector returns an in-memory event buffer.
+func NewEventCollector() *EventCollector { return obs.NewCollector() }
+
+// MultiTracer fans events out to several tracers.
+func MultiTracer(ts ...Tracer) Tracer { return obs.Multi(ts...) }
+
+// NamedTracer stamps un-attributed events with an algorithm name — use it
+// when tracing several algorithms into one sink.
+func NamedTracer(t Tracer, alg string) Tracer { return obs.Named(t, alg) }
+
+// DefaultStats returns the process-wide metrics registry populated by the
+// schedulers, the validator, the online executor, and the experiment
+// runner.
+func DefaultStats() *Stats { return obs.Default() }

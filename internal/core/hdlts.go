@@ -25,10 +25,15 @@ import (
 	"sort"
 
 	"hdlts/internal/dag"
+	"hdlts/internal/obs"
 	"hdlts/internal/platform"
 	"hdlts/internal/sched"
 	"hdlts/internal/stats"
 )
+
+// iterationCount totals ITQ iterations across all HDLTS runs in the
+// process (each iteration is one PV-ranked selection).
+var iterationCount = obs.Default().Counter("hdlts_iterations_total")
 
 // Options tune HDLTS variants. The zero value is NOT the paper's algorithm;
 // use DefaultOptions (or New) for the published configuration. The
@@ -131,10 +136,12 @@ func (h *HDLTS) ScheduleTrace(pr *sched.Problem) (*sched.Schedule, []Step, error
 }
 
 func (h *HDLTS) run(pr *sched.Problem, trace bool) (*sched.Schedule, []Step, error) {
+	defer obs.Phase(h.Name(), "schedule")()
 	pr = pr.Normalize()
 	g := pr.G
 	s := sched.NewSchedule(pr)
 	pol := h.policy()
+	tr := pr.Tracer()
 
 	n := g.NumTasks()
 	// remaining[t] counts unscheduled parents; tasks enter the ITQ at zero.
@@ -171,8 +178,11 @@ func (h *HDLTS) run(pr *sched.Problem, trace bool) (*sched.Schedule, []Step, err
 	}
 	var lastProc platform.Proc = -1
 	refreshAll := false
+	iter := 0
 
 	for len(itq) > 0 {
+		iter++
+		iterationCount.Inc()
 		sort.Slice(itq, func(i, j int) bool { return itq[i] < itq[j] })
 		pvs = pvs[:0]
 
@@ -232,6 +242,18 @@ func (h *HDLTS) run(pr *sched.Problem, trace bool) (*sched.Schedule, []Step, err
 					best = e
 				}
 			}
+		}
+		if tr.Enabled() {
+			// The generalised form of the Table-I trace: one PV event per
+			// ready task, then the iteration's selection. Commit events
+			// follow from the sched substrate.
+			for i, t := range itq {
+				tr.Emit(obs.Event{Type: obs.EvPV, Task: int(t), Proc: -1, Iter: iter, Value: pvs[i]})
+			}
+			tr.Emit(obs.Event{
+				Type: obs.EvIteration, Task: int(selected), Proc: int(best.Proc),
+				Iter: iter, Value: pvs[bestIdx], Dup: best.UseDuplicate,
+			})
 		}
 		if trace {
 			st := Step{

@@ -30,10 +30,20 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"hdlts/internal/dag"
+	"hdlts/internal/obs"
 	"hdlts/internal/platform"
 	"hdlts/internal/sched"
+)
+
+// Executor metrics (default obs registry). Pick latency is recorded per
+// policy under dynamic_pick_seconds{policy=...}.
+var (
+	dispatchCount = obs.Default().Counter("dynamic_dispatch_total")
+	completeCount = obs.Default().Counter("dynamic_complete_total")
+	failureCount  = obs.Default().Counter("dynamic_failures_total")
 )
 
 // Uncertainty configures run-time deviation from estimated costs.
@@ -168,11 +178,16 @@ type state struct {
 	r        *Reality
 	now      float64
 	avail    []float64 // per processor: when it is free again
+	start    []float64 // per task: actual start (−1 while pending)
 	finish   []float64 // per task: actual finish (−1 while pending)
 	proc     []platform.Proc
 	remain   []int // unscheduled-parent counts
 	ready    []dag.TaskID
 	unplaced int
+	// tr receives run-time events (dispatches, completions, failures,
+	// drains, replans), each stamped with the policy name in alg.
+	tr  obs.Tracer
+	alg string
 }
 
 // Policy decides, at each scheduling opportunity, which ready task to start
@@ -237,6 +252,14 @@ func (s *State) EstimatedEFT(t dag.TaskID, p platform.Proc) float64 {
 // policy, returning actual finish times. It returns an error if execution
 // deadlocks (cannot happen with live processors and a sane policy, but
 // guarded regardless).
+//
+// When the reality's problem carries a tracer (Problem.WithTracer), the
+// run streams typed events: one EvReplan per policy consultation, EvDispatch
+// and EvComplete per task (EvDrain when the task's processor had failed
+// mid-run), and one EvFailure per realised processor failure. All event
+// fields derive from simulation state, so a seeded run emits a
+// deterministic stream; policy decision latency goes to the metrics
+// registry instead (dynamic_pick_seconds{policy=...}).
 func Execute(r *Reality, pol Policy) (*Result, error) {
 	pr := r.pr
 	g := pr.G
@@ -244,12 +267,16 @@ func Execute(r *Reality, pol Policy) (*Result, error) {
 	st := &state{
 		r:        r,
 		avail:    make([]float64, pr.NumProcs()),
+		start:    make([]float64, n),
 		finish:   make([]float64, n),
 		proc:     make([]platform.Proc, n),
 		remain:   make([]int, n),
 		unplaced: n,
+		tr:       pr.Tracer(),
+		alg:      pol.Name(),
 	}
 	for t := 0; t < n; t++ {
+		st.start[t] = -1
 		st.finish[t] = -1
 		st.proc[t] = -1
 		st.remain[t] = g.InDegree(dag.TaskID(t))
@@ -257,6 +284,22 @@ func Execute(r *Reality, pol Policy) (*Result, error) {
 			st.ready = append(st.ready, dag.TaskID(t))
 		}
 	}
+	pickTime := obs.Default().Histogram("dynamic_pick_seconds", "policy", pol.Name())
+
+	// failed tracks which processor failures have been reported already.
+	failed := make([]bool, pr.NumProcs())
+	emitFailures := func(upTo float64) {
+		for q := range failed {
+			if !failed[q] && r.fail[q] <= upTo {
+				failed[q] = true
+				failureCount.Inc()
+				if st.tr.Enabled() {
+					st.tr.Emit(obs.Event{Type: obs.EvFailure, Alg: st.alg, Task: -1, Proc: q, Time: r.fail[q]})
+				}
+			}
+		}
+	}
+	emitFailures(st.now)
 
 	// Completion events drive time forward. pending tracks started-but-
 	// unfinished tasks by finish time.
@@ -274,11 +317,16 @@ func Execute(r *Reality, pol Policy) (*Result, error) {
 			sort.Slice(st.ready, func(i, j int) bool { return st.ready[i] < st.ready[j] })
 			view.Now = st.now
 			view.Ready = st.ready
+			if st.tr.Enabled() {
+				st.tr.Emit(obs.Event{Type: obs.EvReplan, Alg: st.alg, Task: -1, Proc: -1, Time: st.now, Value: float64(len(st.ready))})
+			}
+			pickStart := time.Now()
 			task, proc, ok := pol.Pick(view)
+			pickTime.ObserveSince(pickStart)
 			if !ok {
 				break
 			}
-			if err := st.start(task, proc); err != nil {
+			if err := st.startTask(task, proc); err != nil {
 				return nil, err
 			}
 			pending = append(pending, event{at: st.finish[task], task: task})
@@ -299,6 +347,17 @@ func Execute(r *Reality, pol Policy) (*Result, error) {
 		ev := pending[0]
 		pending = pending[1:]
 		st.now = ev.at
+		emitFailures(st.now)
+		completeCount.Inc()
+		if st.tr.Enabled() {
+			p := st.proc[ev.task]
+			st.tr.Emit(obs.Event{Type: obs.EvComplete, Alg: st.alg, Task: int(ev.task), Proc: int(p), Start: st.start[ev.task], Finish: ev.at})
+			if !r.Alive(p, ev.at) {
+				// The processor failed while the task was running; this
+				// completion is the graceful drain.
+				st.tr.Emit(obs.Event{Type: obs.EvDrain, Alg: st.alg, Task: int(ev.task), Proc: int(p), Time: ev.at, Finish: ev.at})
+			}
+		}
 		for _, a := range g.Succs(ev.task) {
 			st.remain[a.Task]--
 			if st.remain[a.Task] == 0 {
@@ -321,8 +380,9 @@ func Execute(r *Reality, pol Policy) (*Result, error) {
 	}, nil
 }
 
-// start begins task t on processor p at the earliest feasible actual time.
-func (st *state) start(t dag.TaskID, p platform.Proc) error {
+// startTask begins task t on processor p at the earliest feasible actual
+// time.
+func (st *state) startTask(t dag.TaskID, p platform.Proc) error {
 	if st.finish[t] >= 0 || st.proc[t] >= 0 {
 		return fmt.Errorf("dynamic: task %d started twice", t)
 	}
@@ -348,6 +408,7 @@ func (st *state) start(t dag.TaskID, p platform.Proc) error {
 		return fmt.Errorf("dynamic: task %d assigned to failed processor P%d", t, p+1)
 	}
 	st.proc[t] = p
+	st.start[t] = begin
 	st.finish[t] = begin + st.r.Exec(t, p)
 	st.avail[p] = st.finish[t]
 	// Remove from the ready set.
@@ -355,6 +416,10 @@ func (st *state) start(t dag.TaskID, p platform.Proc) error {
 		if id == t {
 			st.ready = append(st.ready[:i], st.ready[i+1:]...)
 			st.unplaced--
+			dispatchCount.Inc()
+			if st.tr.Enabled() {
+				st.tr.Emit(obs.Event{Type: obs.EvDispatch, Alg: st.alg, Task: int(t), Proc: int(p), Time: st.now, Start: begin, Finish: st.finish[t]})
+			}
 			return nil
 		}
 	}

@@ -15,11 +15,18 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"hdlts/internal/metrics"
+	"hdlts/internal/obs"
 	"hdlts/internal/sched"
 	"hdlts/internal/stats"
 )
+
+// Runner metrics (default obs registry): completed repetitions and their
+// wall-clock cost, one histogram series per experiment.
+var repCount = obs.Default().Counter("experiments_reps_total")
 
 // Metric names accepted by experiments.
 const (
@@ -63,8 +70,15 @@ type Config struct {
 	// Validate re-checks every schedule's feasibility (slower; used by
 	// integration tests).
 	Validate bool
-	// Progress, when non-nil, receives a line per completed x-point.
+	// Progress, when non-nil, receives a line per queued and per completed
+	// x-point (with wall-clock elapsed) plus a final summary line. It may
+	// be called from multiple goroutines; Run serialises the calls.
 	Progress func(string)
+	// Tracer, when non-nil, receives decision events from every schedule
+	// computed by the campaign, stamped with the algorithm name. With
+	// Workers > 1 the interleaving across repetitions is nondeterministic;
+	// use Workers: 1 for reproducible streams.
+	Tracer obs.Tracer
 }
 
 // Series is one algorithm's curve across the x-axis.
@@ -139,11 +153,33 @@ func Run(e Experiment, cfg Config) (*Table, error) {
 		mu.Unlock()
 	}
 
+	start := time.Now()
+	var progMu sync.Mutex
+	progress := func(format string, args ...any) {
+		if cfg.Progress == nil {
+			return
+		}
+		progMu.Lock()
+		cfg.Progress(fmt.Sprintf(format, args...))
+		progMu.Unlock()
+	}
+	// left[x] counts outstanding repetitions so the worker finishing the
+	// last one can report the x-point complete with wall-clock elapsed.
+	left := make([]atomic.Int64, len(e.X))
+	totalReps := 0
+	for x := range e.X {
+		n := int64(repsAt(x))
+		left[x].Store(n)
+		totalReps += int(n)
+	}
+	repTime := obs.Default().Histogram("experiments_rep_seconds", "experiment", e.Name)
+
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				repStart := time.Now()
 				rng := rand.New(rand.NewSource(subSeed(cfg.Seed, e.Name, j.x, j.rep)))
 				pr, err := e.Gen[j.x](j.rep, rng)
 				if err != nil {
@@ -151,7 +187,11 @@ func Run(e Experiment, cfg Config) (*Table, error) {
 					continue
 				}
 				for ai, alg := range cfg.Algorithms {
-					s, err := alg.Schedule(pr)
+					prA := pr
+					if cfg.Tracer != nil && cfg.Tracer.Enabled() {
+						prA = pr.WithTracer(obs.Named(cfg.Tracer, alg.Name()))
+					}
+					s, err := alg.Schedule(prA)
 					if err != nil {
 						setErr(fmt.Errorf("experiments: %s x=%s rep=%d alg=%s: %w", e.Name, e.X[j.x], j.rep, alg.Name(), err))
 						continue
@@ -170,6 +210,12 @@ func Run(e Experiment, cfg Config) (*Table, error) {
 					// Each (x, alg, rep) cell is written by exactly one job.
 					vals[j.x][ai][j.rep] = v
 				}
+				repTime.ObserveSince(repStart)
+				repCount.Inc()
+				if left[j.x].Add(-1) == 0 {
+					progress("%s: %s=%s done (%d reps, %v elapsed)",
+						e.Name, e.XLabel, e.X[j.x], repsAt(j.x), time.Since(start).Round(time.Millisecond))
+				}
 			}
 		}()
 	}
@@ -179,12 +225,12 @@ func Run(e Experiment, cfg Config) (*Table, error) {
 		for rep := 0; rep < reps; rep++ {
 			jobs <- job{x: x, rep: rep}
 		}
-		if cfg.Progress != nil {
-			cfg.Progress(fmt.Sprintf("%s: queued %s=%s (%d reps)", e.Name, e.XLabel, e.X[x], reps))
-		}
+		progress("%s: queued %s=%s (%d reps)", e.Name, e.XLabel, e.X[x], reps)
 	}
 	close(jobs)
 	wg.Wait()
+	progress("%s: %d reps across %d x-points in %v",
+		e.Name, totalReps, len(e.X), time.Since(start).Round(time.Millisecond))
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -210,7 +210,13 @@ func TestProgressCallback(t *testing.T) {
 	if _, err := Run(e, cfg); err != nil {
 		t.Fatal(err)
 	}
-	if len(mu) != len(e.X) {
-		t.Fatalf("progress lines = %d, want %d", len(mu), len(e.X))
+	// One queued and one completion line per x-point, plus a final
+	// wall-clock summary.
+	if want := 2*len(e.X) + 1; len(mu) != want {
+		t.Fatalf("progress lines = %d, want %d:\n%s", len(mu), want, strings.Join(mu, "\n"))
+	}
+	last := mu[len(mu)-1]
+	if !strings.Contains(last, "x-points in") {
+		t.Fatalf("missing wall-clock summary line, got %q", last)
 	}
 }

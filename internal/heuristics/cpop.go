@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"hdlts/internal/dag"
+	"hdlts/internal/obs"
 	"hdlts/internal/platform"
 	"hdlts/internal/sched"
 )
@@ -51,6 +52,7 @@ func (q *priorityQueue) Pop() any {
 
 // Schedule implements sched.Algorithm.
 func (c *CPOP) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
+	defer obs.Phase("CPOP", "schedule")()
 	pr = pr.Normalize()
 	g := pr.G
 	up, err := UpwardRank(pr, meanNode(pr))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hdlts/internal/dag"
+	"hdlts/internal/obs"
 	"hdlts/internal/sched"
 )
 
@@ -18,6 +19,7 @@ import (
 // commit it. Estimates use insertion-based placement, the stronger and more
 // common choice for these heuristics.
 func greedyRun(name string, pr *sched.Problem, pick func(best []sched.Estimate) int) (*sched.Schedule, error) {
+	defer obs.Phase(name, "schedule")()
 	pr = pr.Normalize()
 	g := pr.G
 	s := sched.NewSchedule(pr)

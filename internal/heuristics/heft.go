@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"hdlts/internal/obs"
 	"hdlts/internal/sched"
 )
 
@@ -24,12 +25,15 @@ func (*HEFT) Name() string { return "HEFT" }
 
 // Schedule implements sched.Algorithm.
 func (h *HEFT) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
+	defer obs.Phase("HEFT", "schedule")()
 	pr = pr.Normalize()
+	stopRank := obs.Phase("HEFT", "rank")
 	rank, err := UpwardRank(pr, meanNode(pr))
 	if err != nil {
 		return nil, err
 	}
 	order, err := orderByRankDesc(pr.G, rank)
+	stopRank()
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 
 	"hdlts/internal/dag"
+	"hdlts/internal/obs"
 	"hdlts/internal/platform"
 	"hdlts/internal/sched"
 )
@@ -70,6 +71,7 @@ func oct(pr *sched.Problem) ([][]float64, error) {
 
 // Schedule implements sched.Algorithm.
 func (pe *PEFT) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
+	defer obs.Phase("PEFT", "schedule")()
 	pr = pr.Normalize()
 	g := pr.G
 	table, err := oct(pr)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"hdlts/internal/dag"
+	"hdlts/internal/obs"
 	"hdlts/internal/sched"
 )
 
@@ -33,6 +34,7 @@ func (*PETS) Name() string { return "PETS" }
 
 // Schedule implements sched.Algorithm.
 func (p *PETS) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
+	defer obs.Phase("PETS", "schedule")()
 	pr = pr.Normalize()
 	g := pr.G
 	levels, err := g.Levels()

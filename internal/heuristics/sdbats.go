@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"hdlts/internal/obs"
 	"hdlts/internal/platform"
 	"hdlts/internal/sched"
 )
@@ -28,6 +29,7 @@ func (*SDBATS) Name() string { return "SDBATS" }
 
 // Schedule implements sched.Algorithm.
 func (sd *SDBATS) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
+	defer obs.Phase("SDBATS", "schedule")()
 	pr = pr.Normalize()
 	rank, err := UpwardRank(pr, sigmaNode(pr))
 	if err != nil {

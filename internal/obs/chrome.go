@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// ChromeSink accumulates events and renders them in the Chrome trace-event
+// format (the JSON object form with a "traceEvents" array), loadable in
+// chrome://tracing and Perfetto.
+//
+// Mapping: each algorithm (Event.Alg) becomes a process track, each
+// processor a thread track within it; task executions (EvCommit for offline
+// schedules, EvComplete for online runs) become complete ("X") spans, and
+// processor failures become instant ("i") events. Schedule time units are
+// scaled by Scale into trace microseconds (default: 1 unit = 1 ms, so
+// makespans read directly in the ms ruler).
+type ChromeSink struct {
+	mu sync.Mutex
+	// Scale converts one schedule/simulation time unit into trace
+	// microseconds. The default 1000 renders one unit as one millisecond.
+	scale float64
+	spans []chromeSpan
+	insts []chromeInstant
+}
+
+type chromeSpan struct {
+	alg        string
+	proc       int
+	task       int
+	start, dur float64
+	dup        bool
+}
+
+type chromeInstant struct {
+	alg  string
+	proc int
+	name string
+	ts   float64
+}
+
+// NewChrome returns an empty Chrome trace sink with the default time scale
+// (one schedule unit = one millisecond).
+func NewChrome() *ChromeSink { return &ChromeSink{scale: 1000} }
+
+// SetScale changes how many trace microseconds one schedule unit spans.
+func (c *ChromeSink) SetScale(unitsToMicros float64) *ChromeSink {
+	c.mu.Lock()
+	if unitsToMicros > 0 {
+		c.scale = unitsToMicros
+	}
+	c.mu.Unlock()
+	return c
+}
+
+// Enabled implements Tracer.
+func (c *ChromeSink) Enabled() bool { return true }
+
+// Emit implements Tracer.
+func (c *ChromeSink) Emit(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch ev.Type {
+	case EvCommit, EvComplete, EvDispatch:
+		// Dispatch and completion describe the same span in online runs;
+		// keep completions (they exist for every finished task) and
+		// commits (offline), drop dispatches to avoid double spans.
+		if ev.Type == EvDispatch {
+			return
+		}
+		c.spans = append(c.spans, chromeSpan{
+			alg:   ev.Alg,
+			proc:  ev.Proc,
+			task:  ev.Task,
+			start: ev.Start,
+			dur:   ev.Finish - ev.Start,
+			dup:   ev.Dup,
+		})
+	case EvFailure:
+		c.insts = append(c.insts, chromeInstant{alg: ev.Alg, proc: ev.Proc, name: "failure", ts: ev.Time})
+	case EvReplan:
+		c.insts = append(c.insts, chromeInstant{alg: ev.Alg, proc: ev.Proc, name: "replan", ts: ev.Time})
+	}
+}
+
+// traceEvent is one entry of the traceEvents array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSON renders the accumulated trace as Chrome trace-event JSON. It may
+// be called repeatedly; each call renders the full current content.
+func (c *ChromeSink) WriteJSON(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Assign stable pids: algorithms in first-seen order.
+	pid := map[string]int{}
+	pidOf := func(alg string) int {
+		if id, ok := pid[alg]; ok {
+			return id
+		}
+		id := len(pid) + 1
+		pid[alg] = id
+		return id
+	}
+	for _, s := range c.spans {
+		pidOf(s.alg)
+	}
+	for _, i := range c.insts {
+		pidOf(i.alg)
+	}
+
+	var evs []traceEvent
+	// Process/thread name metadata, in pid order for determinism.
+	algs := make([]string, 0, len(pid))
+	for alg := range pid {
+		algs = append(algs, alg)
+	}
+	sort.Slice(algs, func(i, j int) bool { return pid[algs[i]] < pid[algs[j]] })
+	procs := map[[2]int]bool{}
+	for _, s := range c.spans {
+		procs[[2]int{pid[s.alg], s.proc}] = true
+	}
+	for _, i := range c.insts {
+		if i.proc >= 0 {
+			procs[[2]int{pid[i.alg], i.proc}] = true
+		}
+	}
+	for _, alg := range algs {
+		name := alg
+		if name == "" {
+			name = "schedule"
+		}
+		evs = append(evs, traceEvent{
+			Name: "process_name", Ph: "M", PID: pid[alg],
+			Args: map[string]any{"name": name},
+		})
+	}
+	tids := make([][2]int, 0, len(procs))
+	for k := range procs {
+		tids = append(tids, k)
+	}
+	sort.Slice(tids, func(i, j int) bool {
+		if tids[i][0] != tids[j][0] {
+			return tids[i][0] < tids[j][0]
+		}
+		return tids[i][1] < tids[j][1]
+	})
+	for _, k := range tids {
+		evs = append(evs, traceEvent{
+			Name: "thread_name", Ph: "M", PID: k[0], TID: k[1],
+			Args: map[string]any{"name": fmt.Sprintf("P%d", k[1]+1)},
+		})
+	}
+
+	for _, s := range c.spans {
+		name := fmt.Sprintf("T%d", s.task+1)
+		if s.dup {
+			name += " (+dup)"
+		}
+		evs = append(evs, traceEvent{
+			Name: name, Ph: "X", PID: pid[s.alg], TID: s.proc,
+			TS: s.start * c.scale, Dur: s.dur * c.scale,
+			Args: map[string]any{"task": s.task, "start": s.start, "finish": s.start + s.dur},
+		})
+	}
+	for _, i := range c.insts {
+		tid := i.proc
+		if tid < 0 {
+			tid = 0
+		}
+		evs = append(evs, traceEvent{
+			Name: i.name, Ph: "i", PID: pid[i.alg], TID: tid,
+			TS: i.ts * c.scale, S: "p",
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     evs,
+		"displayTimeUnit": "ms",
+	})
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// lineEvent is the JSON Lines wire form of an Event. Field order is fixed,
+// so identical event sequences serialise to identical bytes.
+type lineEvent struct {
+	Seq    uint64  `json:"seq"`
+	Ev     string  `json:"ev"`
+	WallNS int64   `json:"wall_ns,omitempty"`
+	Alg    string  `json:"alg,omitempty"`
+	Task   int     `json:"task"`
+	Proc   int     `json:"proc"`
+	Iter   int     `json:"iter,omitempty"`
+	Time   float64 `json:"t,omitempty"`
+	Start  float64 `json:"start,omitempty"`
+	Finish float64 `json:"finish,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	Dup    bool    `json:"dup,omitempty"`
+}
+
+// JSONLSink writes one JSON object per event, one event per line. By
+// default the stream is deterministic — events carry a sequence number but
+// no wall-clock timestamp; WallClock(true) opts in to wall_ns fields.
+type JSONLSink struct {
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	enc  *json.Encoder
+	seq  uint64
+	wall bool
+	err  error
+}
+
+// NewJSONL returns a sink writing JSON Lines to w. Call Flush (or Close on
+// the underlying file after Flush) when done.
+func NewJSONL(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// WallClock enables wall-clock timestamps on every event. Streams with
+// wall clocks are not byte-reproducible across runs.
+func (s *JSONLSink) WallClock(on bool) *JSONLSink {
+	s.mu.Lock()
+	s.wall = on
+	s.mu.Unlock()
+	return s
+}
+
+// Enabled implements Tracer.
+func (s *JSONLSink) Enabled() bool { return true }
+
+// Emit implements Tracer.
+func (s *JSONLSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.seq++
+	le := lineEvent{
+		Seq:    s.seq,
+		Ev:     ev.Type.String(),
+		Alg:    ev.Alg,
+		Task:   ev.Task,
+		Proc:   ev.Proc,
+		Iter:   ev.Iter,
+		Time:   ev.Time,
+		Start:  ev.Start,
+		Finish: ev.Finish,
+		Value:  ev.Value,
+		Dup:    ev.Dup,
+	}
+	if s.wall {
+		le.WallNS = time.Now().UnixNano()
+	}
+	s.err = s.enc.Encode(le)
+}
+
+// Flush writes buffered lines through and reports the first emit or write
+// error.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}

@@ -1,0 +1,315 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic float64 that can move in both directions.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// defBuckets are the default histogram upper bounds, tuned for seconds:
+// 1µs … 10s in decades, with a sub-decade point each.
+var defBuckets = []float64{
+	1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3,
+	1e-2, 5e-2, 0.1, 0.5, 1, 5, 10,
+}
+
+// Histogram is a fixed-bucket timing/size histogram with atomic cells. The
+// +Inf bucket is implicit (Count minus the last cumulative bucket).
+type Histogram struct {
+	bounds []float64      // upper bounds, ascending
+	cells  []atomic.Int64 // observation count per bucket (non-cumulative)
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = defBuckets
+	}
+	return &Histogram{bounds: bounds, cells: make([]atomic.Int64, len(bounds))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary-search the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(h.cells) {
+		h.cells[lo].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed wall time since start, in seconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Mean returns Sum/Count (zero for an empty histogram).
+func (h *Histogram) Mean() float64 {
+	if n := h.Count(); n > 0 {
+		return h.Sum() / float64(n)
+	}
+	return 0
+}
+
+// metricKey identifies one metric series: a name plus rendered labels.
+type metricKey struct {
+	name   string
+	labels string // rendered {k="v",...} suffix, "" when unlabelled
+}
+
+// Registry holds named metrics and renders them in Prometheus text or JSON
+// form. Metric accessors are get-or-create and safe for concurrent use; the
+// returned values are shared, so callers typically cache them in package
+// variables.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[metricKey]*Counter
+	gauges   map[metricKey]*Gauge
+	hists    map[metricKey]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[metricKey]*Counter{},
+		gauges:   map[metricKey]*Gauge{},
+		hists:    map[metricKey]*Histogram{},
+	}
+}
+
+// defaultRegistry is the process-wide registry the library records into.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// key renders the series key for name and k1,v1,k2,v2,... label pairs.
+func key(name string, labels []string) metricKey {
+	if len(labels) == 0 {
+		return metricKey{name: name}
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list for %s: %v", name, labels))
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return metricKey{name: name, labels: b.String()}
+}
+
+// Counter returns the counter for name and optional k,v label pairs,
+// creating it on first use.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	k := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for name and optional k,v label pairs.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	k := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram for name and optional k,v label pairs.
+// All series of one name share the default bucket bounds.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	k := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[k]
+	if !ok {
+		h = newHistogram(nil)
+		r.hists[k] = h
+	}
+	return h
+}
+
+// Reset drops every registered metric (tests and fresh CLI runs).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = map[metricKey]*Counter{}
+	r.gauges = map[metricKey]*Gauge{}
+	r.hists = map[metricKey]*Histogram{}
+}
+
+// sortedKeys returns map keys ordered by name then label string, so
+// exposition is deterministic.
+func sortedKeys[V any](m map[metricKey]V) []metricKey {
+	ks := make([]metricKey, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].name != ks[j].name {
+			return ks[i].name < ks[j].name
+		}
+		return ks[i].labels < ks[j].labels
+	})
+	return ks
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (histograms as cumulative _bucket/_sum/_count series).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, k := range sortedKeys(r.counters) {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", k.name, k.labels, r.counters[k].Value()); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(r.gauges) {
+		if _, err := fmt.Fprintf(w, "%s%s %g\n", k.name, k.labels, r.gauges[k].Value()); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(r.hists) {
+		h := r.hists[k]
+		cum := int64(0)
+		for i, ub := range h.bounds {
+			cum += h.cells[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", k.name, mergeLabels(k.labels, fmt.Sprintf("le=%q", fmtBound(ub))), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", k.name, mergeLabels(k.labels, `le="+Inf"`), h.Count()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", k.name, k.labels, h.Sum()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", k.name, k.labels, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtBound renders a bucket bound the way Prometheus clients do.
+func fmtBound(v float64) string { return fmt.Sprintf("%g", v) }
+
+// mergeLabels splices extra into a rendered {..} label suffix.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// jsonMetric is the JSON exposition of one series.
+type jsonMetric struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Kind   string  `json:"kind"`
+	Value  float64 `json:"value,omitempty"`
+	Count  int64   `json:"count,omitempty"`
+	Sum    float64 `json:"sum,omitempty"`
+	Mean   float64 `json:"mean,omitempty"`
+}
+
+// WriteJSON renders every metric as one JSON array (counters and gauges
+// with value; histograms with count, sum, and mean).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []jsonMetric
+	for _, k := range sortedKeys(r.counters) {
+		out = append(out, jsonMetric{Name: k.name, Labels: k.labels, Kind: "counter", Value: float64(r.counters[k].Value())})
+	}
+	for _, k := range sortedKeys(r.gauges) {
+		out = append(out, jsonMetric{Name: k.name, Labels: k.labels, Kind: "gauge", Value: r.gauges[k].Value()})
+	}
+	for _, k := range sortedKeys(r.hists) {
+		h := r.hists[k]
+		out = append(out, jsonMetric{Name: k.name, Labels: k.labels, Kind: "histogram", Count: h.Count(), Sum: h.Sum(), Mean: h.Mean()})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Phase starts a wall-clock timer for one algorithm phase and returns the
+// stop function; stopping records the elapsed seconds into the default
+// registry's "sched_phase_seconds" histogram labelled by algorithm and
+// phase. Usage:
+//
+//	defer obs.Phase("HEFT", "rank")()
+func Phase(alg, phase string) func() {
+	h := defaultRegistry.Histogram("sched_phase_seconds", "alg", alg, "phase", phase)
+	start := time.Now()
+	return func() { h.ObserveSince(start) }
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestEventTypeStrings(t *testing.T) {
+	cases := map[EventType]string{
+		EvIteration:   "iteration",
+		EvPV:          "pv",
+		EvEstimate:    "estimate",
+		EvCommit:      "commit",
+		EvDispatch:    "dispatch",
+		EvComplete:    "complete",
+		EvFailure:     "failure",
+		EvDrain:       "drain",
+		EvReplan:      "replan",
+		EventType(99): "unknown",
+	}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("EventType(%d).String() = %q, want %q", ty, got, want)
+		}
+	}
+}
+
+func TestNopIsDisabledAndAllocationFree(t *testing.T) {
+	if Nop.Enabled() {
+		t.Fatal("Nop.Enabled() = true")
+	}
+	// The event hot path through the no-op tracer must not allocate: this
+	// is the guarantee that lets every scheduler stay instrumented
+	// unconditionally.
+	allocs := testing.AllocsPerRun(1000, func() {
+		if Nop.Enabled() {
+			t.Fatal("unreachable")
+		}
+		Nop.Emit(Event{Type: EvCommit, Alg: "HDLTS", Task: 3, Proc: 1, Start: 27, Finish: 40})
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op emit allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestOrNop(t *testing.T) {
+	if OrNop(nil) != Nop {
+		t.Error("OrNop(nil) != Nop")
+	}
+	c := NewCollector()
+	if OrNop(c) != Tracer(c) {
+		t.Error("OrNop(c) != c")
+	}
+}
+
+func TestNamedStampsMissingAlg(t *testing.T) {
+	c := NewCollector()
+	tr := Named(c, "HEFT")
+	if !tr.Enabled() {
+		t.Fatal("named collector should be enabled")
+	}
+	tr.Emit(Event{Type: EvCommit, Task: 1})
+	tr.Emit(Event{Type: EvCommit, Task: 2, Alg: "CPOP"})
+	evs := c.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Alg != "HEFT" {
+		t.Errorf("blank alg not stamped: %q", evs[0].Alg)
+	}
+	if evs[1].Alg != "CPOP" {
+		t.Errorf("explicit alg overwritten: %q", evs[1].Alg)
+	}
+	if Named(nil, "X") != Nop || Named(Nop, "X") != Nop {
+		t.Error("Named of nil/Nop should collapse to Nop")
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != Nop || Multi(nil, Nop) != Nop {
+		t.Error("empty Multi should collapse to Nop")
+	}
+	a, b := NewCollector(), NewCollector()
+	if Multi(a, nil) != Tracer(a) {
+		t.Error("single-tracer Multi should unwrap")
+	}
+	m := Multi(a, Nop, b)
+	if !m.Enabled() {
+		t.Fatal("multi with live tracers should be enabled")
+	}
+	m.Emit(Event{Type: EvDispatch, Task: 7})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fan-out failed: a=%d b=%d", a.Len(), b.Len())
+	}
+}
+
+func TestCollectorResetAndCopy(t *testing.T) {
+	c := NewCollector()
+	c.Emit(Event{Type: EvPV, Task: 0, Value: 1.5})
+	evs := c.Events()
+	evs[0].Value = -1 // mutation must not leak back
+	if got := c.Events()[0].Value; got != 1.5 {
+		t.Errorf("Events returned aliased storage: %g", got)
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Errorf("Reset left %d events", c.Len())
+	}
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func emitSample(tr Tracer) {
+	tr.Emit(Event{Type: EvIteration, Alg: "HDLTS", Task: 2, Proc: 0, Iter: 1, Value: 9.5})
+	tr.Emit(Event{Type: EvCommit, Alg: "HDLTS", Task: 2, Proc: 0, Start: 0, Finish: 14})
+	tr.Emit(Event{Type: EvCommit, Alg: "HDLTS", Task: 4, Proc: 1, Start: 14, Finish: 73, Dup: true})
+	tr.Emit(Event{Type: EvCommit, Alg: "HEFT", Task: 2, Proc: 2, Start: 0, Finish: 80})
+	tr.Emit(Event{Type: EvFailure, Alg: "HDLTS-online", Task: -1, Proc: 1, Time: 150})
+	tr.Emit(Event{Type: EvComplete, Alg: "HDLTS-online", Task: 5, Proc: 2, Start: 10, Finish: 20})
+	tr.Emit(Event{Type: EvDispatch, Alg: "HDLTS-online", Task: 6, Proc: 2, Time: 20, Start: 20, Finish: 31})
+	tr.Emit(Event{Type: EvReplan, Alg: "HDLTS-online", Task: -1, Proc: -1, Time: 20, Value: 3})
+}
+
+func TestJSONLDeterministicStream(t *testing.T) {
+	var a, b bytes.Buffer
+	sa, sb := NewJSONL(&a), NewJSONL(&b)
+	emitSample(sa)
+	emitSample(sb)
+	if err := sa.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("identical event sequences produced different bytes:\n%s\n---\n%s", a.String(), b.String())
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("got %d lines, want 8", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 is not JSON: %v", err)
+	}
+	if first["ev"] != "iteration" || first["alg"] != "HDLTS" || first["seq"].(float64) != 1 {
+		t.Errorf("unexpected first line: %v", first)
+	}
+	if _, ok := first["wall_ns"]; ok {
+		t.Error("deterministic stream carries wall-clock timestamps")
+	}
+}
+
+func TestJSONLWallClockOptIn(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf).WallClock(true)
+	s.Emit(Event{Type: EvCommit, Task: 0, Proc: 0, Finish: 1})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := line["wall_ns"]; !ok {
+		t.Errorf("wall_ns missing with WallClock(true): %v", line)
+	}
+}
+
+// chromeDoc parses the sink output for assertions.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestChromeSinkTracksAndSpans(t *testing.T) {
+	c := NewChrome()
+	emitSample(c)
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid Chrome trace JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// One process per algorithm, stamped via metadata.
+	pids := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			pids[ev.Args["name"].(string)] = ev.PID
+		}
+	}
+	for _, alg := range []string{"HDLTS", "HEFT", "HDLTS-online"} {
+		if _, ok := pids[alg]; !ok {
+			t.Errorf("missing process track for %s (have %v)", alg, pids)
+		}
+	}
+	// HDLTS track max span end = 73 schedule units (the makespan), at the
+	// default 1 unit = 1000 µs scale. Dispatches must not double spans.
+	maxEnd, spans := 0.0, 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.PID == pids["HDLTS"] {
+			if end := (ev.TS + ev.Dur) / 1000; end > maxEnd {
+				maxEnd = end
+			}
+		}
+		if ev.PID == pids["HDLTS-online"] {
+			spans++
+		}
+	}
+	if maxEnd != 73 {
+		t.Errorf("HDLTS track ends at %g, want 73", maxEnd)
+	}
+	if spans != 1 {
+		t.Errorf("online track has %d spans, want 1 (dispatch must not duplicate complete)", spans)
+	}
+	// The duplicate commit is marked in the span name.
+	foundDup, foundFail := false, false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && strings.Contains(ev.Name, "+dup") {
+			foundDup = true
+		}
+		if ev.Ph == "i" && ev.Name == "failure" {
+			foundFail = true
+		}
+	}
+	if !foundDup {
+		t.Error("duplicate span not marked")
+	}
+	if !foundFail {
+		t.Error("failure instant missing")
+	}
+}
+
+func TestChromeSetScale(t *testing.T) {
+	c := NewChrome().SetScale(1)
+	c.Emit(Event{Type: EvCommit, Alg: "A", Task: 0, Proc: 0, Start: 5, Finish: 9})
+	c.SetScale(0) // ignored
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			if ev.TS != 5 || ev.Dur != 4 {
+				t.Errorf("scale 1 span = (ts %g, dur %g), want (5, 4)", ev.TS, ev.Dur)
+			}
+			return
+		}
+	}
+	t.Fatal("no span rendered")
+}

@@ -5,7 +5,17 @@ import (
 	"math"
 
 	"hdlts/internal/dag"
+	"hdlts/internal/obs"
 	"hdlts/internal/platform"
+)
+
+// Substrate-level metrics: every scheduler funnels through Estimate and
+// Commit, so these counters measure decision cost uniformly across
+// algorithms. They live in the default obs registry.
+var (
+	estimateCount  = obs.Default().Counter("sched_estimates_total")
+	commitCount    = obs.Default().Counter("sched_commits_total")
+	duplicateCount = obs.Default().Counter("sched_duplicates_total")
 )
 
 // Policy selects how EST/EFT are computed and how tasks are committed onto
@@ -102,6 +112,7 @@ func (s *Schedule) ReadyTime(t dag.TaskID, p platform.Proc, pol Policy) (ready f
 // strictly reduce EST is discarded, implementing "duplicate the entry task
 // only if it helps to reduce the overall application execution time").
 func (s *Schedule) Estimate(t dag.TaskID, p platform.Proc, pol Policy) (Estimate, error) {
+	estimateCount.Inc()
 	dur := s.prob.Exec(t, p)
 
 	est := func(ready float64) float64 {
@@ -137,6 +148,9 @@ func (s *Schedule) Estimate(t dag.TaskID, p platform.Proc, pol Policy) (Estimate
 		}
 	}
 	e.EFT = e.EST + dur
+	if tr := s.prob.Tracer(); tr.Enabled() {
+		tr.Emit(obs.Event{Type: obs.EvEstimate, Task: int(t), Proc: int(p), Start: e.EST, Finish: e.EFT, Dup: e.UseDuplicate})
+	}
 	return e, nil
 }
 
@@ -196,6 +210,17 @@ func (s *Schedule) Commit(e Estimate) error {
 		if err := s.PlaceDuplicate(e.DupTask, e.Proc, e.DupStart); err != nil {
 			return err
 		}
+		duplicateCount.Inc()
+		if tr := s.prob.Tracer(); tr.Enabled() {
+			tr.Emit(obs.Event{Type: obs.EvCommit, Task: int(e.DupTask), Proc: int(e.Proc), Start: e.DupStart, Finish: e.DupFinish, Dup: true})
+		}
 	}
-	return s.Place(e.Task, e.Proc, e.EST)
+	if err := s.Place(e.Task, e.Proc, e.EST); err != nil {
+		return err
+	}
+	commitCount.Inc()
+	if tr := s.prob.Tracer(); tr.Enabled() {
+		tr.Emit(obs.Event{Type: obs.EvCommit, Task: int(e.Task), Proc: int(e.Proc), Start: e.EST, Finish: e.EFT})
+	}
+	return nil
 }

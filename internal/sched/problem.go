@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"hdlts/internal/dag"
+	"hdlts/internal/obs"
 	"hdlts/internal/platform"
 )
 
@@ -21,7 +22,23 @@ type Problem struct {
 	G *dag.Graph
 	P *platform.Platform
 	W *platform.Costs
+
+	// tracer receives decision events from any scheduler run against this
+	// problem; nil means no tracing (Tracer() returns obs.Nop).
+	tracer obs.Tracer
 }
+
+// WithTracer returns a shallow copy of the problem whose schedulers emit
+// decision events to t. The copy shares G, P, and W with the receiver;
+// Normalize propagates the tracer.
+func (pr *Problem) WithTracer(t obs.Tracer) *Problem {
+	cp := *pr
+	cp.tracer = obs.OrNop(t)
+	return &cp
+}
+
+// Tracer returns the problem's tracer, obs.Nop when none was attached.
+func (pr *Problem) Tracer() obs.Tracer { return obs.OrNop(pr.tracer) }
 
 // NewProblem validates shape compatibility and workflow well-formedness and
 // returns the bundled problem.
@@ -57,7 +74,7 @@ func (pr *Problem) Normalize() *Problem {
 		return pr
 	}
 	extra := g.NumTasks() - pr.G.NumTasks()
-	return &Problem{G: g, P: pr.P, W: pr.W.ExtendZeroRows(extra)}
+	return &Problem{G: g, P: pr.P, W: pr.W.ExtendZeroRows(extra), tracer: pr.tracer}
 }
 
 // Exec returns W(t, p), the execution time of task t on processor p.

@@ -4,9 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"hdlts/internal/dag"
+	"hdlts/internal/obs"
 )
+
+// validateTime records full feasibility re-checks, which dominate
+// experiment runs with Config.Validate set.
+var validateTime = obs.Default().Histogram("sched_validate_seconds")
 
 // ErrIncomplete is wrapped by Validate when some task has no placement.
 var ErrIncomplete = errors.New("sched: schedule is incomplete")
@@ -30,6 +36,7 @@ const eps = 1e-9
 //
 // It returns nil for a feasible schedule.
 func (s *Schedule) Validate() error {
+	defer validateTime.ObserveSince(time.Now())
 	g := s.prob.G
 	for t := 0; t < s.prob.NumTasks(); t++ {
 		id := dag.TaskID(t)

@@ -1,0 +1,115 @@
+package hdlts_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hdlts"
+)
+
+// traceOnce schedules one seeded 200-task problem with every algorithm,
+// streaming all events into one JSONL buffer via the public API.
+func traceOnce(t *testing.T) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	pr, err := hdlts.RandomProblem(hdlts.GenParams{V: 200, Alpha: 1.5, Density: 3, CCR: 2, Procs: 6, WDAG: 80, Beta: 1.2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink := hdlts.NewJSONLTracer(&buf)
+	for _, alg := range hdlts.Algorithms() {
+		prA := pr.WithTracer(hdlts.NamedTracer(sink, alg.Name()))
+		if _, err := alg.Schedule(prA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestJSONLStreamDeterministic is the issue's determinism satellite: the
+// same seeded problem traced twice must produce byte-identical JSONL
+// streams — events carry sequence numbers, never wall-clock timestamps,
+// unless WallClock is opted into.
+func TestJSONLStreamDeterministic(t *testing.T) {
+	a := traceOnce(t)
+	b := traceOnce(t)
+	if !bytes.Equal(a, b) {
+		al := strings.Split(string(a), "\n")
+		bl := strings.Split(string(b), "\n")
+		for i := range al {
+			if i >= len(bl) || al[i] != bl[i] {
+				t.Fatalf("JSONL streams diverge at line %d:\n%s\n%s", i+1, al[i], bl[i])
+			}
+		}
+		t.Fatalf("JSONL streams differ in length: %d vs %d bytes", len(a), len(b))
+	}
+	if !json.Valid([]byte(strings.SplitN(string(a), "\n", 2)[0])) {
+		t.Fatal("first event line is not valid JSON")
+	}
+	if strings.Contains(string(a), `"wall_ns"`) {
+		t.Fatal("deterministic stream contains wall-clock timestamps")
+	}
+}
+
+// TestPublicAPIObservability exercises every re-exported observability
+// entry point end to end on the Fig. 1 example.
+func TestPublicAPIObservability(t *testing.T) {
+	pr := hdlts.PaperExample()
+
+	col := hdlts.NewEventCollector()
+	chrome := hdlts.NewChromeTracer()
+	var jsonlBuf bytes.Buffer
+	jsonl := hdlts.NewJSONLTracer(&jsonlBuf)
+	multi := hdlts.MultiTracer(col, chrome, jsonl, hdlts.NopTracer)
+
+	alg := hdlts.NewHDLTS()
+	s, err := alg.Schedule(pr.WithTracer(hdlts.NamedTracer(multi, "HDLTS")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 73 {
+		t.Fatalf("makespan = %g, want 73", s.Makespan())
+	}
+	if err := jsonl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if col.Len() == 0 {
+		t.Fatal("collector saw no events")
+	}
+	var commits int
+	for _, ev := range col.Events() {
+		if ev.Alg != "HDLTS" {
+			t.Fatalf("unstamped event: %+v", ev)
+		}
+		if ev.Type.String() == "commit" {
+			commits++
+		}
+	}
+	if want := pr.NumTasks() + s.NumDuplicates(); commits != want {
+		t.Fatalf("commit events = %d, want %d", commits, want)
+	}
+
+	var chromeBuf bytes.Buffer
+	if err := chrome.WriteJSON(&chromeBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(chromeBuf.Bytes()) || !strings.Contains(chromeBuf.String(), "traceEvents") {
+		t.Fatalf("chrome trace malformed:\n%s", chromeBuf.String())
+	}
+
+	var promBuf bytes.Buffer
+	if err := hdlts.DefaultStats().WritePrometheus(&promBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(promBuf.String(), "sched_commits_total") {
+		t.Fatalf("stats exposition missing scheduler counters:\n%s", promBuf.String())
+	}
+}
