@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		kind    = flag.String("kind", "random", "workflow kind: random | fft | montage | moldyn | example")
+		kind    = flag.String("kind", "random", "workflow kind: random | fft | montage | moldyn | gauss | epigenomics | cybershake | ligo | dot | example")
 		v       = flag.Int("v", 100, "random: number of tasks")
 		alpha   = flag.Float64("alpha", 1.0, "random: shape parameter")
 		density = flag.Int("density", 3, "random: task out-degree")

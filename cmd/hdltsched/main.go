@@ -55,7 +55,7 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.Alg, "alg", "hdlts", "algorithm (hdlts|heft|cpop|pets|peft|sdbats|all)")
+	flag.StringVar(&o.Alg, "alg", "hdlts", "algorithm: the paper's six (hdlts|heft|cpop|pets|peft|sdbats), 'all' for those six, or an extended name (dheft|dls|dsc|ga|mct|minmin|maxmin)")
 	flag.StringVar(&o.In, "in", "-", "input problem JSON file ('-' = stdin)")
 	flag.BoolVar(&o.Gantt, "gantt", false, "print a Gantt chart")
 	flag.BoolVar(&o.Trace, "trace", false, "print the HDLTS per-step trace (hdlts only)")

@@ -1,0 +1,128 @@
+// Command hdltsd serves the scheduling library over HTTP: a long-running
+// daemon that maps workflow problems to schedules on demand.
+//
+//	hdltsd -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/schedule \
+//	    -d '{"algorithm":"hdlts","problem":'"$(dagen -kind example)"'}'
+//	curl -s localhost:8080/metrics          # Prometheus text
+//
+// POST /v1/schedule accepts {"algorithm": name, "problem": <problem JSON>,
+// "trace": bool} — the problem subobject is exactly what cmd/dagen emits —
+// and returns the schedule, makespan, SLR/speedup/efficiency, and
+// optionally the decision-event stream. See docs/SERVICE.md for the full
+// endpoint and schema reference.
+//
+// The daemon is drain-aware: SIGTERM/SIGINT flips /readyz to 503, stops
+// admitting schedule requests, finishes everything in flight, then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hdlts/internal/server"
+)
+
+// options collects every CLI knob; tests drive run directly with one.
+type options struct {
+	Addr         string
+	Workers      int
+	Queue        int
+	Timeout      time.Duration
+	MaxBody      int64
+	DrainTimeout time.Duration
+	Quiet        bool
+	// Ready, when set, receives the bound listen address once the daemon
+	// accepts connections (test hook).
+	Ready func(addr string)
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.Addr, "addr", ":8080", "listen address")
+	flag.IntVar(&o.Workers, "workers", 0, "scheduling workers (0 = GOMAXPROCS)")
+	flag.IntVar(&o.Queue, "queue", 64, "request queue depth; beyond it requests get 429")
+	flag.DurationVar(&o.Timeout, "timeout", 30*time.Second, "per-request deadline (queue wait + scheduling)")
+	flag.Int64Var(&o.MaxBody, "max-body", 8<<20, "maximum request body bytes")
+	flag.DurationVar(&o.DrainTimeout, "drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests")
+	flag.BoolVar(&o.Quiet, "q", false, "suppress access logs")
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o); err != nil {
+		fmt.Fprintln(os.Stderr, "hdltsd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled, then drains and exits. It owns the
+// whole daemon lifecycle so tests can exercise it end to end.
+func run(ctx context.Context, o options) error {
+	var access *slog.Logger
+	if !o.Quiet {
+		access = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	srv := server.New(server.Config{
+		Workers:        o.Workers,
+		QueueDepth:     o.Queue,
+		RequestTimeout: o.Timeout,
+		MaxBodyBytes:   o.MaxBody,
+		AccessLog:      access,
+	})
+	ln, err := net.Listen("tcp", o.Addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if access != nil {
+		access.Info("listening", "addr", ln.Addr().String())
+	}
+	if o.Ready != nil {
+		o.Ready(ln.Addr().String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: stop advertising readiness first, then let the http.Server
+	// wait for in-flight handlers (whose pool jobs run to completion),
+	// then retire the worker pool.
+	if access != nil {
+		access.Info("draining", "timeout", o.DrainTimeout.String())
+	}
+	srv.Drain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.DrainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if access != nil {
+		access.Info("exited cleanly")
+	}
+	return nil
+}

@@ -17,7 +17,12 @@
 //   - the synthetic task-graph generator of Table II, the FFT / Montage /
 //     Molecular-Dynamics real-world workflow structures, the paper's SLR /
 //     speedup / efficiency metrics, and the experiment harness that
-//     regenerates every figure of the evaluation section.
+//     regenerates every figure of the evaluation section;
+//   - an observability layer (Tracer, Stats) streaming structured decision
+//     events and runtime metrics from every scheduler (docs/OBSERVABILITY.md),
+//     and a scheduler-as-a-service HTTP handler (NewService, served by
+//     cmd/hdltsd) that maps problems to schedules over JSON
+//     (docs/SERVICE.md).
 //
 // # Quick start
 //

@@ -12,6 +12,7 @@ import (
 	"hdlts/internal/platform"
 	"hdlts/internal/registry"
 	"hdlts/internal/sched"
+	"hdlts/internal/server"
 	"hdlts/internal/viz"
 	"hdlts/internal/workflows"
 )
@@ -288,3 +289,25 @@ func NamedTracer(t Tracer, alg string) Tracer { return obs.Named(t, alg) }
 // schedulers, the validator, the online executor, and the experiment
 // runner.
 func DefaultStats() *Stats { return obs.Default() }
+
+// Service re-exports. NewService returns the scheduler-as-a-service
+// HTTP handler cmd/hdltsd serves — embed it in your own http.Server (or
+// mount it under a prefix) to serve schedules next to other endpoints.
+// See docs/SERVICE.md for endpoints and wire schemas.
+type (
+	// Service is the daemon's http.Handler: POST /v1/schedule,
+	// GET /v1/algorithms, /healthz, /readyz, /metrics. Call Drain on
+	// SIGTERM and Shutdown to wait for in-flight requests.
+	Service = server.Server
+	// ServiceConfig tunes workers, queue depth, per-request timeouts, body
+	// limits, metrics registry, access logging, and algorithm lookup. The
+	// zero value serves with defaults.
+	ServiceConfig = server.Config
+	// ScheduleRequest is the POST /v1/schedule wire request.
+	ScheduleRequest = server.ScheduleRequest
+	// ScheduleResponse is the POST /v1/schedule wire response.
+	ScheduleResponse = server.ScheduleResponse
+)
+
+// NewService builds the scheduling service handler from cfg.
+func NewService(cfg ServiceConfig) *Service { return server.New(cfg) }

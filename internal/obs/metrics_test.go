@@ -27,6 +27,27 @@ func TestCounterGaugeBasics(t *testing.T) {
 	}
 }
 
+func TestGaugeAddConcurrent(t *testing.T) {
+	g := NewRegistry().Gauge("in_flight")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Inc()
+				g.Add(2)
+				g.Dec()
+				g.Add(-2)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Errorf("gauge = %g after balanced Inc/Dec pairs, want 0", g.Value())
+	}
+}
+
 func TestLabelledSeriesAreDistinct(t *testing.T) {
 	r := NewRegistry()
 	a := r.Counter("phase_total", "alg", "HEFT")

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hdlts/internal/sched"
+)
+
+// ScheduleRequest is the POST /v1/schedule wire request. The problem
+// subobject uses exactly the JSON form the CLI tools exchange
+// (sched.WriteJSON / ReadProblemJSON): {"graph": {...}, "procs": n,
+// "costs": [[...]], "bandwidth": [[...]]?}.
+type ScheduleRequest struct {
+	// Algorithm is a case-insensitive registry name ("hdlts", "heft", ...).
+	// Empty selects "hdlts".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Problem is the workflow + platform + cost matrix to schedule.
+	Problem json.RawMessage `json:"problem"`
+	// Trace opts in to per-request decision events: the response carries
+	// the same JSONL records `hdltsched -events` would write.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// ScheduleResponse is the POST /v1/schedule wire response.
+type ScheduleResponse struct {
+	Algorithm  string  `json:"algorithm"`
+	Tasks      int     `json:"tasks"`
+	Procs      int     `json:"procs"`
+	Makespan   float64 `json:"makespan"`
+	SLR        float64 `json:"slr"`
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+	Duplicates int     `json:"duplicates"`
+	// Schedule is the full placement list in the WriteScheduleJSON form
+	// cmd/validate accepts.
+	Schedule json.RawMessage `json:"schedule"`
+	// Events holds the decision-event stream (one JSONL record per entry)
+	// when the request set "trace": true.
+	Events []json.RawMessage `json:"events,omitempty"`
+	// ElapsedSeconds is the scheduling wall time inside the worker (queue
+	// wait excluded).
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// decodeScheduleRequest parses and validates one request body, returning
+// the wire struct plus the fully validated problem. Every failure is a
+// client error (HTTP 400): unknown fields, a missing or malformed problem,
+// cyclic graphs, and ragged or negative cost/bandwidth matrices are all
+// rejected with the underlying codec's message.
+func decodeScheduleRequest(r io.Reader) (*ScheduleRequest, *sched.Problem, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req ScheduleRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, fmt.Errorf("decode request: %w", err)
+	}
+	if len(req.Problem) == 0 {
+		return nil, nil, fmt.Errorf("request has no problem")
+	}
+	pr, err := sched.ReadProblemJSON(bytes.NewReader(req.Problem))
+	if err != nil {
+		return nil, nil, err
+	}
+	return &req, pr, nil
+}
+
+// encodeSchedule renders a completed schedule into the response's raw
+// Schedule field.
+func encodeSchedule(s *sched.Schedule, algorithm string) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := s.WriteScheduleJSON(&buf, algorithm); err != nil {
+		return nil, err
+	}
+	return json.RawMessage(bytes.TrimSpace(buf.Bytes())), nil
+}
+
+// splitJSONL cuts a JSON Lines buffer into one raw message per line, for
+// embedding an event stream in a JSON response.
+func splitJSONL(b []byte) []json.RawMessage {
+	var out []json.RawMessage
+	for _, line := range bytes.Split(b, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		out = append(out, json.RawMessage(append([]byte(nil), line...)))
+	}
+	return out
+}

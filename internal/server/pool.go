@@ -1,0 +1,71 @@
+package server
+
+import (
+	"sync"
+
+	"hdlts/internal/obs"
+)
+
+// pool is a bounded worker pool with a fixed-capacity request queue. Jobs
+// are admitted without blocking: when the queue is full, trySubmit refuses
+// immediately so the HTTP layer can answer 429 instead of building an
+// unbounded backlog. close drains — every admitted job runs to completion
+// before close returns, which is what makes SIGTERM drain graceful.
+type pool struct {
+	queue chan func()
+	wg    sync.WaitGroup
+	depth *obs.Gauge // queued-but-not-running jobs; nil disables
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// newPool starts workers goroutines consuming a queue of the given
+// capacity. depth, when non-nil, tracks the instantaneous queue backlog.
+func newPool(workers, capacity int, depth *obs.Gauge) *pool {
+	p := &pool{queue: make(chan func(), capacity), depth: depth}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.queue {
+				if p.depth != nil {
+					p.depth.Dec()
+				}
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// trySubmit enqueues job without blocking. It reports false when the queue
+// is saturated or the pool is closed.
+func (p *pool) trySubmit(job func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.queue <- job:
+		if p.depth != nil {
+			p.depth.Inc()
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// close stops intake and blocks until every admitted job has run. It is
+// idempotent.
+func (p *pool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

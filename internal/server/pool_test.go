@@ -1,0 +1,96 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hdlts/internal/obs"
+)
+
+func TestPoolRunsEveryAdmittedJob(t *testing.T) {
+	p := newPool(4, 16, nil)
+	var ran atomic.Int64
+	admitted := 0
+	for i := 0; i < 100; i++ {
+		if p.trySubmit(func() { ran.Add(1) }) {
+			admitted++
+		}
+	}
+	p.close()
+	if got := int(ran.Load()); got != admitted {
+		t.Errorf("ran %d of %d admitted jobs", got, admitted)
+	}
+}
+
+func TestPoolRefusesWhenSaturated(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	p := newPool(1, 1, nil)
+	if !p.trySubmit(func() { started <- struct{}{}; <-block }) {
+		t.Fatal("first job refused")
+	}
+	<-started // worker busy; queue empty
+	if !p.trySubmit(func() { <-block }) {
+		t.Fatal("second job should occupy the queue slot")
+	}
+	if p.trySubmit(func() {}) {
+		t.Error("third job admitted past a full queue")
+	}
+	close(block)
+	p.close()
+}
+
+func TestPoolCloseDrainsBacklog(t *testing.T) {
+	p := newPool(1, 8, nil)
+	var order []int
+	var mu sync.Mutex
+	for i := 0; i < 5; i++ {
+		i := i
+		if !p.trySubmit(func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}) {
+			t.Fatalf("job %d refused", i)
+		}
+	}
+	p.close() // must not return before the backlog ran
+	if len(order) != 5 {
+		t.Fatalf("close returned with %d of 5 jobs run", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Errorf("FIFO violated: position %d ran job %d", i, got)
+		}
+	}
+}
+
+func TestPoolSubmitAfterCloseRefused(t *testing.T) {
+	p := newPool(1, 1, nil)
+	p.close()
+	if p.trySubmit(func() {}) {
+		t.Error("submit accepted after close")
+	}
+	p.close() // idempotent
+}
+
+func TestPoolDepthGauge(t *testing.T) {
+	depth := obs.NewRegistry().Gauge("depth")
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	p := newPool(1, 4, depth)
+	p.trySubmit(func() { started <- struct{}{}; <-block })
+	<-started
+	for i := 0; i < 3; i++ {
+		p.trySubmit(func() {})
+	}
+	if got := depth.Value(); got != 3 {
+		t.Errorf("depth = %g with 3 queued jobs, want 3", got)
+	}
+	close(block)
+	p.close()
+	if got := depth.Value(); got != 0 {
+		t.Errorf("depth = %g after drain, want 0", got)
+	}
+}

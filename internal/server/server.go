@@ -1,0 +1,360 @@
+// Package server turns the scheduling library into a long-running
+// HTTP/JSON service. POST /v1/schedule accepts a problem in the same JSON
+// form the CLI tools exchange, runs any registered algorithm on a bounded
+// worker pool, and returns the schedule plus the paper's metrics;
+// GET /healthz, /readyz, and /metrics expose liveness, drain state, and
+// the obs metrics registry in Prometheus text form.
+//
+// The handler is production-shaped rather than a demo mux: admission is
+// non-blocking (a full queue answers 429 immediately), request bodies are
+// size-capped, every schedule request carries a deadline, decision events
+// can be captured per request via a request-scoped Tracer, and shutdown
+// drains — every admitted request completes before Shutdown returns.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"time"
+
+	"hdlts/internal/metrics"
+	"hdlts/internal/obs"
+	"hdlts/internal/registry"
+	"hdlts/internal/sched"
+)
+
+// Config tunes a Server. The zero value is served with sensible defaults,
+// so server.New(server.Config{}) is a working daemon handler.
+type Config struct {
+	// Workers is the number of concurrent scheduling workers
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the backlog of admitted-but-not-running requests;
+	// beyond it the server answers 429 (default 64).
+	QueueDepth int
+	// RequestTimeout caps queue wait plus scheduling per request; on expiry
+	// the client gets 504 (default 30s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps the request body; larger bodies get 413
+	// (default 8 MiB).
+	MaxBodyBytes int64
+	// Metrics receives request counters, the in-flight gauge, queue depth,
+	// and per-algorithm latency histograms (default obs.Default()).
+	Metrics *obs.Registry
+	// AccessLog, when non-nil, receives one structured record per request.
+	AccessLog *slog.Logger
+	// Lookup resolves algorithm names (default registry.Get). Override to
+	// serve custom algorithms or to stub scheduling in tests.
+	Lookup func(name string) (sched.Algorithm, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default()
+	}
+	if c.Lookup == nil {
+		c.Lookup = registry.Get
+	}
+	return c
+}
+
+// Server is the daemon's http.Handler. Create one with New, embed it in any
+// http.Server (or mount it under a prefix), and call Shutdown to drain.
+type Server struct {
+	cfg  Config
+	mux  *http.ServeMux
+	pool *pool
+
+	draining chan struct{} // closed by Drain
+
+	inFlight   *obs.Gauge
+	queueDepth *obs.Gauge
+}
+
+// New builds a ready-to-serve Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		draining:   make(chan struct{}),
+		inFlight:   cfg.Metrics.Gauge("hdltsd_http_in_flight"),
+		queueDepth: cfg.Metrics.Gauge("hdltsd_queue_depth"),
+	}
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.queueDepth)
+	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler with request accounting and access
+// logging around the route table.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.inFlight.Inc()
+	defer s.inFlight.Dec()
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	elapsed := time.Since(start)
+	s.cfg.Metrics.Counter("hdltsd_http_requests_total",
+		"path", r.URL.Path, "code", fmt.Sprint(rec.status)).Inc()
+	s.cfg.Metrics.Histogram("hdltsd_http_request_seconds", "path", r.URL.Path).
+		Observe(elapsed.Seconds())
+	if s.cfg.AccessLog != nil {
+		s.cfg.AccessLog.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"duration_ms", float64(elapsed.Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	}
+}
+
+// Drain flips /readyz to 503 and refuses new schedule requests, without
+// waiting for in-flight work. Call it first on SIGTERM so load balancers
+// stop routing here while the http.Server drains.
+func (s *Server) Drain() {
+	select {
+	case <-s.draining:
+	default:
+		close(s.draining)
+	}
+}
+
+// Shutdown drains and then waits for every admitted request to finish, or
+// for ctx to expire. After Shutdown the Server answers every schedule
+// request with 503.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.Drain()
+	done := make(chan struct{})
+	go func() {
+		s.pool.close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown: %w", ctx.Err())
+	}
+}
+
+// isDraining reports whether Drain has been called.
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// scheduleOutcome carries one worker result back to its handler.
+type scheduleOutcome struct {
+	resp   *ScheduleResponse
+	status int
+	err    error
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		s.scheduleError(w, http.StatusServiceUnavailable, "drain",
+			errors.New("server is shutting down"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req, pr, err := decodeScheduleRequest(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.scheduleError(w, http.StatusRequestEntityTooLarge, "body_too_large", err)
+			return
+		}
+		s.scheduleError(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	name := req.Algorithm
+	if name == "" {
+		name = "hdlts"
+	}
+	alg, err := s.cfg.Lookup(name)
+	if err != nil {
+		s.scheduleError(w, http.StatusBadRequest, "unknown_algorithm", err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	// The buffer lets the worker complete and move on even when this
+	// handler has already given up on the deadline.
+	done := make(chan scheduleOutcome, 1)
+	admitted := s.pool.trySubmit(func() {
+		done <- s.runSchedule(alg, pr, req.Trace)
+	})
+	if !admitted {
+		if s.isDraining() {
+			s.scheduleError(w, http.StatusServiceUnavailable, "drain",
+				errors.New("server is shutting down"))
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		s.scheduleError(w, http.StatusTooManyRequests, "saturated",
+			fmt.Errorf("queue full (%d queued, %d workers)", s.cfg.QueueDepth, s.cfg.Workers))
+		return
+	}
+	select {
+	case out := <-done:
+		if out.err != nil {
+			s.scheduleError(w, out.status, "schedule", out.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, out.resp)
+	case <-ctx.Done():
+		s.scheduleError(w, http.StatusGatewayTimeout, "timeout",
+			fmt.Errorf("request exceeded %s: %w", s.cfg.RequestTimeout, ctx.Err()))
+	}
+}
+
+// runSchedule executes one admitted request inside a worker: schedule,
+// validate, evaluate, and encode, with the per-algorithm latency histogram
+// observing only time spent here (queue wait is visible as the gap to
+// hdltsd_http_request_seconds).
+func (s *Server) runSchedule(alg sched.Algorithm, pr *sched.Problem, trace bool) scheduleOutcome {
+	start := time.Now()
+	prA := pr
+	var sink *obs.JSONLSink
+	var events bytes.Buffer
+	if trace {
+		sink = obs.NewJSONL(&events)
+		prA = pr.WithTracer(obs.Named(sink, alg.Name()))
+	}
+	sc, err := alg.Schedule(prA)
+	if err != nil {
+		return scheduleOutcome{status: http.StatusInternalServerError,
+			err: fmt.Errorf("%s: %w", alg.Name(), err)}
+	}
+	if err := sc.Validate(); err != nil {
+		return scheduleOutcome{status: http.StatusInternalServerError,
+			err: fmt.Errorf("%s produced an invalid schedule: %w", alg.Name(), err)}
+	}
+	res, err := metrics.Evaluate(alg.Name(), sc)
+	if err != nil {
+		// Degenerate but decodable problems (e.g. an all-zero critical
+		// path) schedule fine yet have no defined SLR: the data, not the
+		// server, is at fault.
+		return scheduleOutcome{status: http.StatusUnprocessableEntity,
+			err: fmt.Errorf("evaluate: %w", err)}
+	}
+	raw, err := encodeSchedule(sc, alg.Name())
+	if err != nil {
+		return scheduleOutcome{status: http.StatusInternalServerError, err: err}
+	}
+	elapsed := time.Since(start).Seconds()
+	s.cfg.Metrics.Histogram("hdltsd_schedule_seconds", "alg", alg.Name()).Observe(elapsed)
+	resp := &ScheduleResponse{
+		Algorithm:      res.Algorithm,
+		Tasks:          pr.NumTasks(),
+		Procs:          pr.NumProcs(),
+		Makespan:       res.Makespan,
+		SLR:            res.SLR,
+		Speedup:        res.Speedup,
+		Efficiency:     res.Efficiency,
+		Duplicates:     res.Duplicates,
+		Schedule:       raw,
+		ElapsedSeconds: elapsed,
+	}
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
+			return scheduleOutcome{status: http.StatusInternalServerError,
+				err: fmt.Errorf("event stream: %w", err)}
+		}
+		resp.Events = splitJSONL(events.Bytes())
+	}
+	return scheduleOutcome{resp: resp, status: http.StatusOK}
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{
+		"paper":    registry.Names(),
+		"extended": registry.ExtendedNames(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.isDraining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.cfg.Metrics.WritePrometheus(w); err != nil && s.cfg.AccessLog != nil {
+		s.cfg.AccessLog.Error("metrics exposition failed", "err", err)
+	}
+}
+
+// scheduleError answers one failed schedule request and bumps the matching
+// error counter.
+func (s *Server) scheduleError(w http.ResponseWriter, status int, reason string, err error) {
+	s.cfg.Metrics.Counter("hdltsd_schedule_errors_total", "reason", reason).Inc()
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Status: status})
+}
+
+// writeJSON renders v as the complete response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// statusRecorder captures the status code and body size for accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}

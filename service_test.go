@@ -1,0 +1,70 @@
+package hdlts_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hdlts"
+)
+
+// TestServiceEmbedding mounts the scheduling service inside a user-owned
+// mux — the embedding story docs/SERVICE.md documents — and schedules the
+// Fig. 1 problem through it.
+func TestServiceEmbedding(t *testing.T) {
+	svc := hdlts.NewService(hdlts.ServiceConfig{Metrics: hdlts.DefaultStats()})
+	defer svc.Shutdown(context.Background())
+
+	mux := http.NewServeMux()
+	mux.Handle("/sched/", http.StripPrefix("/sched", svc))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var problem bytes.Buffer
+	if err := hdlts.PaperExample().WriteJSON(&problem); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(hdlts.ScheduleRequest{Algorithm: "hdlts", Problem: problem.Bytes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/sched/v1/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out hdlts.ScheduleResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Makespan != 73 {
+		t.Errorf("makespan = %g, want 73", out.Makespan)
+	}
+
+	// A custom algorithm can be served by overriding Lookup.
+	custom := hdlts.NewService(hdlts.ServiceConfig{
+		Metrics: hdlts.DefaultStats(),
+		Lookup: func(name string) (hdlts.Algorithm, error) {
+			return hdlts.GetAlgorithm("heft")
+		},
+	})
+	defer custom.Shutdown(context.Background())
+	rec := httptest.NewRecorder()
+	custom.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/schedule", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("custom lookup status = %d: %s", rec.Code, rec.Body)
+	}
+	var out2 hdlts.ScheduleResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.Algorithm != "HEFT" || out2.Makespan != 80 {
+		t.Errorf("custom lookup got %s/%g, want HEFT/80", out2.Algorithm, out2.Makespan)
+	}
+}
