@@ -12,13 +12,19 @@
 package hdlts_test
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
+	"hdlts"
 	"hdlts/internal/core"
 	"hdlts/internal/dynamic"
 	"hdlts/internal/experiments"
 	"hdlts/internal/gen"
+	"hdlts/internal/jobs"
 	"hdlts/internal/obs"
 	"hdlts/internal/registry"
 	"hdlts/internal/sched"
@@ -368,4 +374,102 @@ func BenchmarkAblationCompaction(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(acc.Mean(), "mean_slr")
+}
+
+// Job-subsystem benches: the content-address hash (CanonicalProblemHash)
+// that keys the result cache, and the manager's cache hit/miss submission
+// paths over a memory-only store with a trivial run function.
+
+func BenchmarkCanonicalHash(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	large, err := gen.Random(gen.Params{V: 1000, Alpha: 1.5, Density: 3, CCR: 2, Procs: 8, WDAG: 80, Beta: 1.2}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		pr   *sched.Problem
+	}{
+		{"fig1", workflows.PaperExample()},
+		{"v1000", large},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hdlts.CanonicalProblemHash("HDLTS", bc.pr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchJobsManager opens a memory-only manager wired to run and retires
+// it after the bench.
+func benchJobsManager(b *testing.B, workers int, run jobs.RunFunc) *jobs.Manager {
+	b.Helper()
+	m, err := jobs.Open(jobs.Config{
+		Workers:    workers,
+		QueueDepth: 64,
+		GCInterval: time.Hour,
+		Metrics:    obs.NewRegistry(),
+		Run:        run,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { m.Close(context.Background()) })
+	return m
+}
+
+// BenchmarkJobCacheHit times a submission answered entirely from the
+// result cache: hash lookup plus minting the pre-completed job record.
+func BenchmarkJobCacheHit(b *testing.B) {
+	m := benchJobsManager(b, 1, func(string, json.RawMessage) (json.RawMessage, error) {
+		return json.RawMessage(`{"makespan":73}`), nil
+	})
+	const hash = "00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff"
+	problem := json.RawMessage(`{"procs":3}`)
+	j, err := m.Submit("HDLTS", hash, problem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for {
+		got, err := m.Get(j.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.State == jobs.Done {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hit, err := m.Submit("HDLTS", hash, problem)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hit.State != jobs.Done || !hit.CacheHit {
+			b.Fatalf("expected a cache hit, got state %s", hit.State)
+		}
+	}
+}
+
+// BenchmarkJobCacheMiss times the full miss path per fresh hash: enqueue,
+// worker pickup, and run of a trivial function.
+func BenchmarkJobCacheMiss(b *testing.B) {
+	ran := make(chan struct{}, 1)
+	m := benchJobsManager(b, 1, func(string, json.RawMessage) (json.RawMessage, error) {
+		ran <- struct{}{}
+		return json.RawMessage(`{"makespan":73}`), nil
+	})
+	problem := json.RawMessage(`{"procs":3}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hash := fmt.Sprintf("%064x", i)
+		if _, err := m.Submit("HDLTS", hash, problem); err != nil {
+			b.Fatal(err)
+		}
+		<-ran
+	}
 }

@@ -10,7 +10,11 @@
 // POST /v1/schedule accepts {"algorithm": name, "problem": <problem JSON>,
 // "trace": bool} — the problem subobject is exactly what cmd/dagen emits —
 // and returns the schedule, makespan, SLR/speedup/efficiency, and
-// optionally the decision-event stream. See docs/SERVICE.md for the full
+// optionally the decision-event stream. POST /v1/jobs takes the same
+// problem asynchronously: poll GET /v1/jobs/{id} for the result, cancel
+// with DELETE. With -jobs-dir set, jobs survive crashes and restarts via
+// a write-ahead log, and identical resubmissions are answered from a
+// content-addressed result cache. See docs/SERVICE.md for the full
 // endpoint and schema reference.
 //
 // The daemon is drain-aware: SIGTERM/SIGINT flips /readyz to 503, stops
@@ -30,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"hdlts/internal/jobs"
 	"hdlts/internal/server"
 )
 
@@ -42,6 +47,9 @@ type options struct {
 	MaxBody      int64
 	DrainTimeout time.Duration
 	Quiet        bool
+	JobsDir      string
+	JobsWorkers  int
+	JobsTTL      time.Duration
 	// Ready, when set, receives the bound listen address once the daemon
 	// accepts connections (test hook).
 	Ready func(addr string)
@@ -56,6 +64,9 @@ func main() {
 	flag.Int64Var(&o.MaxBody, "max-body", 8<<20, "maximum request body bytes")
 	flag.DurationVar(&o.DrainTimeout, "drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests")
 	flag.BoolVar(&o.Quiet, "q", false, "suppress access logs")
+	flag.StringVar(&o.JobsDir, "jobs-dir", "", "durable job store directory; empty = jobs do not survive restarts")
+	flag.IntVar(&o.JobsWorkers, "jobs-workers", 0, "asynchronous job workers (0 = GOMAXPROCS)")
+	flag.DurationVar(&o.JobsTTL, "jobs-ttl", time.Hour, "how long finished jobs stay queryable before garbage collection")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -72,13 +83,21 @@ func run(ctx context.Context, o options) error {
 	if !o.Quiet {
 		access = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Workers:        o.Workers,
 		QueueDepth:     o.Queue,
 		RequestTimeout: o.Timeout,
 		MaxBodyBytes:   o.MaxBody,
 		AccessLog:      access,
+		Jobs: jobs.Config{
+			Dir:     o.JobsDir,
+			Workers: o.JobsWorkers,
+			TTL:     o.JobsTTL,
+		},
 	})
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", o.Addr)
 	if err != nil {
 		return err

@@ -152,3 +152,113 @@ func TestDaemonShutdownDrainsInFlight(t *testing.T) {
 		}
 	}
 }
+
+// jobRequest is fig1Request in the single-job form of POST /v1/jobs.
+func jobRequest(t *testing.T) *bytes.Reader {
+	t.Helper()
+	r := fig1Request(t)
+	b, _ := io.ReadAll(r)
+	return bytes.NewReader(b)
+}
+
+// TestDaemonJobsPersistAcrossRestart drives the -jobs-dir flags end to
+// end: a job submitted to one daemon is still queryable — done, correct
+// makespan, served from the store without re-solving — after a second
+// daemon starts on the same directory, and resubmitting the same problem
+// is a cache hit.
+func TestDaemonJobsPersistAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := options{
+		Timeout:      10 * time.Second,
+		DrainTimeout: 10 * time.Second,
+		JobsDir:      dir,
+		JobsTTL:      time.Hour,
+	}
+	base, stop := startDaemon(t, opts)
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json", jobRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&job)
+	resp.Body.Close()
+	if err != nil || job.ID == "" {
+		t.Fatalf("submit answered %d, job %+v, err %v", resp.StatusCode, job, err)
+	}
+	waitDone := func() (makespan float64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			resp, err := http.Get(base + "/v1/jobs/" + job.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var v struct {
+				State  string `json:"state"`
+				Result struct {
+					Makespan float64 `json:"makespan"`
+				} `json:"result"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.State == "done" {
+				return v.Result.Makespan
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job stuck in state %s", v.State)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if ms := waitDone(); ms != 73 {
+		t.Errorf("makespan = %g, want 73", ms)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("first daemon exit: %v", err)
+	}
+
+	// Second daemon, same store: the finished job is served from the WAL.
+	base, stop = startDaemon(t, opts)
+	defer func() {
+		if err := stop(); err != nil {
+			t.Errorf("second daemon exit: %v", err)
+		}
+	}()
+	if ms := waitDone(); ms != 73 {
+		t.Errorf("recovered makespan = %g, want 73", ms)
+	}
+
+	// Resubmitting the identical problem is answered from the result cache.
+	resp, err = http.Post(base+"/v1/jobs", "application/json", jobRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again struct {
+		State    string `json:"state"`
+		CacheHit bool   `json:"cache_hit"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&again)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !again.CacheHit || again.State != "done" {
+		t.Errorf("resubmit = %d %+v, want 200 done cache_hit", resp.StatusCode, again)
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), "hdltsd_jobs_cache_hits_total 1") {
+		t.Errorf("/metrics missing cache hit counter:\n%s", mbody)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"hdlts/internal/core"
 	"hdlts/internal/dag"
 	"hdlts/internal/gen"
+	"hdlts/internal/jobs"
 	"hdlts/internal/metrics"
 	"hdlts/internal/obs"
 	"hdlts/internal/platform"
@@ -295,13 +296,14 @@ func DefaultStats() *Stats { return obs.Default() }
 // mount it under a prefix) to serve schedules next to other endpoints.
 // See docs/SERVICE.md for endpoints and wire schemas.
 type (
-	// Service is the daemon's http.Handler: POST /v1/schedule,
-	// GET /v1/algorithms, /healthz, /readyz, /metrics. Call Drain on
-	// SIGTERM and Shutdown to wait for in-flight requests.
+	// Service is the daemon's http.Handler: POST /v1/schedule, the
+	// asynchronous /v1/jobs family, GET /v1/algorithms, /healthz, /readyz,
+	// /metrics. Call Drain on SIGTERM and Shutdown to wait for in-flight
+	// requests.
 	Service = server.Server
 	// ServiceConfig tunes workers, queue depth, per-request timeouts, body
-	// limits, metrics registry, access logging, and algorithm lookup. The
-	// zero value serves with defaults.
+	// limits, metrics registry, access logging, algorithm lookup, and the
+	// job subsystem. The zero value serves with defaults.
 	ServiceConfig = server.Config
 	// ScheduleRequest is the POST /v1/schedule wire request.
 	ScheduleRequest = server.ScheduleRequest
@@ -309,5 +311,31 @@ type (
 	ScheduleResponse = server.ScheduleResponse
 )
 
-// NewService builds the scheduling service handler from cfg.
-func NewService(cfg ServiceConfig) *Service { return server.New(cfg) }
+// NewService builds the scheduling service handler from cfg. The error is
+// the durable job store failing to open (unreadable or corrupt directory).
+func NewService(cfg ServiceConfig) (*Service, error) { return server.New(cfg) }
+
+// Asynchronous job re-exports. POST /v1/jobs decouples submission from
+// execution: jobs survive daemon restarts via a write-ahead log when
+// JobsConfig.Dir is set, identical problems are answered from a
+// content-addressed result cache, and finished jobs expire after a TTL.
+type (
+	// Job is one asynchronous scheduling request and its lifecycle state.
+	Job = jobs.Job
+	// JobState is a job lifecycle phase: queued, running, done, failed, or
+	// cancelled.
+	JobState = jobs.State
+	// JobsConfig tunes the job subsystem (ServiceConfig.Jobs): store
+	// directory, workers, queue depth, retry policy, TTL, cache size.
+	JobsConfig = jobs.Config
+	// JobManager is the job subsystem behind /v1/jobs; reach it via
+	// Service.Jobs for embedded submission without HTTP.
+	JobManager = jobs.Manager
+)
+
+// CanonicalProblemHash returns the content address the job subsystem's
+// result cache uses for one (algorithm, problem) pair: sha256 over the
+// canonical algorithm name and the canonical problem serialisation.
+func CanonicalProblemHash(algorithm string, pr *Problem) (string, error) {
+	return server.CanonicalHash(algorithm, pr)
+}

@@ -1,0 +1,53 @@
+package jobs
+
+import (
+	"container/list"
+	"encoding/json"
+)
+
+// lru is a plain least-recently-used result cache: content hash → opaque
+// result JSON. It is not self-locking — every call happens under the
+// Manager's mutex.
+type lru struct {
+	cap int
+	ll  *list.List               // front = most recently used
+	m   map[string]*list.Element // hash → element holding *lruEntry
+}
+
+type lruEntry struct {
+	key string
+	val json.RawMessage
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached result for key and marks it recently used.
+func (c *lru) get(key string) (json.RawMessage, bool) {
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*lruEntry).val, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// beyond capacity.
+func (c *lru) put(key string, val json.RawMessage) {
+	if e, ok := c.m[key]; ok {
+		e.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(e)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the number of cached results.
+func (c *lru) len() int { return c.ll.Len() }

@@ -1,0 +1,126 @@
+// Package jobs is the daemon's durable asynchronous job subsystem: submit
+// a scheduling problem now, collect the result later. A job moves through
+// queued → running → done | failed | cancelled, survives daemon restarts
+// via a file-backed JSONL write-ahead log with snapshot compaction, and is
+// executed by a bounded worker pool with per-job retry, exponential
+// backoff, and TTL-based garbage collection of finished jobs.
+//
+// In front of execution sits a content-addressed result cache: callers
+// submit a problem together with its canonical hash (see the server
+// codec's CanonicalHash), duplicate in-flight submissions coalesce onto
+// the active job singleflight-style, and completed results are served
+// from an LRU without re-solving — scheduling is deterministic for a
+// given (algorithm, problem) pair, so a cached answer is the answer.
+//
+// The package is deliberately ignorant of scheduling: execution is a
+// RunFunc provided by the embedding layer (internal/server wires it to
+// the schedule → validate → evaluate pipeline), and both the problem and
+// the result are opaque JSON.
+package jobs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"time"
+)
+
+// State is one phase of the job lifecycle.
+type State string
+
+// The lifecycle: a job is admitted queued, a worker moves it to running,
+// and it finishes done, failed (attempts exhausted), or cancelled.
+const (
+	Queued    State = "queued"
+	Running   State = "running"
+	Done      State = "done"
+	Failed    State = "failed"
+	Cancelled State = "cancelled"
+)
+
+// States lists every state in lifecycle order (gauge registration, docs).
+var States = []State{Queued, Running, Done, Failed, Cancelled}
+
+// Terminal reports whether a job in this state will never run again.
+func (s State) Terminal() bool {
+	return s == Done || s == Failed || s == Cancelled
+}
+
+// Valid reports whether s is one of the five lifecycle states.
+func (s State) Valid() bool {
+	for _, t := range States {
+		if s == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Job is one asynchronous scheduling request. The struct is both the wire
+// unit the WAL persists and the value the Manager hands back to callers
+// (always as a private copy — mutating a returned Job affects nothing).
+type Job struct {
+	// ID is the unique job handle ("j-" + 16 hex chars).
+	ID string `json:"id"`
+	// Algorithm is the canonical registry name the job runs.
+	Algorithm string `json:"algorithm"`
+	// Hash is the content address of (algorithm, problem) — the cache and
+	// coalescing key.
+	Hash string `json:"hash"`
+	// Problem is the canonically serialised problem, kept so a recovered
+	// job can re-run without the original request.
+	Problem json.RawMessage `json:"problem,omitempty"`
+	// State is the current lifecycle phase.
+	State State `json:"state"`
+	// Attempts counts execution attempts consumed so far.
+	Attempts int `json:"attempts"`
+	// MaxAttempts bounds Attempts; the job fails when they are exhausted.
+	MaxAttempts int `json:"max_attempts"`
+	// Error holds the last execution error (failed jobs, and jobs awaiting
+	// a retry).
+	Error string `json:"error,omitempty"`
+	// Result is the opaque JSON the RunFunc produced (done jobs only).
+	Result json.RawMessage `json:"result,omitempty"`
+	// CacheHit marks a job answered from the result cache without running.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// CancelRequested marks a running job whose result will be discarded.
+	CancelRequested bool `json:"cancel_requested,omitempty"`
+	// Seq orders jobs by submission (monotonic across restarts).
+	Seq uint64 `json:"seq"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+}
+
+// clone returns an independent copy safe to hand outside the Manager's
+// lock. RawMessage contents are shared but never mutated after being set.
+func (j *Job) clone() *Job {
+	c := *j
+	return &c
+}
+
+// newID draws a fresh job handle from crypto/rand; IDs stay unique across
+// restarts without any persisted counter.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; there is no sensible
+		// degraded mode for handle allocation.
+		panic("jobs: crypto/rand: " + err.Error())
+	}
+	return "j-" + hex.EncodeToString(b[:])
+}
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrNotFound: no job with that ID (404).
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrSaturated: the job queue is full; retry later (429).
+	ErrSaturated = errors.New("jobs: queue full")
+	// ErrFinished: the job already reached a terminal state (409 on cancel).
+	ErrFinished = errors.New("jobs: job already finished")
+	// ErrClosed: the manager has shut down (503).
+	ErrClosed = errors.New("jobs: manager closed")
+)

@@ -1,0 +1,526 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"hdlts/internal/obs"
+)
+
+// RunFunc executes one job: the algorithm's canonical registry name plus
+// the canonically serialised problem in, opaque result JSON out. It runs
+// on a worker goroutine and must be safe for concurrent use.
+type RunFunc func(algorithm string, problem json.RawMessage) (json.RawMessage, error)
+
+// Config tunes a Manager. The zero value (plus a Run function) works:
+// memory-only store, GOMAXPROCS workers, three attempts per job, one-hour
+// retention of finished jobs.
+type Config struct {
+	// Dir is the durable store directory; empty means memory-only (jobs do
+	// not survive a restart).
+	Dir string
+	// Workers is the number of concurrent job executors (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs admitted but not yet running; beyond it Submit
+	// returns ErrSaturated (default 256).
+	QueueDepth int
+	// MaxAttempts bounds executions per job before it fails (default 3).
+	MaxAttempts int
+	// RetryBackoff is the first retry delay; it doubles per attempt
+	// (default 100ms).
+	RetryBackoff time.Duration
+	// TTL is how long finished jobs remain queryable before the garbage
+	// collector drops them (default 1h).
+	TTL time.Duration
+	// GCInterval is how often the collector scans (default 1m).
+	GCInterval time.Duration
+	// CacheSize is the result cache capacity in entries (default 1024).
+	CacheSize int
+	// Metrics receives the hdltsd_jobs_* series (default obs.Default()).
+	Metrics *obs.Registry
+	// Run executes one job; required.
+	Run RunFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.TTL <= 0 {
+		c.TTL = time.Hour
+	}
+	if c.GCInterval <= 0 {
+		c.GCInterval = time.Minute
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default()
+	}
+	return c
+}
+
+// Manager owns the job table, the durable store, the worker pool, and the
+// result cache. All exported methods are safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	byHash  map[string]string // hash → active (queued|running) job ID
+	nextSeq uint64
+	st      *store // nil in memory-only mode
+	cache   *lru
+	closed  bool
+	timers  map[*time.Timer]struct{} // pending retry re-enqueues
+
+	queue chan string
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	now func() time.Time // test hook
+
+	queueDepth *obs.Gauge
+	states     map[State]*obs.Gauge
+	retries    *obs.Counter
+	cacheHits  *obs.Counter
+	cacheMiss  *obs.Counter
+	coalesced  *obs.Counter
+	expired    *obs.Counter
+	walErrors  *obs.Counter
+}
+
+// Open builds a Manager from cfg, recovering any durable state from
+// cfg.Dir: done/failed/cancelled jobs become queryable again (done results
+// re-seed the cache), and queued or running jobs — running means the
+// previous process died mid-execution — are re-enqueued.
+func Open(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Run == nil {
+		return nil, fmt.Errorf("jobs: Config.Run is required")
+	}
+	m := &Manager{
+		cfg:        cfg,
+		jobs:       make(map[string]*Job),
+		byHash:     make(map[string]string),
+		cache:      newLRU(cfg.CacheSize),
+		timers:     make(map[*time.Timer]struct{}),
+		stop:       make(chan struct{}),
+		now:        time.Now,
+		queueDepth: cfg.Metrics.Gauge("hdltsd_jobs_queue_depth"),
+		states:     make(map[State]*obs.Gauge, len(States)),
+		retries:    cfg.Metrics.Counter("hdltsd_jobs_retries_total"),
+		cacheHits:  cfg.Metrics.Counter("hdltsd_jobs_cache_hits_total"),
+		cacheMiss:  cfg.Metrics.Counter("hdltsd_jobs_cache_misses_total"),
+		coalesced:  cfg.Metrics.Counter("hdltsd_jobs_coalesced_total"),
+		expired:    cfg.Metrics.Counter("hdltsd_jobs_expired_total"),
+		walErrors:  cfg.Metrics.Counter("hdltsd_jobs_wal_errors_total"),
+	}
+	for _, s := range States {
+		m.states[s] = cfg.Metrics.Gauge("hdltsd_jobs_state", "state", string(s))
+	}
+	var pending []*Job
+	if cfg.Dir != "" {
+		st, recovered, err := openStore(cfg.Dir,
+			cfg.Metrics.Histogram("hdltsd_jobs_wal_fsync_seconds"))
+		if err != nil {
+			return nil, err
+		}
+		m.st = st
+		pending = m.adopt(recovered)
+	}
+	capacity := cfg.QueueDepth
+	if len(pending) > capacity {
+		capacity = len(pending)
+	}
+	m.queue = make(chan string, capacity)
+	for _, j := range pending {
+		m.queue <- j.ID
+		m.queueDepth.Inc()
+	}
+	m.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	m.wg.Add(1)
+	go m.gcLoop()
+	return m, nil
+}
+
+// adopt installs recovered jobs: rebuilds indexes and gauges, re-seeds the
+// cache from done results, requeues unfinished work, and persists the
+// running→queued demotions so a second crash sees consistent state.
+// Returns the jobs to enqueue in submission order.
+func (m *Manager) adopt(recovered map[string]*Job) []*Job {
+	list := make([]*Job, 0, len(recovered))
+	for _, j := range recovered {
+		list = append(list, j)
+	}
+	sort.Slice(list, func(i, k int) bool { return list[i].Seq < list[k].Seq })
+	var pending []*Job
+	for _, j := range list {
+		if j.Seq >= m.nextSeq {
+			m.nextSeq = j.Seq + 1
+		}
+		if j.State == Running {
+			j.State = Queued
+			m.persist(j)
+		}
+		m.jobs[j.ID] = j
+		m.states[j.State].Inc()
+		switch {
+		case j.State == Queued:
+			m.byHash[j.Hash] = j.ID
+			pending = append(pending, j)
+		case j.State == Done && len(j.Result) > 0:
+			m.cache.put(j.Hash, j.Result)
+		}
+	}
+	return pending
+}
+
+// Submit admits one job. In order of preference it answers from the result
+// cache (a new job born done, CacheHit set), coalesces onto an active job
+// with the same hash (the returned job carries that job's ID), or enqueues
+// a fresh job. ErrSaturated means the queue is full; ErrClosed means the
+// manager has shut down.
+func (m *Manager) Submit(algorithm, hash string, problem json.RawMessage) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if id, ok := m.byHash[hash]; ok {
+		if j, ok := m.jobs[id]; ok {
+			m.coalesced.Inc()
+			return j.clone(), nil
+		}
+	}
+	now := m.now()
+	if res, ok := m.cache.get(hash); ok {
+		m.cacheHits.Inc()
+		j := &Job{
+			ID: newID(), Algorithm: algorithm, Hash: hash,
+			State: Done, MaxAttempts: m.cfg.MaxAttempts, Result: res,
+			CacheHit: true, Seq: m.seq(),
+			SubmittedAt: now, FinishedAt: now,
+		}
+		m.jobs[j.ID] = j
+		m.states[Done].Inc()
+		m.persist(j)
+		return j.clone(), nil
+	}
+	m.cacheMiss.Inc()
+	if len(m.queue) >= cap(m.queue) {
+		return nil, ErrSaturated
+	}
+	j := &Job{
+		ID: newID(), Algorithm: algorithm, Hash: hash, Problem: problem,
+		State: Queued, MaxAttempts: m.cfg.MaxAttempts, Seq: m.seq(),
+		SubmittedAt: now,
+	}
+	m.jobs[j.ID] = j
+	m.byHash[hash] = j.ID
+	m.states[Queued].Inc()
+	m.persist(j)
+	m.queue <- j.ID
+	m.queueDepth.Inc()
+	return j.clone(), nil
+}
+
+// Get returns a copy of the job, or ErrNotFound.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j.clone(), nil
+}
+
+// List returns one page of jobs, newest submission first, plus the total
+// match count. state "" matches every state; offset/limit paginate
+// (limit <= 0 means no cap).
+func (m *Manager) List(state State, offset, limit int) ([]*Job, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	matches := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		if state == "" || j.State == state {
+			matches = append(matches, j)
+		}
+	}
+	sort.Slice(matches, func(i, k int) bool { return matches[i].Seq > matches[k].Seq })
+	total := len(matches)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	matches = matches[offset:]
+	if limit > 0 && len(matches) > limit {
+		matches = matches[:limit]
+	}
+	page := make([]*Job, len(matches))
+	for i, j := range matches {
+		page[i] = j.clone()
+	}
+	return page, total
+}
+
+// Cancel stops a job: queued jobs flip to cancelled immediately; running
+// jobs are marked so the worker discards the result when it completes
+// (scheduling is not preempted mid-run). Terminal jobs return ErrFinished.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	switch {
+	case j.State == Queued:
+		m.setState(j, Cancelled)
+		j.FinishedAt = m.now()
+		delete(m.byHash, j.Hash)
+		m.persist(j)
+	case j.State == Running:
+		j.CancelRequested = true
+		m.persist(j)
+	default:
+		return nil, ErrFinished
+	}
+	return j.clone(), nil
+}
+
+// Workers returns the configured worker count (Retry-After estimation).
+func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// QueueCap returns the admission queue capacity.
+func (m *Manager) QueueCap() int { return cap(m.queue) }
+
+// QueueLen returns the instantaneous queue backlog.
+func (m *Manager) QueueLen() int { return len(m.queue) }
+
+// Close stops intake and the GC, cancels pending retry timers, and waits —
+// bounded by ctx — for workers to finish their current job. Unfinished
+// jobs stay queued/running in the store and are recovered by the next
+// Open with the same Dir.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	for t := range m.timers {
+		t.Stop()
+	}
+	m.timers = map[*time.Timer]struct{}{}
+	m.mu.Unlock()
+	close(m.stop)
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: close: %w", ctx.Err())
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.st != nil {
+		return m.st.close()
+	}
+	return nil
+}
+
+// seq allocates the next submission sequence number (caller holds mu).
+func (m *Manager) seq() uint64 {
+	s := m.nextSeq
+	m.nextSeq++
+	return s
+}
+
+// setState moves j between states, keeping the per-state gauges in step
+// (caller holds mu).
+func (m *Manager) setState(j *Job, s State) {
+	m.states[j.State].Dec()
+	m.states[s].Inc()
+	j.State = s
+}
+
+// persist appends j's current state to the WAL and compacts when due. WAL
+// failures (disk full, dying device) are counted, not fatal: the in-memory
+// subsystem keeps serving, merely without durability for that record.
+func (m *Manager) persist(j *Job) {
+	if m.st == nil {
+		return
+	}
+	if err := m.st.put(j); err != nil {
+		m.walErrors.Inc()
+		return
+	}
+	if err := m.st.maybeCompact(m.jobs); err != nil {
+		m.walErrors.Inc()
+	}
+}
+
+// worker consumes job IDs until Close.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case id := <-m.queue:
+			m.queueDepth.Dec()
+			m.runJob(id)
+		}
+	}
+}
+
+// runJob executes one dequeued job through a full attempt: claim it,
+// run the RunFunc unlocked, then commit the outcome — done (caching the
+// result), a backoff retry, failed, or cancelled if a cancel arrived
+// while running.
+func (m *Manager) runJob(id string) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok || j.State != Queued {
+		// Cancelled (or GC'd) while waiting in the queue.
+		m.mu.Unlock()
+		return
+	}
+	m.setState(j, Running)
+	j.Attempts++
+	j.StartedAt = m.now()
+	m.persist(j)
+	algorithm, problem := j.Algorithm, j.Problem
+	m.mu.Unlock()
+
+	result, err := m.cfg.Run(algorithm, problem)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.CancelRequested {
+		m.setState(j, Cancelled)
+		j.FinishedAt = m.now()
+		delete(m.byHash, j.Hash)
+		m.persist(j)
+		return
+	}
+	if err != nil {
+		j.Error = err.Error()
+		if j.Attempts < j.MaxAttempts && !m.closed {
+			m.retries.Inc()
+			m.setState(j, Queued)
+			m.persist(j)
+			m.requeueAfter(id, m.backoff(j.Attempts))
+			return
+		}
+		m.setState(j, Failed)
+		j.FinishedAt = m.now()
+		delete(m.byHash, j.Hash)
+		m.persist(j)
+		return
+	}
+	j.Result = result
+	j.Error = ""
+	m.setState(j, Done)
+	j.FinishedAt = m.now()
+	delete(m.byHash, j.Hash)
+	m.cache.put(j.Hash, result)
+	m.persist(j)
+}
+
+// backoff returns the exponential retry delay after the given number of
+// consumed attempts: base, 2·base, 4·base, ...
+func (m *Manager) backoff(attempts int) time.Duration {
+	d := m.cfg.RetryBackoff
+	for i := 1; i < attempts; i++ {
+		d *= 2
+	}
+	return d
+}
+
+// requeueAfter re-enqueues id once the backoff elapses (caller holds mu).
+// If the queue happens to be full at fire time, the timer re-arms.
+func (m *Manager) requeueAfter(id string, d time.Duration) {
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		delete(m.timers, t)
+		if m.closed {
+			return
+		}
+		select {
+		case m.queue <- id:
+			m.queueDepth.Inc()
+		default:
+			m.requeueAfter(id, d)
+		}
+	})
+	m.timers[t] = struct{}{}
+}
+
+// gcLoop drops finished jobs older than TTL every GCInterval.
+func (m *Manager) gcLoop() {
+	defer m.wg.Done()
+	tick := time.NewTicker(m.cfg.GCInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-tick.C:
+			m.gc()
+		}
+	}
+}
+
+// gc removes terminal jobs whose FinishedAt is older than TTL. Their
+// results may still live in the cache; only the job records expire.
+func (m *Manager) gc() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cutoff := m.now().Add(-m.cfg.TTL)
+	for id, j := range m.jobs {
+		if j.State.Terminal() && !j.FinishedAt.IsZero() && j.FinishedAt.Before(cutoff) {
+			m.states[j.State].Dec()
+			delete(m.jobs, id)
+			m.expired.Inc()
+			if m.st != nil {
+				if err := m.st.del(id); err != nil {
+					m.walErrors.Inc()
+				}
+			}
+		}
+	}
+	if m.st != nil {
+		if err := m.st.maybeCompact(m.jobs); err != nil {
+			m.walErrors.Inc()
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdlts/internal/obs"
+)
+
+// TestRecoveryRequeuesUnfinishedJobs is the crash test: a manager dies
+// (abandoned, never closed — its WAL appends are fsynced per transition)
+// with one job running and one queued; a second manager on the same dir
+// must re-run both to completion.
+func TestRecoveryRequeuesUnfinishedJobs(t *testing.T) {
+	dir := t.TempDir()
+	blk := newBlockingRun()
+	crashed, err := Open(Config{
+		Dir: dir, Workers: 1, Metrics: obs.NewRegistry(), Run: blk.run,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runningJob, err := crashed.Submit("HDLTS", "h-running", json.RawMessage(`{"p":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blk.started // first job is mid-execution; its "running" record is on disk
+	queuedJob, err := crashed.Submit("HDLTS", "h-queued", json.RawMessage(`{"p":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate SIGKILL: the crashed manager is simply abandoned. Unblock
+	// its stuck worker at cleanup so the test process can exit cleanly.
+	t.Cleanup(func() {
+		close(blk.release)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = crashed.Close(ctx)
+	})
+
+	var runs atomic.Int64
+	m := newTestManager(t, Config{Dir: dir, Workers: 1, Run: okRun(&runs)})
+	for _, id := range []string{runningJob.ID, queuedJob.ID} {
+		got := waitState(t, m, id, Done)
+		if len(got.Result) == 0 {
+			t.Errorf("recovered job %s has no result", id)
+		}
+	}
+	if runs.Load() != 2 {
+		t.Errorf("recovered runs = %d, want 2 (both unfinished jobs re-run)", runs.Load())
+	}
+	// The job that was mid-run when the process died shows the extra attempt.
+	got, err := m.Get(runningJob.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attempts != 2 {
+		t.Errorf("re-run job attempts = %d, want 2 (one lost to the crash)", got.Attempts)
+	}
+}
+
+// TestRecoveryServesDoneFromWAL asserts the flip side: finished jobs are
+// answered from the recovered store and cache without re-solving.
+func TestRecoveryServesDoneFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+	first, err := Open(Config{Dir: dir, Metrics: obs.NewRegistry(), Run: okRun(&runs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := first.Submit("HDLTS", "h1", json.RawMessage(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, first, j.ID, Done)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := first.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	m := newTestManager(t, Config{Dir: dir, Metrics: reg,
+		Run: func(string, json.RawMessage) (json.RawMessage, error) {
+			return nil, errors.New("must not re-solve a done job")
+		},
+	})
+	got, err := m.Get(j.ID)
+	if err != nil {
+		t.Fatalf("done job lost across restart: %v", err)
+	}
+	if got.State != Done || string(got.Result) != `{"algorithm":"HDLTS"}` {
+		t.Errorf("recovered job = %+v", got)
+	}
+	// The recovered result seeded the cache: resubmitting is a hit.
+	again, err := m.Submit("HDLTS", "h1", json.RawMessage(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || again.State != Done {
+		t.Errorf("resubmission after restart = %+v, want a cache hit", again)
+	}
+	if v := reg.Counter("hdltsd_jobs_cache_hits_total").Value(); v != 1 {
+		t.Errorf("cache hits = %d, want 1", v)
+	}
+	if runs.Load() != 1 {
+		t.Errorf("runs = %d, want 1 (nothing re-solved after restart)", runs.Load())
+	}
+}
+
+func TestSnapshotCompactionAndReload(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, Config{Dir: dir, Run: okRun(nil)})
+	var ids []string
+	for i := 0; i < 8; i++ {
+		j, err := m.Submit("HDLTS", fmt.Sprintf("h%d", i), json.RawMessage(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+		waitState(t, m, j.ID, Done)
+		if i == 3 {
+			// Force a mid-stream compaction so the reload below exercises
+			// snapshot + post-snapshot WAL together.
+			m.mu.Lock()
+			err := m.st.compact(m.jobs)
+			m.mu.Unlock()
+			if err != nil {
+				t.Fatalf("compact: %v", err)
+			}
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+		t.Fatalf("no snapshot written despite forced compaction: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := newTestManager(t, Config{Dir: dir, Run: okRun(nil)})
+	for _, id := range ids {
+		j, err := recovered.Get(id)
+		if err != nil {
+			t.Fatalf("job %s lost across compaction + restart: %v", id, err)
+		}
+		if j.State != Done {
+			t.Errorf("job %s state = %s, want done", id, j.State)
+		}
+	}
+}
+
+// TestTornWALTailIsIgnored writes a WAL whose final line is cut mid-record
+// — the on-disk state after SIGKILL during an append — and asserts every
+// intact record recovers.
+func TestTornWALTailIsIgnored(t *testing.T) {
+	dir := t.TempDir()
+	good := walRecord{Op: "put", Job: &Job{
+		ID: "j-good", Algorithm: "HDLTS", Hash: "h1", State: Done,
+		Result: json.RawMessage(`{"ok":true}`), Seq: 1, MaxAttempts: 3,
+	}}
+	b, err := json.Marshal(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append(b, '\n'), []byte(`{"op":"put","job":{"id":"j-to`)...)
+	if err := os.WriteFile(filepath.Join(dir, walFile), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := newTestManager(t, Config{Dir: dir, Run: okRun(nil)})
+	j, err := m.Get("j-good")
+	if err != nil {
+		t.Fatalf("intact record before the torn tail lost: %v", err)
+	}
+	if j.State != Done || string(j.Result) != `{"ok":true}` {
+		t.Errorf("recovered job = %+v", j)
+	}
+	if _, err := m.Get("j-to"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("torn record resurrected: %v", err)
+	}
+}
+
+// TestDeleteRecordsSurviveReplay: GC deletions must hold across restarts.
+func TestDeleteRecordsSurviveReplay(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, Config{Dir: dir, Run: okRun(nil), TTL: time.Minute})
+	j, err := m.Submit("HDLTS", "h1", json.RawMessage(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, j.ID, Done)
+	m.mu.Lock()
+	m.now = func() time.Time { return time.Now().Add(2 * time.Minute) }
+	m.mu.Unlock()
+	m.gc()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := newTestManager(t, Config{Dir: dir, Run: okRun(nil)})
+	if _, err := recovered.Get(j.ID); !errors.Is(err, ErrNotFound) {
+		t.Errorf("GC'd job resurrected after restart: %v", err)
+	}
+}

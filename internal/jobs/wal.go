@@ -1,0 +1,219 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"hdlts/internal/obs"
+)
+
+// The store is a two-file durability scheme in one directory:
+//
+//	snapshot.json — a JSON array of jobs, the state as of the last compaction
+//	wal.jsonl     — one record per state transition since that snapshot
+//
+// Every transition appends the full job to the WAL and fsyncs, so the
+// newest record for an ID wins on replay. When the WAL grows past a few
+// multiples of the live set, compact writes a fresh snapshot (tmp file +
+// rename, fsynced) and truncates the WAL. Load order is snapshot first,
+// then WAL replay; a torn final line — the expected debris of SIGKILL
+// mid-append — ends replay cleanly, losing at most the transition being
+// written.
+
+const (
+	snapshotFile = "snapshot.json"
+	walFile      = "wal.jsonl"
+)
+
+// walRecord is one WAL line: a full-job upsert or a deletion.
+type walRecord struct {
+	Op  string `json:"op"`            // "put" | "del"
+	Job *Job   `json:"job,omitempty"` // put payload
+	ID  string `json:"id,omitempty"`  // del payload
+}
+
+// store owns the open WAL file handle and compaction bookkeeping. All
+// methods are called under the Manager's lock.
+type store struct {
+	dir     string
+	f       *os.File
+	appends int // WAL records since the last compaction
+
+	// minCompact floors the compaction trigger so small stores don't
+	// rewrite the snapshot on every few transitions.
+	minCompact int
+
+	fsync *obs.Histogram // hdltsd_jobs_wal_fsync_seconds
+}
+
+// openStore opens (creating if needed) the job store in dir and returns it
+// together with the recovered job set.
+func openStore(dir string, fsync *obs.Histogram) (*store, map[string]*Job, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("jobs: create store dir: %w", err)
+	}
+	jobs, err := loadSnapshot(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	walPath := filepath.Join(dir, walFile)
+	appends, err := replayWAL(walPath, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: open wal: %w", err)
+	}
+	return &store{dir: dir, f: f, appends: appends, minCompact: 256, fsync: fsync}, jobs, nil
+}
+
+// loadSnapshot reads the last compaction's job set; a missing snapshot is
+// an empty store.
+func loadSnapshot(path string) (map[string]*Job, error) {
+	jobs := make(map[string]*Job)
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return jobs, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("jobs: read snapshot: %w", err)
+	}
+	var list []*Job
+	if err := json.Unmarshal(b, &list); err != nil {
+		return nil, fmt.Errorf("jobs: decode snapshot: %w", err)
+	}
+	for _, j := range list {
+		jobs[j.ID] = j
+	}
+	return jobs, nil
+}
+
+// replayWAL applies every decodable record to jobs in file order and
+// returns how many records the WAL holds. Replay stops at the first
+// undecodable line: after a crash mid-append the final line may be torn,
+// and everything before it is intact because each append was fsynced.
+func replayWAL(path string, jobs map[string]*Job) (int, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("jobs: open wal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	n := 0
+	for sc.Scan() {
+		var rec walRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			break // torn tail from a crash mid-append
+		}
+		switch rec.Op {
+		case "put":
+			if rec.Job != nil && rec.Job.ID != "" {
+				jobs[rec.Job.ID] = rec.Job
+			}
+		case "del":
+			delete(jobs, rec.ID)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("jobs: replay wal: %w", err)
+	}
+	return n, nil
+}
+
+// append durably writes one record: marshal, write, fsync (timed into the
+// fsync histogram).
+func (s *store) append(rec walRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: encode wal record: %w", err)
+	}
+	if _, err := s.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("jobs: append wal: %w", err)
+	}
+	start := time.Now()
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("jobs: fsync wal: %w", err)
+	}
+	if s.fsync != nil {
+		s.fsync.ObserveSince(start)
+	}
+	s.appends++
+	return nil
+}
+
+// put appends a full-job upsert.
+func (s *store) put(j *Job) error { return s.append(walRecord{Op: "put", Job: j}) }
+
+// del appends a deletion.
+func (s *store) del(id string) error { return s.append(walRecord{Op: "del", ID: id}) }
+
+// maybeCompact rewrites the snapshot and truncates the WAL once the WAL
+// holds several times more records than there are live jobs.
+func (s *store) maybeCompact(live map[string]*Job) error {
+	threshold := 4 * len(live)
+	if threshold < s.minCompact {
+		threshold = s.minCompact
+	}
+	if s.appends < threshold {
+		return nil
+	}
+	return s.compact(live)
+}
+
+// compact writes snapshot.json atomically (tmp + fsync + rename) and
+// truncates the WAL.
+func (s *store) compact(live map[string]*Job) error {
+	list := make([]*Job, 0, len(live))
+	for _, j := range live {
+		list = append(list, j)
+	}
+	sort.Slice(list, func(i, k int) bool { return list[i].Seq < list[k].Seq })
+	b, err := json.Marshal(list)
+	if err != nil {
+		return fmt.Errorf("jobs: encode snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: create snapshot: %w", err)
+	}
+	if _, err := tf.Write(b); err != nil {
+		tf.Close()
+		return fmt.Errorf("jobs: write snapshot: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("jobs: fsync snapshot: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("jobs: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("jobs: publish snapshot: %w", err)
+	}
+	// The snapshot now covers everything; restart the WAL.
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("jobs: close wal: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: truncate wal: %w", err)
+	}
+	s.f = f
+	s.appends = 0
+	return nil
+}
+
+// close releases the WAL file handle.
+func (s *store) close() error { return s.f.Close() }

@@ -63,14 +63,21 @@ func decodeScheduleRequest(r io.Reader) (*ScheduleRequest, *sched.Problem, error
 	if err := dec.Decode(&req); err != nil {
 		return nil, nil, fmt.Errorf("decode request: %w", err)
 	}
-	if len(req.Problem) == 0 {
-		return nil, nil, fmt.Errorf("request has no problem")
-	}
-	pr, err := sched.ReadProblemJSON(bytes.NewReader(req.Problem))
+	pr, err := decodeProblem(req.Problem)
 	if err != nil {
 		return nil, nil, err
 	}
 	return &req, pr, nil
+}
+
+// decodeProblem parses and fully validates one problem subobject — the
+// shared decoder behind POST /v1/schedule and POST /v1/jobs, and the
+// target FuzzDecodeProblem hardens.
+func decodeProblem(raw json.RawMessage) (*sched.Problem, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("request has no problem")
+	}
+	return sched.ReadProblemJSON(bytes.NewReader(raw))
 }
 
 // encodeSchedule renders a completed schedule into the response's raw

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"hdlts/internal/workflows"
+)
+
+// fuzzSeedProblem renders the Fig. 1 problem for seeding the corpora.
+func fuzzSeedProblem(f *testing.F) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	if err := workflows.PaperExample().WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeProblem hardens the shared problem decoder behind
+// POST /v1/schedule and POST /v1/jobs: arbitrary bytes must either fail
+// cleanly or produce a problem whose canonical serialisation — the input
+// to the job result cache's content address — is a stable fixed point.
+func FuzzDecodeProblem(f *testing.F) {
+	f.Add(fuzzSeedProblem(f))
+	f.Add([]byte(`{"graph":{"tasks":[{"name":"a"}],"edges":[]},"procs":1,"costs":[[1]]}`))
+	f.Add([]byte(`{"graph":{"tasks":[],"edges":[]},"procs":0,"costs":[]}`))
+	f.Add([]byte(`{"procs":3}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pr, err := decodeProblem(data)
+		if err != nil {
+			return // clean rejection is fine
+		}
+		canon, err := CanonicalProblemJSON(pr)
+		if err != nil {
+			t.Fatalf("accepted problem fails to canonicalise: %v", err)
+		}
+		// The canonical form must re-decode, and canonicalising the result
+		// must reproduce it byte for byte — otherwise identical submissions
+		// could miss the cache.
+		back, err := decodeProblem(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected by own decoder: %v", err)
+		}
+		canon2, err := CanonicalProblemJSON(back)
+		if err != nil {
+			t.Fatalf("re-canonicalise failed: %v", err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical serialisation is not a fixed point:\n%s\nvs\n%s", canon, canon2)
+		}
+		if hashOf("HDLTS", canon) != hashOf("HDLTS", canon2) {
+			t.Fatal("hash differs across canonical round-trip")
+		}
+	})
+}
+
+// FuzzDecodeScheduleRequest fuzzes the full POST /v1/schedule request
+// envelope around the problem decoder.
+func FuzzDecodeScheduleRequest(f *testing.F) {
+	problem := fuzzSeedProblem(f)
+	f.Add([]byte(`{"algorithm":"hdlts","problem":` + string(problem) + `}`))
+	f.Add([]byte(`{"problem":` + string(problem) + `,"trace":true}`))
+	f.Add([]byte(`{"algorithm":"heft"}`))
+	f.Add([]byte(`{"problem":{}}`))
+	f.Add([]byte(`{"unknown":1}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, pr, err := decodeScheduleRequest(bytes.NewReader(data))
+		if err != nil {
+			return // clean rejection is fine
+		}
+		if req == nil || pr == nil {
+			t.Fatal("nil request or problem without error")
+		}
+		// Whatever the decoder admits must be schedulable input: it has the
+		// codec's invariants, so canonicalisation cannot fail.
+		if _, err := CanonicalProblemJSON(pr); err != nil {
+			t.Fatalf("accepted request fails to canonicalise: %v", err)
+		}
+	})
+}

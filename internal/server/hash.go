@@ -1,0 +1,47 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"hdlts/internal/sched"
+)
+
+// CanonicalProblemJSON renders a validated problem in its canonical wire
+// form: the deterministic sched.Problem.WriteJSON encoding (tasks in ID
+// order, stable field order, bandwidth emitted only when non-uniform).
+// Two problems that decode equal serialise byte-identically, whatever
+// whitespace, field order, or redundant bandwidth matrix the client sent.
+func CanonicalProblemJSON(pr *sched.Problem) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := pr.WriteJSON(&buf); err != nil {
+		return nil, fmt.Errorf("canonicalise problem: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// CanonicalHash returns the content address of one (algorithm, problem)
+// pair: sha256 over the canonical algorithm name and the canonical problem
+// serialisation, hex-encoded. Scheduling is deterministic for a given
+// pair, so this hash keys the job subsystem's result cache and in-flight
+// coalescing. Pass the registry's canonical name (Algorithm.Name()), not
+// raw client input, so "hdlts" and "HDLTS" address the same entry.
+func CanonicalHash(algorithm string, pr *sched.Problem) (string, error) {
+	canon, err := CanonicalProblemJSON(pr)
+	if err != nil {
+		return "", err
+	}
+	return hashOf(algorithm, canon), nil
+}
+
+// hashOf is the hash core for callers that already hold the canonical
+// serialisation.
+func hashOf(algorithm string, canonicalProblem []byte) string {
+	h := sha256.New()
+	h.Write([]byte(algorithm))
+	h.Write([]byte{0})
+	h.Write(canonicalProblem)
+	return hex.EncodeToString(h.Sum(nil))
+}

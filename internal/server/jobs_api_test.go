@@ -1,0 +1,461 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdlts/internal/jobs"
+	"hdlts/internal/obs"
+	"hdlts/internal/registry"
+	"hdlts/internal/sched"
+)
+
+// doJSON drives one request with an optional JSON body through the handler.
+func doJSON(srv *Server, method, path string, body any) *httptest.ResponseRecorder {
+	var buf bytes.Buffer
+	if body != nil {
+		switch b := body.(type) {
+		case string:
+			buf.WriteString(b)
+		default:
+			if err := json.NewEncoder(&buf).Encode(body); err != nil {
+				panic(err)
+			}
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+// submitJob posts one single-form job and decodes the JobView.
+func submitJob(t *testing.T, srv *Server, algorithm string, problem json.RawMessage) (*JobView, *httptest.ResponseRecorder) {
+	t.Helper()
+	rec := doJSON(srv, http.MethodPost, "/v1/jobs",
+		JobSubmitRequest{Algorithm: algorithm, Problem: problem})
+	if rec.Code != http.StatusAccepted && rec.Code != http.StatusOK {
+		t.Fatalf("submit status = %d, body %s", rec.Code, rec.Body)
+	}
+	var v JobView
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	return &v, rec
+}
+
+// waitJobState polls GET /v1/jobs/{id} until the job reaches want.
+func waitJobState(t *testing.T, srv *Server, id, want string) *JobView {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rec := doJSON(srv, http.MethodGet, "/v1/jobs/"+id, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET job %s = %d: %s", id, rec.Code, rec.Body)
+		}
+		var v JobView
+		if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.State == want {
+			return &v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s (want %s): %s", id, v.State, want, rec.Body)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestJobSubmitRunsToDone(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	v, rec := submitJob(t, srv, "hdlts", problemJSON(t))
+	if rec.Code != http.StatusAccepted {
+		t.Errorf("fresh submission status = %d, want 202", rec.Code)
+	}
+	if v.ID == "" || v.Algorithm != "HDLTS" || v.Hash == "" {
+		t.Errorf("submitted job = %+v", v)
+	}
+	done := waitJobState(t, srv, v.ID, "done")
+	var res ScheduleResponse
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatalf("job result not a ScheduleResponse: %v", err)
+	}
+	if res.Makespan != 73 || res.Algorithm != "HDLTS" {
+		t.Errorf("job result = %s/%g, want HDLTS/73", res.Algorithm, res.Makespan)
+	}
+	if done.StartedAt == nil || done.FinishedAt == nil {
+		t.Errorf("done job missing timestamps: %+v", done)
+	}
+	// The full schedule in the result must reconstruct and validate.
+	pr, err := decodeProblem(problemJSON(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := sched.ReadScheduleJSON(pr, bytes.NewReader(res.Schedule))
+	if err != nil {
+		t.Fatalf("embedded schedule does not reconstruct: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("reconstructed schedule invalid: %v", err)
+	}
+}
+
+func TestJobResubmitIsCacheHit(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := newTestServer(t, Config{Metrics: reg})
+	first, _ := submitJob(t, srv, "hdlts", problemJSON(t))
+	waitJobState(t, srv, first.ID, "done")
+
+	second, rec := submitJob(t, srv, "HDLTS", problemJSON(t)) // different case, same content
+	if rec.Code != http.StatusOK {
+		t.Errorf("cache-hit submission status = %d, want 200", rec.Code)
+	}
+	if !second.CacheHit || second.State != "done" || second.ID == first.ID {
+		t.Errorf("resubmission = %+v, want a fresh done job with cache_hit", second)
+	}
+	if second.Hash != first.Hash {
+		t.Errorf("hashes differ for identical content: %s vs %s", first.Hash, second.Hash)
+	}
+	if v := reg.Counter("hdltsd_jobs_cache_hits_total").Value(); v != 1 {
+		t.Errorf("cache hits = %d, want 1", v)
+	}
+	// Only the first submission solved: one observation in the histogram.
+	if n := reg.Histogram("hdltsd_schedule_seconds", "alg", "HDLTS").Count(); n != 1 {
+		t.Errorf("schedule executions = %d, want 1 (second answered from cache)", n)
+	}
+}
+
+func TestJobBatchSubmit(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	rec := doJSON(srv, http.MethodPost, "/v1/jobs", JobSubmitRequest{
+		Jobs: []JobSubmitItem{
+			{Algorithm: "hdlts", Problem: problemJSON(t)},
+			{Algorithm: "heft", Problem: problemJSON(t)},
+		},
+	})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("batch status = %d: %s", rec.Code, rec.Body)
+	}
+	var batch JobBatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Jobs) != 2 {
+		t.Fatalf("batch answered %d jobs, want 2", len(batch.Jobs))
+	}
+	wantMakespan := map[string]float64{"HDLTS": 73, "HEFT": 80}
+	for _, item := range batch.Jobs {
+		if item.Job == nil {
+			t.Fatalf("batch item missing job: %+v", item)
+		}
+		done := waitJobState(t, srv, item.Job.ID, "done")
+		var res ScheduleResponse
+		if err := json.Unmarshal(done.Result, &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan != wantMakespan[res.Algorithm] {
+			t.Errorf("%s makespan = %g, want %g", res.Algorithm, res.Makespan, wantMakespan[res.Algorithm])
+		}
+	}
+}
+
+func TestJobListFilterAndPagination(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	// Distinct algorithms give distinct hashes, so nothing coalesces.
+	var ids []string
+	for _, alg := range []string{"hdlts", "heft", "cpop"} {
+		v, _ := submitJob(t, srv, alg, problemJSON(t))
+		ids = append(ids, v.ID)
+		waitJobState(t, srv, v.ID, "done")
+	}
+	rec := doJSON(srv, http.MethodGet, "/v1/jobs?state=done&limit=2&offset=1", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list = %d: %s", rec.Code, rec.Body)
+	}
+	var list JobListResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Total != 3 || len(list.Jobs) != 2 || list.Offset != 1 || list.Limit != 2 {
+		t.Errorf("page = %d jobs of %d (offset %d limit %d), want 2 of 3 (1, 2)",
+			len(list.Jobs), list.Total, list.Offset, list.Limit)
+	}
+	// Newest first: offset 1 skips the cpop job.
+	if list.Jobs[0].ID != ids[1] || list.Jobs[1].ID != ids[0] {
+		t.Errorf("page order = %s,%s want %s,%s", list.Jobs[0].ID, list.Jobs[1].ID, ids[1], ids[0])
+	}
+	if rec := doJSON(srv, http.MethodGet, "/v1/jobs?state=running", nil); rec.Code != http.StatusOK {
+		t.Errorf("empty filter list = %d, want 200", rec.Code)
+	}
+}
+
+func TestJobValidationErrors(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	good := string(problemJSON(t))
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"not json", http.MethodPost, "/v1/jobs", "{", http.StatusBadRequest},
+		{"neither form", http.MethodPost, "/v1/jobs", `{}`, http.StatusBadRequest},
+		{"both forms", http.MethodPost, "/v1/jobs",
+			`{"problem":` + good + `,"jobs":[{"problem":` + good + `}]}`, http.StatusBadRequest},
+		{"unknown field", http.MethodPost, "/v1/jobs", `{"bogus":1}`, http.StatusBadRequest},
+		{"bad problem", http.MethodPost, "/v1/jobs", `{"problem":{"procs":0}}`, http.StatusBadRequest},
+		{"unknown algorithm", http.MethodPost, "/v1/jobs",
+			`{"algorithm":"nope","problem":` + good + `}`, http.StatusBadRequest},
+		{"bad batch item", http.MethodPost, "/v1/jobs",
+			`{"jobs":[{"algorithm":"hdlts","problem":` + good + `},{"algorithm":"nope","problem":` + good + `}]}`,
+			http.StatusBadRequest},
+		{"unknown job", http.MethodGet, "/v1/jobs/j-doesnotexist", "", http.StatusNotFound},
+		{"cancel unknown", http.MethodDelete, "/v1/jobs/j-doesnotexist", "", http.StatusNotFound},
+		{"bad state filter", http.MethodGet, "/v1/jobs?state=bogus", "", http.StatusBadRequest},
+		{"bad limit", http.MethodGet, "/v1/jobs?limit=0", "", http.StatusBadRequest},
+		{"bad offset", http.MethodGet, "/v1/jobs?offset=-1", "", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body any
+			if tc.body != "" {
+				body = tc.body
+			}
+			rec := doJSON(srv, tc.method, tc.path, body)
+			if rec.Code != tc.want {
+				t.Errorf("status = %d, want %d (body %s)", rec.Code, tc.want, rec.Body)
+			}
+			var er ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+				t.Errorf("non-2xx body is not an ErrorResponse: %s", rec.Body)
+			}
+		})
+	}
+	// A rejected batch admits nothing.
+	if rec := doJSON(srv, http.MethodGet, "/v1/jobs", nil); rec.Code == http.StatusOK {
+		var list JobListResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &list); err == nil && list.Total != 0 {
+			t.Errorf("invalid submissions leaked %d jobs into the store", list.Total)
+		}
+	}
+}
+
+// jobsBlockingLookup parks the canonical HDLTS name too: job execution
+// resolves the stored canonical algorithm name, not the submitted alias,
+// so "block" must stay blocking after the round-trip through alg.Name().
+func jobsBlockingLookup(b *blockingAlg) func(string) (sched.Algorithm, error) {
+	return func(name string) (sched.Algorithm, error) {
+		if name == "block" || name == "HDLTS" {
+			return b, nil
+		}
+		return registry.Get(name)
+	}
+}
+
+func TestJobCancelLifecycle(t *testing.T) {
+	blk := &blockingAlg{started: make(chan struct{}, 2), release: make(chan struct{})}
+	srv := newTestServer(t, Config{
+		Lookup: jobsBlockingLookup(blk),
+		Jobs:   jobs.Config{Workers: 1},
+	})
+	running, _ := submitJob(t, srv, "block", problemJSON(t))
+	<-blk.started // job occupies the only worker
+	// A different canonical algorithm gives a second hash, so no
+	// coalescing with the blocked job (which canonicalises to HDLTS).
+	queued, _ := submitJob(t, srv, "heft", problemJSON(t))
+
+	rec := doJSON(srv, http.MethodDelete, "/v1/jobs/"+queued.ID, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cancel queued = %d: %s", rec.Code, rec.Body)
+	}
+	var v JobView
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.State != "cancelled" {
+		t.Errorf("cancelled queued job state = %s", v.State)
+	}
+
+	rec = doJSON(srv, http.MethodDelete, "/v1/jobs/"+running.ID, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cancel running = %d: %s", rec.Code, rec.Body)
+	}
+	close(blk.release)
+	waitJobState(t, srv, running.ID, "cancelled")
+
+	if rec := doJSON(srv, http.MethodDelete, "/v1/jobs/"+running.ID, nil); rec.Code != http.StatusConflict {
+		t.Errorf("cancel of finished job = %d, want 409", rec.Code)
+	}
+}
+
+func TestJobQueueSaturationGets429WithRetryAfter(t *testing.T) {
+	blk := &blockingAlg{started: make(chan struct{}, 2), release: make(chan struct{})}
+	srv := newTestServer(t, Config{
+		Lookup: jobsBlockingLookup(blk),
+		Jobs:   jobs.Config{Workers: 1, QueueDepth: 1},
+	})
+	defer close(blk.release)
+	if _, rec := submitJob(t, srv, "block", problemJSON(t)); rec.Code != http.StatusAccepted {
+		t.Fatal("first submit not accepted")
+	}
+	<-blk.started
+	// Distinct canonical algorithms per submission so nothing coalesces:
+	// the blocked job holds the worker, heft fills the 1-deep queue.
+	if _, rec := submitJob(t, srv, "heft", problemJSON(t)); rec.Code != http.StatusAccepted {
+		t.Fatal("second submit not accepted")
+	}
+	rec := doJSON(srv, http.MethodPost, "/v1/jobs",
+		JobSubmitRequest{Algorithm: "cpop", Problem: problemJSON(t)})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit = %d, want 429 (body %s)", rec.Code, rec.Body)
+	}
+	ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want an integer >= 1", rec.Header().Get("Retry-After"))
+	}
+}
+
+func TestRetryAfterDerivedFromObservedLatency(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := newTestServer(t, Config{Metrics: reg, Workers: 2, QueueDepth: 9})
+	// No observations yet: conservative 1s.
+	if got := srv.retryAfterSeconds("HDLTS", 9, 2); got != 1 {
+		t.Errorf("retryAfter with no data = %d, want 1", got)
+	}
+	// Mean 2s, 9 queued ahead + this request, 2 workers → ceil(2*10/2) = 10.
+	h := reg.Histogram("hdltsd_schedule_seconds", "alg", "HDLTS")
+	h.Observe(1)
+	h.Observe(3)
+	if got := srv.retryAfterSeconds("HDLTS", 9, 2); got != 10 {
+		t.Errorf("retryAfter = %d, want 10", got)
+	}
+	// Clamped to 60 for pathological backlogs.
+	if got := srv.retryAfterSeconds("HDLTS", 1000, 1); got != 60 {
+		t.Errorf("retryAfter clamp = %d, want 60", got)
+	}
+	// The sync 429 path uses the same estimate (header checked in
+	// TestSaturationGets429; the derivation is what's new here).
+}
+
+// countingLookup wraps the registry and counts Schedule executions, to
+// prove cache hits never re-solve.
+type countingAlg struct {
+	sched.Algorithm
+	runs *atomic.Int64
+}
+
+func (c countingAlg) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
+	c.runs.Add(1)
+	return c.Algorithm.Schedule(pr)
+}
+
+// TestJobSurvivesRestartEndToEnd is the acceptance path: a job submitted
+// over HTTP outlives its daemon (abandoned mid-run, as after SIGKILL —
+// every WAL append is fsynced), completes with the correct makespan under
+// a fresh server on the same store, and an identical resubmission is a
+// cache hit with no new solve.
+func TestJobSurvivesRestartEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	blk := &blockingAlg{started: make(chan struct{}, 1), release: make(chan struct{})}
+	crashed, err := New(Config{
+		Metrics: obs.NewRegistry(),
+		Lookup:  jobsBlockingLookup(blk),
+		Jobs:    jobs.Config{Dir: dir, Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, rec := submitJob(t, crashed, "block", problemJSON(t))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d", rec.Code)
+	}
+	<-blk.started // the job's "running" record is on disk; now "kill" the daemon
+	t.Cleanup(func() { close(blk.release) })
+
+	var runs atomic.Int64
+	reg := obs.NewRegistry()
+	srv := newTestServer(t, Config{
+		Metrics: reg,
+		Lookup: func(name string) (sched.Algorithm, error) {
+			alg, err := registry.Get(name)
+			if err != nil {
+				return nil, err
+			}
+			return countingAlg{alg, &runs}, nil
+		},
+		Jobs: jobs.Config{Dir: dir},
+	})
+	done := waitJobState(t, srv, v.ID, "done")
+	var res ScheduleResponse
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 73 {
+		t.Errorf("recovered job makespan = %g, want 73", res.Makespan)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("recovered runs = %d, want 1", runs.Load())
+	}
+
+	again, rec := submitJob(t, srv, "hdlts", problemJSON(t))
+	if rec.Code != http.StatusOK || !again.CacheHit {
+		t.Errorf("resubmission = %d %+v, want 200 with cache_hit", rec.Code, again)
+	}
+	if v := reg.Counter("hdltsd_jobs_cache_hits_total").Value(); v != 1 {
+		t.Errorf("hdltsd_jobs_cache_hits_total = %d, want 1", v)
+	}
+	if runs.Load() != 1 {
+		t.Errorf("runs after cache hit = %d, want still 1 (no new solve)", runs.Load())
+	}
+
+	// The jobs metrics are visible on /metrics.
+	mrec := doJSON(srv, http.MethodGet, "/metrics", nil)
+	for _, want := range []string{
+		"hdltsd_jobs_cache_hits_total 1",
+		`hdltsd_jobs_state{state="done"} 2`,
+		"hdltsd_jobs_wal_fsync_seconds_count",
+	} {
+		if !strings.Contains(mrec.Body.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestJobsDrainingRefusesSubmission(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	srv.Drain()
+	rec := doJSON(srv, http.MethodPost, "/v1/jobs",
+		JobSubmitRequest{Algorithm: "hdlts", Problem: problemJSON(t)})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining = %d, want 503", rec.Code)
+	}
+}
+
+func TestJobFailureSurfacesError(t *testing.T) {
+	srv := newTestServer(t, Config{
+		Lookup: func(name string) (sched.Algorithm, error) {
+			return failingAlg{}, nil
+		},
+		Jobs: jobs.Config{MaxAttempts: 2, RetryBackoff: time.Millisecond},
+	})
+	v, _ := submitJob(t, srv, "hdlts", problemJSON(t))
+	failed := waitJobState(t, srv, v.ID, "failed")
+	if failed.Attempts != 2 || !strings.Contains(failed.Error, "synthetic failure") {
+		t.Errorf("failed job = %+v, want 2 attempts and the run error", failed)
+	}
+}
+
+// failingAlg always errors, driving the retry-then-fail path.
+type failingAlg struct{}
+
+func (failingAlg) Name() string { return "HDLTS" }
+func (failingAlg) Schedule(*sched.Problem) (*sched.Schedule, error) {
+	return nil, fmt.Errorf("synthetic failure")
+}

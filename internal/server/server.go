@@ -21,8 +21,10 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
+	"hdlts/internal/jobs"
 	"hdlts/internal/metrics"
 	"hdlts/internal/obs"
 	"hdlts/internal/registry"
@@ -52,6 +54,11 @@ type Config struct {
 	// Lookup resolves algorithm names (default registry.Get). Override to
 	// serve custom algorithms or to stub scheduling in tests.
 	Lookup func(name string) (sched.Algorithm, error)
+	// Jobs tunes the asynchronous job subsystem behind POST /v1/jobs:
+	// store directory (empty = memory-only), workers, queue depth, retry
+	// policy, TTL, cache size. Metrics and Run are wired by the server and
+	// need not be set.
+	Jobs jobs.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +89,7 @@ type Server struct {
 	cfg  Config
 	mux  *http.ServeMux
 	pool *pool
+	jobs *jobs.Manager
 
 	draining chan struct{} // closed by Drain
 
@@ -89,8 +97,10 @@ type Server struct {
 	queueDepth *obs.Gauge
 }
 
-// New builds a ready-to-serve Server from cfg.
-func New(cfg Config) *Server {
+// New builds a ready-to-serve Server from cfg. The only failure mode is
+// the job store: an unreadable/corrupt -jobs-dir must stop the daemon at
+// startup, not at the first submission.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:        cfg,
@@ -100,13 +110,29 @@ func New(cfg Config) *Server {
 		queueDepth: cfg.Metrics.Gauge("hdltsd_queue_depth"),
 	}
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.queueDepth)
+	jcfg := cfg.Jobs
+	jcfg.Metrics = cfg.Metrics
+	jcfg.Run = s.runJobFunc
+	mgr, err := jobs.Open(jcfg)
+	if err != nil {
+		s.pool.close()
+		return nil, err
+	}
+	s.jobs = mgr
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
+
+// Jobs exposes the job manager (facade re-export and tests).
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
 // ServeHTTP implements http.Handler with request accounting and access
 // logging around the route table.
@@ -144,9 +170,11 @@ func (s *Server) Drain() {
 	}
 }
 
-// Shutdown drains and then waits for every admitted request to finish, or
-// for ctx to expire. After Shutdown the Server answers every schedule
-// request with 503.
+// Shutdown drains and then waits for every admitted request to finish —
+// and for job workers to commit their current job — or for ctx to expire.
+// After Shutdown the Server answers every schedule request with 503.
+// Unfinished jobs stay in the durable store and are recovered by the next
+// daemon with the same jobs directory.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.Drain()
 	done := make(chan struct{})
@@ -156,10 +184,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("server: shutdown: %w", ctx.Err())
 	}
+	return s.jobs.Close(ctx)
 }
 
 // isDraining reports whether Drain has been called.
@@ -220,7 +248,8 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 				errors.New("server is shutting down"))
 			return
 		}
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(
+			s.retryAfterSeconds(alg.Name(), s.cfg.QueueDepth, s.cfg.Workers)))
 		s.scheduleError(w, http.StatusTooManyRequests, "saturated",
 			fmt.Errorf("queue full (%d queued, %d workers)", s.cfg.QueueDepth, s.cfg.Workers))
 		return

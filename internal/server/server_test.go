@@ -58,7 +58,10 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -366,7 +369,10 @@ func TestShutdownDrainsInFlight(t *testing.T) {
 
 func TestShutdownHonoursContext(t *testing.T) {
 	blk := &blockingAlg{started: make(chan struct{}, 1), release: make(chan struct{})}
-	srv := New(Config{Workers: 1, Metrics: obs.NewRegistry(), Lookup: blockingLookup(blk)})
+	srv, err := New(Config{Workers: 1, Metrics: obs.NewRegistry(), Lookup: blockingLookup(blk)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	req := ScheduleRequest{Algorithm: "block", Problem: problemJSON(t)}
 	go doSchedule(srv, req)
 	<-blk.started
@@ -458,7 +464,10 @@ func (b *syncBuffer) String() string {
 }
 
 func BenchmarkScheduleRequest(b *testing.B) {
-	srv := New(Config{Metrics: obs.NewRegistry()})
+	srv, err := New(Config{Metrics: obs.NewRegistry()})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer srv.Shutdown(context.Background())
 	var buf bytes.Buffer
 	if err := workflows.PaperExample().WriteJSON(&buf); err != nil {

@@ -15,7 +15,10 @@ import (
 // mux — the embedding story docs/SERVICE.md documents — and schedules the
 // Fig. 1 problem through it.
 func TestServiceEmbedding(t *testing.T) {
-	svc := hdlts.NewService(hdlts.ServiceConfig{Metrics: hdlts.DefaultStats()})
+	svc, err := hdlts.NewService(hdlts.ServiceConfig{Metrics: hdlts.DefaultStats()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer svc.Shutdown(context.Background())
 
 	mux := http.NewServeMux()
@@ -48,12 +51,15 @@ func TestServiceEmbedding(t *testing.T) {
 	}
 
 	// A custom algorithm can be served by overriding Lookup.
-	custom := hdlts.NewService(hdlts.ServiceConfig{
+	custom, err := hdlts.NewService(hdlts.ServiceConfig{
 		Metrics: hdlts.DefaultStats(),
 		Lookup: func(name string) (hdlts.Algorithm, error) {
 			return hdlts.GetAlgorithm("heft")
 		},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer custom.Shutdown(context.Background())
 	rec := httptest.NewRecorder()
 	custom.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/schedule", bytes.NewReader(body)))
