@@ -347,6 +347,65 @@ func BenchmarkObsOverheadCollector(b *testing.B) {
 	}
 }
 
+// Span-overhead benches: the tracing guardrail. The serving path wraps
+// every schedule in spans via obs.StartSpan; when the request's trace was
+// not retained (no store in the context, or sampled out) StartSpan must
+// be free — Disabled vs the plain baseline stays within noise (<5%),
+// while Recorded bounds the cost of a fully-retained span tree. All three
+// run the Fig. 1 problem so the schedule itself is cheap and the
+// instrumentation delta is visible.
+
+func BenchmarkSpanOverheadBaseline(b *testing.B) {
+	pr := workflows.PaperExample()
+	h := core.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Schedule(pr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpanOverheadDisabled(b *testing.B) {
+	pr := workflows.PaperExample()
+	h := core.New()
+	ctx := context.Background() // no store: the nil-span no-op path
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sctx, sp := obs.StartSpan(ctx, "schedule.run", "alg", "HDLTS")
+		_, solve := obs.StartSpan(sctx, "schedule.solve")
+		_, err := h.Schedule(pr)
+		solve.Finish()
+		sp.Finish()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpanOverheadRecorded(b *testing.B) {
+	pr := workflows.PaperExample()
+	h := core.New()
+	ts := obs.NewTraceStore(8, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := "b-" + itoa(i+1)
+		ts.Start(id)
+		ctx := obs.WithTraceStore(obs.WithTraceID(context.Background(), id), ts)
+		sctx, sp := obs.StartSpan(ctx, "schedule.run", "alg", "HDLTS")
+		_, solve := obs.StartSpan(sctx, "schedule.solve")
+		_, err := h.Schedule(pr)
+		solve.Finish()
+		sp.Finish()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAblationCompaction measures the post-pass compaction's effect on
 // HDLTS's avail-based schedules (insertion-based schedules are usually
 // already tight): time includes the compaction, the custom metric is the
@@ -424,7 +483,7 @@ func benchJobsManager(b *testing.B, workers int, run jobs.RunFunc) *jobs.Manager
 // BenchmarkJobCacheHit times a submission answered entirely from the
 // result cache: hash lookup plus minting the pre-completed job record.
 func BenchmarkJobCacheHit(b *testing.B) {
-	m := benchJobsManager(b, 1, func(string, json.RawMessage) (json.RawMessage, error) {
+	m := benchJobsManager(b, 1, func(context.Context, string, json.RawMessage) (json.RawMessage, error) {
 		return json.RawMessage(`{"makespan":73}`), nil
 	})
 	const hash = "00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff"
@@ -459,7 +518,7 @@ func BenchmarkJobCacheHit(b *testing.B) {
 // worker pickup, and run of a trivial function.
 func BenchmarkJobCacheMiss(b *testing.B) {
 	ran := make(chan struct{}, 1)
-	m := benchJobsManager(b, 1, func(string, json.RawMessage) (json.RawMessage, error) {
+	m := benchJobsManager(b, 1, func(context.Context, string, json.RawMessage) (json.RawMessage, error) {
 		ran <- struct{}{}
 		return json.RawMessage(`{"makespan":73}`), nil
 	})

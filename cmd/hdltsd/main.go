@@ -17,6 +17,14 @@
 // content-addressed result cache. See docs/SERVICE.md for the full
 // endpoint and schema reference.
 //
+// Every response carries an X-Request-ID (the client's, when well-formed;
+// generated otherwise) that doubles as the trace ID: the access log, the
+// persisted job record, and the span/decision-event trace behind
+// GET /v1/jobs/{id}/trace and GET /v1/traces/{id} all share it. Runtime
+// telemetry (goroutines, heap, GC pauses, scheduler latency) is polled
+// into the hdltsd_runtime_* gauges, and -debug-addr opens a separate
+// localhost pprof/expvar listener. See docs/OBSERVABILITY.md.
+//
 // The daemon is drain-aware: SIGTERM/SIGINT flips /readyz to 503, stops
 // admitting schedule requests, finishes everything in flight, then exits.
 package main
@@ -35,6 +43,7 @@ import (
 	"time"
 
 	"hdlts/internal/jobs"
+	"hdlts/internal/obs"
 	"hdlts/internal/server"
 )
 
@@ -50,13 +59,27 @@ type options struct {
 	JobsDir      string
 	JobsWorkers  int
 	JobsTTL      time.Duration
+	// DebugAddr, when non-empty, serves net/http/pprof and expvar on a
+	// second listener. Off by default: profiles expose process internals
+	// and belong on localhost, never on the service port.
+	DebugAddr string
+	// TraceBuffer / TraceSample tune the in-memory trace ring behind
+	// GET /v1/jobs/{id}/trace and GET /v1/traces/{id}.
+	TraceBuffer int
+	TraceSample int
+	// RuntimeInterval paces the runtime/metrics poller feeding the
+	// hdltsd_runtime_* gauges; 0 disables the collector.
+	RuntimeInterval time.Duration
 	// Ready, when set, receives the bound listen address once the daemon
 	// accepts connections (test hook).
 	Ready func(addr string)
+	// DebugReady mirrors Ready for the debug listener.
+	DebugReady func(addr string)
 }
 
 func main() {
 	var o options
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.StringVar(&o.Addr, "addr", ":8080", "listen address")
 	flag.IntVar(&o.Workers, "workers", 0, "scheduling workers (0 = GOMAXPROCS)")
 	flag.IntVar(&o.Queue, "queue", 64, "request queue depth; beyond it requests get 429")
@@ -67,7 +90,23 @@ func main() {
 	flag.StringVar(&o.JobsDir, "jobs-dir", "", "durable job store directory; empty = jobs do not survive restarts")
 	flag.IntVar(&o.JobsWorkers, "jobs-workers", 0, "asynchronous job workers (0 = GOMAXPROCS)")
 	flag.DurationVar(&o.JobsTTL, "jobs-ttl", time.Hour, "how long finished jobs stay queryable before garbage collection")
+	flag.StringVar(&o.DebugAddr, "debug-addr", "", "pprof/expvar listen address (e.g. localhost:6060); empty = disabled")
+	flag.IntVar(&o.TraceBuffer, "trace-buffer", 512, "request traces retained in memory for the trace endpoints")
+	flag.IntVar(&o.TraceSample, "trace-sample", 1, "record one in N scheduling requests into the trace ring")
+	flag.DurationVar(&o.RuntimeInterval, "runtime-interval", 10*time.Second, "runtime telemetry poll interval; 0 = disabled")
 	flag.Parse()
+	if *version {
+		info := obs.ReadBuild()
+		fmt.Printf("hdltsd %s %s", info.Version, info.GoVersion)
+		if info.Revision != "" {
+			fmt.Printf(" %s", info.Revision)
+			if info.Modified {
+				fmt.Print(" (modified)")
+			}
+		}
+		fmt.Println()
+		return
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, o); err != nil {
@@ -89,6 +128,8 @@ func run(ctx context.Context, o options) error {
 		RequestTimeout: o.Timeout,
 		MaxBodyBytes:   o.MaxBody,
 		AccessLog:      access,
+		TraceBuffer:    o.TraceBuffer,
+		TraceSample:    o.TraceSample,
 		Jobs: jobs.Config{
 			Dir:     o.JobsDir,
 			Workers: o.JobsWorkers,
@@ -97,6 +138,10 @@ func run(ctx context.Context, o options) error {
 	})
 	if err != nil {
 		return err
+	}
+	if o.RuntimeInterval > 0 {
+		rc := obs.StartRuntime(nil, "hdltsd_runtime", o.RuntimeInterval)
+		defer rc.Stop()
 	}
 	ln, err := net.Listen("tcp", o.Addr)
 	if err != nil {
@@ -111,6 +156,28 @@ func run(ctx context.Context, o options) error {
 	}
 	if o.Ready != nil {
 		o.Ready(ln.Addr().String())
+	}
+
+	// The debug listener is independent of the service lifecycle: it serves
+	// profiles during drain (often exactly when you want them) and dies
+	// with the process.
+	var debugSrv *http.Server
+	if o.DebugAddr != "" {
+		dln, err := net.Listen("tcp", o.DebugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugSrv = &http.Server{
+			Handler:           server.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		if access != nil {
+			access.Info("debug listening", "addr", dln.Addr().String())
+		}
+		if o.DebugReady != nil {
+			o.DebugReady(dln.Addr().String())
+		}
+		go func() { _ = debugSrv.Serve(dln) }()
 	}
 
 	serveErr := make(chan error, 1)
@@ -136,6 +203,9 @@ func run(ctx context.Context, o options) error {
 	}
 	if err := srv.Shutdown(drainCtx); err != nil {
 		return err
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Close()
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -153,6 +153,147 @@ func TestDaemonShutdownDrainsInFlight(t *testing.T) {
 	}
 }
 
+// TestDaemonObservabilitySurface drives the debug listener, the version
+// endpoint, runtime telemetry, and request correlation end to end over
+// real sockets: one X-Request-ID appears in the response header, the job
+// record, and the replayed trace, while profiles are served only on the
+// separate -debug-addr listener.
+func TestDaemonObservabilitySurface(t *testing.T) {
+	debugCh := make(chan string, 1)
+	base, stop := startDaemon(t, options{
+		Timeout:         10 * time.Second,
+		DrainTimeout:    10 * time.Second,
+		DebugAddr:       "127.0.0.1:0",
+		DebugReady:      func(addr string) { debugCh <- addr },
+		RuntimeInterval: 50 * time.Millisecond,
+	})
+	defer func() {
+		if err := stop(); err != nil {
+			t.Errorf("daemon exit: %v", err)
+		}
+	}()
+	var debugBase string
+	select {
+	case addr := <-debugCh:
+		debugBase = "http://" + addr
+	case <-time.After(5 * time.Second):
+		t.Fatal("debug listener never became ready")
+	}
+
+	// Correlated submission: fixed ID in, same ID everywhere out.
+	const reqID = "daemon-e2e-trace-01"
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", jobRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", reqID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != reqID {
+		t.Errorf("response X-Request-ID = %q, want %q", got, reqID)
+	}
+	var job struct {
+		ID      string `json:"id"`
+		TraceID string `json:"trace_id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&job)
+	resp.Body.Close()
+	if err != nil || job.ID == "" {
+		t.Fatalf("submit: %v, job %+v", err, job)
+	}
+	if job.TraceID != reqID {
+		t.Errorf("job trace_id = %q, want %q", job.TraceID, reqID)
+	}
+	// The trace endpoint replays spans and events under the same ID once
+	// the job has run.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tresp, err := http.Get(base + "/v1/jobs/" + job.ID + "/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbody, _ := io.ReadAll(tresp.Body)
+		tresp.Body.Close()
+		if tresp.StatusCode == http.StatusOK {
+			var tr struct {
+				TraceID string `json:"trace_id"`
+				Spans   []struct {
+					Name string `json:"name"`
+				} `json:"spans"`
+				Events []json.RawMessage `json:"events"`
+			}
+			if err := json.Unmarshal(tbody, &tr); err != nil {
+				t.Fatal(err)
+			}
+			if tr.TraceID != reqID {
+				t.Errorf("trace id = %q, want %q", tr.TraceID, reqID)
+			}
+			hasRun := false
+			for _, sp := range tr.Spans {
+				if sp.Name == "schedule.run" {
+					hasRun = true
+				}
+			}
+			if hasRun && len(tr.Events) > 0 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace never complete: %d %s", tresp.StatusCode, tbody)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// /v1/version identifies the binary.
+	vresp, err := http.Get(base + "/v1/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		GoVersion  string   `json:"go_version"`
+		Algorithms []string `json:"algorithms"`
+	}
+	err = json.NewDecoder(vresp.Body).Decode(&v)
+	vresp.Body.Close()
+	if err != nil || v.GoVersion == "" || len(v.Algorithms) == 0 {
+		t.Errorf("/v1/version = %+v, err %v", v, err)
+	}
+
+	// Runtime telemetry flows into /metrics.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"hdltsd_runtime_goroutines", "hdltsd_build_info{"} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Profiles live on the debug listener only.
+	presp, err := http.Get(debugBase + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbody, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK || !strings.Contains(string(pbody), "goroutine profile") {
+		t.Errorf("debug goroutine profile = %d:\n%.200s", presp.StatusCode, pbody)
+	}
+	sresp, err := http.Get(base + "/debug/pprof/goroutine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusNotFound {
+		t.Errorf("service port serves profiles (%d), must 404", sresp.StatusCode)
+	}
+}
+
 // jobRequest is fig1Request in the single-job form of POST /v1/jobs.
 func jobRequest(t *testing.T) *bytes.Reader {
 	t.Helper()

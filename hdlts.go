@@ -1,8 +1,10 @@
 package hdlts
 
 import (
+	"context"
 	"io"
 	"math/rand"
+	"time"
 
 	"hdlts/internal/core"
 	"hdlts/internal/dag"
@@ -291,13 +293,73 @@ func NamedTracer(t Tracer, alg string) Tracer { return obs.Named(t, alg) }
 // runner.
 func DefaultStats() *Stats { return obs.Default() }
 
+// Span-tracing re-exports. Where Event records what a scheduler decided,
+// a Span records how long one operation took and under which parent; the
+// trace ID flows through context.Context so the HTTP layer, the job
+// subsystem, and the scheduler all stamp the same correlation ID. See
+// docs/OBSERVABILITY.md ("Correlating a request end-to-end").
+type (
+	// Span is one timed operation in a trace (trace ID, span ID, parent,
+	// name, start/end, attributes).
+	Span = obs.Span
+	// Trace is one recorded trace: the span tree plus the decision events
+	// captured while it was active.
+	Trace = obs.Trace
+	// TraceStore is the bounded in-memory ring of recent traces backing the
+	// service's GET /v1/jobs/{id}/trace and GET /v1/traces/{id}.
+	TraceStore = obs.TraceStore
+	// RuntimeCollector polls runtime/metrics into a Stats registry
+	// (goroutines, heap, GC pauses, scheduler latency).
+	RuntimeCollector = obs.RuntimeCollector
+	// BuildInfo identifies the running binary (module version, Go
+	// toolchain, VCS revision).
+	BuildInfo = obs.BuildInfo
+)
+
+// NewTraceStore returns a trace ring retaining capacity traces and
+// recording one in every sample new trace IDs (sample <= 1 records all).
+func NewTraceStore(capacity, sample int) *TraceStore { return obs.NewTraceStore(capacity, sample) }
+
+// StartSpan begins a span under ctx's current span. It is free — nil span,
+// no allocation — unless ctx carries a trace store (WithTraceStore) and a
+// retained trace ID (WithTraceID); nil-span methods are safe no-ops.
+func StartSpan(ctx context.Context, name string, attrs ...string) (context.Context, *Span) {
+	return obs.StartSpan(ctx, name, attrs...)
+}
+
+// WithTraceID returns ctx carrying the correlation ID every downstream
+// span, job record, and decision event will stamp.
+func WithTraceID(ctx context.Context, traceID string) context.Context {
+	return obs.WithTraceID(ctx, traceID)
+}
+
+// TraceIDFrom returns the correlation ID carried by ctx, or "".
+func TraceIDFrom(ctx context.Context) string { return obs.TraceIDFrom(ctx) }
+
+// WithTraceStore returns ctx carrying the store StartSpan records into.
+func WithTraceStore(ctx context.Context, ts *TraceStore) context.Context {
+	return obs.WithTraceStore(ctx, ts)
+}
+
+// StartRuntimeTelemetry polls runtime/metrics into reg every interval
+// under series named prefix_* (e.g. "hdltsd_runtime"); Stop the collector
+// to end polling. A nil reg uses DefaultStats().
+func StartRuntimeTelemetry(reg *Stats, prefix string, interval time.Duration) *RuntimeCollector {
+	return obs.StartRuntime(reg, prefix, interval)
+}
+
+// ReadBuildInfo reports the running binary's identity from the build
+// metadata the Go linker embedded.
+func ReadBuildInfo() BuildInfo { return obs.ReadBuild() }
+
 // Service re-exports. NewService returns the scheduler-as-a-service
 // HTTP handler cmd/hdltsd serves — embed it in your own http.Server (or
 // mount it under a prefix) to serve schedules next to other endpoints.
 // See docs/SERVICE.md for endpoints and wire schemas.
 type (
 	// Service is the daemon's http.Handler: POST /v1/schedule, the
-	// asynchronous /v1/jobs family, GET /v1/algorithms, /healthz, /readyz,
+	// asynchronous /v1/jobs family (including GET /v1/jobs/{id}/trace),
+	// GET /v1/algorithms, /v1/traces/{id}, /v1/version, /healthz, /readyz,
 	// /metrics. Call Drain on SIGTERM and Shutdown to wait for in-flight
 	// requests.
 	Service = server.Server

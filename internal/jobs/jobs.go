@@ -68,6 +68,11 @@ type Job struct {
 	// Hash is the content address of (algorithm, problem) — the cache and
 	// coalescing key.
 	Hash string `json:"hash"`
+	// TraceID correlates this job with the HTTP request that submitted it:
+	// the same ID appears in the X-Request-ID response header, the access
+	// log, and the span/decision-event trace. Persisted with the job, so
+	// the correlation survives crash recovery.
+	TraceID string `json:"trace_id,omitempty"`
 	// Problem is the canonically serialised problem, kept so a recovered
 	// job can re-run without the original request.
 	Problem json.RawMessage `json:"problem,omitempty"`

@@ -14,8 +14,11 @@ import (
 
 // RunFunc executes one job: the algorithm's canonical registry name plus
 // the canonically serialised problem in, opaque result JSON out. It runs
-// on a worker goroutine and must be safe for concurrent use.
-type RunFunc func(algorithm string, problem json.RawMessage) (json.RawMessage, error)
+// on a worker goroutine and must be safe for concurrent use. ctx carries
+// the job's trace ID (obs.TraceIDFrom) so the executing layer can record
+// spans and decision events against the submitting request — including
+// re-runs of jobs recovered after a crash.
+type RunFunc func(ctx context.Context, algorithm string, problem json.RawMessage) (json.RawMessage, error)
 
 // Config tunes a Manager. The zero value (plus a Run function) works:
 // memory-only store, GOMAXPROCS workers, three attempts per job, one-hour
@@ -194,12 +197,18 @@ func (m *Manager) adopt(recovered map[string]*Job) []*Job {
 	return pending
 }
 
-// Submit admits one job. In order of preference it answers from the result
-// cache (a new job born done, CacheHit set), coalesces onto an active job
-// with the same hash (the returned job carries that job's ID), or enqueues
-// a fresh job. ErrSaturated means the queue is full; ErrClosed means the
-// manager has shut down.
+// Submit admits one job with no trace correlation; see SubmitTraced.
 func (m *Manager) Submit(algorithm, hash string, problem json.RawMessage) (*Job, error) {
+	return m.SubmitTraced(algorithm, hash, "", problem)
+}
+
+// SubmitTraced admits one job stamped with the submitting request's trace
+// ID. In order of preference it answers from the result cache (a new job
+// born done, CacheHit set), coalesces onto an active job with the same
+// hash (the returned job carries that job's ID — and the first submitter's
+// trace ID), or enqueues a fresh job. ErrSaturated means the queue is
+// full; ErrClosed means the manager has shut down.
+func (m *Manager) SubmitTraced(algorithm, hash, traceID string, problem json.RawMessage) (*Job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -215,7 +224,7 @@ func (m *Manager) Submit(algorithm, hash string, problem json.RawMessage) (*Job,
 	if res, ok := m.cache.get(hash); ok {
 		m.cacheHits.Inc()
 		j := &Job{
-			ID: newID(), Algorithm: algorithm, Hash: hash,
+			ID: newID(), Algorithm: algorithm, Hash: hash, TraceID: traceID,
 			State: Done, MaxAttempts: m.cfg.MaxAttempts, Result: res,
 			CacheHit: true, Seq: m.seq(),
 			SubmittedAt: now, FinishedAt: now,
@@ -230,8 +239,9 @@ func (m *Manager) Submit(algorithm, hash string, problem json.RawMessage) (*Job,
 		return nil, ErrSaturated
 	}
 	j := &Job{
-		ID: newID(), Algorithm: algorithm, Hash: hash, Problem: problem,
-		State: Queued, MaxAttempts: m.cfg.MaxAttempts, Seq: m.seq(),
+		ID: newID(), Algorithm: algorithm, Hash: hash, TraceID: traceID,
+		Problem: problem,
+		State:   Queued, MaxAttempts: m.cfg.MaxAttempts, Seq: m.seq(),
 		SubmittedAt: now,
 	}
 	m.jobs[j.ID] = j
@@ -417,9 +427,13 @@ func (m *Manager) runJob(id string) {
 	j.StartedAt = m.now()
 	m.persist(j)
 	algorithm, problem := j.Algorithm, j.Problem
+	// The execution context carries the job's trace ID — the persisted
+	// correlation with the submitting request — so re-runs after a crash
+	// trace under the original ID.
+	ctx := obs.WithTraceID(context.Background(), j.TraceID)
 	m.mu.Unlock()
 
-	result, err := m.cfg.Run(algorithm, problem)
+	result, err := m.cfg.Run(ctx, algorithm, problem)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -14,7 +14,7 @@ import (
 
 // okRun returns a RunFunc that answers instantly and counts executions.
 func okRun(runs *atomic.Int64) RunFunc {
-	return func(algorithm string, problem json.RawMessage) (json.RawMessage, error) {
+	return func(_ context.Context, algorithm string, problem json.RawMessage) (json.RawMessage, error) {
 		if runs != nil {
 			runs.Add(1)
 		}
@@ -130,7 +130,7 @@ func newBlockingRun() *blockingRun {
 	return &blockingRun{started: make(chan string, 16), release: make(chan struct{})}
 }
 
-func (b *blockingRun) run(algorithm string, problem json.RawMessage) (json.RawMessage, error) {
+func (b *blockingRun) run(_ context.Context, algorithm string, problem json.RawMessage) (json.RawMessage, error) {
 	b.runs.Add(1)
 	b.started <- algorithm
 	<-b.release
@@ -168,7 +168,7 @@ func TestRetryWithBackoffThenFailure(t *testing.T) {
 	reg := obs.NewRegistry()
 	m := newTestManager(t, Config{
 		Metrics: reg, MaxAttempts: 3, RetryBackoff: time.Millisecond,
-		Run: func(string, json.RawMessage) (json.RawMessage, error) {
+		Run: func(context.Context, string, json.RawMessage) (json.RawMessage, error) {
 			runs.Add(1)
 			return nil, errors.New("boom")
 		},
@@ -193,7 +193,7 @@ func TestRetryRecoversFromTransientError(t *testing.T) {
 	var runs atomic.Int64
 	m := newTestManager(t, Config{
 		RetryBackoff: time.Millisecond,
-		Run: func(string, json.RawMessage) (json.RawMessage, error) {
+		Run: func(context.Context, string, json.RawMessage) (json.RawMessage, error) {
 			if runs.Add(1) == 1 {
 				return nil, errors.New("transient")
 			}

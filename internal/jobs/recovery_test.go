@@ -88,7 +88,7 @@ func TestRecoveryServesDoneFromWAL(t *testing.T) {
 
 	reg := obs.NewRegistry()
 	m := newTestManager(t, Config{Dir: dir, Metrics: reg,
-		Run: func(string, json.RawMessage) (json.RawMessage, error) {
+		Run: func(context.Context, string, json.RawMessage) (json.RawMessage, error) {
 			return nil, errors.New("must not re-solve a done job")
 		},
 	})
@@ -210,5 +210,48 @@ func TestDeleteRecordsSurviveReplay(t *testing.T) {
 	recovered := newTestManager(t, Config{Dir: dir, Run: okRun(nil)})
 	if _, err := recovered.Get(j.ID); !errors.Is(err, ErrNotFound) {
 		t.Errorf("GC'd job resurrected after restart: %v", err)
+	}
+}
+
+// TestRecoveryKeepsTraceID: the request-correlation ID stamped at
+// submission must survive the WAL round trip, and a re-run of an
+// unfinished job must execute under the original trace ID.
+func TestRecoveryKeepsTraceID(t *testing.T) {
+	dir := t.TempDir()
+	blk := newBlockingRun()
+	crashed, err := Open(Config{
+		Dir: dir, Workers: 1, Metrics: obs.NewRegistry(), Run: blk.run,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := crashed.SubmitTraced("HDLTS", "h1", "trace-cafe01", json.RawMessage(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.TraceID != "trace-cafe01" {
+		t.Fatalf("submitted trace ID = %q", j.TraceID)
+	}
+	<-blk.started // running record (with trace ID) is on disk
+	t.Cleanup(func() {
+		close(blk.release)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = crashed.Close(ctx)
+	})
+
+	gotTrace := make(chan string, 1)
+	m := newTestManager(t, Config{Dir: dir, Workers: 1,
+		Run: func(ctx context.Context, _ string, _ json.RawMessage) (json.RawMessage, error) {
+			gotTrace <- obs.TraceIDFrom(ctx)
+			return json.RawMessage(`{"ok":true}`), nil
+		},
+	})
+	got := waitState(t, m, j.ID, Done)
+	if got.TraceID != "trace-cafe01" {
+		t.Errorf("recovered job trace ID = %q, want trace-cafe01", got.TraceID)
+	}
+	if id := <-gotTrace; id != "trace-cafe01" {
+		t.Errorf("re-run executed under trace ID %q, want trace-cafe01", id)
 	}
 }

@@ -1,0 +1,53 @@
+package obs
+
+import "runtime/debug"
+
+// BuildInfo identifies the running binary: module version, Go toolchain,
+// and the VCS revision the binary was built from (when the build embedded
+// it). It backs the <name>_build_info gauge, GET /v1/version, and the
+// daemon's -version flag, so all three always agree.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+// ReadBuild extracts BuildInfo from runtime/debug.ReadBuildInfo. Binaries
+// built outside module mode report version "(devel)" and no revision.
+func ReadBuild() BuildInfo {
+	info := BuildInfo{Version: "(devel)"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.GoVersion = bi.GoVersion
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// RegisterBuildInfo sets the conventional build-info gauge — value 1,
+// identity in the labels — in reg under the given series name (e.g.
+// "hdltsd_build_info") and returns what it registered.
+func RegisterBuildInfo(reg *Registry, name string) BuildInfo {
+	if reg == nil {
+		reg = Default()
+	}
+	info := ReadBuild()
+	reg.Gauge(name,
+		"version", info.Version,
+		"go_version", info.GoVersion,
+		"revision", info.Revision,
+	).Set(1)
+	return info
+}

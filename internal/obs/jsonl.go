@@ -56,16 +56,11 @@ func (s *JSONLSink) WallClock(on bool) *JSONLSink {
 // Enabled implements Tracer.
 func (s *JSONLSink) Enabled() bool { return true }
 
-// Emit implements Tracer.
-func (s *JSONLSink) Emit(ev Event) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.err != nil {
-		return
-	}
-	s.seq++
-	le := lineEvent{
-		Seq:    s.seq,
+// wireEvent renders ev in the JSONL wire form with the given sequence
+// number — shared by the streaming sink and EncodeEvents.
+func wireEvent(seq uint64, ev Event) lineEvent {
+	return lineEvent{
+		Seq:    seq,
 		Ev:     ev.Type.String(),
 		Alg:    ev.Alg,
 		Task:   ev.Task,
@@ -77,10 +72,36 @@ func (s *JSONLSink) Emit(ev Event) {
 		Value:  ev.Value,
 		Dup:    ev.Dup,
 	}
+}
+
+// Emit implements Tracer.
+func (s *JSONLSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.seq++
+	le := wireEvent(s.seq, ev)
 	if s.wall {
 		le.WallNS = time.Now().UnixNano()
 	}
 	s.err = s.enc.Encode(le)
+}
+
+// EncodeEvents renders events in the JSONL wire form, one standalone JSON
+// object per event with sequence numbers from 1 — byte-compatible with
+// what a JSONLSink would stream for the same events.
+func EncodeEvents(evs []Event) ([]json.RawMessage, error) {
+	out := make([]json.RawMessage, len(evs))
+	for i, ev := range evs {
+		b, err := json.Marshal(wireEvent(uint64(i+1), ev))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
 }
 
 // Flush writes buffered lines through and reports the first emit or write

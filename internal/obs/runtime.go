@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"time"
+)
+
+// RuntimeCollector polls the Go runtime's metrics into a Registry on a
+// fixed interval, surfacing the serving process itself — goroutine count,
+// heap size, GC pause distribution, scheduler latency — on the same
+// /metrics page as the scheduling series. Series are named
+// <prefix>_goroutines, <prefix>_heap_objects_bytes, and so on; the two
+// runtime histograms are exposed as quantile gauges (q="0.5"|"0.9"|"0.99")
+// computed from the runtime's own cumulative buckets.
+type RuntimeCollector struct {
+	reg     *Registry
+	prefix  string
+	samples []metrics.Sample
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// runtimeQuantiles are the distribution points exported per histogram.
+var runtimeQuantiles = []float64{0.5, 0.9, 0.99}
+
+// runtimeGauges maps runtime/metrics names to the gauge suffix each scalar
+// lands in.
+var runtimeGauges = map[string]string{
+	"/sched/goroutines:goroutines":       "_goroutines",
+	"/sched/gomaxprocs:threads":          "_gomaxprocs",
+	"/memory/classes/heap/objects:bytes": "_heap_objects_bytes",
+	"/memory/classes/total:bytes":        "_memory_total_bytes",
+	"/gc/cycles/total:gc-cycles":         "_gc_cycles_total",
+}
+
+// runtimeHists maps runtime/metrics histogram names to the quantile-gauge
+// suffix each distribution lands in.
+var runtimeHists = map[string]string{
+	"/gc/pauses:seconds":       "_gc_pause_seconds",
+	"/sched/latencies:seconds": "_sched_latency_seconds",
+}
+
+// StartRuntime begins polling the runtime into reg every interval (default
+// 10s) under the given metric prefix (e.g. "hdltsd_runtime"). One poll
+// happens synchronously before it returns, so the series exist as soon as
+// the collector does. Stop the collector when the process drains.
+func StartRuntime(reg *Registry, prefix string, interval time.Duration) *RuntimeCollector {
+	if reg == nil {
+		reg = Default()
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	names := make([]string, 0, len(runtimeGauges)+len(runtimeHists))
+	for name := range runtimeGauges {
+		names = append(names, name)
+	}
+	for name := range runtimeHists {
+		names = append(names, name)
+	}
+	c := &RuntimeCollector{
+		reg:     reg,
+		prefix:  prefix,
+		samples: make([]metrics.Sample, len(names)),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for i, name := range names {
+		c.samples[i].Name = name
+	}
+	c.Collect()
+	go c.loop(interval)
+	return c
+}
+
+// Stop ends the polling loop and waits for it to exit. The collected
+// gauges keep their last values.
+func (c *RuntimeCollector) Stop() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	<-c.done
+}
+
+func (c *RuntimeCollector) loop(interval time.Duration) {
+	defer close(c.done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+			c.Collect()
+		}
+	}
+}
+
+// Collect performs one poll. Exported so tests (and embedders wanting an
+// up-to-the-moment scrape) can trigger it deterministically.
+func (c *RuntimeCollector) Collect() {
+	metrics.Read(c.samples)
+	for _, s := range c.samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			if suffix, ok := runtimeGauges[s.Name]; ok {
+				c.reg.Gauge(c.prefix + suffix).Set(float64(s.Value.Uint64()))
+			}
+		case metrics.KindFloat64:
+			if suffix, ok := runtimeGauges[s.Name]; ok {
+				c.reg.Gauge(c.prefix + suffix).Set(s.Value.Float64())
+			}
+		case metrics.KindFloat64Histogram:
+			suffix, ok := runtimeHists[s.Name]
+			if !ok {
+				continue
+			}
+			h := s.Value.Float64Histogram()
+			for _, q := range runtimeQuantiles {
+				c.reg.Gauge(c.prefix+suffix, "q", fmtBound(q)).
+					Set(histQuantile(h, q))
+			}
+		}
+	}
+}
+
+// histQuantile approximates quantile q from a runtime cumulative bucket
+// histogram: the upper bound of the first bucket whose cumulative count
+// reaches q of the total. An empty histogram reports 0; a quantile landing
+// in the +Inf overflow bucket reports the last finite bound.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	// Counts[i] spans Buckets[i] .. Buckets[i+1].
+	target := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= target {
+			ub := h.Buckets[i+1]
+			if isInf(ub) {
+				return h.Buckets[i]
+			}
+			return ub
+		}
+	}
+	last := h.Buckets[len(h.Buckets)-1]
+	if isInf(last) {
+		return h.Buckets[len(h.Buckets)-2]
+	}
+	return last
+}
+
+// isInf avoids importing math for one check.
+func isInf(v float64) bool { return v > 1e308 || v < -1e308 }

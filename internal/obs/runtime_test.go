@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	rtmetrics "runtime/metrics"
+)
+
+func TestRuntimeCollectorPopulatesGauges(t *testing.T) {
+	reg := NewRegistry()
+	c := StartRuntime(reg, "test_runtime", time.Hour) // first poll is synchronous
+	defer c.Stop()
+
+	if v := reg.Gauge("test_runtime_goroutines").Value(); v < 1 {
+		t.Errorf("goroutines gauge = %g, want >= 1", v)
+	}
+	if v := reg.Gauge("test_runtime_gomaxprocs").Value(); v != float64(runtime.GOMAXPROCS(0)) {
+		t.Errorf("gomaxprocs gauge = %g, want %d", v, runtime.GOMAXPROCS(0))
+	}
+	if v := reg.Gauge("test_runtime_memory_total_bytes").Value(); v <= 0 {
+		t.Errorf("memory total gauge = %g, want > 0", v)
+	}
+
+	// Force GC activity, re-poll, and the pause quantile gauges must exist
+	// (possibly zero on a quiet runtime, but present in the exposition).
+	runtime.GC()
+	c.Collect()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	for _, want := range []string{
+		"test_runtime_goroutines",
+		"test_runtime_gc_cycles_total",
+		`test_runtime_gc_pause_seconds{q="0.5"}`,
+		`test_runtime_gc_pause_seconds{q="0.99"}`,
+		`test_runtime_sched_latency_seconds{q="0.9"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if v := reg.Gauge("test_runtime_gc_cycles_total").Value(); v < 1 {
+		t.Errorf("gc cycles = %g after runtime.GC(), want >= 1", v)
+	}
+}
+
+func TestRuntimeCollectorStopIsIdempotent(t *testing.T) {
+	c := StartRuntime(NewRegistry(), "x", 10*time.Millisecond)
+	c.Stop()
+	c.Stop() // second stop must not panic or hang
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &rtmetrics.Float64Histogram{
+		Counts:  []uint64{10, 80, 10},
+		Buckets: []float64{0, 1, 2, 3},
+	}
+	if q := histQuantile(h, 0.5); q != 2 {
+		t.Errorf("q0.5 = %g, want 2 (median falls in the middle bucket)", q)
+	}
+	if q := histQuantile(h, 0.05); q != 1 {
+		t.Errorf("q0.05 = %g, want 1", q)
+	}
+	if q := histQuantile(h, 0.99); q != 3 {
+		t.Errorf("q0.99 = %g, want 3", q)
+	}
+	// Quantile landing in a +Inf overflow bucket clamps to the last finite
+	// bound.
+	inf := &rtmetrics.Float64Histogram{
+		Counts:  []uint64{1, 9},
+		Buckets: []float64{0, 1, positiveInf()},
+	}
+	if q := histQuantile(inf, 0.99); q != 1 {
+		t.Errorf("overflow q0.99 = %g, want 1", q)
+	}
+	empty := &rtmetrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if q := histQuantile(empty, 0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", q)
+	}
+}
+
+func positiveInf() float64 {
+	v := 1e308
+	return v * 10
+}
+
+func TestReadBuildAndRegister(t *testing.T) {
+	info := ReadBuild()
+	if info.GoVersion == "" {
+		t.Error("BuildInfo.GoVersion empty under the go tool")
+	}
+	reg := NewRegistry()
+	got := RegisterBuildInfo(reg, "test_build_info")
+	if got != info {
+		t.Errorf("RegisterBuildInfo returned %+v, ReadBuild says %+v", got, info)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "test_build_info{") ||
+		!strings.Contains(b.String(), info.GoVersion) {
+		t.Errorf("exposition missing build info gauge:\n%s", b.String())
+	}
+}

@@ -1,0 +1,38 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler is the daemon's profiling surface: net/http/pprof (CPU,
+// heap, goroutine, mutex, block profiles and execution traces) plus the
+// expvar JSON dump, mounted under the conventional /debug/ prefix.
+//
+// It is deliberately a separate handler rather than extra routes on the
+// Server: profiling endpoints expose internals (memory contents via heap
+// dumps, timing via CPU profiles) and must never ride on the service
+// port. The daemon serves it only when -debug-addr is set, on its own
+// listener — typically bound to localhost.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "hdltsd debug listener")
+		fmt.Fprintln(w, "  /debug/pprof/   profiles (goroutine, heap, profile, trace, ...)")
+		fmt.Fprintln(w, "  /debug/vars     expvar JSON")
+	})
+	return mux
+}

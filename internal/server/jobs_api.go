@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"hdlts/internal/jobs"
+	"hdlts/internal/obs"
 	"hdlts/internal/sched"
 )
 
@@ -37,9 +39,12 @@ type JobSubmitItem struct {
 // clients already have it, and sweep-sized problems would bloat every
 // status poll.
 type JobView struct {
-	ID          string `json:"id"`
-	Algorithm   string `json:"algorithm"`
-	Hash        string `json:"hash"`
+	ID        string `json:"id"`
+	Algorithm string `json:"algorithm"`
+	Hash      string `json:"hash"`
+	// TraceID is the correlation ID of the submitting request (its
+	// X-Request-ID); GET /v1/jobs/{id}/trace replays the matching trace.
+	TraceID     string `json:"trace_id,omitempty"`
 	State       string `json:"state"`
 	Attempts    int    `json:"attempts"`
 	MaxAttempts int    `json:"max_attempts"`
@@ -82,6 +87,7 @@ func jobView(j *jobs.Job) *JobView {
 		ID:              j.ID,
 		Algorithm:       j.Algorithm,
 		Hash:            j.Hash,
+		TraceID:         j.TraceID,
 		State:           string(j.State),
 		Attempts:        j.Attempts,
 		MaxAttempts:     j.MaxAttempts,
@@ -138,10 +144,19 @@ func (s *Server) prepareSubmission(algorithm string, problem json.RawMessage) (*
 }
 
 // runJobFunc is the jobs.RunFunc the manager executes: the same
-// schedule → validate → evaluate → encode pipeline as /v1/schedule, minus
-// per-request tracing. The problem is the stored canonical serialisation,
-// so recovered jobs re-run identically after a restart.
-func (s *Server) runJobFunc(algorithm string, problem json.RawMessage) (json.RawMessage, error) {
+// schedule → validate → evaluate → encode pipeline as /v1/schedule. The
+// ctx carries the job's persisted trace ID; the run re-adopts it into the
+// trace ring so spans and decision events land under the original
+// correlation ID — even when the job is a recovered re-run after a
+// restart. The problem is the stored canonical serialisation, so
+// recovered jobs re-run identically.
+func (s *Server) runJobFunc(ctx context.Context, algorithm string, problem json.RawMessage) (json.RawMessage, error) {
+	if tid := obs.TraceIDFrom(ctx); tid != "" {
+		s.traces.Start(tid)
+		ctx = obs.WithTraceStore(ctx, s.traces)
+	}
+	ctx, run := obs.StartSpan(ctx, "job.run", "alg", algorithm)
+	defer run.Finish()
 	alg, err := s.cfg.Lookup(algorithm)
 	if err != nil {
 		return nil, err
@@ -150,7 +165,7 @@ func (s *Server) runJobFunc(algorithm string, problem json.RawMessage) (json.Raw
 	if err != nil {
 		return nil, err
 	}
-	out := s.runSchedule(alg, pr, false)
+	out := s.runSchedule(ctx, alg, pr, false)
 	if out.err != nil {
 		return nil, out.err
 	}
@@ -202,8 +217,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 	batch := JobBatchResponse{Jobs: make([]JobBatchItem, len(subs))}
 	saturated := false
+	traceID := obs.TraceIDFrom(r.Context())
 	for i, sub := range subs {
-		j, err := s.jobs.Submit(sub.algorithm, sub.hash, sub.canonical)
+		j, err := s.jobs.SubmitTraced(sub.algorithm, sub.hash, traceID, sub.canonical)
 		switch {
 		case errors.Is(err, jobs.ErrSaturated):
 			saturated = true

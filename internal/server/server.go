@@ -54,6 +54,14 @@ type Config struct {
 	// Lookup resolves algorithm names (default registry.Get). Override to
 	// serve custom algorithms or to stub scheduling in tests.
 	Lookup func(name string) (sched.Algorithm, error)
+	// TraceBuffer bounds how many request traces — span trees plus decision
+	// events, keyed by X-Request-ID — the in-memory ring retains for
+	// GET /v1/jobs/{id}/trace and GET /v1/traces/{id} (default 512).
+	TraceBuffer int
+	// TraceSample records one in every N scheduling requests into the trace
+	// ring (default 1 = every request); raise it to shed tracing cost at
+	// high QPS. Request-ID adoption and echo are unaffected.
+	TraceSample int
 	// Jobs tunes the asynchronous job subsystem behind POST /v1/jobs:
 	// store directory (empty = memory-only), workers, queue depth, retry
 	// policy, TTL, cache size. Metrics and Run are wired by the server and
@@ -80,16 +88,24 @@ func (c Config) withDefaults() Config {
 	if c.Lookup == nil {
 		c.Lookup = registry.Get
 	}
+	if c.TraceBuffer <= 0 {
+		c.TraceBuffer = 512
+	}
+	if c.TraceSample <= 0 {
+		c.TraceSample = 1
+	}
 	return c
 }
 
 // Server is the daemon's http.Handler. Create one with New, embed it in any
 // http.Server (or mount it under a prefix), and call Shutdown to drain.
 type Server struct {
-	cfg  Config
-	mux  *http.ServeMux
-	pool *pool
-	jobs *jobs.Manager
+	cfg    Config
+	mux    *http.ServeMux
+	pool   *pool
+	jobs   *jobs.Manager
+	traces *obs.TraceStore
+	build  obs.BuildInfo
 
 	draining chan struct{} // closed by Drain
 
@@ -105,6 +121,8 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:        cfg,
 		mux:        http.NewServeMux(),
+		traces:     obs.NewTraceStore(cfg.TraceBuffer, cfg.TraceSample),
+		build:      obs.RegisterBuildInfo(cfg.Metrics, "hdltsd_build_info"),
 		draining:   make(chan struct{}),
 		inFlight:   cfg.Metrics.Gauge("hdltsd_http_in_flight"),
 		queueDepth: cfg.Metrics.Gauge("hdltsd_queue_depth"),
@@ -124,7 +142,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
+	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -134,14 +155,33 @@ func New(cfg Config) (*Server, error) {
 // Jobs exposes the job manager (facade re-export and tests).
 func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
-// ServeHTTP implements http.Handler with request accounting and access
-// logging around the route table.
+// ServeHTTP implements http.Handler with request correlation, accounting,
+// and access logging around the route table. Every response — including
+// 429/504/4xx error paths — echoes the request's correlation ID in
+// X-Request-ID: adopted from the client's header when well-formed,
+// generated otherwise. The same ID is the trace ID for the span tree and
+// decision events the scheduling paths record, the request_id of the
+// access-log line, and the trace_id persisted on submitted jobs.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.inFlight.Inc()
 	defer s.inFlight.Dec()
+	reqID := requestID(r)
+	w.Header().Set("X-Request-ID", reqID)
+	ctx := obs.WithTraceStore(obs.WithTraceID(r.Context(), reqID), s.traces)
+	var root *obs.Span
+	if tracedRoute(r) {
+		s.traces.Start(reqID)
+		ctx, root = obs.StartSpan(ctx, "http.request",
+			"method", r.Method, "path", r.URL.Path)
+	}
+	r = r.WithContext(ctx)
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	s.mux.ServeHTTP(rec, r)
+	if root != nil {
+		root.SetAttr("status", strconv.Itoa(rec.status))
+		root.Finish()
+	}
 	elapsed := time.Since(start)
 	s.cfg.Metrics.Counter("hdltsd_http_requests_total",
 		"path", r.URL.Path, "code", fmt.Sprint(rec.status)).Inc()
@@ -155,8 +195,45 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			"bytes", rec.bytes,
 			"duration_ms", float64(elapsed.Microseconds())/1000,
 			"remote", r.RemoteAddr,
+			"request_id", reqID,
 		)
 	}
+}
+
+// requestID adopts the client's X-Request-ID when well-formed and
+// generates a fresh ID otherwise, so the correlation chain never depends
+// on client cooperation.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); validRequestID(id) {
+		return id
+	}
+	return obs.NewTraceID()
+}
+
+// validRequestID accepts 1–128 characters of [A-Za-z0-9._:-] — enough for
+// every common request-ID convention (UUIDs, ULIDs, hex) while keeping
+// log lines and label values injection-free.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		switch c := id[i]; {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.', c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// tracedRoute reports whether the request does scheduling work worth a
+// trace-ring entry; probes and scrapes are correlated (header + log) but
+// not recorded.
+func tracedRoute(r *http.Request) bool {
+	return r.Method == http.MethodPost &&
+		(r.URL.Path == "/v1/schedule" || r.URL.Path == "/v1/jobs")
 }
 
 // Drain flips /readyz to 503 and refuses new schedule requests, without
@@ -236,11 +313,15 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	// The worker traces under the request's context values (trace ID and
+	// store survive handler return and cancellation) but not its deadline:
+	// an admitted request runs to completion even when the client timed out.
+	rctx := r.Context()
 	// The buffer lets the worker complete and move on even when this
 	// handler has already given up on the deadline.
 	done := make(chan scheduleOutcome, 1)
 	admitted := s.pool.trySubmit(func() {
-		done <- s.runSchedule(alg, pr, req.Trace)
+		done <- s.runSchedule(rctx, alg, pr, req.Trace)
 	})
 	if !admitted {
 		if s.isDraining() {
@@ -270,26 +351,45 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 // runSchedule executes one admitted request inside a worker: schedule,
 // validate, evaluate, and encode, with the per-algorithm latency histogram
 // observing only time spent here (queue wait is visible as the gap to
-// hdltsd_http_request_seconds).
-func (s *Server) runSchedule(alg sched.Algorithm, pr *sched.Problem, trace bool) scheduleOutcome {
+// hdltsd_http_request_seconds). ctx carries the request's trace identity:
+// when the trace is retained, each phase records a span and the
+// scheduler's decision events land in the trace ring — the replayable
+// "why was this mapping chosen" record behind the trace endpoints.
+func (s *Server) runSchedule(ctx context.Context, alg sched.Algorithm, pr *sched.Problem, trace bool) scheduleOutcome {
+	ctx, run := obs.StartSpan(ctx, "schedule.run", "alg", alg.Name())
+	defer run.Finish()
 	start := time.Now()
 	prA := pr
 	var sink *obs.JSONLSink
 	var events bytes.Buffer
+	var tracers []obs.Tracer
 	if trace {
 		sink = obs.NewJSONL(&events)
-		prA = pr.WithTracer(obs.Named(sink, alg.Name()))
+		tracers = append(tracers, sink)
 	}
+	if st := obs.TraceStoreFrom(ctx); st != nil {
+		tracers = append(tracers, st.Tracer(obs.TraceIDFrom(ctx)))
+	}
+	if tr := obs.Multi(tracers...); tr != obs.Nop {
+		prA = pr.WithTracer(obs.Named(tr, alg.Name()))
+	}
+	_, solve := obs.StartSpan(ctx, "schedule.solve")
 	sc, err := alg.Schedule(prA)
+	solve.Finish()
 	if err != nil {
 		return scheduleOutcome{status: http.StatusInternalServerError,
 			err: fmt.Errorf("%s: %w", alg.Name(), err)}
 	}
-	if err := sc.Validate(); err != nil {
+	_, validate := obs.StartSpan(ctx, "schedule.validate")
+	err = sc.Validate()
+	validate.Finish()
+	if err != nil {
 		return scheduleOutcome{status: http.StatusInternalServerError,
 			err: fmt.Errorf("%s produced an invalid schedule: %w", alg.Name(), err)}
 	}
+	_, eval := obs.StartSpan(ctx, "schedule.evaluate")
 	res, err := metrics.Evaluate(alg.Name(), sc)
+	eval.Finish()
 	if err != nil {
 		// Degenerate but decodable problems (e.g. an all-zero critical
 		// path) schedule fine yet have no defined SLR: the data, not the
@@ -297,7 +397,9 @@ func (s *Server) runSchedule(alg sched.Algorithm, pr *sched.Problem, trace bool)
 		return scheduleOutcome{status: http.StatusUnprocessableEntity,
 			err: fmt.Errorf("evaluate: %w", err)}
 	}
+	_, encode := obs.StartSpan(ctx, "schedule.encode")
 	raw, err := encodeSchedule(sc, alg.Name())
+	encode.Finish()
 	if err != nil {
 		return scheduleOutcome{status: http.StatusInternalServerError, err: err}
 	}

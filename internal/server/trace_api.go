@@ -1,0 +1,117 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"hdlts/internal/obs"
+	"hdlts/internal/registry"
+)
+
+// TraceResponse is the wire form of one recorded trace: the span tree the
+// serving path produced plus the scheduler's decision events, both stamped
+// with the same trace ID the client saw in X-Request-ID. Events use the
+// exact wire form of the streaming trace (ScheduleResponse.Events), so
+// tooling written against one reads the other.
+type TraceResponse struct {
+	TraceID string      `json:"trace_id"`
+	Spans   []*obs.Span `json:"spans"`
+	// Events is the decision log (iteration / pv / commit records) in JSONL
+	// record form.
+	Events []json.RawMessage `json:"events,omitempty"`
+	// SpansDropped / EventsDropped count records discarded once the
+	// per-trace caps were hit; non-zero means the trace is a prefix.
+	SpansDropped  int `json:"spans_dropped,omitempty"`
+	EventsDropped int `json:"events_dropped,omitempty"`
+	// JobID is set when the trace was reached via /v1/jobs/{id}/trace.
+	JobID string `json:"job_id,omitempty"`
+}
+
+// traceResponse assembles the wire form of one stored trace.
+func (s *Server) traceResponse(tr *obs.Trace) (*TraceResponse, error) {
+	events, err := obs.EncodeEvents(tr.Events)
+	if err != nil {
+		return nil, fmt.Errorf("encode trace events: %w", err)
+	}
+	return &TraceResponse{
+		TraceID:       tr.TraceID,
+		Spans:         tr.Spans,
+		Events:        events,
+		SpansDropped:  tr.SpansDropped,
+		EventsDropped: tr.EventsDropped,
+	}, nil
+}
+
+// handleTraceGet serves GET /v1/traces/{id}: the trace recorded for one
+// request ID, straight from the ring. 404 covers both "never existed" and
+// "evicted or sampled out" — the ring is bounded by design.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.traces.Get(id)
+	if !ok {
+		s.traceError(w, http.StatusNotFound, "not_found",
+			fmt.Errorf("no trace %q (evicted, sampled out, or never recorded)", id))
+		return
+	}
+	resp, err := s.traceResponse(tr)
+	if err != nil {
+		s.traceError(w, http.StatusInternalServerError, "encode", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleJobTrace serves GET /v1/jobs/{id}/trace: the job's persisted
+// trace_id resolved against the trace ring, replaying the span tree and
+// decision events of the request that submitted it (and, for recovered
+// jobs, of the re-run — both record under the same ID).
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		s.traceError(w, http.StatusNotFound, "not_found", err)
+		return
+	}
+	if j.TraceID == "" {
+		s.traceError(w, http.StatusNotFound, "no_trace",
+			fmt.Errorf("job %s predates trace correlation (no trace_id recorded)", j.ID))
+		return
+	}
+	tr, ok := s.traces.Get(j.TraceID)
+	if !ok {
+		s.traceError(w, http.StatusNotFound, "not_found",
+			fmt.Errorf("trace %q for job %s not retained (evicted or sampled out)",
+				j.TraceID, j.ID))
+		return
+	}
+	resp, err := s.traceResponse(tr)
+	if err != nil {
+		s.traceError(w, http.StatusInternalServerError, "encode", err)
+		return
+	}
+	resp.JobID = j.ID
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// VersionResponse answers GET /v1/version with the binary's identity —
+// the same facts the hdltsd_build_info gauge and `hdltsd -version` report.
+type VersionResponse struct {
+	obs.BuildInfo
+	// Algorithms is the paper algorithm registry, so one call identifies
+	// both the binary and what it can run.
+	Algorithms []string `json:"algorithms"`
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, VersionResponse{
+		BuildInfo:  s.build,
+		Algorithms: registry.Names(),
+	})
+}
+
+// traceError answers one failed trace/version request and bumps the
+// matching error counter.
+func (s *Server) traceError(w http.ResponseWriter, status int, reason string, err error) {
+	s.cfg.Metrics.Counter("hdltsd_trace_errors_total", "reason", reason).Inc()
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Status: status})
+}

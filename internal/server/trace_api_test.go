@@ -1,0 +1,477 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hdlts/internal/jobs"
+	"hdlts/internal/obs"
+)
+
+// doWithRequestID drives one request with an X-Request-ID header set.
+func doWithRequestID(srv *Server, method, path, reqID string, body any) *httptest.ResponseRecorder {
+	var buf bytes.Buffer
+	if body != nil {
+		switch b := body.(type) {
+		case string:
+			buf.WriteString(b)
+		default:
+			if err := json.NewEncoder(&buf).Encode(body); err != nil {
+				panic(err)
+			}
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	if reqID != "" {
+		req.Header.Set("X-Request-ID", reqID)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+// getTrace fetches and decodes one trace endpoint response.
+func getTrace(t *testing.T, srv *Server, path string) (*TraceResponse, *httptest.ResponseRecorder) {
+	t.Helper()
+	rec := doJSON(srv, http.MethodGet, path, nil)
+	if rec.Code != http.StatusOK {
+		return nil, rec
+	}
+	var tr TraceResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatalf("trace response not decodable: %v\n%s", err, rec.Body)
+	}
+	return &tr, rec
+}
+
+// spanNames collects the span names of a trace for containment checks.
+func spanNames(tr *TraceResponse) map[string]bool {
+	names := make(map[string]bool, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		names[sp.Name] = true
+	}
+	return names
+}
+
+// TestTraceEndToEndCorrelation is the PR's acceptance test: ONE trace ID
+// — the client's X-Request-ID — links every observability surface:
+//
+//  1. the HTTP response header,
+//  2. the access-log line (request_id field),
+//  3. the durable job record and its WAL entry on disk, surviving a
+//     crash + recovery on a fresh server,
+//  4. the span tree and scheduler decision events replayed by
+//     GET /v1/jobs/{id}/trace.
+func TestTraceEndToEndCorrelation(t *testing.T) {
+	const reqID = "e2e-trace-cafe.01"
+	dir := t.TempDir()
+	var logBuf syncBuffer
+
+	// First daemon: submit with a fixed X-Request-ID against a blocking
+	// algorithm, then abandon mid-run (the crash).
+	blk := &blockingAlg{started: make(chan struct{}, 1), release: make(chan struct{})}
+	crashed, err := New(Config{
+		Metrics:   obs.NewRegistry(),
+		AccessLog: newJSONLogger(&logBuf),
+		Lookup:    jobsBlockingLookup(blk),
+		Jobs:      jobs.Config{Dir: dir, Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := doWithRequestID(crashed, http.MethodPost, "/v1/jobs", reqID,
+		JobSubmitRequest{Algorithm: "block", Problem: problemJSON(t)})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", rec.Code, rec.Body)
+	}
+
+	// Surface 1: the response header echoes the ID.
+	if got := rec.Header().Get("X-Request-ID"); got != reqID {
+		t.Errorf("response X-Request-ID = %q, want %q", got, reqID)
+	}
+	// Surface 2: the access log line carries it as request_id.
+	if line := logBuf.String(); !strings.Contains(line, `"request_id":"`+reqID+`"`) {
+		t.Errorf("access log missing request_id %q: %s", reqID, line)
+	}
+	// The submitted job record carries it immediately.
+	var v JobView
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.TraceID != reqID {
+		t.Errorf("job trace_id = %q, want %q", v.TraceID, reqID)
+	}
+	// Surface 3a: the fsynced WAL on disk has the correlation before the
+	// job even finishes — a crash cannot lose it.
+	wal, err := os.ReadFile(filepath.Join(dir, "wal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(wal), `"trace_id":"`+reqID+`"`) {
+		t.Errorf("WAL missing trace_id %q:\n%s", reqID, wal)
+	}
+
+	<-blk.started // running record durable; "kill" the daemon here
+
+	// Second daemon on the same store: recovery re-runs the job.
+	srv := newTestServer(t, Config{
+		Metrics: obs.NewRegistry(),
+		Jobs:    jobs.Config{Dir: dir},
+	})
+	done := waitJobState(t, srv, v.ID, "done")
+	// Surface 3b: the recovered, completed job still carries the ID.
+	if done.TraceID != reqID {
+		t.Errorf("recovered job trace_id = %q, want %q", done.TraceID, reqID)
+	}
+
+	// Surface 4: the job trace endpoint replays the re-run's span tree and
+	// decision events under the original trace ID — the recovered run
+	// re-adopted the persisted correlation, on a daemon that never saw the
+	// original HTTP request.
+	tr, trec := getTrace(t, srv, "/v1/jobs/"+v.ID+"/trace")
+	if tr == nil {
+		t.Fatalf("job trace = %d: %s", trec.Code, trec.Body)
+	}
+	if tr.TraceID != reqID || tr.JobID != v.ID {
+		t.Errorf("trace ids = %q/%q, want %q/%q", tr.TraceID, tr.JobID, reqID, v.ID)
+	}
+	names := spanNames(tr)
+	for _, want := range []string{"job.run", "schedule.run", "schedule.solve", "schedule.validate"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, names)
+		}
+	}
+	for _, sp := range tr.Spans {
+		if sp.TraceID != reqID {
+			t.Errorf("span %s carries trace %q, want %q", sp.Name, sp.TraceID, reqID)
+		}
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("trace has no scheduler decision events")
+	}
+	commits := 0
+	for _, raw := range tr.Events {
+		var e struct {
+			Ev string `json:"ev"`
+		}
+		if err := json.Unmarshal(raw, &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Ev == "commit" {
+			commits++
+		}
+	}
+	if commits < 10 {
+		t.Errorf("trace has %d commit events, want >= 10 (one per Fig. 1 task)", commits)
+	}
+
+	close(blk.release)
+}
+
+func TestScheduleTraceRecordedInRing(t *testing.T) {
+	const reqID = "sync-trace-01"
+	srv := newTestServer(t, Config{})
+	rec := doWithRequestID(srv, http.MethodPost, "/v1/schedule", reqID,
+		ScheduleRequest{Algorithm: "hdlts", Problem: problemJSON(t)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("schedule = %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("X-Request-ID"); got != reqID {
+		t.Errorf("X-Request-ID = %q, want %q", got, reqID)
+	}
+	tr, trec := getTrace(t, srv, "/v1/traces/"+reqID)
+	if tr == nil {
+		t.Fatalf("trace = %d: %s", trec.Code, trec.Body)
+	}
+	names := spanNames(tr)
+	for _, want := range []string{
+		"http.request", "schedule.run", "schedule.solve",
+		"schedule.validate", "schedule.evaluate", "schedule.encode",
+	} {
+		if !names[want] {
+			t.Errorf("missing span %q (have %v)", want, names)
+		}
+	}
+	// The root span records the final status; children chain to the root.
+	var root *obs.Span
+	for _, sp := range tr.Spans {
+		if sp.Name == "http.request" {
+			root = sp
+		}
+	}
+	if root == nil || root.Attrs["status"] != "200" || root.ParentID != "" {
+		t.Errorf("root span = %+v, want status=200 and no parent", root)
+	}
+	for _, sp := range tr.Spans {
+		if sp.Name == "schedule.run" && sp.ParentID != root.SpanID {
+			t.Errorf("schedule.run parent = %q, want root %q", sp.ParentID, root.SpanID)
+		}
+	}
+	if len(tr.Events) == 0 {
+		t.Error("no decision events recorded in the ring")
+	}
+}
+
+func TestRequestIDGeneratedAndValidated(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	// Absent header: a fresh ID is generated and echoed.
+	rec := doJSON(srv, http.MethodGet, "/healthz", nil)
+	if id := rec.Header().Get("X-Request-ID"); len(id) != 16 {
+		t.Errorf("generated request ID = %q, want 16 hex chars", id)
+	}
+	// Malformed header (spaces, control chars, oversized): replaced, never
+	// echoed back verbatim.
+	for _, bad := range []string{"has space", "new\nline", strings.Repeat("x", 200), "héx"} {
+		rec := doWithRequestID(srv, http.MethodGet, "/healthz", bad, nil)
+		if got := rec.Header().Get("X-Request-ID"); got == bad || got == "" {
+			t.Errorf("malformed ID %q echoed as %q, want a generated replacement", bad, got)
+		}
+	}
+}
+
+// TestRequestIDEchoedOnErrorPaths pins the satellite guarantee: 429
+// (saturated) and 504 (timeout) responses — where correlation matters
+// most — still carry the client's X-Request-ID.
+func TestRequestIDEchoedOnErrorPaths(t *testing.T) {
+	t.Run("429 saturated", func(t *testing.T) {
+		blk := &blockingAlg{started: make(chan struct{}, 2), release: make(chan struct{})}
+		srv := newTestServer(t, Config{
+			Workers:    1,
+			QueueDepth: 1,
+			Lookup:     blockingLookup(blk),
+		})
+		problem := problemJSON(t)
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				doSchedule(srv, ScheduleRequest{Algorithm: "block", Problem: problem})
+			}()
+		}
+		<-blk.started
+		deadline := time.Now().Add(5 * time.Second)
+		for srv.queueDepth.Value() < 1 {
+			if time.Now().After(deadline) {
+				t.Fatal("second request never queued")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		rec := doWithRequestID(srv, http.MethodPost, "/v1/schedule", "sat-429-id",
+			ScheduleRequest{Algorithm: "block", Problem: problem})
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("status = %d, want 429", rec.Code)
+		}
+		if got := rec.Header().Get("X-Request-ID"); got != "sat-429-id" {
+			t.Errorf("429 X-Request-ID = %q, want sat-429-id", got)
+		}
+		close(blk.release)
+		wg.Wait()
+	})
+	t.Run("504 timeout", func(t *testing.T) {
+		blk := &blockingAlg{release: make(chan struct{})}
+		srv := newTestServer(t, Config{
+			Workers:        1,
+			RequestTimeout: 20 * time.Millisecond,
+			Lookup:         blockingLookup(blk),
+		})
+		rec := doWithRequestID(srv, http.MethodPost, "/v1/schedule", "slow-504-id",
+			ScheduleRequest{Algorithm: "block", Problem: problemJSON(t)})
+		if rec.Code != http.StatusGatewayTimeout {
+			t.Fatalf("status = %d, want 504", rec.Code)
+		}
+		if got := rec.Header().Get("X-Request-ID"); got != "slow-504-id" {
+			t.Errorf("504 X-Request-ID = %q, want slow-504-id", got)
+		}
+		close(blk.release)
+	})
+	t.Run("400 bad request", func(t *testing.T) {
+		srv := newTestServer(t, Config{})
+		rec := doWithRequestID(srv, http.MethodPost, "/v1/schedule", "bad-400-id", "{")
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", rec.Code)
+		}
+		if got := rec.Header().Get("X-Request-ID"); got != "bad-400-id" {
+			t.Errorf("400 X-Request-ID = %q, want bad-400-id", got)
+		}
+	})
+}
+
+func TestTraceNotFoundPaths(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	if _, rec := getTrace(t, srv, "/v1/traces/never-seen"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown trace = %d, want 404", rec.Code)
+	}
+	if _, rec := getTrace(t, srv, "/v1/jobs/j-0000000000000000/trace"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown job trace = %d, want 404", rec.Code)
+	}
+}
+
+func TestTraceSamplingSheds(t *testing.T) {
+	srv := newTestServer(t, Config{TraceSample: 2})
+	problem := problemJSON(t)
+	retained := 0
+	for i := 0; i < 4; i++ {
+		id := "sampled-" + string(rune('a'+i))
+		rec := doWithRequestID(srv, http.MethodPost, "/v1/schedule", id,
+			ScheduleRequest{Problem: problem})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("schedule = %d", rec.Code)
+		}
+		// Correlation is unconditional even when the trace is shed.
+		if rec.Header().Get("X-Request-ID") != id {
+			t.Errorf("sampled-out request lost its X-Request-ID echo")
+		}
+		if tr, _ := getTrace(t, srv, "/v1/traces/"+id); tr != nil {
+			retained++
+		}
+	}
+	if retained != 2 {
+		t.Errorf("sample=2 retained %d of 4 traces, want 2", retained)
+	}
+}
+
+func TestVersionEndpoint(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	rec := doJSON(srv, http.MethodGet, "/v1/version", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/version = %d", rec.Code)
+	}
+	var v VersionResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.GoVersion == "" || v.Version == "" {
+		t.Errorf("version response incomplete: %+v", v)
+	}
+	found := false
+	for _, a := range v.Algorithms {
+		if a == "hdlts" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("algorithms %v missing hdlts", v.Algorithms)
+	}
+}
+
+func TestBuildInfoGaugeExposed(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := newTestServer(t, Config{Metrics: reg})
+	rec := doJSON(srv, http.MethodGet, "/metrics", nil)
+	body := rec.Body.String()
+	if !strings.Contains(body, "hdltsd_build_info{") {
+		t.Errorf("/metrics missing hdltsd_build_info:\n%s", body)
+	}
+	if !strings.Contains(body, srv.build.GoVersion) {
+		t.Errorf("build info gauge missing go_version %q", srv.build.GoVersion)
+	}
+}
+
+func TestDebugHandlerServesPprofAndVars(t *testing.T) {
+	h := DebugHandler()
+	for _, tc := range []struct {
+		path, want string
+	}{
+		{"/debug/pprof/", "goroutine"},
+		{"/debug/pprof/goroutine?debug=1", "goroutine profile"},
+		{"/debug/vars", "memstats"},
+		{"/", "hdltsd debug listener"},
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, tc.path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d", tc.path, rec.Code)
+			continue
+		}
+		if !strings.Contains(rec.Body.String(), tc.want) {
+			t.Errorf("GET %s missing %q", tc.path, tc.want)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/schedule", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("service route on debug listener = %d, want 404", rec.Code)
+	}
+}
+
+// TestConcurrentMetricsScrapesUnderSaturation pins the satellite: /metrics
+// stays responsive and parseable while every worker is busy and the queue
+// is full — scrapes must never contend with scheduling admission.
+func TestConcurrentMetricsScrapesUnderSaturation(t *testing.T) {
+	blk := &blockingAlg{started: make(chan struct{}, 1), release: make(chan struct{})}
+	reg := obs.NewRegistry()
+	srv := newTestServer(t, Config{
+		Workers:    1,
+		QueueDepth: 1,
+		Metrics:    reg,
+		Lookup:     blockingLookup(blk),
+	})
+	problem := problemJSON(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			doSchedule(srv, ScheduleRequest{Algorithm: "block", Problem: problem})
+		}()
+	}
+	<-blk.started // pool saturated from here on
+
+	var scrapes sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		scrapes.Add(1)
+		go func() {
+			defer scrapes.Done()
+			for i := 0; i < 20; i++ {
+				rec := doJSON(srv, http.MethodGet, "/metrics", nil)
+				if rec.Code != http.StatusOK {
+					t.Errorf("/metrics under saturation = %d", rec.Code)
+					return
+				}
+				if err := checkExposition(rec.Body.String()); err != nil {
+					t.Errorf("unparseable exposition: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	scrapes.Wait()
+	close(blk.release)
+	wg.Wait()
+}
+
+// checkExposition is a minimal Prometheus text-format parser: every
+// non-comment line must be `name{labels} value` with a float value.
+func checkExposition(body string) error {
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return fmt.Errorf("no value separator: %q", line)
+		}
+		name, value := line[:i], line[i+1:]
+		if name == "" || value == "" {
+			return fmt.Errorf("empty name or value: %q", line)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("bad value in %q: %w", line, err)
+		}
+		if open := strings.Count(name, "{"); open != strings.Count(name, "}") || open > 1 {
+			return fmt.Errorf("unbalanced labels: %q", line)
+		}
+	}
+	return nil
+}
