@@ -111,7 +111,7 @@ func TestMainErrEventsAndStats(t *testing.T) {
 	if !algs["HDLTS"] || !algs["HEFT"] {
 		t.Fatalf("events missing algorithm stamps: %v", algs)
 	}
-	if !strings.Contains(errBuf.String(), "experiments_reps_total") {
+	if !strings.Contains(errBuf.String(), "hdlts_experiments_reps_total") {
 		t.Fatalf("-stats output missing counters:\n%s", errBuf.String())
 	}
 }

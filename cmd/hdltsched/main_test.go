@@ -193,10 +193,10 @@ func TestRunStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := errOut.String()
-	if !strings.Contains(s, "sched_commits_total") || !strings.Contains(s, "hdlts_iterations_total") {
+	if !strings.Contains(s, "hdlts_sched_commits_total") || !strings.Contains(s, "hdlts_iterations_total") {
 		t.Fatalf("-stats output missing counters:\n%s", s)
 	}
-	if strings.Contains(out.String(), "sched_commits_total") {
+	if strings.Contains(out.String(), "hdlts_sched_commits_total") {
 		t.Fatal("-stats leaked into stdout")
 	}
 }

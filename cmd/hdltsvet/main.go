@@ -1,0 +1,82 @@
+// Command hdltsvet runs the project's static-analysis suite — the five
+// analyzers in internal/analysis — over the packages matching the given
+// patterns (default ./...).
+//
+// Usage:
+//
+//	hdltsvet [-list] [-only name,name] [packages...]
+//
+// Exit status is 0 when the tree is clean, 1 when there are findings, and
+// 2 when loading or analysis itself fails. CI runs it as a blocking step;
+// see docs/ANALYSIS.md for the invariants and the suppression directive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"hdlts/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hdltsvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	dir := fs.String("C", ".", "change to this directory before resolving patterns")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer, len(suite))
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "hdltsvet: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		suite = picked
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := analysis.LoadPackages(fset, *dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "hdltsvet: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run(fset, pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(stderr, "hdltsvet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "hdltsvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListPrintsEveryAnalyzer(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errs); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, errs.String())
+	}
+	for _, name := range []string{"determinism", "lockedio", "ctxflow", "metricname", "eventkey"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-only", "nosuch"}, &out, &errs); code != 2 {
+		t.Fatalf("run(-only nosuch) = %d, want 2", code)
+	}
+	if !strings.Contains(errs.String(), "nosuch") {
+		t.Errorf("stderr does not name the unknown analyzer:\n%s", errs.String())
+	}
+}
+
+// writeTree materialises a throwaway module for the CLI to analyze.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module vetfixture\n\ngo 1.22\n",
+		"internal/sched/clock.go": `package sched
+
+import "time"
+
+// Stamp leaks wall-clock time into a scheduler package.
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	var out, errs bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &out, &errs); code != 1 {
+		t.Fatalf("run = %d, want 1 (stdout: %s, stderr: %s)", code, out.String(), errs.String())
+	}
+	if !strings.Contains(out.String(), "determinism") || !strings.Contains(out.String(), "clock.go") {
+		t.Errorf("findings do not mention determinism at clock.go:\n%s", out.String())
+	}
+	if !strings.Contains(errs.String(), "finding(s)") {
+		t.Errorf("stderr missing the findings summary:\n%s", errs.String())
+	}
+}
+
+func TestCleanTreeExitZero(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module vetfixture\n\ngo 1.22\n",
+		"internal/sched/ok.go": `package sched
+
+// Twice is deterministic and clean.
+func Twice(x int) int { return 2 * x }
+`,
+	})
+	var out, errs bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &out, &errs); code != 0 {
+		t.Fatalf("run = %d, want 0 (stdout: %s, stderr: %s)", code, out.String(), errs.String())
+	}
+}

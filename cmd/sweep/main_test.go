@@ -123,7 +123,7 @@ func TestSweepEventsAndStats(t *testing.T) {
 	if !algs["HDLTS"] || !algs["HEFT"] {
 		t.Fatalf("events missing algorithm stamps: %v", algs)
 	}
-	if !strings.Contains(errBuf.String(), "sched_commits_total") {
+	if !strings.Contains(errBuf.String(), "hdlts_sched_commits_total") {
 		t.Fatalf("-stats output missing counters:\n%s", errBuf.String())
 	}
 }

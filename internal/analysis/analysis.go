@@ -1,0 +1,211 @@
+// Package analysis is hdlts's project-specific static-analysis suite: five
+// analyzers encoding the structural invariants the scheduler's correctness
+// and the daemon's availability rest on, plus the driver that runs them.
+//
+// The invariants are domain rules no generic tool can see:
+//
+//   - determinism: scheduler packages must not iterate maps into
+//     order-sensitive output without sorting, and must not consult the wall
+//     clock or the global math/rand source — bit-for-bit reproduction of the
+//     paper's Table I trace (makespan 73) depends on it.
+//   - lockedio: no file, network, or channel I/O while a sync.Mutex or
+//     RWMutex is held — a slow fsync or scrape must never stall every
+//     other request behind a hot lock.
+//   - ctxflow: request and job paths must thread their context.Context;
+//     fresh root contexts (context.Background/TODO) sever cancellation and
+//     trace correlation.
+//   - metricname: metric series are registered under named constants
+//     matching ^hdltsd?_[a-z0-9_]+$, each name owned by exactly one package.
+//   - eventkey: span attribute keys and trace wire-field names come from
+//     the canonical exported set in internal/obs, keeping JSONL and
+//     Chrome-trace streams schema-stable.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis API
+// shape (Analyzer, Pass, Diagnostic) so the analyzers can be ported to an
+// x/tools multichecker unchanged in spirit; it is implemented on the
+// standard library alone (go/parser, go/types, `go list`) because this
+// module carries no external dependencies.
+//
+// False positives are suppressed with a documented directive on the
+// offending line (or its own line immediately above):
+//
+//	//lint:hdltsvet-ignore <analyzer> <reason>
+//
+// A bare analyzer name with no reason is itself a diagnostic: every
+// suppression must say why. See docs/ANALYSIS.md.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring the x/tools shape.
+type Analyzer struct {
+	// Name is the directive- and CLI-visible identifier (lowercase).
+	Name string
+	// Doc is the one-paragraph description `hdltsvet -list` prints.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package into an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Path is the package's import path as the loader resolved it.
+	Path string
+
+	// shared is the per-run cross-package state (metric-name ownership,
+	// suppression bookkeeping). Analyzers access it via typed helpers.
+	shared *Shared
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records one finding unless an ignore directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.shared != nil && p.shared.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf resolves the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// ObjectOf resolves the object an identifier denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Info.Defs[id]; o != nil {
+		return o
+	}
+	return p.Info.Uses[id]
+}
+
+// Shared is the state one analysis run accumulates across packages: which
+// lines carry ignore directives, and which package first registered each
+// metric name. One Shared spans one Run invocation, so cross-package rules
+// (duplicate metric registration) work without a facts store.
+type Shared struct {
+	// ignores maps filename -> line -> directives suppressing there.
+	ignores map[string]map[int][]*directive
+	// metricOwner maps metric name -> import path of the first registrant.
+	metricOwner map[string]string
+}
+
+// directive is one parsed //lint:hdltsvet-ignore comment. The same
+// directive value is registered against two lines (its own and the next),
+// so `used` is shared between them.
+type directive struct {
+	analyzer string
+	reason   string
+	pos      token.Position // where the comment itself sits
+	used     bool
+}
+
+// NewShared returns empty cross-package run state.
+func NewShared() *Shared {
+	return &Shared{
+		ignores:     make(map[string]map[int][]*directive),
+		metricOwner: make(map[string]string),
+	}
+}
+
+// DirectivePrefix introduces a suppression comment.
+const DirectivePrefix = "//lint:hdltsvet-ignore"
+
+// CollectDirectives scans a file's comments for ignore directives and
+// registers them against both the directive's own line and the line below,
+// so the directive works inline ("stmt // lint:...") and as a lead-in
+// comment. Malformed directives (no analyzer, or no reason) are reported
+// immediately — an undocumented suppression is itself a finding.
+func (s *Shared) CollectDirectives(fset *token.FileSet, file *ast.File, report func(pos token.Pos, format string, args ...any)) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, DirectivePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, DirectivePrefix))
+			name, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			pos := fset.Position(c.Pos())
+			if name == "" || reason == "" {
+				report(c.Pos(), "malformed %s directive: want %q", DirectivePrefix, DirectivePrefix+" <analyzer> <reason>")
+				continue
+			}
+			byLine := s.ignores[pos.Filename]
+			if byLine == nil {
+				byLine = make(map[int][]*directive)
+				s.ignores[pos.Filename] = byLine
+			}
+			d := &directive{analyzer: name, reason: reason, pos: pos}
+			byLine[pos.Line] = append(byLine[pos.Line], d)
+			byLine[pos.Line+1] = append(byLine[pos.Line+1], d)
+		}
+	}
+}
+
+// suppressed reports whether a directive covers analyzer findings at pos.
+func (s *Shared) suppressed(analyzer string, pos token.Position) bool {
+	for _, d := range s.ignores[pos.Filename][pos.Line] {
+		if d.analyzer == analyzer {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// ClaimMetric records that pkgPath registered the metric name and returns
+// the previous owner when a different package already holds it.
+func (s *Shared) ClaimMetric(name, pkgPath string) (owner string, duplicate bool) {
+	if prev, ok := s.metricOwner[name]; ok {
+		return prev, prev != pkgPath
+	}
+	s.metricOwner[name] = pkgPath
+	return pkgPath, false
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer — the
+// stable order both the CLI and the tests rely on.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runFixture loads the GOPATH-style fixture tree under testdata/src/<name>,
+// runs the analyzer (with the shared directive machinery) over every
+// package in it, and compares the diagnostics against `// want "regexp"`
+// expectations in the fixture sources — the analysistest contract: every
+// diagnostic must match a want on its exact file and line, and every want
+// must be consumed by exactly one diagnostic.
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	root := filepath.Join("testdata", "src", name)
+	pkgs, err := LoadFixtureTree(fset, root)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s contains no packages", name)
+	}
+	diags, err := Run(fset, pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s over %s: %v", a.Name, name, err)
+	}
+
+	type expectation struct {
+		file    string
+		line    int
+		re      *regexp.Regexp
+		matched bool
+	}
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					// `want "re"` expects a diagnostic on its own line;
+					// `want-above "re"` on the line above — for diagnostics
+					// reported at a comment (directive findings), where the
+					// line cannot hold a second comment.
+					offset := 0
+					after, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						after, ok = strings.CutPrefix(text, "want-above ")
+						if !ok {
+							continue
+						}
+						offset = -1
+					}
+					pos := fset.Position(c.Pos())
+					pos.Line += offset
+					patterns, err := splitQuoted(after)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+					}
+					for _, p := range patterns {
+						re, err := regexp.Compile(p)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// splitQuoted parses a sequence of Go-quoted strings: `...` or "...".
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		prefix, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, err
+		}
+		unq, err := strconv.Unquote(prefix)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, unq)
+		s = s[len(prefix):]
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) { runFixture(t, Determinism, "determinism") }
+func TestLockedIOFixture(t *testing.T)    { runFixture(t, LockedIO, "lockedio") }
+func TestCtxFlowFixture(t *testing.T)     { runFixture(t, CtxFlow, "ctxflow") }
+func TestMetricNameFixture(t *testing.T)  { runFixture(t, MetricName, "metricname") }
+func TestEventKeyFixture(t *testing.T)    { runFixture(t, EventKey, "eventkey") }
+func TestDirectiveFixture(t *testing.T)   { runFixture(t, CtxFlow, "directive") }

@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// schedulerPathSegments are the packages whose output must be bit-for-bit
+// reproducible: the HDLTS core, the comparison heuristics, the scheduling
+// substrate, the DAG layer, and the online simulator.
+var schedulerPathSegments = []string{
+	"internal/core",
+	"internal/heuristics",
+	"internal/sched",
+	"internal/dag",
+	"internal/dynamic",
+}
+
+// Determinism flags three sources of run-to-run divergence in scheduler
+// packages:
+//
+//  1. `range` over a map that feeds order-sensitive output — appending to a
+//     slice declared outside the loop, or writing/encoding directly — with
+//     no sort of the collected result later in the same function. Map
+//     iteration order is randomised per run; unsorted consumption changes
+//     tie-breaking, encoders, and therefore schedules.
+//  2. time.Now(): wall-clock reads make schedules depend on when they run.
+//     The one sanctioned use is latency metrics — a time.Now() consumed
+//     only by an ObserveSince call (directly, or via a variable used for
+//     nothing else) is allowed because metric values never feed decisions.
+//  3. The global math/rand source (rand.Intn, rand.Shuffle, ... as package
+//     functions): unseeded and process-global. Randomised algorithms must
+//     thread an explicit seeded *rand.Rand.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flags map-iteration order, wall-clock reads, and global math/rand " +
+		"in scheduler packages (the Table I trace must be bit-for-bit reproducible)",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	inScope := false
+	for _, seg := range schedulerPathSegments {
+		if pathHas(pass.Path, seg) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRangeOrder(pass, fd.Body)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkWallClock(pass, f, call)
+			checkGlobalRand(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// orderSensitiveWriters are method names that emit in call order; calling
+// one inside a map-range body leaks iteration order into the output.
+var orderSensitiveWriters = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Emit": true,
+}
+
+// checkMapRangeOrder inspects every map-range statement in body (one
+// function scope) for order-sensitive sinks without a later sort.
+func checkMapRangeOrder(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		// Sinks: slices appended to inside the loop but declared outside it.
+		appended := map[*types.Var]bool{}
+		directEmit := false
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			switch s := m.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range s.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok || i >= len(s.Lhs) {
+						continue
+					}
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+						continue
+					}
+					v := rootVar(pass.Info, s.Lhs[i])
+					if v != nil && !(v.Pos() >= rng.Pos() && v.Pos() <= rng.End()) {
+						appended[v] = true
+					}
+				}
+			case *ast.CallExpr:
+				if f := calleeFunc(pass.Info, s); f != nil && orderSensitiveWriters[f.Name()] {
+					directEmit = true
+				} else if sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok && orderSensitiveWriters[sel.Sel.Name] {
+					directEmit = true
+				}
+			}
+			return true
+		})
+		if directEmit {
+			pass.Reportf(rng.Pos(), "map iteration feeds an order-sensitive writer; iterate sorted keys instead (map order is randomised per run)")
+			return true
+		}
+		for v := range appended {
+			if !sortedAfter(pass, body, rng, v) {
+				pass.Reportf(rng.Pos(), "map iteration appends to %q without a later sort; map order is randomised per run", v.Name())
+			}
+		}
+		return true
+	})
+}
+
+// rootVar resolves the base variable of an lvalue like x, x[i], or x.f.
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := info.ObjectOf(x).(*types.Var)
+			return v
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether v is passed to a sort.* or slices.Sort*
+// call positioned after the range statement within the same function body.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		f := calleeFunc(pass.Info, call)
+		if f == nil {
+			return true
+		}
+		pkg := funcPkgPath(f)
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			used := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.ObjectOf(id) == v {
+					used = true
+				}
+				return !used
+			})
+			if used {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkWallClock flags time.Now() except the metrics-timing idiom.
+func checkWallClock(pass *Pass, file *ast.File, call *ast.CallExpr) {
+	f := calleeFunc(pass.Info, call)
+	if f == nil || f.Name() != "Now" || funcPkgPath(f) != "time" {
+		return
+	}
+	if observeSinceArg(pass, file, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "time.Now() in a scheduler package: schedules must not depend on the wall clock (metrics timing via ObserveSince is exempt)")
+}
+
+// observeSinceArg reports whether the time.Now() call is consumed only by
+// latency-metric recording: it is the argument of an ObserveSince call, or
+// it initialises a variable whose every use is an ObserveSince argument.
+func observeSinceArg(pass *Pass, file *ast.File, now *ast.CallExpr) bool {
+	// Direct: xxx.ObserveSince(time.Now()).
+	direct := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "ObserveSince" {
+			for _, a := range call.Args {
+				if ast.Unparen(a) == now {
+					direct = true
+				}
+			}
+		}
+		return !direct
+	})
+	if direct {
+		return true
+	}
+	// Via a dedicated variable: start := time.Now(); ... ObserveSince(start).
+	var v *types.Var
+	ast.Inspect(file, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != len(asg.Lhs) {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			if ast.Unparen(rhs) == now {
+				if id, ok := asg.Lhs[i].(*ast.Ident); ok {
+					v, _ = pass.ObjectOf(id).(*types.Var)
+				}
+			}
+		}
+		return v == nil
+	})
+	if v == nil {
+		return false
+	}
+	ok := true
+	ast.Inspect(file, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || pass.Info.Uses[id] != v {
+			return true
+		}
+		if !usedAsObserveSinceArg(file, id) {
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// usedAsObserveSinceArg reports whether the identifier use site is an
+// argument of an ObserveSince call.
+func usedAsObserveSinceArg(file *ast.File, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "ObserveSince" {
+			return true
+		}
+		for _, a := range call.Args {
+			if ast.Unparen(a) == id {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// seededRandConstructors are the math/rand package functions that build an
+// explicitly seeded generator — the sanctioned way to randomise.
+var seededRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// checkGlobalRand flags package-level math/rand functions (the process-
+// global, unseeded source). Methods on an explicit *rand.Rand pass.
+func checkGlobalRand(pass *Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// Only package-qualified calls: the selector base must be the package
+	// name itself, not a *rand.Rand value.
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if _, isPkg := pass.Info.Uses[base].(*types.PkgName); !isPkg {
+		return
+	}
+	f, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	pkg := funcPkgPath(f)
+	if pkg != "math/rand" && pkg != "math/rand/v2" {
+		return
+	}
+	if seededRandConstructors[f.Name()] {
+		return
+	}
+	pass.Reportf(call.Pos(), "global math/rand source (%s.%s) in a scheduler package: thread an explicitly seeded *rand.Rand instead", base.Name, f.Name())
+}

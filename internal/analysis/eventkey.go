@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// EventKey keeps the observability vocabulary closed: every span attribute
+// key and every trace wire-field name must come from the canonical exported
+// constant set in internal/obs (KeyAlg, KeyTask, WireEvent, ...). Trace
+// consumers — the replay tool, Chrome trace viewers, downstream JSONL
+// pipelines — parse these strings; an ad-hoc key is a silent schema fork.
+//
+// Two rules:
+//
+//  1. Attribute keys passed to StartSpan(ctx, name, k, v, ...) and to
+//     (*Span).SetAttr(k, v) must be named constants whose name starts with
+//     "Key". Forwarding a variadic slice (attrs...) is exempt — the keys
+//     were checked at the originating call.
+//  2. Inside internal/obs packages, every `json:"..."` tag on a struct
+//     field must be a value of some Key* or Wire* constant declared in the
+//     same package: the wire schema is exactly the canonical set.
+var EventKey = &Analyzer{
+	Name: "eventkey",
+	Doc: "requires span attribute keys and obs wire-struct json tags to come " +
+		"from the canonical Key*/Wire* constant set in internal/obs",
+	Run: runEventKey,
+}
+
+func runEventKey(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkAttrKeys(pass, call)
+			return true
+		})
+	}
+	if pathHas(pass.Path, "internal/obs") {
+		checkWireTags(pass)
+	}
+	return nil
+}
+
+// isKeyConst reports whether e resolves to a named constant whose name
+// carries the Key prefix (any package — facades may re-export the set).
+func isKeyConst(pass *Pass, e ast.Expr) bool {
+	c := namedConst(pass.Info, e)
+	return c != nil && strings.HasPrefix(c.Name(), "Key")
+}
+
+// checkAttrKeys validates the key positions of StartSpan and SetAttr calls.
+func checkAttrKeys(pass *Pass, call *ast.CallExpr) {
+	f := calleeFunc(pass.Info, call)
+	if f == nil {
+		return
+	}
+	switch f.Name() {
+	case "StartSpan":
+		// Package-level span constructor: (ctx, name string, attrs ...string).
+		sig, ok := f.Type().(*types.Signature)
+		if !ok || !sig.Variadic() || sig.Recv() != nil || sig.Params().Len() != 3 {
+			return
+		}
+		if !isContextType(sig.Params().At(0).Type()) {
+			return
+		}
+		if call.Ellipsis.IsValid() {
+			return // forwarding attrs... — checked at the origin
+		}
+		for i := 2; i < len(call.Args); i += 2 {
+			if !isKeyConst(pass, call.Args[i]) {
+				pass.Reportf(call.Args[i].Pos(), "span attribute key must be a canonical Key* constant from internal/obs, not %s", exprText(pass.Fset, call.Args[i]))
+			}
+		}
+	case "SetAttr":
+		recv := recvNamed(f)
+		if recv == nil || !namedIs(recv, "internal/obs", "Span") || len(call.Args) < 1 {
+			return
+		}
+		if !isKeyConst(pass, call.Args[0]) {
+			pass.Reportf(call.Args[0].Pos(), "span attribute key must be a canonical Key* constant from internal/obs, not %s", exprText(pass.Fset, call.Args[0]))
+		}
+	}
+}
+
+// checkWireTags verifies every json tag in the obs package against the
+// package's own Key*/Wire* constant values.
+func checkWireTags(pass *Pass) {
+	allowed := map[string]bool{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Key") && !strings.HasPrefix(name, "Wire") {
+			continue
+		}
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Val().Kind() != constant.String {
+			continue
+		}
+		allowed[constant.StringVal(c.Val())] = true
+	}
+	if len(allowed) == 0 {
+		// A package with no canonical set (e.g. a helper subpackage)
+		// carries no wire schema to enforce.
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if field.Tag == nil {
+					continue
+				}
+				raw := strings.Trim(field.Tag.Value, "`")
+				jsonTag := reflect.StructTag(raw).Get("json")
+				name, _, _ := strings.Cut(jsonTag, ",")
+				if name == "" || name == "-" {
+					continue
+				}
+				if !allowed[name] {
+					pass.Reportf(field.Tag.Pos(), "wire field %q is not in the canonical Key*/Wire* constant set; add a Wire constant or rename the tag", name)
+				}
+			}
+			return true
+		})
+	}
+}

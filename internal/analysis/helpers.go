@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// pathHas reports whether the import path contains segment on package-path
+// boundaries — "internal/obs" matches "hdlts/internal/obs" and the fixture
+// path "eventkey/internal/obs", but not "internal/observer".
+func pathHas(path, segment string) bool {
+	return strings.Contains("/"+path+"/", "/"+segment+"/")
+}
+
+// calleeFunc resolves the function or method a call statically invokes,
+// or nil for calls through function values and built-ins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Func.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package declaring f, or "".
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// recvNamed returns the named type of f's receiver, unwrapping pointers,
+// or nil for package-level functions.
+func recvNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// namedIs reports whether n is the named type pkgPathSegment.name, where
+// the declaring package path is matched with pathHas (or exact equality
+// for stdlib paths without a slash, e.g. "os").
+func namedIs(n *types.Named, pkgPath, name string) bool {
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Name() != name {
+		return false
+	}
+	declared := n.Obj().Pkg().Path()
+	return declared == pkgPath || pathHas(declared, pkgPath)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return namedIs(n, "context", "Context")
+}
+
+// hasContextParam returns the *types.Var of the first context.Context
+// parameter of the function signature, or nil.
+func contextParam(sig *types.Signature) *types.Var {
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if isContextType(p.Type()) {
+			return p
+		}
+	}
+	return nil
+}
+
+// exprText renders an expression as source text — the identity key for
+// lock receivers ("m.mu", "s.wmu").
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// namedConst resolves e to a declared named constant (identifier or
+// selector), or nil when e is anything else — including untyped literals.
+func namedConst(info *types.Info, e ast.Expr) *types.Const {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		c, _ := info.Uses[x].(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := info.Uses[x.Sel].(*types.Const)
+		return c
+	}
+	return nil
+}
+
+// constString returns the string value of a constant expression, if e is
+// one.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// eachFuncBody visits every function and method body in the files,
+// including the bodies of function literals, handing each to visit as an
+// independent scope together with a printable name.
+func eachFuncBody(files []*ast.File, visit func(name string, body *ast.BlockStmt)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					visit(d.Name.Name, d.Body)
+				}
+			case *ast.FuncLit:
+				visit("func literal", d.Body)
+			}
+			return true
+		})
+	}
+}
+
+// inspectShallow walks n but does not descend into nested function
+// literals — each literal is its own scope for lock analysis.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// metricNameRE is the canonical series-name shape: daemon-level series use
+// the hdltsd_ prefix, library/scheduler series use hdlts_.
+var metricNameRE = regexp.MustCompile(`^hdltsd?_[a-z0-9_]+$`)
+
+// metricRegistrars are the Registry methods that create a series.
+var metricRegistrars = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+}
+
+// MetricName enforces the metric-naming contract at every registration
+// call on the obs Registry:
+//
+//   - the name argument must be a declared named constant — grep-able,
+//     documentable, and impossible to typo twice in different spellings;
+//   - its value must match ^hdltsd?_[a-z0-9_]+$;
+//   - each name is registered by exactly one package across the module
+//     (the same package may look the series up repeatedly).
+//
+// Dashboards and alert rules key on these strings; a renamed or duplicated
+// series breaks them silently.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc: "requires metric registrations on the obs Registry to use named " +
+		"constants matching ^hdltsd?_[a-z0-9_]+$, each owned by one package",
+	Run: runMetricName,
+}
+
+func runMetricName(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || !metricRegistrars[fn.Name()] {
+				return true
+			}
+			recv := recvNamed(fn)
+			if recv == nil || !namedIs(recv, "internal/obs", "Registry") {
+				return true
+			}
+			arg := call.Args[0]
+			c := namedConst(pass.Info, arg)
+			if c == nil {
+				if lit, ok := constString(pass.Info, arg); ok {
+					pass.Reportf(arg.Pos(), "metric name %q must be a named constant (declare it once and register through the constant)", lit)
+				} else {
+					pass.Reportf(arg.Pos(), "metric name must be a named constant, not a computed expression")
+				}
+				return true
+			}
+			val, ok := constString(pass.Info, arg)
+			if !ok {
+				return true
+			}
+			if !metricNameRE.MatchString(val) {
+				pass.Reportf(arg.Pos(), "metric name %q does not match ^hdltsd?_[a-z0-9_]+$ (constant %s)", val, c.Name())
+				return true
+			}
+			if pass.shared != nil {
+				if owner, dup := pass.shared.ClaimMetric(val, pass.Path); dup {
+					pass.Reportf(arg.Pos(), "metric %q is already registered by %s; one series, one owning package", val, owner)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/token"
+)
+
+// Suite returns the five project analyzers in their canonical order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		LockedIO,
+		CtxFlow,
+		MetricName,
+		EventKey,
+	}
+}
+
+// Run executes the analyzers over the loaded packages and returns every
+// finding in stable order. Directives are collected from all files first,
+// so a suppression in one package covers findings reported while analyzing
+// another (cross-package rules report at the registration site). After the
+// analyzers finish, any directive that suppressed nothing is itself
+// reported — stale suppressions must be deleted, not accumulated.
+func Run(fset *token.FileSet, pkgs []*LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	shared := NewShared()
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		p := &Pass{Analyzer: &Analyzer{Name: "directive"}, Fset: fset, shared: nil}
+		p.Reportf(pos, format, args...)
+		diags = append(diags, p.diagnostics...)
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			shared.CollectDirectives(fset, f, report)
+		}
+	}
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				Path:     pkg.Path,
+				shared:   shared,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+			diags = append(diags, pass.diagnostics...)
+		}
+	}
+	diags = append(diags, shared.unusedDirectives(analyzers)...)
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// unusedDirectives reports suppressions that matched no finding of an
+// analyzer that actually ran.
+func (s *Shared) unusedDirectives(ran []*Analyzer) []Diagnostic {
+	names := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		names[a.Name] = true
+	}
+	seen := make(map[*directive]bool)
+	var out []Diagnostic
+	for _, byLine := range s.ignores {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				if seen[d] || d.used || !names[d.analyzer] {
+					seen[d] = true
+					continue
+				}
+				seen[d] = true
+				out = append(out, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "directive",
+					Message:  "unused suppression for " + d.analyzer + ": no finding here — delete the directive",
+				})
+			}
+		}
+	}
+	return out
+}

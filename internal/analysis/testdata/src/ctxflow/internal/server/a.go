@@ -1,0 +1,52 @@
+// Package server is the ctxflow fixture: its import path ends in
+// internal/server, so it is a request path.
+package server
+
+import (
+	"context"
+	"time"
+)
+
+func use(ctx context.Context) {}
+
+// freshRootWithCtx shadows its incoming ctx with a new root.
+func freshRootWithCtx(ctx context.Context) {
+	ctx2 := context.Background() // want `context.Background\(\) in freshRootWithCtx, which already receives a ctx`
+	use(ctx2)
+}
+
+// freshRootNoCtx starts a root on a request path without receiving one.
+func freshRootNoCtx() {
+	ctx := context.TODO() // want `context.TODO\(\) starts a fresh root on a request/job path`
+	use(ctx)
+}
+
+// threads derives before passing on: clean.
+func threads(ctx context.Context) {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	use(ctx)
+}
+
+// valueChain derives through WithValue into a second variable: clean.
+func valueChain(ctx context.Context) {
+	traced := context.WithValue(ctx, key{}, "id")
+	use(traced)
+}
+
+type key struct{}
+
+// unrelated passes a context that is not derived from the parameter.
+func unrelated(ctx context.Context, stash context.Context) {
+	use(stash) // want `unrelated receives ctx but passes unrelated context "stash"`
+	use(ctx)
+}
+
+// closureThreads hands its ctx to a handler literal, which threads its
+// own parameter: clean.
+func closureThreads(ctx context.Context) {
+	h := func(ctx context.Context) {
+		use(ctx)
+	}
+	h(ctx)
+}

@@ -1,0 +1,83 @@
+// Package sched is a determinism fixture: its import path ends in
+// internal/sched, so the analyzer treats it as a scheduler package.
+package sched
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type histo struct{}
+
+func (histo) ObserveSince(t time.Time) {}
+
+// mapAppendUnsorted leaks map order into the returned slice.
+func mapAppendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration appends to "keys" without a later sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// mapAppendSorted collects then sorts: the sanctioned idiom.
+func mapAppendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mapDirectEmit writes inside the loop: order-sensitive sink.
+func mapDirectEmit(m map[string]int, buf *bytes.Buffer) {
+	for k := range m { // want `map iteration feeds an order-sensitive writer`
+		buf.WriteString(k)
+	}
+}
+
+// localAppend appends to a slice declared inside the loop body: each
+// iteration starts fresh, so no cross-iteration order leaks.
+func localAppend(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// wallClock reads the clock into scheduling state.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now\(\) in a scheduler package`
+}
+
+// latencyTiming is the sanctioned metrics idiom: the time.Now result is
+// consumed only by ObserveSince.
+func latencyTiming(h histo) {
+	start := time.Now()
+	work()
+	h.ObserveSince(start)
+}
+
+// directObserve passes time.Now straight to ObserveSince.
+func directObserve(h histo) {
+	h.ObserveSince(time.Now())
+}
+
+func work() {}
+
+// globalRand uses the process-global unseeded source.
+func globalRand(n int) int {
+	return rand.Intn(n) // want `global math/rand source \(rand.Intn\)`
+}
+
+// seededRand threads an explicit generator: allowed.
+func seededRand(n int) int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(n)
+}

@@ -1,0 +1,17 @@
+// Package tools is outside the scheduler path set: the same constructs
+// that are findings in internal/sched are fine here.
+package tools
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

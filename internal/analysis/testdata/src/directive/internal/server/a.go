@@ -1,0 +1,32 @@
+// Package server exercises the suppression directive machinery: a
+// documented directive silences a finding, an undocumented one is itself a
+// finding, and a stale one is flagged for deletion.
+package server
+
+import "context"
+
+func use(ctx context.Context) {}
+
+// daemonRoot is a process-lifetime root: the documented directive
+// suppresses the ctxflow finding.
+func daemonRoot() {
+	//lint:hdltsvet-ignore ctxflow process-lifetime root created once at daemon start
+	ctx := context.Background()
+	use(ctx)
+}
+
+// undocumented omits the reason: malformed, reported at the directive, and
+// the finding below is NOT suppressed.
+func undocumented() {
+	//lint:hdltsvet-ignore ctxflow
+	// want-above `malformed //lint:hdltsvet-ignore directive`
+	ctx := context.Background() // want `context.Background\(\) starts a fresh root`
+	use(ctx)
+}
+
+// stale suppresses nothing on its lines: the unused directive is reported.
+func stale() {
+	//lint:hdltsvet-ignore ctxflow there is no finding on the next line
+	// want-above `unused suppression for ctxflow`
+	use(context.TODO()) // want `context.TODO\(\) starts a fresh root`
+}

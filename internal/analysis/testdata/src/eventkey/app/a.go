@@ -1,0 +1,21 @@
+// Package app starts spans with canonical and ad-hoc attribute keys.
+package app
+
+import (
+	"context"
+
+	"eventkey/internal/obs"
+)
+
+func spans(ctx context.Context) {
+	ctx, sp := obs.StartSpan(ctx, "schedule.run", obs.KeyAlg, "hdlts")
+	sp.SetAttr(obs.KeyTask, "t3")
+
+	_, sp2 := obs.StartSpan(ctx, "job.run", "alg", "heft") // want `span attribute key must be a canonical Key\* constant from internal/obs, not "alg"`
+	sp2.SetAttr("task", "t4")                              // want `span attribute key must be a canonical Key\* constant from internal/obs, not "task"`
+}
+
+// forward re-emits attrs it received: exempt, the origin was checked.
+func forward(ctx context.Context, attrs ...string) {
+	obs.StartSpan(ctx, "forwarded", attrs...)
+}

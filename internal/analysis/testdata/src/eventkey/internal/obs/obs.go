@@ -1,0 +1,35 @@
+// Package obs mirrors the real tracing surface: the canonical key set,
+// a Span with SetAttr, the StartSpan constructor, and wire structs whose
+// json tags must stay inside the canonical set.
+package obs
+
+import "context"
+
+// Canonical attribute keys and wire-field names.
+const (
+	KeyAlg    = "alg"
+	KeyTask   = "task"
+	WireEvent = "ev"
+	WireSeq   = "seq"
+)
+
+// Span is the fixture span.
+type Span struct{}
+
+// SetAttr records one attribute.
+func (s *Span) SetAttr(k, v string) {}
+
+// StartSpan opens a span with alternating key/value attributes.
+func StartSpan(ctx context.Context, name string, attrs ...string) (context.Context, *Span) {
+	return ctx, &Span{}
+}
+
+// lineEvent is a wire struct: tags must come from the canonical set.
+type lineEvent struct {
+	Seq   int    `json:"seq"`
+	Event string `json:"ev"`
+	Alg   string `json:"alg"`
+	Extra string `json:"surprise"` // want `wire field "surprise" is not in the canonical Key\*/Wire\* constant set`
+	Skip  string `json:"-"`
+	Plain int
+}

@@ -1,0 +1,87 @@
+// Package pkg is the lockedio fixture: blocking operations inside and
+// outside mutex critical sections.
+package pkg
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	f  *os.File
+	ch chan int
+	n  int
+}
+
+// syncUnderLock fsyncs inside the critical section.
+func (s *store) syncUnderLock() {
+	s.mu.Lock()
+	s.f.Sync() // want `blocking operation \(\(\*os.File\).Sync\) while "s.mu" is locked`
+	s.mu.Unlock()
+}
+
+// syncAfterUnlock moves the fsync out: clean.
+func (s *store) syncAfterUnlock() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.f.Sync()
+}
+
+// writeUnderDeferredUnlock holds to function end via defer.
+func (s *store) writeUnderDeferredUnlock(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.f.Write(b) // want `blocking operation \(\(\*os.File\).Write\) while "s.mu" is locked`
+}
+
+// flushDisk is a package-local helper that blocks.
+func (s *store) flushDisk() {
+	s.f.Sync()
+}
+
+// indirectBlock reaches the fsync through one call level.
+func (s *store) indirectBlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushDisk() // want `blocking operation \(flushDisk → \(\*os.File\).Sync\) while "s.mu" is locked`
+}
+
+// sendUnderLock performs a bare channel send in the critical section.
+func (s *store) sendUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want `blocking operation \(channel send\) while "s.mu" is locked`
+}
+
+// guardedSend uses select/default: never blocks, clean.
+func (s *store) guardedSend(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+	default:
+	}
+}
+
+// encodeUnderRLock renders to an interface writer under the read lock.
+func (s *store) encodeUnderRLock(w io.Writer) error {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return json.NewEncoder(w).Encode(s.n) // want `blocking operation \(\(\*json.Encoder\).Encode`
+}
+
+// closureEscapes builds a closure under the lock but does not run it
+// there: the literal is an independent scope, clean.
+func (s *store) closureEscapes() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	return func() {
+		s.f.Sync()
+	}
+}

@@ -1,0 +1,21 @@
+// Package app registers metrics the sanctioned way and three wrong ways.
+package app
+
+import "metricname/internal/obs"
+
+const (
+	metricRequests = "hdltsd_requests_total"
+	metricDepth    = "hdlts_queue_depth"
+	metricBadShape = "Queue-Depth"
+)
+
+var prefix = "hdltsd_"
+
+func register(r *obs.Registry) {
+	r.Counter(metricRequests)
+	r.Gauge(metricDepth)
+	r.Counter(metricRequests)        // same package re-registers: allowed
+	r.Counter("hdltsd_inline_total") // want `metric name "hdltsd_inline_total" must be a named constant`
+	r.Gauge(metricBadShape)          // want `metric name "Queue-Depth" does not match`
+	r.Histogram(prefix + "latency")  // want `metric name must be a named constant, not a computed expression`
+}

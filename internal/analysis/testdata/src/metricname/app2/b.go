@@ -1,0 +1,10 @@
+// Package app2 re-registers a series that metricname/app already owns.
+package app2
+
+import "metricname/internal/obs"
+
+const metricRequests = "hdltsd_requests_total"
+
+func register(r *obs.Registry) {
+	r.Counter(metricRequests) // want `metric "hdltsd_requests_total" is already registered by metricname/app`
+}

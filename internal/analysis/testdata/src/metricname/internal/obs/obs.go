@@ -1,0 +1,16 @@
+// Package obs mirrors the real registry surface so the fixture's
+// registration calls resolve to a Registry named type under an
+// internal/obs import path.
+package obs
+
+// Registry is the fixture stand-in for the metrics registry.
+type Registry struct{}
+
+// Counter registers or fetches a counter series.
+func (r *Registry) Counter(name string) int { return 0 }
+
+// Gauge registers or fetches a gauge series.
+func (r *Registry) Gauge(name string) int { return 0 }
+
+// Histogram registers or fetches a histogram series.
+func (r *Registry) Histogram(name string, buckets ...float64) int { return 0 }

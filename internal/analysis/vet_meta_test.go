@@ -1,0 +1,31 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+// TestModuleClean runs the full analyzer suite over the real module — the
+// same invocation as CI's blocking `go run ./cmd/hdltsvet ./...` step — and
+// fails on any finding. This keeps the invariants enforced by plain
+// `go test ./...` even where the CI configuration is not in play.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short runs")
+	}
+	fset := token.NewFileSet()
+	pkgs, err := LoadPackages(fset, "../..", "./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	diags, err := Run(fset, pkgs, Suite())
+	if err != nil {
+		t.Fatalf("run suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("finding: %s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("fix the findings or add a documented %s directive", DirectivePrefix)
+	}
+}

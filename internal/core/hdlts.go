@@ -31,9 +31,12 @@ import (
 	"hdlts/internal/stats"
 )
 
+// metricIterations is the ITQ iteration counter series.
+const metricIterations = "hdlts_iterations_total"
+
 // iterationCount totals ITQ iterations across all HDLTS runs in the
 // process (each iteration is one PV-ranked selection).
-var iterationCount = obs.Default().Counter("hdlts_iterations_total")
+var iterationCount = obs.Default().Counter(metricIterations)
 
 // Options tune HDLTS variants. The zero value is NOT the paper's algorithm;
 // use DefaultOptions (or New) for the published configuration. The

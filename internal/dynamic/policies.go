@@ -80,7 +80,13 @@ func NewStaticMapping(name string, s *sched.Schedule) *StaticMapping {
 		m.proc[t] = pl.Proc
 		byProc[pl.Proc] = append(byProc[pl.Proc], rec{t: dag.TaskID(t), start: pl.Start})
 	}
-	for p, recs := range byProc {
+	procs := make([]platform.Proc, 0, len(byProc))
+	for p := range byProc {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	for _, p := range procs {
+		recs := byProc[p]
 		sort.Slice(recs, func(i, j int) bool {
 			if recs[i].start != recs[j].start {
 				return recs[i].start < recs[j].start

@@ -38,12 +38,20 @@ import (
 	"hdlts/internal/sched"
 )
 
+// Executor metric series names.
+const (
+	metricDispatch = "hdlts_dynamic_dispatch_total"
+	metricComplete = "hdlts_dynamic_complete_total"
+	metricFailures = "hdlts_dynamic_failures_total"
+	metricPickTime = "hdlts_dynamic_pick_seconds"
+)
+
 // Executor metrics (default obs registry). Pick latency is recorded per
-// policy under dynamic_pick_seconds{policy=...}.
+// policy under metricPickTime{policy=...}.
 var (
-	dispatchCount = obs.Default().Counter("dynamic_dispatch_total")
-	completeCount = obs.Default().Counter("dynamic_complete_total")
-	failureCount  = obs.Default().Counter("dynamic_failures_total")
+	dispatchCount = obs.Default().Counter(metricDispatch)
+	completeCount = obs.Default().Counter(metricComplete)
+	failureCount  = obs.Default().Counter(metricFailures)
 )
 
 // Uncertainty configures run-time deviation from estimated costs.
@@ -259,7 +267,7 @@ func (s *State) EstimatedEFT(t dag.TaskID, p platform.Proc) float64 {
 // mid-run), and one EvFailure per realised processor failure. All event
 // fields derive from simulation state, so a seeded run emits a
 // deterministic stream; policy decision latency goes to the metrics
-// registry instead (dynamic_pick_seconds{policy=...}).
+// registry instead (hdlts_dynamic_pick_seconds{policy=...}).
 func Execute(r *Reality, pol Policy) (*Result, error) {
 	pr := r.pr
 	g := pr.G
@@ -284,7 +292,7 @@ func Execute(r *Reality, pol Policy) (*Result, error) {
 			st.ready = append(st.ready, dag.TaskID(t))
 		}
 	}
-	pickTime := obs.Default().Histogram("dynamic_pick_seconds", "policy", pol.Name())
+	pickTime := obs.Default().Histogram(metricPickTime, "policy", pol.Name())
 
 	// failed tracks which processor failures have been reported already.
 	failed := make([]bool, pr.NumProcs())

@@ -24,9 +24,15 @@ import (
 	"hdlts/internal/stats"
 )
 
+// Runner metric series names.
+const (
+	metricReps    = "hdlts_experiments_reps_total"
+	metricRepTime = "hdlts_experiments_rep_seconds"
+)
+
 // Runner metrics (default obs registry): completed repetitions and their
 // wall-clock cost, one histogram series per experiment.
-var repCount = obs.Default().Counter("experiments_reps_total")
+var repCount = obs.Default().Counter(metricReps)
 
 // Metric names accepted by experiments.
 const (
@@ -172,7 +178,7 @@ func Run(e Experiment, cfg Config) (*Table, error) {
 		left[x].Store(n)
 		totalReps += int(n)
 	}
-	repTime := obs.Default().Histogram("experiments_rep_seconds", "experiment", e.Name)
+	repTime := obs.Default().Histogram(metricRepTime, "experiment", e.Name)
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)

@@ -12,6 +12,19 @@ import (
 	"hdlts/internal/obs"
 )
 
+// Metric series registered by this package.
+const (
+	metricJobsQueueDepth  = "hdltsd_jobs_queue_depth"
+	metricJobsRetries     = "hdltsd_jobs_retries_total"
+	metricJobsCacheHits   = "hdltsd_jobs_cache_hits_total"
+	metricJobsCacheMisses = "hdltsd_jobs_cache_misses_total"
+	metricJobsCoalesced   = "hdltsd_jobs_coalesced_total"
+	metricJobsExpired     = "hdltsd_jobs_expired_total"
+	metricJobsWALErrors   = "hdltsd_jobs_wal_errors_total"
+	metricJobsState       = "hdltsd_jobs_state"
+	metricJobsWALFsync    = "hdltsd_jobs_wal_fsync_seconds"
+)
+
 // RunFunc executes one job: the algorithm's canonical registry name plus
 // the canonically serialised problem in, opaque result JSON out. It runs
 // on a worker goroutine and must be safe for concurrent use. ctx carries
@@ -87,10 +100,22 @@ type Manager struct {
 	jobs    map[string]*Job
 	byHash  map[string]string // hash → active (queued|running) job ID
 	nextSeq uint64
-	st      *store // nil in memory-only mode
+	pending [][]byte // encoded WAL records staged for the next flush
 	cache   *lru
 	closed  bool
 	timers  map[*time.Timer]struct{} // pending retry re-enqueues
+
+	// wmu serialises WAL writes and compaction. Lock order is wmu → mu;
+	// mu never covers disk I/O, so job-table readers are not exposed to
+	// fsync latency. st is set once in Open and immutable afterwards
+	// (nil in memory-only mode).
+	wmu sync.Mutex
+	st  *store
+
+	// baseCtx is the process-lifetime root job executions derive from;
+	// Close cancels it once the workers have drained.
+	baseCtx context.Context
+	cancel  context.CancelFunc
 
 	queue chan string
 	stop  chan struct{}
@@ -125,27 +150,33 @@ func Open(cfg Config) (*Manager, error) {
 		timers:     make(map[*time.Timer]struct{}),
 		stop:       make(chan struct{}),
 		now:        time.Now,
-		queueDepth: cfg.Metrics.Gauge("hdltsd_jobs_queue_depth"),
+		queueDepth: cfg.Metrics.Gauge(metricJobsQueueDepth),
 		states:     make(map[State]*obs.Gauge, len(States)),
-		retries:    cfg.Metrics.Counter("hdltsd_jobs_retries_total"),
-		cacheHits:  cfg.Metrics.Counter("hdltsd_jobs_cache_hits_total"),
-		cacheMiss:  cfg.Metrics.Counter("hdltsd_jobs_cache_misses_total"),
-		coalesced:  cfg.Metrics.Counter("hdltsd_jobs_coalesced_total"),
-		expired:    cfg.Metrics.Counter("hdltsd_jobs_expired_total"),
-		walErrors:  cfg.Metrics.Counter("hdltsd_jobs_wal_errors_total"),
+		retries:    cfg.Metrics.Counter(metricJobsRetries),
+		cacheHits:  cfg.Metrics.Counter(metricJobsCacheHits),
+		cacheMiss:  cfg.Metrics.Counter(metricJobsCacheMisses),
+		coalesced:  cfg.Metrics.Counter(metricJobsCoalesced),
+		expired:    cfg.Metrics.Counter(metricJobsExpired),
+		walErrors:  cfg.Metrics.Counter(metricJobsWALErrors),
 	}
 	for _, s := range States {
-		m.states[s] = cfg.Metrics.Gauge("hdltsd_jobs_state", "state", string(s))
+		m.states[s] = cfg.Metrics.Gauge(metricJobsState, "state", string(s))
 	}
+	// Job executions outlive the HTTP requests that submitted them (and,
+	// after a crash, the process that did), so they hang off a root owned
+	// by the Manager rather than any request context.
+	//lint:hdltsvet-ignore ctxflow process-lifetime root: job executions outlive their submitting requests
+	m.baseCtx, m.cancel = context.WithCancel(context.Background())
 	var pending []*Job
 	if cfg.Dir != "" {
 		st, recovered, err := openStore(cfg.Dir,
-			cfg.Metrics.Histogram("hdltsd_jobs_wal_fsync_seconds"))
+			cfg.Metrics.Histogram(metricJobsWALFsync))
 		if err != nil {
 			return nil, err
 		}
 		m.st = st
 		pending = m.adopt(recovered)
+		m.flush()
 	}
 	capacity := cfg.QueueDepth
 	if len(pending) > capacity {
@@ -209,6 +240,15 @@ func (m *Manager) Submit(algorithm, hash string, problem json.RawMessage) (*Job,
 // trace ID), or enqueues a fresh job. ErrSaturated means the queue is
 // full; ErrClosed means the manager has shut down.
 func (m *Manager) SubmitTraced(algorithm, hash, traceID string, problem json.RawMessage) (*Job, error) {
+	j, err := m.submitLocked(algorithm, hash, traceID, problem)
+	// Group commit: the flush after releasing the job-table lock makes the
+	// admission durable before Submit returns, batching with any records
+	// staged by concurrent submitters.
+	m.flush()
+	return j, err
+}
+
+func (m *Manager) submitLocked(algorithm, hash, traceID string, problem json.RawMessage) (*Job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -235,20 +275,21 @@ func (m *Manager) SubmitTraced(algorithm, hash, traceID string, problem json.Raw
 		return j.clone(), nil
 	}
 	m.cacheMiss.Inc()
-	if len(m.queue) >= cap(m.queue) {
-		return nil, ErrSaturated
-	}
 	j := &Job{
 		ID: newID(), Algorithm: algorithm, Hash: hash, TraceID: traceID,
 		Problem: problem,
 		State:   Queued, MaxAttempts: m.cfg.MaxAttempts, Seq: m.seq(),
 		SubmittedAt: now,
 	}
+	select {
+	case m.queue <- j.ID:
+	default:
+		return nil, ErrSaturated
+	}
 	m.jobs[j.ID] = j
 	m.byHash[hash] = j.ID
 	m.states[Queued].Inc()
 	m.persist(j)
-	m.queue <- j.ID
 	m.queueDepth.Inc()
 	return j.clone(), nil
 }
@@ -299,6 +340,12 @@ func (m *Manager) List(state State, offset, limit int) ([]*Job, int) {
 // jobs are marked so the worker discards the result when it completes
 // (scheduling is not preempted mid-run). Terminal jobs return ErrFinished.
 func (m *Manager) Cancel(id string) (*Job, error) {
+	j, err := m.cancelLocked(id)
+	m.flush()
+	return j, err
+}
+
+func (m *Manager) cancelLocked(id string) (*Job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
@@ -355,14 +402,20 @@ func (m *Manager) Close(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
+		m.cancel()
 		return fmt.Errorf("jobs: close: %w", ctx.Err())
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.st != nil {
-		return m.st.close()
+	m.cancel()
+	if m.st == nil {
+		return nil
 	}
-	return nil
+	// Drain anything the final transitions staged, then release the WAL
+	// under the writer lock so an in-flight flush finishes first.
+	m.flush()
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	//lint:hdltsvet-ignore lockedio shutdown path: closing the WAL must serialise with the final flush under the writer lock
+	return m.st.close()
 }
 
 // seq allocates the next submission sequence number (caller holds mu).
@@ -380,19 +433,67 @@ func (m *Manager) setState(j *Job, s State) {
 	j.State = s
 }
 
-// persist appends j's current state to the WAL and compacts when due. WAL
-// failures (disk full, dying device) are counted, not fatal: the in-memory
-// subsystem keeps serving, merely without durability for that record.
+// persist stages a full-job WAL record capturing j's current state (caller
+// holds mu, except during single-threaded recovery in Open). The record is
+// encoded immediately — so it snapshots the job as of this transition —
+// but hits disk only at the next flush. Encoding failures are counted,
+// not fatal.
 func (m *Manager) persist(j *Job) {
+	m.stage(walRecord{Op: "put", Job: j})
+}
+
+// stage encodes one WAL record into the pending batch (caller holds mu).
+func (m *Manager) stage(rec walRecord) {
 	if m.st == nil {
 		return
 	}
-	if err := m.st.put(j); err != nil {
+	b, err := encodeRecord(rec)
+	if err != nil {
 		m.walErrors.Inc()
 		return
 	}
-	if err := m.st.maybeCompact(m.jobs); err != nil {
+	m.pending = append(m.pending, b)
+}
+
+// flush writes every staged WAL record with a single fsync and compacts
+// when due. Callers invoke it after releasing mu; durability-before-return
+// still holds because a caller's records are either in the batch this
+// flush writes or were already written by a concurrent flusher that
+// claimed them first. WAL failures (disk full, dying device) are counted,
+// not fatal: the in-memory subsystem keeps serving, merely without
+// durability for those records.
+func (m *Manager) flush() {
+	if m.st == nil {
+		return
+	}
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	m.mu.Lock()
+	batch := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	// The WAL-writer lock exists to serialise exactly this write; no
+	// request-facing path ever waits on it except to make its own
+	// records durable.
+	//lint:hdltsvet-ignore lockedio wmu is the WAL-writer lock; its whole purpose is covering this batch write
+	if err := m.st.appendBatch(batch); err != nil {
 		m.walErrors.Inc()
+		return
+	}
+	m.mu.Lock()
+	var snap []byte
+	if m.st.shouldCompact(len(m.jobs)) {
+		var err error
+		if snap, err = encodeSnapshot(m.jobs); err != nil {
+			m.walErrors.Inc()
+		}
+	}
+	m.mu.Unlock()
+	if snap != nil {
+		//lint:hdltsvet-ignore lockedio compaction runs under the WAL-writer lock by design; the job-table lock is not held
+		if err := m.st.compactWith(snap); err != nil {
+			m.walErrors.Inc()
+		}
 	}
 }
 
@@ -415,28 +516,45 @@ func (m *Manager) worker() {
 // result), a backoff retry, failed, or cancelled if a cancel arrived
 // while running.
 func (m *Manager) runJob(id string) {
-	m.mu.Lock()
-	j, ok := m.jobs[id]
-	if !ok || j.State != Queued {
-		// Cancelled (or GC'd) while waiting in the queue.
-		m.mu.Unlock()
+	algorithm, problem, ctx, ok := m.claimJob(id)
+	m.flush()
+	if !ok {
 		return
+	}
+	result, err := m.cfg.Run(ctx, algorithm, problem)
+	m.finishJob(id, result, err)
+	m.flush()
+}
+
+// claimJob flips a queued job to running and returns what the worker needs
+// to execute it; ok is false if the job was cancelled (or GC'd) while
+// waiting in the queue.
+func (m *Manager) claimJob(id string) (algorithm string, problem json.RawMessage, ctx context.Context, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, found := m.jobs[id]
+	if !found || j.State != Queued {
+		return "", nil, nil, false
 	}
 	m.setState(j, Running)
 	j.Attempts++
 	j.StartedAt = m.now()
 	m.persist(j)
-	algorithm, problem := j.Algorithm, j.Problem
 	// The execution context carries the job's trace ID — the persisted
 	// correlation with the submitting request — so re-runs after a crash
 	// trace under the original ID.
-	ctx := obs.WithTraceID(context.Background(), j.TraceID)
-	m.mu.Unlock()
+	return j.Algorithm, j.Problem, obs.WithTraceID(m.baseCtx, j.TraceID), true
+}
 
-	result, err := m.cfg.Run(ctx, algorithm, problem)
-
+// finishJob commits one attempt's outcome: done (caching the result), a
+// backoff retry, failed, or cancelled if a cancel arrived while running.
+func (m *Manager) finishJob(id string, result json.RawMessage, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return
+	}
 	if j.CancelRequested {
 		m.setState(j, Cancelled)
 		j.FinishedAt = m.now()
@@ -450,7 +568,7 @@ func (m *Manager) runJob(id string) {
 			m.retries.Inc()
 			m.setState(j, Queued)
 			m.persist(j)
-			m.requeueAfter(id, m.backoff(j.Attempts))
+			m.requeueAfter(j.ID, m.backoff(j.Attempts))
 			return
 		}
 		m.setState(j, Failed)
@@ -517,6 +635,11 @@ func (m *Manager) gcLoop() {
 // gc removes terminal jobs whose FinishedAt is older than TTL. Their
 // results may still live in the cache; only the job records expire.
 func (m *Manager) gc() {
+	m.gcLocked()
+	m.flush() // also compacts, now that the expired records are staged
+}
+
+func (m *Manager) gcLocked() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	cutoff := m.now().Add(-m.cfg.TTL)
@@ -525,16 +648,7 @@ func (m *Manager) gc() {
 			m.states[j.State].Dec()
 			delete(m.jobs, id)
 			m.expired.Inc()
-			if m.st != nil {
-				if err := m.st.del(id); err != nil {
-					m.walErrors.Inc()
-				}
-			}
-		}
-	}
-	if m.st != nil {
-		if err := m.st.maybeCompact(m.jobs); err != nil {
-			m.walErrors.Inc()
+			m.stage(walRecord{Op: "del", ID: id})
 		}
 	}
 }

@@ -130,8 +130,14 @@ func TestSnapshotCompactionAndReload(t *testing.T) {
 			// Force a mid-stream compaction so the reload below exercises
 			// snapshot + post-snapshot WAL together.
 			m.mu.Lock()
-			err := m.st.compact(m.jobs)
+			snap, err := encodeSnapshot(m.jobs)
 			m.mu.Unlock()
+			if err != nil {
+				t.Fatalf("encode snapshot: %v", err)
+			}
+			m.wmu.Lock()
+			err = m.st.compactWith(snap)
+			m.wmu.Unlock()
 			if err != nil {
 				t.Fatalf("compact: %v", err)
 			}

@@ -37,8 +37,19 @@ type walRecord struct {
 	ID  string `json:"id,omitempty"`  // del payload
 }
 
+// encodeRecord renders one WAL line (terminating newline included) so the
+// Manager can stage records in memory and write them in batches.
+func encodeRecord(rec walRecord) ([]byte, error) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: encode wal record: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
 // store owns the open WAL file handle and compaction bookkeeping. All
-// methods are called under the Manager's lock.
+// methods are called under the Manager's WAL-writer lock (wmu), never
+// under the job-table lock, so disk latency is invisible to Submit/Get.
 type store struct {
 	dir     string
 	f       *os.File
@@ -131,14 +142,19 @@ func replayWAL(path string, jobs map[string]*Job) (int, error) {
 	return n, nil
 }
 
-// append durably writes one record: marshal, write, fsync (timed into the
-// fsync histogram).
-func (s *store) append(rec walRecord) error {
-	b, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("jobs: encode wal record: %w", err)
+// appendBatch durably writes a group of pre-encoded records: one write,
+// one fsync (timed into the fsync histogram) for the whole batch. Group
+// commit is what keeps the fsync cost amortised across every transition
+// staged since the previous flush.
+func (s *store) appendBatch(encoded [][]byte) error {
+	if len(encoded) == 0 {
+		return nil
 	}
-	if _, err := s.f.Write(append(b, '\n')); err != nil {
+	var buf []byte
+	for _, b := range encoded {
+		buf = append(buf, b...)
+	}
+	if _, err := s.f.Write(buf); err != nil {
 		return fmt.Errorf("jobs: append wal: %w", err)
 	}
 	start := time.Now()
@@ -148,32 +164,24 @@ func (s *store) append(rec walRecord) error {
 	if s.fsync != nil {
 		s.fsync.ObserveSince(start)
 	}
-	s.appends++
+	s.appends += len(encoded)
 	return nil
 }
 
-// put appends a full-job upsert.
-func (s *store) put(j *Job) error { return s.append(walRecord{Op: "put", Job: j}) }
-
-// del appends a deletion.
-func (s *store) del(id string) error { return s.append(walRecord{Op: "del", ID: id}) }
-
-// maybeCompact rewrites the snapshot and truncates the WAL once the WAL
-// holds several times more records than there are live jobs.
-func (s *store) maybeCompact(live map[string]*Job) error {
-	threshold := 4 * len(live)
+// shouldCompact reports whether the WAL holds several times more records
+// than there are live jobs, flooring at minCompact.
+func (s *store) shouldCompact(live int) bool {
+	threshold := 4 * live
 	if threshold < s.minCompact {
 		threshold = s.minCompact
 	}
-	if s.appends < threshold {
-		return nil
-	}
-	return s.compact(live)
+	return s.appends >= threshold
 }
 
-// compact writes snapshot.json atomically (tmp + fsync + rename) and
-// truncates the WAL.
-func (s *store) compact(live map[string]*Job) error {
+// encodeSnapshot renders the live set, ordered by submission sequence, as
+// the snapshot.json payload. Called under the job-table lock so the jobs
+// cannot mutate mid-marshal; the file I/O happens later in compactWith.
+func encodeSnapshot(live map[string]*Job) ([]byte, error) {
 	list := make([]*Job, 0, len(live))
 	for _, j := range live {
 		list = append(list, j)
@@ -181,8 +189,14 @@ func (s *store) compact(live map[string]*Job) error {
 	sort.Slice(list, func(i, k int) bool { return list[i].Seq < list[k].Seq })
 	b, err := json.Marshal(list)
 	if err != nil {
-		return fmt.Errorf("jobs: encode snapshot: %w", err)
+		return nil, fmt.Errorf("jobs: encode snapshot: %w", err)
 	}
+	return b, nil
+}
+
+// compactWith writes the pre-encoded snapshot atomically (tmp + fsync +
+// rename) and truncates the WAL.
+func (s *store) compactWith(b []byte) error {
 	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
 	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {

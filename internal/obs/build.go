@@ -36,15 +36,18 @@ func ReadBuild() BuildInfo {
 	return info
 }
 
+// MetricBuildInfo is the conventional build-identity gauge series.
+const MetricBuildInfo = "hdltsd_build_info"
+
 // RegisterBuildInfo sets the conventional build-info gauge — value 1,
-// identity in the labels — in reg under the given series name (e.g.
-// "hdltsd_build_info") and returns what it registered.
-func RegisterBuildInfo(reg *Registry, name string) BuildInfo {
+// identity in the labels — in reg under MetricBuildInfo and returns what
+// it registered.
+func RegisterBuildInfo(reg *Registry) BuildInfo {
 	if reg == nil {
 		reg = Default()
 	}
 	info := ReadBuild()
-	reg.Gauge(name,
+	reg.Gauge(MetricBuildInfo,
 		"version", info.Version,
 		"go_version", info.GoVersion,
 		"revision", info.Revision,

@@ -99,10 +99,15 @@ type traceEvent struct {
 }
 
 // WriteJSON renders the accumulated trace as Chrome trace-event JSON. It may
-// be called repeatedly; each call renders the full current content.
+// be called repeatedly; each call renders the full current content. The
+// sink state is snapshotted under the lock and rendered outside it, so a
+// slow writer never stalls concurrent Emit calls.
 func (c *ChromeSink) WriteJSON(w io.Writer) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	spans := append([]chromeSpan(nil), c.spans...)
+	insts := append([]chromeInstant(nil), c.insts...)
+	scale := c.scale
+	c.mu.Unlock()
 
 	// Assign stable pids: algorithms in first-seen order.
 	pid := map[string]int{}
@@ -114,10 +119,10 @@ func (c *ChromeSink) WriteJSON(w io.Writer) error {
 		pid[alg] = id
 		return id
 	}
-	for _, s := range c.spans {
+	for _, s := range spans {
 		pidOf(s.alg)
 	}
-	for _, i := range c.insts {
+	for _, i := range insts {
 		pidOf(i.alg)
 	}
 
@@ -129,10 +134,10 @@ func (c *ChromeSink) WriteJSON(w io.Writer) error {
 	}
 	sort.Slice(algs, func(i, j int) bool { return pid[algs[i]] < pid[algs[j]] })
 	procs := map[[2]int]bool{}
-	for _, s := range c.spans {
+	for _, s := range spans {
 		procs[[2]int{pid[s.alg], s.proc}] = true
 	}
-	for _, i := range c.insts {
+	for _, i := range insts {
 		if i.proc >= 0 {
 			procs[[2]int{pid[i.alg], i.proc}] = true
 		}
@@ -164,25 +169,25 @@ func (c *ChromeSink) WriteJSON(w io.Writer) error {
 		})
 	}
 
-	for _, s := range c.spans {
+	for _, s := range spans {
 		name := fmt.Sprintf("T%d", s.task+1)
 		if s.dup {
 			name += " (+dup)"
 		}
 		evs = append(evs, traceEvent{
 			Name: name, Ph: "X", PID: pid[s.alg], TID: s.proc,
-			TS: s.start * c.scale, Dur: s.dur * c.scale,
+			TS: s.start * scale, Dur: s.dur * scale,
 			Args: map[string]any{"task": s.task, "start": s.start, "finish": s.start + s.dur},
 		})
 	}
-	for _, i := range c.insts {
+	for _, i := range insts {
 		tid := i.proc
 		if tid < 0 {
 			tid = 0
 		}
 		evs = append(evs, traceEvent{
 			Name: i.name, Ph: "i", PID: pid[i.alg], TID: tid,
-			TS: i.ts * c.scale, S: "p",
+			TS: i.ts * scale, S: "p",
 		})
 	}
 

@@ -1,0 +1,76 @@
+package obs
+
+// Canonical span-attribute keys. Every SetAttr / StartSpan attribute key
+// in the module must be one of these constants (enforced by the eventkey
+// analyzer): trace consumers — /v1/trace filters, the replay tool,
+// downstream pipelines — match on these strings, so the vocabulary is
+// closed and lives here.
+const (
+	// KeyAlg names the scheduling algorithm acting in the span.
+	KeyAlg = "alg"
+	// KeyMethod is the HTTP request method.
+	KeyMethod = "method"
+	// KeyPath is the HTTP request path.
+	KeyPath = "path"
+	// KeyStatus is the HTTP response status code.
+	KeyStatus = "status"
+	// KeyTask is a task index.
+	KeyTask = "task"
+	// KeyPhase is an algorithm phase name.
+	KeyPhase = "phase"
+	// KeyJob is a job identifier.
+	KeyJob = "job"
+)
+
+// Canonical wire-field names: the JSON keys the obs package is allowed to
+// emit, mirroring the json tags of the wire structs (lineEvent, traceEvent,
+// Span, BuildInfo, jsonMetric). The eventkey analyzer checks every json tag
+// in this package against this set, so adding a wire field means adding a
+// constant here — a deliberate speed bump on schema growth.
+const (
+	// JSONL decision-event stream (lineEvent).
+	WireSeq    = "seq"
+	WireEvent  = "ev"
+	WireWallNS = "wall_ns"
+	WireTask   = "task"
+	WireProc   = "proc"
+	WireIter   = "iter"
+	WireTime   = "t"
+	WireStart  = "start"
+	WireFinish = "finish"
+	WireValue  = "value"
+	WireDup    = "dup"
+
+	// Chrome trace events (traceEvent).
+	WireName  = "name"
+	WirePh    = "ph"
+	WirePID   = "pid"
+	WireTID   = "tid"
+	WireTS    = "ts"
+	WireDur   = "dur"
+	WireScope = "s"
+	WireArgs  = "args"
+
+	// Build info.
+	WireVersion   = "version"
+	WireGoVersion = "go_version"
+	WireRevision  = "revision"
+	WireModified  = "modified"
+
+	// Metrics JSON exposition (jsonMetric).
+	WireLabels = "labels"
+	WireKind   = "kind"
+	WireCount  = "count"
+	WireSum    = "sum"
+	WireMean   = "mean"
+
+	// Spans and traces.
+	WireTraceID       = "trace_id"
+	WireSpanID        = "span_id"
+	WireParentID      = "parent_id"
+	WireEnd           = "end"
+	WireAttrs         = "attrs"
+	WireSpans         = "spans"
+	WireSpansDropped  = "spans_dropped"
+	WireEventsDropped = "events_dropped"
+)

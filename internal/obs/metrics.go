@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -241,40 +242,32 @@ func sortedKeys[V any](m map[metricKey]V) []metricKey {
 }
 
 // WritePrometheus renders every metric in the Prometheus text exposition
-// format (histograms as cumulative _bucket/_sum/_count series).
+// format (histograms as cumulative _bucket/_sum/_count series). The
+// exposition is rendered into memory under the lock and written out after
+// releasing it, so a slow scraper never stalls metric updates.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	var buf bytes.Buffer
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	for _, k := range sortedKeys(r.counters) {
-		if _, err := fmt.Fprintf(w, "%s%s %d\n", k.name, k.labels, r.counters[k].Value()); err != nil {
-			return err
-		}
+		fmt.Fprintf(&buf, "%s%s %d\n", k.name, k.labels, r.counters[k].Value())
 	}
 	for _, k := range sortedKeys(r.gauges) {
-		if _, err := fmt.Fprintf(w, "%s%s %g\n", k.name, k.labels, r.gauges[k].Value()); err != nil {
-			return err
-		}
+		fmt.Fprintf(&buf, "%s%s %g\n", k.name, k.labels, r.gauges[k].Value())
 	}
 	for _, k := range sortedKeys(r.hists) {
 		h := r.hists[k]
 		cum := int64(0)
 		for i, ub := range h.bounds {
 			cum += h.cells[i].Load()
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", k.name, mergeLabels(k.labels, fmt.Sprintf("le=%q", fmtBound(ub))), cum); err != nil {
-				return err
-			}
+			fmt.Fprintf(&buf, "%s_bucket%s %d\n", k.name, mergeLabels(k.labels, fmt.Sprintf("le=%q", fmtBound(ub))), cum)
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", k.name, mergeLabels(k.labels, `le="+Inf"`), h.Count()); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", k.name, k.labels, h.Sum()); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", k.name, k.labels, h.Count()); err != nil {
-			return err
-		}
+		fmt.Fprintf(&buf, "%s_bucket%s %d\n", k.name, mergeLabels(k.labels, `le="+Inf"`), h.Count())
+		fmt.Fprintf(&buf, "%s_sum%s %g\n", k.name, k.labels, h.Sum())
+		fmt.Fprintf(&buf, "%s_count%s %d\n", k.name, k.labels, h.Count())
 	}
-	return nil
+	r.mu.Unlock()
+	_, err := w.Write(buf.Bytes())
+	return err
 }
 
 // fmtBound renders a bucket bound the way Prometheus clients do.
@@ -300,10 +293,10 @@ type jsonMetric struct {
 }
 
 // WriteJSON renders every metric as one JSON array (counters and gauges
-// with value; histograms with count, sum, and mean).
+// with value; histograms with count, sum, and mean). The snapshot is taken
+// under the lock and encoded after releasing it.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	var out []jsonMetric
 	for _, k := range sortedKeys(r.counters) {
 		out = append(out, jsonMetric{Name: k.name, Labels: k.labels, Kind: "counter", Value: float64(r.counters[k].Value())})
@@ -315,19 +308,24 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		h := r.hists[k]
 		out = append(out, jsonMetric{Name: k.name, Labels: k.labels, Kind: "histogram", Count: h.Count(), Sum: h.Sum(), Mean: h.Mean()})
 	}
+	r.mu.Unlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }
 
+// MetricSchedPhase is the per-phase scheduling latency histogram Phase
+// records into.
+const MetricSchedPhase = "hdlts_sched_phase_seconds"
+
 // Phase starts a wall-clock timer for one algorithm phase and returns the
 // stop function; stopping records the elapsed seconds into the default
-// registry's "sched_phase_seconds" histogram labelled by algorithm and
-// phase. Usage:
+// registry's MetricSchedPhase histogram labelled by algorithm and phase.
+// Usage:
 //
 //	defer obs.Phase("HEFT", "rank")()
 func Phase(alg, phase string) func() {
-	h := defaultRegistry.Histogram("sched_phase_seconds", "alg", alg, "phase", phase)
+	h := defaultRegistry.Histogram(MetricSchedPhase, "alg", alg, "phase", phase)
 	start := time.Now()
 	return func() { h.ObserveSince(start) }
 }

@@ -173,7 +173,7 @@ func TestPhaseRecordsIntoDefault(t *testing.T) {
 	defer Default().Reset()
 	stop := Phase("HEFT", "rank")
 	stop()
-	h := Default().Histogram("sched_phase_seconds", "alg", "HEFT", "phase", "rank")
+	h := Default().Histogram("hdlts_sched_phase_seconds", "alg", "HEFT", "phase", "rank")
 	if h.Count() != 1 {
 		t.Errorf("phase observation count = %d, want 1", h.Count())
 	}

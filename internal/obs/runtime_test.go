@@ -95,7 +95,7 @@ func TestReadBuildAndRegister(t *testing.T) {
 		t.Error("BuildInfo.GoVersion empty under the go tool")
 	}
 	reg := NewRegistry()
-	got := RegisterBuildInfo(reg, "test_build_info")
+	got := RegisterBuildInfo(reg)
 	if got != info {
 		t.Errorf("RegisterBuildInfo returned %+v, ReadBuild says %+v", got, info)
 	}
@@ -103,7 +103,7 @@ func TestReadBuildAndRegister(t *testing.T) {
 	if err := reg.WritePrometheus(&b); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(b.String(), "test_build_info{") ||
+	if !strings.Contains(b.String(), MetricBuildInfo+"{") ||
 		!strings.Contains(b.String(), info.GoVersion) {
 		t.Errorf("exposition missing build info gauge:\n%s", b.String())
 	}

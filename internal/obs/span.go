@@ -134,6 +134,7 @@ func StartSpan(ctx context.Context, name string, attrs ...string) (context.Conte
 		sp.ParentID = parent.SpanID
 	}
 	for i := 0; i+1 < len(attrs); i += 2 {
+		//lint:hdltsvet-ignore eventkey forwarding variadic attrs whose keys were checked at the caller
 		sp.SetAttr(attrs[i], attrs[i+1])
 	}
 	return context.WithValue(ctx, ctxSpan, sp), sp

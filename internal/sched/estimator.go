@@ -9,13 +9,20 @@ import (
 	"hdlts/internal/platform"
 )
 
+// Substrate metric series names.
+const (
+	metricEstimates  = "hdlts_sched_estimates_total"
+	metricCommits    = "hdlts_sched_commits_total"
+	metricDuplicates = "hdlts_sched_duplicates_total"
+)
+
 // Substrate-level metrics: every scheduler funnels through Estimate and
 // Commit, so these counters measure decision cost uniformly across
 // algorithms. They live in the default obs registry.
 var (
-	estimateCount  = obs.Default().Counter("sched_estimates_total")
-	commitCount    = obs.Default().Counter("sched_commits_total")
-	duplicateCount = obs.Default().Counter("sched_duplicates_total")
+	estimateCount  = obs.Default().Counter(metricEstimates)
+	commitCount    = obs.Default().Counter(metricCommits)
+	duplicateCount = obs.Default().Counter(metricDuplicates)
 )
 
 // Policy selects how EST/EFT are computed and how tasks are committed onto

@@ -10,9 +10,12 @@ import (
 	"hdlts/internal/obs"
 )
 
+// metricValidate is the feasibility re-check latency series.
+const metricValidate = "hdlts_sched_validate_seconds"
+
 // validateTime records full feasibility re-checks, which dominate
 // experiment runs with Config.Validate set.
-var validateTime = obs.Default().Histogram("sched_validate_seconds")
+var validateTime = obs.Default().Histogram(metricValidate)
 
 // ErrIncomplete is wrapped by Validate when some task has no placement.
 var ErrIncomplete = errors.New("sched: schedule is incomplete")

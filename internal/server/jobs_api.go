@@ -155,7 +155,7 @@ func (s *Server) runJobFunc(ctx context.Context, algorithm string, problem json.
 		s.traces.Start(tid)
 		ctx = obs.WithTraceStore(ctx, s.traces)
 	}
-	ctx, run := obs.StartSpan(ctx, "job.run", "alg", algorithm)
+	ctx, run := obs.StartSpan(ctx, "job.run", obs.KeyAlg, algorithm)
 	defer run.Finish()
 	alg, err := s.cfg.Lookup(algorithm)
 	if err != nil {
@@ -223,7 +223,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, jobs.ErrSaturated):
 			saturated = true
-			s.cfg.Metrics.Counter("hdltsd_jobs_errors_total", "reason", "saturated").Inc()
+			s.cfg.Metrics.Counter(metricJobsErrors, "reason", "saturated").Inc()
 			batch.Jobs[i] = JobBatchItem{
 				Error:  fmt.Sprintf("job queue full (%d deep)", s.jobs.QueueCap()),
 				Status: http.StatusTooManyRequests,
@@ -312,7 +312,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 // jobError answers one failed jobs-API request and bumps the matching
 // error counter.
 func (s *Server) jobError(w http.ResponseWriter, status int, reason string, err error) {
-	s.cfg.Metrics.Counter("hdltsd_jobs_errors_total", "reason", reason).Inc()
+	s.cfg.Metrics.Counter(metricJobsErrors, "reason", reason).Inc()
 	writeJSON(w, status, ErrorResponse{Error: err.Error(), Status: status})
 }
 
@@ -330,7 +330,7 @@ func queryInt(s string, def int) (int, error) {
 // hypothetical retry, divided across the workers, rounded up and clamped
 // to [1, 60]. Before any observation it falls back to 1s.
 func (s *Server) retryAfterSeconds(alg string, backlog, workers int) int {
-	mean := s.cfg.Metrics.Histogram("hdltsd_schedule_seconds", "alg", alg).Mean()
+	mean := s.cfg.Metrics.Histogram(metricScheduleSeconds, "alg", alg).Mean()
 	if mean <= 0 {
 		return 1
 	}

@@ -55,24 +55,19 @@ func submitJob(t *testing.T, srv *Server, algorithm string, problem json.RawMess
 // waitJobState polls GET /v1/jobs/{id} until the job reaches want.
 func waitJobState(t *testing.T, srv *Server, id, want string) *JobView {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
+	var v JobView
+	waitFor(t, 5*time.Second, func() bool {
 		rec := doJSON(srv, http.MethodGet, "/v1/jobs/"+id, nil)
 		if rec.Code != http.StatusOK {
 			t.Fatalf("GET job %s = %d: %s", id, rec.Code, rec.Body)
 		}
-		var v JobView
+		v = JobView{}
 		if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
 			t.Fatal(err)
 		}
-		if v.State == want {
-			return &v
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("job %s stuck in %s (want %s): %s", id, v.State, want, rec.Body)
-		}
-		time.Sleep(time.Millisecond)
-	}
+		return v.State == want
+	})
+	return &v
 }
 
 func TestJobSubmitRunsToDone(t *testing.T) {

@@ -97,6 +97,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Metric series registered by this package.
+const (
+	metricHTTPRequests    = "hdltsd_http_requests_total"
+	metricHTTPSeconds     = "hdltsd_http_request_seconds"
+	metricHTTPInFlight    = "hdltsd_http_in_flight"
+	metricQueueDepth      = "hdltsd_queue_depth"
+	metricScheduleSeconds = "hdltsd_schedule_seconds"
+	metricScheduleErrors  = "hdltsd_schedule_errors_total"
+	metricJobsErrors      = "hdltsd_jobs_errors_total"
+	metricTraceErrors     = "hdltsd_trace_errors_total"
+)
+
 // Server is the daemon's http.Handler. Create one with New, embed it in any
 // http.Server (or mount it under a prefix), and call Shutdown to drain.
 type Server struct {
@@ -122,10 +134,10 @@ func New(cfg Config) (*Server, error) {
 		cfg:        cfg,
 		mux:        http.NewServeMux(),
 		traces:     obs.NewTraceStore(cfg.TraceBuffer, cfg.TraceSample),
-		build:      obs.RegisterBuildInfo(cfg.Metrics, "hdltsd_build_info"),
+		build:      obs.RegisterBuildInfo(cfg.Metrics),
 		draining:   make(chan struct{}),
-		inFlight:   cfg.Metrics.Gauge("hdltsd_http_in_flight"),
-		queueDepth: cfg.Metrics.Gauge("hdltsd_queue_depth"),
+		inFlight:   cfg.Metrics.Gauge(metricHTTPInFlight),
+		queueDepth: cfg.Metrics.Gauge(metricQueueDepth),
 	}
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.queueDepth)
 	jcfg := cfg.Jobs
@@ -173,19 +185,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if tracedRoute(r) {
 		s.traces.Start(reqID)
 		ctx, root = obs.StartSpan(ctx, "http.request",
-			"method", r.Method, "path", r.URL.Path)
+			obs.KeyMethod, r.Method, obs.KeyPath, r.URL.Path)
 	}
 	r = r.WithContext(ctx)
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	s.mux.ServeHTTP(rec, r)
 	if root != nil {
-		root.SetAttr("status", strconv.Itoa(rec.status))
+		root.SetAttr(obs.KeyStatus, strconv.Itoa(rec.status))
 		root.Finish()
 	}
 	elapsed := time.Since(start)
-	s.cfg.Metrics.Counter("hdltsd_http_requests_total",
+	s.cfg.Metrics.Counter(metricHTTPRequests,
 		"path", r.URL.Path, "code", fmt.Sprint(rec.status)).Inc()
-	s.cfg.Metrics.Histogram("hdltsd_http_request_seconds", "path", r.URL.Path).
+	s.cfg.Metrics.Histogram(metricHTTPSeconds, "path", r.URL.Path).
 		Observe(elapsed.Seconds())
 	if s.cfg.AccessLog != nil {
 		s.cfg.AccessLog.Info("request",
@@ -356,7 +368,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 // scheduler's decision events land in the trace ring — the replayable
 // "why was this mapping chosen" record behind the trace endpoints.
 func (s *Server) runSchedule(ctx context.Context, alg sched.Algorithm, pr *sched.Problem, trace bool) scheduleOutcome {
-	ctx, run := obs.StartSpan(ctx, "schedule.run", "alg", alg.Name())
+	ctx, run := obs.StartSpan(ctx, "schedule.run", obs.KeyAlg, alg.Name())
 	defer run.Finish()
 	start := time.Now()
 	prA := pr
@@ -404,7 +416,7 @@ func (s *Server) runSchedule(ctx context.Context, alg sched.Algorithm, pr *sched
 		return scheduleOutcome{status: http.StatusInternalServerError, err: err}
 	}
 	elapsed := time.Since(start).Seconds()
-	s.cfg.Metrics.Histogram("hdltsd_schedule_seconds", "alg", alg.Name()).Observe(elapsed)
+	s.cfg.Metrics.Histogram(metricScheduleSeconds, "alg", alg.Name()).Observe(elapsed)
 	resp := &ScheduleResponse{
 		Algorithm:      res.Algorithm,
 		Tasks:          pr.NumTasks(),
@@ -459,7 +471,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // scheduleError answers one failed schedule request and bumps the matching
 // error counter.
 func (s *Server) scheduleError(w http.ResponseWriter, status int, reason string, err error) {
-	s.cfg.Metrics.Counter("hdltsd_schedule_errors_total", "reason", reason).Inc()
+	s.cfg.Metrics.Counter(metricScheduleErrors, "reason", reason).Inc()
 	writeJSON(w, status, ErrorResponse{Error: err.Error(), Status: status})
 }
 

@@ -281,13 +281,7 @@ func TestSaturationGets429(t *testing.T) {
 	<-blk.started // worker is busy
 	// Wait until the queue slot is taken too (trySubmit for the second
 	// request has happened once its depth gauge reads 1).
-	deadline := time.Now().Add(5 * time.Second)
-	for srv.queueDepth.Value() < 1 {
-		if time.Now().After(deadline) {
-			t.Fatal("second request never queued")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, 5*time.Second, func() bool { return srv.queueDepth.Value() >= 1 })
 
 	rec := postSchedule(t, srv, ScheduleRequest{Algorithm: "block", Problem: problem})
 	if rec.Code != http.StatusTooManyRequests {

@@ -112,6 +112,6 @@ func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
 // traceError answers one failed trace/version request and bumps the
 // matching error counter.
 func (s *Server) traceError(w http.ResponseWriter, status int, reason string, err error) {
-	s.cfg.Metrics.Counter("hdltsd_trace_errors_total", "reason", reason).Inc()
+	s.cfg.Metrics.Counter(metricTraceErrors, "reason", reason).Inc()
 	writeJSON(w, status, ErrorResponse{Error: err.Error(), Status: status})
 }

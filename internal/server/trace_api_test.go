@@ -260,13 +260,7 @@ func TestRequestIDEchoedOnErrorPaths(t *testing.T) {
 			}()
 		}
 		<-blk.started
-		deadline := time.Now().Add(5 * time.Second)
-		for srv.queueDepth.Value() < 1 {
-			if time.Now().After(deadline) {
-				t.Fatal("second request never queued")
-			}
-			time.Sleep(time.Millisecond)
-		}
+		waitFor(t, 5*time.Second, func() bool { return srv.queueDepth.Value() >= 1 })
 		rec := doWithRequestID(srv, http.MethodPost, "/v1/schedule", "sat-429-id",
 			ScheduleRequest{Algorithm: "block", Problem: problem})
 		if rec.Code != http.StatusTooManyRequests {

@@ -1,0 +1,20 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// waitFor polls cond every millisecond until it reports true, failing the
+// test if timeout elapses first. It replaces the hand-rolled deadline
+// loops that used to be copied between tests.
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not met within %v", timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -109,7 +109,7 @@ func TestPublicAPIObservability(t *testing.T) {
 	if err := hdlts.DefaultStats().WritePrometheus(&promBuf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(promBuf.String(), "sched_commits_total") {
+	if !strings.Contains(promBuf.String(), "hdlts_sched_commits_total") {
 		t.Fatalf("stats exposition missing scheduler counters:\n%s", promBuf.String())
 	}
 }
