@@ -46,6 +46,7 @@ func benchFigure(b *testing.B, name string) {
 	}
 	cfg := experiments.Config{Reps: benchReps, Seed: 1, Algorithms: registry.All()}
 	var tbl *experiments.Table
+	solve0 := solverPhaseSeconds(cfg.Algorithms)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
@@ -59,6 +60,25 @@ func benchFigure(b *testing.B, name string) {
 	f := tbl.SeriesByName("HEFT")
 	b.ReportMetric(stats.Mean(h.Mean), "hdlts_"+metricUnit(e.Metric))
 	b.ReportMetric(stats.Mean(h.Mean)-stats.Mean(f.Mean), "gap_vs_heft")
+	// Split the iteration cost into scheduling proper vs. everything else
+	// (graph generation, lower bounds, metric evaluation, table assembly),
+	// read off the hdlts_solver_phase_seconds schedule-phase histograms.
+	if el := b.Elapsed().Seconds(); el > 0 {
+		share := (solverPhaseSeconds(cfg.Algorithms) - solve0) / el
+		b.ReportMetric(share, "solve_share")
+		b.ReportMetric(1-share, "evaluate_share")
+	}
+}
+
+// solverPhaseSeconds sums the schedule-phase seconds the process-wide
+// registry has accumulated for the given algorithms.
+func solverPhaseSeconds(algs []sched.Algorithm) float64 {
+	total := 0.0
+	for _, a := range algs {
+		total += obs.Default().Histogram(obs.MetricSolverPhase,
+			"alg", a.Name(), "phase", obs.PhaseSchedule.String()).Sum()
+	}
+	return total
 }
 
 func metricUnit(metric string) string {
@@ -132,6 +152,7 @@ func benchAlgorithm(b *testing.B, alg sched.Algorithm) {
 	b.Helper()
 	prs := benchProblems(b, 8)
 	var acc stats.Running
+	solve0 := solverPhaseSeconds([]sched.Algorithm{alg})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pr := prs[i%len(prs)]
@@ -147,6 +168,12 @@ func benchAlgorithm(b *testing.B, alg sched.Algorithm) {
 	}
 	b.StopTimer()
 	b.ReportMetric(acc.Mean(), "mean_slr")
+	// Scheduling vs. lower-bound evaluation split for this iteration body.
+	if el := b.Elapsed().Seconds(); el > 0 {
+		share := (solverPhaseSeconds([]sched.Algorithm{alg}) - solve0) / el
+		b.ReportMetric(share, "solve_share")
+		b.ReportMetric(1-share, "evaluate_share")
+	}
 }
 
 // Per-algorithm scheduling throughput on identical 300-task workloads.

@@ -1,0 +1,157 @@
+// Command hdltsbench runs the canonical benchmark suite and maintains the
+// repository's persisted benchmark trajectory (BENCH_<n>.json files).
+//
+// Typical uses:
+//
+//	hdltsbench                  # full suite, diff against the latest epoch
+//	hdltsbench -quick           # CI profile: quick subset, short benchtime
+//	hdltsbench -write           # record the run as the next BENCH_<n>.json
+//	hdltsbench -run 'solver/'   # only the solver benches
+//	hdltsbench -list            # print the suite without running it
+//
+// Exit status: 0 on success, 1 when the regression gate trips (hot-path
+// allocs/op increase, or ns/op past the threshold on comparable hardware),
+// 2 on operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"hdlts/internal/perf"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("hdltsbench", flag.ContinueOnError)
+	var (
+		quick     = fs.Bool("quick", false, "run only the quick subset with a short benchtime (CI profile)")
+		list      = fs.Bool("list", false, "print the selected benchmarks and exit")
+		runExpr   = fs.String("run", "", "only run benchmarks matching this regexp")
+		dir       = fs.String("dir", ".", "trajectory directory holding BENCH_<n>.json files")
+		baseline  = fs.String("baseline", "", "baseline report to diff against (default: latest BENCH_<n>.json in -dir)")
+		out       = fs.String("out", "", "write the candidate report to this path")
+		write     = fs.Bool("write", false, "record the run as the next BENCH_<n>.json in -dir")
+		thrNs     = fs.Float64("threshold-ns", 20, "tolerated ns/op increase on hot-path benchmarks, percent")
+		thrAllocs = fs.Int64("threshold-allocs", 0, "tolerated allocs/op increase on hot-path benchmarks")
+		forceNs   = fs.Bool("force-ns", false, "gate ns/op even across non-comparable environments")
+		benchtime = fs.String("benchtime", "", "default benchtime for benches without an override (e.g. 2s, 10x)")
+		noCompare = fs.Bool("no-compare", false, "skip the baseline diff")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var filter *regexp.Regexp
+	if *runExpr != "" {
+		re, err := regexp.Compile(*runExpr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdltsbench: bad -run regexp: %v\n", err)
+			return 2
+		}
+		filter = re
+	}
+	opts := perf.RunOptions{Quick: *quick, Filter: filter, Benchtime: *benchtime, Log: os.Stderr}
+	suite := perf.Suite()
+
+	if *list {
+		for _, bn := range perf.Selected(suite, opts) {
+			tags := ""
+			if bn.HotPath {
+				tags += " [hot]"
+			}
+			if bn.Quick {
+				tags += " [quick]"
+			}
+			fmt.Printf("%s%s\n", bn.Name, tags)
+		}
+		return 0
+	}
+
+	rep, err := perf.RunSuite(suite, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hdltsbench: %v\n", err)
+		return 2
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "hdltsbench: selection matched no benchmarks")
+		return 2
+	}
+
+	if *out != "" {
+		if err := perf.WriteReport(*out, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "hdltsbench: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "candidate report written to %s\n", *out)
+	}
+
+	status := 0
+	if !*noCompare {
+		base, basePath, err := loadBaseline(*baseline, *dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdltsbench: %v\n", err)
+			return 2
+		}
+		if base == nil {
+			fmt.Fprintln(os.Stderr, "no baseline found; skipping diff")
+		} else {
+			deltas := perf.Compare(base, rep, perf.CompareOptions{
+				NsThresholdPct: *thrNs,
+				AllocThreshold: *thrAllocs,
+				ForceNs:        *forceNs,
+			})
+			printDeltas(basePath, deltas)
+			if len(perf.Breaches(deltas)) > 0 {
+				status = 1
+			}
+		}
+	}
+
+	if *write {
+		path, err := perf.NextPath(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdltsbench: %v\n", err)
+			return 2
+		}
+		if err := perf.WriteReport(path, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "hdltsbench: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "trajectory epoch recorded as %s\n", path)
+	}
+	return status
+}
+
+// loadBaseline resolves the baseline report: an explicit path, or the
+// latest trajectory epoch in dir (nil when the trajectory is empty).
+func loadBaseline(path, dir string) (*perf.Report, string, error) {
+	if path != "" {
+		rep, err := perf.LoadReport(path)
+		return rep, path, err
+	}
+	return perf.LatestReport(dir)
+}
+
+// printDeltas renders the diff table, one line per benchmark.
+func printDeltas(basePath string, deltas []perf.Delta) {
+	fmt.Printf("diff against %s:\n", basePath)
+	for _, d := range deltas {
+		switch d.Status {
+		case "missing", "new":
+			fmt.Printf("  %-10s %-32s %s\n", d.Status, d.Name, d.Reason)
+			continue
+		}
+		line := fmt.Sprintf("  %-10s %-32s %12.0f -> %12.0f ns/op (%+.1f%%)  %d -> %d allocs/op",
+			d.Status, d.Name, d.BaseNs, d.CandNs, d.NsPct, d.BaseAllocs, d.CandAllocs)
+		if d.Reason != "" {
+			line += "  [" + d.Reason + "]"
+		}
+		fmt.Println(line)
+	}
+}

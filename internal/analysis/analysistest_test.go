@@ -121,3 +121,6 @@ func TestCtxFlowFixture(t *testing.T)     { runFixture(t, CtxFlow, "ctxflow") }
 func TestMetricNameFixture(t *testing.T)  { runFixture(t, MetricName, "metricname") }
 func TestEventKeyFixture(t *testing.T)    { runFixture(t, EventKey, "eventkey") }
 func TestDirectiveFixture(t *testing.T)   { runFixture(t, CtxFlow, "directive") }
+func TestHotPathAllocFixture(t *testing.T) {
+	runFixture(t, HotPathAlloc, "hotpathalloc")
+}

@@ -134,7 +134,8 @@ func checkMapRangeOrder(pass *Pass, body *ast.BlockStmt) {
 	})
 }
 
-// rootVar resolves the base variable of an lvalue like x, x[i], or x.f.
+// rootVar resolves the base variable of an lvalue like x, x[i], x[i:j],
+// or x.f.
 func rootVar(info *types.Info, e ast.Expr) *types.Var {
 	for {
 		switch x := ast.Unparen(e).(type) {
@@ -142,6 +143,8 @@ func rootVar(info *types.Info, e ast.Expr) *types.Var {
 			v, _ := info.ObjectOf(x).(*types.Var)
 			return v
 		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
 			e = x.X
 		case *ast.SelectorExpr:
 			e = x.X

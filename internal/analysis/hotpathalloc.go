@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathMarker is the doc-comment directive that opts a function into the
+// hotpathalloc analyzer's allocation rules.
+const HotPathMarker = "//hdlts:hotpath"
+
+// HotPathAlloc flags heap-allocating constructs inside the loops of
+// functions whose doc comment carries the //hdlts:hotpath marker — the
+// solver inner loops the ROADMAP's allocation-free rewrite targets. Inside
+// a marked function's loop bodies it reports:
+//
+//   - make/new calls and map or slice composite literals: fresh heap
+//     allocations every iteration;
+//   - function literals: closures capture and escape;
+//   - append whose destination slice is not rooted in a make-allocated
+//     local, a parameter, or the receiver — growth of a fresh slice
+//     reallocates repeatedly;
+//   - interface boxing at call sites: passing a concrete value where the
+//     callee takes an interface allocates the value onto the heap.
+//
+// Error exits stay ergonomic: an if-block whose last statement is return
+// or panic is skipped, so `if err != nil { return fmt.Errorf(...) }` never
+// needs a suppression. Function literal bodies are not re-checked (the
+// literal itself is the finding). Genuinely amortised allocations carry a
+// documented //lint:hdltsvet-ignore hotpathalloc directive.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "flags heap-allocating constructs (make/new, map/slice literals, closures, " +
+		"growing appends, interface boxing) inside loops of //hdlts:hotpath functions",
+	Run: runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hotPathMarked(fd) {
+				continue
+			}
+			checkHotPath(pass, fd)
+		}
+	}
+	return nil
+}
+
+// hotPathMarked reports whether the function's doc comment carries the
+// //hdlts:hotpath marker line.
+func hotPathMarked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == HotPathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotPath applies the allocation rules to one marked function. The
+// rules fire only inside loop bodies; the bodies of terminating if-blocks
+// (error exits) and of function literals (reported as a whole, not
+// re-entered) are exempt. Ranges nest, so the innermost enclosing range
+// decides: a loop inside an early-out if-block is still hot, an error exit
+// inside a loop is not.
+func checkHotPath(pass *Pass, fd *ast.FuncDecl) {
+	allowed := allowedRoots(pass, fd)
+
+	type span struct {
+		pos, end token.Pos
+		hot      bool
+	}
+	var spans []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			if terminates(s.Body) {
+				spans = append(spans, span{s.Body.Pos(), s.Body.End(), false})
+			}
+		case *ast.FuncLit:
+			spans = append(spans, span{s.Body.Pos(), s.Body.End(), false})
+		case *ast.ForStmt:
+			spans = append(spans, span{s.Body.Pos(), s.Body.End(), true})
+		case *ast.RangeStmt:
+			spans = append(spans, span{s.Body.Pos(), s.Body.End(), true})
+		}
+		return true
+	})
+	inHot := func(n ast.Node) bool {
+		var innermost *span
+		for i := range spans {
+			s := &spans[i]
+			if s.pos <= n.Pos() && n.End() <= s.end && (innermost == nil || s.pos > innermost.pos) {
+				innermost = s
+			}
+		}
+		return innermost != nil && innermost.hot
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil || !inHot(n) {
+			return true
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, e, allowed)
+		case *ast.CompositeLit:
+			t := pass.TypeOf(e)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(e.Pos(), "map literal allocates every loop iteration in a hot path; hoist it out of the loop")
+			case *types.Slice:
+				pass.Reportf(e.Pos(), "slice literal allocates every loop iteration in a hot path; hoist it out of the loop")
+			}
+		case *ast.FuncLit:
+			pass.Reportf(e.Pos(), "function literal in a hot-path loop: closures capture and escape to the heap; hoist or use a named function")
+		}
+		return true
+	})
+}
+
+// allowedRoots collects the variables append may grow without a finding:
+// parameters, the receiver, named results, and locals assigned from make
+// anywhere in the function (their capacity is the author's explicit
+// amortisation decision).
+func allowedRoots(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	allowed := map[types.Object]bool{}
+	addField := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if o := pass.ObjectOf(name); o != nil {
+					allowed[o] = true
+				}
+			}
+		}
+	}
+	addField(fd.Recv)
+	addField(fd.Type.Params)
+	addField(fd.Type.Results)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || i >= len(asg.Lhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "make" {
+				continue
+			}
+			if v := rootVar(pass.Info, asg.Lhs[i]); v != nil {
+				allowed[v] = true
+			}
+		}
+		return true
+	})
+	return allowed
+}
+
+// checkHotCall applies the call-site rules: make/new, growing append, and
+// interface boxing of arguments.
+func checkHotCall(pass *Pass, call *ast.CallExpr, allowed map[types.Object]bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && pass.ObjectOf(id) == types.Universe.Lookup(id.Name) {
+		switch id.Name {
+		case "make", "new":
+			pass.Reportf(call.Pos(), "%s allocates every loop iteration in a hot path; hoist the allocation and reuse the buffer", id.Name)
+		case "append":
+			if len(call.Args) == 0 {
+				return
+			}
+			v := rootVar(pass.Info, call.Args[0])
+			if v == nil || !allowed[v] {
+				name := "a fresh slice"
+				if v != nil {
+					name = v.Name()
+				}
+				pass.Reportf(call.Pos(), "append grows %s inside a hot-path loop; preallocate with make and a capacity before the loop", name)
+			}
+		}
+		return
+	}
+	// Conversions are not calls; builtins and type expressions have no
+	// signature.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call.Ellipsis.IsValid())
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes %s into interface %s inside a hot-path loop; keep hot calls monomorphic", at, pt)
+	}
+}
+
+// paramType returns the type the i-th argument is assigned to, unwrapping
+// the variadic element unless the call spreads with ...
+func paramType(sig *types.Signature, i int, spread bool) types.Type {
+	n := sig.Params().Len()
+	if sig.Variadic() && i >= n-1 {
+		last := sig.Params().At(n - 1).Type()
+		if spread {
+			return last
+		}
+		if sl, ok := last.Underlying().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return last
+	}
+	if i < n {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}
+
+// terminates reports whether the block's last statement unconditionally
+// leaves the function (return or panic) — the error-exit shape exempt from
+// the hot-path rules.
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(last.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -11,7 +11,7 @@ var metricNameRE = regexp.MustCompile(`^hdltsd?_[a-z0-9_]+$`)
 
 // metricRegistrars are the Registry methods that create a series.
 var metricRegistrars = map[string]bool{
-	"Counter": true, "Gauge": true, "Histogram": true,
+	"Counter": true, "Gauge": true, "Histogram": true, "SetBuckets": true,
 }
 
 // MetricName enforces the metric-naming contract at every registration

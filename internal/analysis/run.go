@@ -12,6 +12,7 @@ func Suite() []*Analyzer {
 		CtxFlow,
 		MetricName,
 		EventKey,
+		HotPathAlloc,
 	}
 }
 

@@ -1,0 +1,97 @@
+// Package sched is a hotpathalloc fixture: the loops of //hdlts:hotpath
+// functions must stay allocation-free.
+package sched
+
+import "fmt"
+
+// sink takes an interface: calling it with a concrete value boxes.
+func sink(v any) int { _ = v; return 0 }
+
+// sum is a monomorphic callee: no boxing.
+func sum(a, b int) int { return a + b }
+
+// hotLoops is marked: allocating constructs inside its loops are findings,
+// constructs at function level and in error exits are not.
+//
+//hdlts:hotpath
+func hotLoops(xs []int) ([]int, error) {
+	out := make([]int, 0, len(xs)) // function-level make: fine
+	total := 0
+	for _, x := range xs {
+		if x < 0 {
+			return nil, fmt.Errorf("negative %d", x) // exit path: boxing exempt
+		}
+		buf := make([]int, 1)        // want `make allocates every loop iteration`
+		p := new(int)                // want `new allocates every loop iteration`
+		m := map[int]int{x: x}       // want `map literal allocates every loop iteration`
+		lit := []int{x}              // want `slice literal allocates every loop iteration`
+		f := func() int { return x } // want `function literal in a hot-path loop`
+		total += buf[0] + *p + m[x] + lit[0] + f()
+		total += sink(x) // want `boxes int into interface`
+		total += sum(x, x)
+		out = append(out, x) // append to a make-rooted local: fine
+	}
+	_ = total
+	return out, nil
+}
+
+// hotAppend grows a slice it never preallocated.
+//
+//hdlts:hotpath
+func hotAppend(xs []int) []int {
+	var grown []int
+	for _, x := range xs {
+		grown = append(grown, x) // want `append grows grown inside a hot-path loop`
+	}
+	return grown
+}
+
+// hotParam may grow the caller's slice: capacity is the caller's decision.
+//
+//hdlts:hotpath
+func hotParam(dst []int, xs []int) []int {
+	for _, x := range xs {
+		dst = append(dst, x) // parameter root: fine
+	}
+	return dst
+}
+
+// hotEarlyOut nests a loop inside a terminating if-block: the loop is
+// still hot — the innermost enclosing range decides.
+//
+//hdlts:hotpath
+func hotEarlyOut(xs []int) []int {
+	if len(xs) > 0 {
+		var one []int
+		for _, x := range xs {
+			one = append(one, x) // want `append grows one inside a hot-path loop`
+		}
+		return one
+	}
+	return nil
+}
+
+// hotSliceRoot reslices through a slice expression: the root variable is
+// a make-originated local, so compaction in place is fine.
+//
+//hdlts:hotpath
+func hotSliceRoot(xs []int) []int {
+	keep := make([]int, 0, len(xs))
+	keep = append(keep, xs...)
+	for i := range xs {
+		keep = append(keep[:0], keep[min(i, len(keep)):]...)
+	}
+	return keep
+}
+
+// cold has the same constructs but no marker: no findings.
+func cold(xs []int) []int {
+	var grown []int
+	for _, x := range xs {
+		buf := make([]int, 1)
+		grown = append(grown, buf[0]+x+sink(x))
+	}
+	return grown
+}
+
+var _ = cold

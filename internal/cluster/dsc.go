@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"hdlts/internal/dag"
+	"hdlts/internal/obs"
 	"hdlts/internal/platform"
 	"hdlts/internal/sched"
 )
@@ -33,6 +34,8 @@ func (*DSC) Name() string { return "DSC" }
 
 // Schedule implements sched.Algorithm.
 func (*DSC) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
+	prof := obs.SolverProfileFor("DSC")
+	defer prof.Start(obs.PhaseSchedule).Stop()
 	pr = pr.Normalize()
 	clusters, err := clusterize(pr)
 	if err != nil {

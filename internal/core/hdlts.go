@@ -22,7 +22,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"hdlts/internal/dag"
 	"hdlts/internal/obs"
@@ -138,8 +138,10 @@ func (h *HDLTS) ScheduleTrace(pr *sched.Problem) (*sched.Schedule, []Step, error
 	return h.run(pr, true)
 }
 
+//hdlts:hotpath
 func (h *HDLTS) run(pr *sched.Problem, trace bool) (*sched.Schedule, []Step, error) {
-	defer obs.Phase(h.Name(), "schedule")()
+	prof := obs.SolverProfileFor(h.Name())
+	defer prof.Start(obs.PhaseSchedule).Stop()
 	pr = pr.Normalize()
 	g := pr.G
 	s := sched.NewSchedule(pr)
@@ -166,7 +168,7 @@ func (h *HDLTS) run(pr *sched.Problem, trace bool) (*sched.Schedule, []Step, err
 	estBuf := make([]sched.Estimate, pr.NumProcs())
 	eftBuf := make([]float64, pr.NumProcs())
 	// Per-iteration scratch, reallocated only on ITQ growth.
-	var pvs []float64
+	pvs := make([]float64, 0, len(itq))
 	ests := make(map[dag.TaskID][]sched.Estimate, 8)
 	// fresh[t] marks ITQ members whose estimate vector must be rebuilt from
 	// scratch. Between iterations only the just-committed processor's
@@ -183,23 +185,34 @@ func (h *HDLTS) run(pr *sched.Problem, trace bool) (*sched.Schedule, []Step, err
 	refreshAll := false
 	iter := 0
 
+	scanAcc := prof.Accum(obs.PhaseScan)
+	eftAcc := prof.Accum(obs.PhaseEFT)
+	insAcc := prof.Accum(obs.PhaseInsertion)
+	defer scanAcc.Flush()
+	defer eftAcc.Flush()
+	defer insAcc.Flush()
+
 	for len(itq) > 0 {
 		iter++
 		iterationCount.Inc()
-		sort.Slice(itq, func(i, j int) bool { return itq[i] < itq[j] })
+		slices.Sort(itq)
 		pvs = pvs[:0]
 
 		// Phase 1+2: EFT vectors and penalty values for every ready task.
+		scanTick := scanAcc.Tick()
 		bestIdx := 0
 		for i, t := range itq {
 			esCopy, ok := ests[t]
 			switch {
 			case !ok || fresh[t] || refreshAll || h.fullRecompute:
+				eftTick := eftAcc.Tick()
 				es, err := s.EstimateAll(t, pol, estBuf)
+				eftTick.End()
 				if err != nil {
 					return nil, nil, fmt.Errorf("core: estimating task %d: %w", t, err)
 				}
 				if !ok || cap(esCopy) < len(es) {
+					//lint:hdltsvet-ignore hotpathalloc per-task estimate vector cache, amortised to one allocation per task
 					esCopy = make([]sched.Estimate, len(es))
 				}
 				esCopy = esCopy[:len(es)]
@@ -225,6 +238,7 @@ func (h *HDLTS) run(pr *sched.Problem, trace bool) (*sched.Schedule, []Step, err
 				bestIdx = i
 			}
 		}
+		scanTick.End()
 		refreshAll = false
 
 		selected := itq[bestIdx]
@@ -259,20 +273,12 @@ func (h *HDLTS) run(pr *sched.Problem, trace bool) (*sched.Schedule, []Step, err
 			})
 		}
 		if trace {
-			st := Step{
-				Ready:      append([]dag.TaskID(nil), itq...),
-				PV:         append([]float64(nil), pvs...),
-				Selected:   selected,
-				Proc:       best.Proc,
-				Duplicated: best.UseDuplicate,
-			}
-			st.EFT = make([]float64, len(es))
-			for p := range es {
-				st.EFT[p] = es[p].EFT
-			}
-			steps = append(steps, st)
+			steps = captureStep(steps, itq, pvs, selected, best, es)
 		}
-		if err := s.Commit(best); err != nil {
+		insTick := insAcc.Tick()
+		err := s.Commit(best)
+		insTick.End()
+		if err != nil {
 			return nil, nil, fmt.Errorf("core: committing task %d on P%d: %w", selected, best.Proc+1, err)
 		}
 		lastProc = best.Proc
@@ -300,6 +306,24 @@ func (h *HDLTS) run(pr *sched.Problem, trace bool) (*sched.Schedule, []Step, err
 	return s, steps, nil
 }
 
+// captureStep appends one Table-I trace step. It lives outside the hot
+// path: trace capture copies the ready set, PVs, and EFT vector per
+// iteration by design, and only ScheduleTrace callers pay for it.
+func captureStep(steps []Step, itq []dag.TaskID, pvs []float64, selected dag.TaskID, best sched.Estimate, es []sched.Estimate) []Step {
+	st := Step{
+		Ready:      append([]dag.TaskID(nil), itq...),
+		PV:         append([]float64(nil), pvs...),
+		Selected:   selected,
+		Proc:       best.Proc,
+		Duplicated: best.UseDuplicate,
+	}
+	st.EFT = make([]float64, len(es))
+	for p := range es {
+		st.EFT[p] = es[p].EFT
+	}
+	return append(steps, st)
+}
+
 // lookaheadScore estimates the downstream cost of committing estimate e:
 // e's own EFT plus the best achievable EFT of e's *critical child* — the
 // child with the largest such minimum — assuming the child's other already-
@@ -307,6 +331,8 @@ func (h *HDLTS) run(pr *sched.Problem, trace bool) (*sched.Schedule, []Step, err
 // e.Proc. Unscheduled co-parents are ignored (their arrivals are unknown),
 // making this an optimistic one-level probe in the spirit of
 // lookahead-HEFT.
+//
+//hdlts:hotpath
 func (h *HDLTS) lookaheadScore(s *sched.Schedule, e sched.Estimate) float64 {
 	pr := s.Problem()
 	g := pr.G

@@ -54,6 +54,12 @@ var (
 	failureCount  = obs.Default().Counter(metricFailures)
 )
 
+// Pick decisions are µs-scale for greedy policies; give the latency
+// histogram log-spaced 1µs–1s buckets before any series is created.
+func init() {
+	obs.Default().SetBuckets(metricPickTime, obs.ExpBuckets(1e-6, 1, 3))
+}
+
 // Uncertainty configures run-time deviation from estimated costs.
 type Uncertainty struct {
 	// ExecJitter u scales actual execution times by U[1−u, 1+u]; 0 ≤ u < 1.
@@ -293,6 +299,11 @@ func Execute(r *Reality, pol Policy) (*Result, error) {
 		}
 	}
 	pickTime := obs.Default().Histogram(metricPickTime, "policy", pol.Name())
+	// Replan decisions also land in the solver phase histogram, so dynamic
+	// policies share the per-phase vocabulary with the static solvers. The
+	// clock read from pickTime is reused.
+	replanAcc := obs.SolverProfileFor(pol.Name()).Accum(obs.PhaseReplan)
+	defer replanAcc.Flush()
 
 	// failed tracks which processor failures have been reported already.
 	failed := make([]bool, pr.NumProcs())
@@ -331,6 +342,7 @@ func Execute(r *Reality, pol Policy) (*Result, error) {
 			pickStart := time.Now()
 			task, proc, ok := pol.Pick(view)
 			pickTime.ObserveSince(pickStart)
+			replanAcc.ObserveSince(pickStart)
 			if !ok {
 				break
 			}

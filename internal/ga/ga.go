@@ -24,6 +24,7 @@ import (
 
 	"hdlts/internal/dag"
 	"hdlts/internal/heuristics"
+	"hdlts/internal/obs"
 	"hdlts/internal/platform"
 	"hdlts/internal/sched"
 )
@@ -94,6 +95,8 @@ type individual struct {
 
 // Schedule implements sched.Algorithm.
 func (ga *GA) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
+	prof := obs.SolverProfileFor(ga.Name())
+	defer prof.Start(obs.PhaseSchedule).Stop()
 	pr = pr.Normalize()
 	p := ga.params
 	rng := rand.New(rand.NewSource(p.Seed))

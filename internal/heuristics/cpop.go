@@ -52,20 +52,29 @@ func (q *priorityQueue) Pop() any {
 
 // Schedule implements sched.Algorithm.
 func (c *CPOP) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
-	defer obs.Phase("CPOP", "schedule")()
+	prof := obs.SolverProfileFor("CPOP")
+	defer prof.Start(obs.PhaseSchedule).Stop()
 	pr = pr.Normalize()
 	g := pr.G
-	up, err := UpwardRank(pr, meanNode(pr))
+	var prio []float64
+	var err error
+	prof.Do(obs.PhaseRank, func() {
+		var up, down []float64
+		up, err = UpwardRank(pr, meanNode(pr))
+		if err != nil {
+			return
+		}
+		down, err = DownwardRank(pr)
+		if err != nil {
+			return
+		}
+		prio = make([]float64, g.NumTasks())
+		for i := range prio {
+			prio[i] = up[i] + down[i]
+		}
+	})
 	if err != nil {
 		return nil, err
-	}
-	down, err := DownwardRank(pr)
-	if err != nil {
-		return nil, err
-	}
-	prio := make([]float64, g.NumTasks())
-	for i := range prio {
-		prio[i] = up[i] + down[i]
 	}
 
 	// Walk the critical path: start at the entry; repeatedly follow the
@@ -120,18 +129,27 @@ func (c *CPOP) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
 			heap.Push(q, dag.TaskID(t))
 		}
 	}
+	eftAcc := prof.Accum(obs.PhaseEFT)
+	insAcc := prof.Accum(obs.PhaseInsertion)
+	defer eftAcc.Flush()
+	defer insAcc.Flush()
 	for q.Len() > 0 {
 		t := heap.Pop(q).(dag.TaskID)
 		var est sched.Estimate
+		eftTick := eftAcc.Tick()
 		if onCP[t] {
 			est, err = s.Estimate(t, bestProc, c.Pol)
 		} else {
 			est, err = s.BestEFT(t, c.Pol)
 		}
+		eftTick.End()
 		if err != nil {
 			return nil, err
 		}
-		if err := s.Commit(est); err != nil {
+		insTick := insAcc.Tick()
+		err = s.Commit(est)
+		insTick.End()
+		if err != nil {
 			return nil, err
 		}
 		for _, a := range g.Succs(t) {

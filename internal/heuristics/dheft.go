@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"hdlts/internal/dag"
+	"hdlts/internal/obs"
 	"hdlts/internal/platform"
 	"hdlts/internal/sched"
 )
@@ -127,6 +128,8 @@ func dheftEstimate(s *sched.Schedule, t dag.TaskID, p platform.Proc) (sched.Esti
 
 // Schedule implements sched.Algorithm.
 func (*DHEFT) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
+	prof := obs.SolverProfileFor("DHEFT")
+	defer prof.Start(obs.PhaseSchedule).Stop()
 	pr = pr.Normalize()
 	rank, err := UpwardRank(pr, meanNode(pr))
 	if err != nil {

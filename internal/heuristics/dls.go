@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"hdlts/internal/dag"
+	"hdlts/internal/obs"
 	"hdlts/internal/platform"
 	"hdlts/internal/sched"
 )
@@ -32,6 +33,8 @@ func (*DLS) Name() string { return "DLS" }
 
 // Schedule implements sched.Algorithm.
 func (*DLS) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
+	prof := obs.SolverProfileFor("DLS")
+	defer prof.Start(obs.PhaseSchedule).Stop()
 	pr = pr.Normalize()
 	g := pr.G
 	sl, err := g.DownwardDistance(meanNode(pr), dag.ZeroEdges)

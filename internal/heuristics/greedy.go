@@ -19,7 +19,8 @@ import (
 // commit it. Estimates use insertion-based placement, the stronger and more
 // common choice for these heuristics.
 func greedyRun(name string, pr *sched.Problem, pick func(best []sched.Estimate) int) (*sched.Schedule, error) {
-	defer obs.Phase(name, "schedule")()
+	prof := obs.SolverProfileFor(name)
+	defer prof.Start(obs.PhaseSchedule).Stop()
 	pr = pr.Normalize()
 	g := pr.G
 	s := sched.NewSchedule(pr)
@@ -31,8 +32,13 @@ func greedyRun(name string, pr *sched.Problem, pick func(best []sched.Estimate) 
 			ready = append(ready, dag.TaskID(t))
 		}
 	}
+	eftAcc := prof.Accum(obs.PhaseEFT)
+	insAcc := prof.Accum(obs.PhaseInsertion)
+	defer eftAcc.Flush()
+	defer insAcc.Flush()
 	for len(ready) > 0 {
 		best := make([]sched.Estimate, len(ready))
+		eftTick := eftAcc.Tick()
 		for i, t := range ready {
 			e, err := s.BestEFT(t, sched.InsertionPolicy)
 			if err != nil {
@@ -40,12 +46,16 @@ func greedyRun(name string, pr *sched.Problem, pick func(best []sched.Estimate) 
 			}
 			best[i] = e
 		}
+		eftTick.End()
 		idx := pick(best)
 		if idx < 0 || idx >= len(ready) {
 			return nil, fmt.Errorf("heuristics: %s picked out-of-range index %d", name, idx)
 		}
 		chosen := best[idx]
-		if err := s.Commit(chosen); err != nil {
+		insTick := insAcc.Tick()
+		err := s.Commit(chosen)
+		insTick.End()
+		if err != nil {
 			return nil, err
 		}
 		ready = append(ready[:idx], ready[idx+1:]...)

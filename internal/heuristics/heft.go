@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"hdlts/internal/dag"
 	"hdlts/internal/obs"
 	"hdlts/internal/sched"
 )
@@ -25,17 +26,21 @@ func (*HEFT) Name() string { return "HEFT" }
 
 // Schedule implements sched.Algorithm.
 func (h *HEFT) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
-	defer obs.Phase("HEFT", "schedule")()
+	prof := obs.SolverProfileFor("HEFT")
+	defer prof.Start(obs.PhaseSchedule).Stop()
 	pr = pr.Normalize()
-	stopRank := obs.Phase("HEFT", "rank")
-	rank, err := UpwardRank(pr, meanNode(pr))
+	var order []dag.TaskID
+	var err error
+	prof.Do(obs.PhaseRank, func() {
+		var rank []float64
+		rank, err = UpwardRank(pr, meanNode(pr))
+		if err != nil {
+			return
+		}
+		order, err = orderByRankDesc(pr.G, rank)
+	})
 	if err != nil {
 		return nil, err
 	}
-	order, err := orderByRankDesc(pr.G, rank)
-	stopRank()
-	if err != nil {
-		return nil, err
-	}
-	return scheduleByList(pr, order, h.Pol)
+	return scheduleByList(pr, order, h.Pol, prof)
 }

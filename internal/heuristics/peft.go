@@ -71,20 +71,29 @@ func oct(pr *sched.Problem) ([][]float64, error) {
 
 // Schedule implements sched.Algorithm.
 func (pe *PEFT) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
-	defer obs.Phase("PEFT", "schedule")()
+	prof := obs.SolverProfileFor("PEFT")
+	defer prof.Start(obs.PhaseSchedule).Stop()
 	pr = pr.Normalize()
 	g := pr.G
-	table, err := oct(pr)
+	var table [][]float64
+	var rank []float64
+	var err error
+	prof.Do(obs.PhaseRank, func() {
+		table, err = oct(pr)
+		if err != nil {
+			return
+		}
+		rank = make([]float64, g.NumTasks())
+		for t := range rank {
+			sum := 0.0
+			for _, v := range table[t] {
+				sum += v
+			}
+			rank[t] = sum / float64(pr.NumProcs())
+		}
+	})
 	if err != nil {
 		return nil, err
-	}
-	rank := make([]float64, g.NumTasks())
-	for t := range rank {
-		sum := 0.0
-		for _, v := range table[t] {
-			sum += v
-		}
-		rank[t] = sum / float64(pr.NumProcs())
 	}
 
 	s := sched.NewSchedule(pr)
@@ -97,10 +106,15 @@ func (pe *PEFT) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
 			heap.Push(q, dag.TaskID(t))
 		}
 	}
+	eftAcc := prof.Accum(obs.PhaseEFT)
+	insAcc := prof.Accum(obs.PhaseInsertion)
+	defer eftAcc.Flush()
+	defer insAcc.Flush()
 	for q.Len() > 0 {
 		t := heap.Pop(q).(dag.TaskID)
 		var best sched.Estimate
 		bestOEFT := -1.0
+		eftTick := eftAcc.Tick()
 		for p := 0; p < pr.NumProcs(); p++ {
 			e, err := s.Estimate(t, platform.Proc(p), pe.Pol)
 			if err != nil {
@@ -110,7 +124,11 @@ func (pe *PEFT) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
 				bestOEFT, best = oeft, e
 			}
 		}
-		if err := s.Commit(best); err != nil {
+		eftTick.End()
+		insTick := insAcc.Tick()
+		err = s.Commit(best)
+		insTick.End()
+		if err != nil {
 			return nil, err
 		}
 		for _, a := range g.Succs(t) {

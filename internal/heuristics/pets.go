@@ -34,7 +34,8 @@ func (*PETS) Name() string { return "PETS" }
 
 // Schedule implements sched.Algorithm.
 func (p *PETS) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
-	defer obs.Phase("PETS", "schedule")()
+	prof := obs.SolverProfileFor("PETS")
+	defer prof.Start(obs.PhaseSchedule).Stop()
 	pr = pr.Normalize()
 	g := pr.G
 	levels, err := g.Levels()
@@ -44,6 +45,7 @@ func (p *PETS) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
 
 	rank := make([]float64, g.NumTasks())
 	order := make([]dag.TaskID, 0, g.NumTasks())
+	stopRank := prof.Start(obs.PhaseRank)
 	for _, level := range levels {
 		for _, t := range level {
 			acc := pr.W.Mean(int(t))
@@ -68,5 +70,6 @@ func (p *PETS) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
 		})
 		order = append(order, sorted...)
 	}
-	return scheduleByList(pr, order, p.Pol)
+	stopRank.Stop()
+	return scheduleByList(pr, order, p.Pol, prof)
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"hdlts/internal/dag"
+	"hdlts/internal/obs"
 	"hdlts/internal/sched"
 )
 
@@ -81,15 +82,28 @@ func orderByRankDesc(g *dag.Graph, rank []float64) ([]dag.TaskID, error) {
 }
 
 // scheduleByList places tasks in the given order, each on its minimum-EFT
-// processor under the policy. The order must be precedence-compatible.
-func scheduleByList(pr *sched.Problem, order []dag.TaskID, pol sched.Policy) (*sched.Schedule, error) {
+// processor under the policy, attributing EFT evaluation and commit time
+// to prof's eft/insertion phases (prof may be nil). The order must be
+// precedence-compatible.
+//
+//hdlts:hotpath
+func scheduleByList(pr *sched.Problem, order []dag.TaskID, pol sched.Policy, prof *obs.Profile) (*sched.Schedule, error) {
 	s := sched.NewSchedule(pr)
+	eftAcc := prof.Accum(obs.PhaseEFT)
+	insAcc := prof.Accum(obs.PhaseInsertion)
+	defer eftAcc.Flush()
+	defer insAcc.Flush()
 	for _, t := range order {
+		eftTick := eftAcc.Tick()
 		best, err := s.BestEFT(t, pol)
+		eftTick.End()
 		if err != nil {
 			return nil, err
 		}
-		if err := s.Commit(best); err != nil {
+		insTick := insAcc.Tick()
+		err = s.Commit(best)
+		insTick.End()
+		if err != nil {
 			return nil, err
 		}
 	}

@@ -169,6 +169,10 @@ func Open(cfg Config) (*Manager, error) {
 	m.baseCtx, m.cancel = context.WithCancel(context.Background())
 	var pending []*Job
 	if cfg.Dir != "" {
+		// Group-commit fsyncs sit between ~50µs (battery-backed or lying
+		// disks) and tens of ms (spinning rust); log-spaced 10µs–1s buckets
+		// resolve both regimes where the decade defaults cannot.
+		cfg.Metrics.SetBuckets(metricJobsWALFsync, obs.ExpBuckets(1e-5, 1, 3))
 		st, recovered, err := openStore(cfg.Dir,
 			cfg.Metrics.Histogram(metricJobsWALFsync))
 		if err != nil {

@@ -138,6 +138,8 @@ type Registry struct {
 	counters map[metricKey]*Counter
 	gauges   map[metricKey]*Gauge
 	hists    map[metricKey]*Histogram
+	buckets  map[string][]float64 // per-name bounds for histogram creation
+	profiles map[string]*Profile  // solver phase profiles by algorithm
 }
 
 // NewRegistry returns an empty registry.
@@ -146,6 +148,8 @@ func NewRegistry() *Registry {
 		counters: map[metricKey]*Counter{},
 		gauges:   map[metricKey]*Gauge{},
 		hists:    map[metricKey]*Histogram{},
+		buckets:  map[string][]float64{},
+		profiles: map[string]*Profile{},
 	}
 }
 
@@ -203,26 +207,67 @@ func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 }
 
 // Histogram returns the histogram for name and optional k,v label pairs.
-// All series of one name share the default bucket bounds.
+// All series of one name share bucket bounds: those set with SetBuckets,
+// or the default decade buckets.
 func (r *Registry) Histogram(name string, labels ...string) *Histogram {
 	k := key(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.hists[k]
 	if !ok {
-		h = newHistogram(nil)
+		h = newHistogram(r.buckets[name])
 		r.hists[k] = h
 	}
 	return h
 }
 
-// Reset drops every registered metric (tests and fresh CLI runs).
+// SetBuckets registers the upper bounds every future series of the named
+// histogram is created with. Bounds must be strictly ascending. Series
+// created before the call keep their bounds, so the owning package should
+// set buckets before the first observation; name belongs to the same
+// owner as the metric itself (the metricname analyzer enforces both).
+func (r *Registry) SetBuckets(name string, bounds []float64) {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: SetBuckets(%s): bounds not strictly ascending at index %d", name, i))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buckets[name] = append([]float64(nil), bounds...)
+}
+
+// ExpBuckets returns log-spaced histogram bounds from min to max with
+// perDecade points per decade of magnitude — the bucket shape latency
+// histograms want, where relative (not absolute) resolution is constant.
+// The first bound is exactly min and the last exactly max.
+func ExpBuckets(min, max float64, perDecade int) []float64 {
+	if min <= 0 || max <= min || perDecade <= 0 {
+		panic(fmt.Sprintf("obs: ExpBuckets(%g, %g, %d): need 0 < min < max and perDecade > 0", min, max, perDecade))
+	}
+	n := int(math.Round(math.Log10(max/min) * float64(perDecade)))
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		out[i] = min * math.Pow(10, float64(i)/float64(perDecade))
+	}
+	out[0] = min
+	out[n] = max
+	return out
+}
+
+// Reset drops every registered metric, bucket override, and cached solver
+// profile (tests and fresh CLI runs).
 func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.counters = map[metricKey]*Counter{}
 	r.gauges = map[metricKey]*Gauge{}
 	r.hists = map[metricKey]*Histogram{}
+	r.buckets = map[string][]float64{}
+	r.profiles = map[string]*Profile{}
 }
 
 // sortedKeys returns map keys ordered by name then label string, so
@@ -312,20 +357,4 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
-}
-
-// MetricSchedPhase is the per-phase scheduling latency histogram Phase
-// records into.
-const MetricSchedPhase = "hdlts_sched_phase_seconds"
-
-// Phase starts a wall-clock timer for one algorithm phase and returns the
-// stop function; stopping records the elapsed seconds into the default
-// registry's MetricSchedPhase histogram labelled by algorithm and phase.
-// Usage:
-//
-//	defer obs.Phase("HEFT", "rank")()
-func Phase(alg, phase string) func() {
-	h := defaultRegistry.Histogram(MetricSchedPhase, "alg", alg, "phase", phase)
-	start := time.Now()
-	return func() { h.ObserveSince(start) }
 }

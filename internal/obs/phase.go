@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the solver-phase profiling layer: a near-zero-overhead way
+// for the schedulers to attribute wall time to their algorithmic phases
+// (rank computation, ITQ priority scans, EFT evaluation, insertion search),
+// exposed two ways at once:
+//
+//   - hdlts_solver_phase_seconds histograms labelled {alg, phase} with
+//     µs-resolution buckets, so /metrics answers "where does solve time go"
+//     without a profiler attached;
+//   - runtime/pprof goroutine labels (algorithm, phase), so CPU profiles
+//     taken from the -debug-addr listener attribute samples to the same
+//     phase vocabulary.
+//
+// The fast path is built for solver inner loops: a Profile pre-resolves one
+// histogram per phase, so Start/Stop/Tick cost one monotonic clock read and
+// two atomic adds each, with zero allocations — and when profiling is
+// disabled (or the Profile is nil) the primitives skip the clock read too.
+
+// PhaseID names one solver phase. The IDs index a Profile's pre-resolved
+// histograms; String returns the metric label value.
+type PhaseID uint8
+
+const (
+	// PhaseSchedule covers one whole Schedule call, entry to return.
+	PhaseSchedule PhaseID = iota
+	// PhaseRank covers priority-vector computation: upward/downward ranks,
+	// OCT tables, PETS level ranks.
+	PhaseRank
+	// PhaseScan covers the per-iteration ITQ sweep that recomputes EFT
+	// vectors and penalty values for every ready task (HDLTS phases 1+2).
+	PhaseScan
+	// PhaseEFT covers EFT evaluation: Estimate/EstimateAll/BestEFT calls.
+	PhaseEFT
+	// PhaseInsertion covers selecting the processor and committing the task
+	// (including the insertion-based slot search inside Commit's placement).
+	PhaseInsertion
+	// PhaseReplan covers dynamic-mode replanning decisions (Policy.Pick).
+	PhaseReplan
+
+	numPhases
+)
+
+// phaseNames are the metric label values, aligned with the PhaseID order.
+var phaseNames = [numPhases]string{"schedule", "rank", "itq_scan", "eft", "insertion", "replan"}
+
+// String returns the phase label ("schedule", "rank", "itq_scan", ...).
+func (p PhaseID) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// MetricSolverPhase is the per-phase solver latency histogram name.
+const MetricSolverPhase = "hdlts_solver_phase_seconds"
+
+// solverPhaseBuckets spans 1µs–10s with three log-spaced points per decade:
+// small problems solve in tens of µs, 100k-task problems in seconds, and
+// the default decade buckets cannot separate a 30µs rank pass from a 90µs
+// one.
+var solverPhaseBuckets = ExpBuckets(1e-6, 10, 3)
+
+// Profile is one algorithm's set of pre-resolved phase histograms. A nil
+// Profile is the disabled state: every method no-ops without reading the
+// clock, so instrumented hot paths need no branches of their own.
+type Profile struct {
+	alg   string
+	hists [numPhases]*Histogram
+}
+
+// SolverProfile returns the registry's phase profile for algorithm alg,
+// creating its histogram series on first use.
+func (r *Registry) SolverProfile(alg string) *Profile {
+	r.mu.Lock()
+	if p, ok := r.profiles[alg]; ok {
+		r.mu.Unlock()
+		return p
+	}
+	r.mu.Unlock()
+	// Build outside the lock: Histogram and SetBuckets take it themselves.
+	r.SetBuckets(MetricSolverPhase, solverPhaseBuckets)
+	p := &Profile{alg: alg}
+	for ph := PhaseID(0); ph < numPhases; ph++ {
+		p.hists[ph] = r.Histogram(MetricSolverPhase, "alg", alg, "phase", ph.String())
+	}
+	r.mu.Lock()
+	if prev, ok := r.profiles[alg]; ok {
+		p = prev // lost the race; keep the first
+	} else {
+		r.profiles[alg] = p
+	}
+	r.mu.Unlock()
+	return p
+}
+
+// SolverProfileFor returns the default registry's profile for alg, or nil
+// when solver profiling is disabled. Callers hold the (possibly nil)
+// result for the duration of one solve; all Profile methods are nil-safe.
+func SolverProfileFor(alg string) *Profile {
+	if solverProfilingOff.Load() {
+		return nil
+	}
+	return defaultRegistry.SolverProfile(alg)
+}
+
+// solverProfilingOff gates SolverProfileFor, inverted so the zero value
+// means profiling is on by default: the enabled-path overhead is two
+// atomic adds and a clock read per phase boundary, far below solver cost
+// at any realistic scale.
+var solverProfilingOff atomic.Bool
+
+// SetSolverProfiling enables or disables solver phase profiling process-
+// wide and returns the previous setting. Disabling makes SolverProfileFor
+// return nil, which turns every phase-timer call site into a branch-only
+// no-op with zero allocations (see BenchmarkPhaseDisabled).
+func SetSolverProfiling(on bool) bool {
+	return !solverProfilingOff.Swap(!on)
+}
+
+// Alg returns the algorithm label the profile records under ("" on nil).
+func (p *Profile) Alg() string {
+	if p == nil {
+		return ""
+	}
+	return p.alg
+}
+
+// PhaseTimer times one contiguous phase occurrence. The zero value (from a
+// nil Profile) is a no-op.
+type PhaseTimer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Start begins timing one occurrence of phase ph:
+//
+//	defer prof.Start(obs.PhaseSchedule).Stop()
+func (p *Profile) Start(ph PhaseID) PhaseTimer {
+	if p == nil {
+		return PhaseTimer{}
+	}
+	return PhaseTimer{h: p.hists[ph], start: time.Now()}
+}
+
+// Stop records the elapsed seconds into the phase histogram.
+func (t PhaseTimer) Stop() {
+	if t.h != nil {
+		t.h.ObserveSince(t.start)
+	}
+}
+
+// PhaseAccum accumulates many short intervals of one phase — the shape of a
+// solver inner loop, where a µs-scale tick per iteration must not pay a
+// histogram observation each time — and flushes one total observation per
+// solve. Not safe for concurrent use; one accumulator belongs to one solve.
+type PhaseAccum struct {
+	h  *Histogram
+	ns int64
+}
+
+// Accum returns an accumulator for phase ph. On a nil Profile the
+// accumulator is disabled: Tick/ObserveSince/Flush no-op without clock
+// reads.
+func (p *Profile) Accum(ph PhaseID) PhaseAccum {
+	if p == nil {
+		return PhaseAccum{}
+	}
+	return PhaseAccum{h: p.hists[ph]}
+}
+
+// PhaseTick is one in-flight interval of an accumulator.
+type PhaseTick struct {
+	a     *PhaseAccum
+	start time.Time
+}
+
+// Tick starts one interval; End adds its duration to the accumulator.
+func (a *PhaseAccum) Tick() PhaseTick {
+	if a.h == nil {
+		return PhaseTick{}
+	}
+	return PhaseTick{a: a, start: time.Now()}
+}
+
+// End closes the interval opened by Tick.
+func (t PhaseTick) End() {
+	if t.a != nil {
+		t.a.ns += int64(time.Since(t.start))
+	}
+}
+
+// ObserveSince adds the wall time elapsed since start to the accumulator —
+// for call sites that already read the clock for another metric and want
+// to share the read.
+func (a *PhaseAccum) ObserveSince(start time.Time) {
+	if a.h != nil {
+		a.ns += int64(time.Since(start))
+	}
+}
+
+// Flush records the accumulated total as one histogram observation and
+// resets the accumulator. Nothing is recorded when no time accumulated.
+func (a *PhaseAccum) Flush() {
+	if a.h != nil && a.ns > 0 {
+		a.h.Observe(float64(a.ns) / 1e9)
+		a.ns = 0
+	}
+}
+
+// Do runs fn as phase ph with both the histogram timer and pprof goroutine
+// labels {algorithm, phase} applied, so CPU profile samples taken while fn
+// runs attribute to the phase. Label application allocates, so Do is for
+// coarse phases (a rank pass, not a per-iteration tick). On a nil Profile
+// fn runs undecorated.
+func (p *Profile) Do(ph PhaseID, fn func()) {
+	if p == nil {
+		fn()
+		return
+	}
+	t := p.Start(ph)
+	pprof.Do(context.Background(), pprof.Labels("algorithm", p.alg, "phase", ph.String()), func(context.Context) { fn() })
+	t.Stop()
+}
+
+// WithPprofLabels runs fn with pprof goroutine labels {algorithm, phase}
+// derived from ctx — the serving-path hook: the daemon wraps each solve so
+// profiles from the -debug-addr listener split by algorithm even before any
+// solver-internal phase relabels. Labels nest and restore on return.
+func WithPprofLabels(ctx context.Context, alg, phase string, fn func(context.Context)) {
+	pprof.Do(ctx, pprof.Labels("algorithm", alg, "phase", phase), fn)
+}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 10, 3)
+	// 7 decades × 3 per decade + 1 endpoint.
+	if len(b) != 22 {
+		t.Fatalf("len(ExpBuckets(1e-6, 10, 3)) = %d, want 22", len(b))
+	}
+	if b[0] != 1e-6 {
+		t.Errorf("first bound = %g, want exactly 1e-6", b[0])
+	}
+	if b[len(b)-1] != 10 {
+		t.Errorf("last bound = %g, want exactly 10", b[len(b)-1])
+	}
+	// Log-spaced: the ratio between adjacent bounds is 10^(1/3) throughout.
+	wantRatio := math.Pow(10, 1.0/3)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly ascending at %d: %g <= %g", i, b[i], b[i-1])
+		}
+		if r := b[i] / b[i-1]; math.Abs(r-wantRatio) > 1e-9 {
+			t.Errorf("ratio b[%d]/b[%d] = %.12f, want %.12f", i, i-1, r, wantRatio)
+		}
+	}
+	// A non-integer decade count still lands exactly on max.
+	b = ExpBuckets(2e-6, 5, 4)
+	if b[0] != 2e-6 || b[len(b)-1] != 5 {
+		t.Errorf("endpoints = %g, %g, want exactly 2e-6 and 5", b[0], b[len(b)-1])
+	}
+}
+
+func TestExpBucketsPanics(t *testing.T) {
+	for _, tc := range []struct {
+		min, max float64
+		per      int
+	}{{0, 1, 3}, {-1, 1, 3}, {1, 1, 3}, {2, 1, 3}, {1e-6, 1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ExpBuckets(%g, %g, %d) did not panic", tc.min, tc.max, tc.per)
+				}
+			}()
+			ExpBuckets(tc.min, tc.max, tc.per)
+		}()
+	}
+}
+
+func TestSetBuckets(t *testing.T) {
+	r := NewRegistry()
+	before := r.Histogram("hdlts_test_seconds", "k", "old")
+	r.SetBuckets("hdlts_test_seconds", []float64{0.1, 1})
+	after := r.Histogram("hdlts_test_seconds", "k", "new")
+	if len(before.bounds) != len(defBuckets) {
+		t.Errorf("pre-existing series re-bucketed: %d bounds", len(before.bounds))
+	}
+	if len(after.bounds) != 2 {
+		t.Errorf("new series has %d bounds, want the 2 set", len(after.bounds))
+	}
+	// Unrelated names keep the defaults.
+	if h := r.Histogram("hdlts_other_seconds"); len(h.bounds) != len(defBuckets) {
+		t.Errorf("unrelated histogram got %d bounds", len(h.bounds))
+	}
+}
+
+func TestSetBucketsRejectsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted bounds did not panic")
+		}
+	}()
+	NewRegistry().SetBuckets("hdlts_test_seconds", []float64{1, 1})
+}
+
+func TestSolverProfilePhases(t *testing.T) {
+	Default().Reset()
+	defer Default().Reset()
+	prof := SolverProfileFor("HDLTS")
+	acc := prof.Accum(PhaseScan)
+	for i := 0; i < 3; i++ {
+		tick := acc.Tick()
+		tick.End()
+	}
+	acc.Flush()
+	h := Default().Histogram(MetricSolverPhase, "alg", "HDLTS", "phase", "itq_scan")
+	if h.Count() != 1 {
+		t.Errorf("accumulator flushed %d observations, want 1", h.Count())
+	}
+	acc.Flush() // second flush with nothing accumulated records nothing
+	if h.Count() != 1 {
+		t.Errorf("empty flush recorded an observation (count %d)", h.Count())
+	}
+	acc.ObserveSince(time.Now())
+	acc.Flush()
+	if h.Count() != 2 {
+		t.Errorf("ObserveSince+Flush count = %d, want 2", h.Count())
+	}
+	// The same algorithm resolves to the same cached profile.
+	if SolverProfileFor("HDLTS") != prof {
+		t.Error("SolverProfileFor did not cache the profile")
+	}
+	Default().Reset()
+	if SolverProfileFor("HDLTS") == prof {
+		t.Error("Reset kept the cached profile alive")
+	}
+}
+
+func TestSolverProfilingDisabled(t *testing.T) {
+	Default().Reset()
+	defer Default().Reset()
+	prev := SetSolverProfiling(false)
+	defer SetSolverProfiling(prev)
+	if !prev {
+		t.Error("solver profiling not enabled by default")
+	}
+	prof := SolverProfileFor("HDLTS")
+	if prof != nil {
+		t.Fatal("SolverProfileFor returned a profile while disabled")
+	}
+	// Every primitive must be a no-op on the nil profile.
+	prof.Start(PhaseSchedule).Stop()
+	acc := prof.Accum(PhaseEFT)
+	tick := acc.Tick()
+	tick.End()
+	acc.Flush()
+	ran := false
+	prof.Do(PhaseRank, func() { ran = true })
+	if !ran {
+		t.Error("nil Profile.Do did not run fn")
+	}
+	if prof.Alg() != "" {
+		t.Error("nil Profile.Alg not empty")
+	}
+}
+
+// TestPhasePrimitivesZeroAlloc pins the allocation guarantee the solver
+// inner loops rely on: the timer primitives allocate nothing, enabled or
+// disabled (mirroring the PR 4 span guardrail).
+func TestPhasePrimitivesZeroAlloc(t *testing.T) {
+	Default().Reset()
+	defer Default().Reset()
+
+	prev := SetSolverProfiling(false)
+	defer SetSolverProfiling(prev)
+	if n := testing.AllocsPerRun(200, func() {
+		prof := SolverProfileFor("HDLTS")
+		prof.Start(PhaseSchedule).Stop()
+		acc := prof.Accum(PhaseScan)
+		tick := acc.Tick()
+		tick.End()
+		acc.Flush()
+	}); n != 0 {
+		t.Errorf("disabled phase-timer path allocates %.1f/op, want 0", n)
+	}
+
+	SetSolverProfiling(true)
+	prof := SolverProfileFor("HDLTS") // series creation outside the measured loop
+	acc := prof.Accum(PhaseScan)
+	if n := testing.AllocsPerRun(200, func() {
+		prof.Start(PhaseSchedule).Stop()
+		tick := acc.Tick()
+		tick.End()
+		acc.Flush()
+	}); n != 0 {
+		t.Errorf("enabled phase-timer path allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestProfileDoRecordsAndLabels(t *testing.T) {
+	Default().Reset()
+	defer Default().Reset()
+	prof := SolverProfileFor("HEFT")
+	ran := false
+	prof.Do(PhaseRank, func() { ran = true })
+	if !ran {
+		t.Fatal("Do did not run fn")
+	}
+	h := Default().Histogram(MetricSolverPhase, "alg", "HEFT", "phase", "rank")
+	if h.Count() != 1 {
+		t.Errorf("Do recorded %d observations, want 1", h.Count())
+	}
+}
+
+func TestWithPprofLabels(t *testing.T) {
+	var alg, phase string
+	var ok1, ok2 bool
+	WithPprofLabels(context.Background(), "HDLTS", "solve", func(ctx context.Context) {
+		alg, ok1 = pprof.Label(ctx, "algorithm")
+		phase, ok2 = pprof.Label(ctx, "phase")
+	})
+	if !ok1 || !ok2 || alg != "HDLTS" || phase != "solve" {
+		t.Errorf("labels = (%q,%v), (%q,%v), want HDLTS/solve", alg, ok1, phase, ok2)
+	}
+}
+
+func TestPhaseIDString(t *testing.T) {
+	want := map[PhaseID]string{
+		PhaseSchedule:  "schedule",
+		PhaseRank:      "rank",
+		PhaseScan:      "itq_scan",
+		PhaseEFT:       "eft",
+		PhaseInsertion: "insertion",
+		PhaseReplan:    "replan",
+		numPhases:      "unknown",
+	}
+	for id, s := range want {
+		if id.String() != s {
+			t.Errorf("PhaseID(%d).String() = %q, want %q", id, id.String(), s)
+		}
+	}
+}
+
+// BenchmarkPhaseOverhead quantifies the per-boundary cost of the phase
+// primitives against an empty baseline: the disabled path must be within
+// measurement noise of the baseline, the enabled path a few clock reads.
+func BenchmarkPhaseOverhead(b *testing.B) {
+	b.Run("Baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = i
+		}
+	})
+	b.Run("Disabled", func(b *testing.B) {
+		prev := SetSolverProfiling(false)
+		defer SetSolverProfiling(prev)
+		prof := SolverProfileFor("HDLTS")
+		acc := prof.Accum(PhaseScan)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tick := acc.Tick()
+			tick.End()
+		}
+	})
+	b.Run("Enabled", func(b *testing.B) {
+		Default().Reset()
+		defer Default().Reset()
+		prof := SolverProfileFor("HDLTS")
+		acc := prof.Accum(PhaseScan)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tick := acc.Tick()
+			tick.End()
+		}
+		acc.Flush()
+	})
+}

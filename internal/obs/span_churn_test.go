@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTraceStoreChurnConcurrent churns a small ring far past capacity from
+// several writers while readers snapshot concurrently — the serving
+// pattern at high QPS with a bounded -trace-buffer. Run under the race
+// detector, it pins the store's two structural guarantees:
+//
+//   - eviction is all-or-nothing: a trace that Get still returns after its
+//     writer finished carries the complete span tree and event stream,
+//     never a partially-evicted remnant;
+//   - snapshots never mix traces: every span and event in a snapshot
+//     belongs to the requested trace ID.
+func TestTraceStoreChurnConcurrent(t *testing.T) {
+	const (
+		capacity = 8
+		writers  = 4
+		perW     = 300
+		children = 3
+		events   = 5
+		readers  = 3
+	)
+	ts := NewTraceStore(capacity, 1)
+
+	traceID := func(w, i int) string { return fmt.Sprintf("w%d-t%d", w, i) }
+	// completed[w*perW+i] flips once trace (w, i) is fully written: root
+	// and children finished, events emitted.
+	completed := make([]atomic.Bool, writers*perW)
+
+	// verify checks one snapshot against the invariants. full demands the
+	// complete tree (the trace's writer had finished before the Get).
+	verify := func(id string, w int, tr *Trace, full bool) {
+		for _, sp := range tr.Spans {
+			if sp.TraceID != id {
+				t.Errorf("snapshot of %s contains span of trace %s", id, sp.TraceID)
+			}
+		}
+		for _, ev := range tr.Events {
+			if ev.Task != w {
+				t.Errorf("snapshot of %s contains event of writer %d, want %d", id, ev.Task, w)
+			}
+		}
+		if full {
+			if len(tr.Spans) != children+1 {
+				t.Errorf("completed trace %s snapshot has %d spans, want %d", id, len(tr.Spans), children+1)
+			}
+			if len(tr.Events) != events {
+				t.Errorf("completed trace %s snapshot has %d events, want %d", id, len(tr.Events), events)
+			}
+		}
+	}
+
+	var writerWG, readerWG sync.WaitGroup
+	done := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perW; i++ {
+				id := traceID(w, i)
+				if !ts.Start(id) {
+					t.Errorf("Start(%s) rejected with sample 1", id)
+					return
+				}
+				ctx := WithTraceStore(WithTraceID(context.Background(), id), ts)
+				ctx, root := StartSpan(ctx, "request")
+				for c := 0; c < children; c++ {
+					_, child := StartSpan(ctx, "child")
+					child.SetAttr("n", id)
+					child.Finish()
+				}
+				tracer := ts.Tracer(id)
+				for e := 0; e < events; e++ {
+					tracer.Emit(Event{Type: EvEstimate, Task: w, Iter: e + 1})
+				}
+				root.Finish()
+				completed[w*perW+i].Store(true)
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			// A cheap deterministic scan: sweep the ID space repeatedly
+			// until the writers finish.
+			for i := 0; ; i = (i + r + 1) % (writers * perW) {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				w := i / perW
+				id := traceID(w, i%perW)
+				full := completed[i].Load()
+				tr, ok := ts.Get(id)
+				if !ok {
+					continue // never started, sampled out, or evicted whole
+				}
+				verify(id, w, tr, full)
+				if n := ts.Len(); n > capacity {
+					t.Errorf("ring holds %d traces, capacity %d", n, capacity)
+				}
+			}
+		}(r)
+	}
+
+	writerWG.Wait()
+	close(done)
+	readerWG.Wait()
+
+	// Post-churn accounting: every started trace was either evicted whole
+	// or is still fully present.
+	if got := ts.Len(); got != capacity {
+		t.Errorf("ring retains %d traces after churn, want %d", got, capacity)
+	}
+	if got, want := ts.Evicted(), uint64(writers*perW-capacity); got != want {
+		t.Errorf("evicted %d traces, want %d", got, want)
+	}
+	retained := 0
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perW; i++ {
+			id := traceID(w, i)
+			tr, ok := ts.Get(id)
+			if !ok {
+				continue
+			}
+			retained++
+			verify(id, w, tr, true)
+		}
+	}
+	if retained != capacity {
+		t.Errorf("%d traces answer Get after churn, want %d", retained, capacity)
+	}
+}

@@ -1,0 +1,115 @@
+package perf
+
+import "fmt"
+
+// CompareOptions tune the regression gate.
+type CompareOptions struct {
+	// NsThresholdPct is the tolerated ns/op increase on hot-path
+	// benchmarks, in percent (default 20 when zero).
+	NsThresholdPct float64
+	// AllocThreshold is the tolerated allocs/op increase on hot-path
+	// benchmarks (default 0: any increase is a regression).
+	AllocThreshold int64
+	// ForceNs gates ns/op even when the two reports' environments are not
+	// comparable (different CPU model/count). Off by default: wall-clock
+	// across different machines is noise, not signal.
+	ForceNs bool
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.NsThresholdPct == 0 {
+		o.NsThresholdPct = 20
+	}
+	return o
+}
+
+// Delta is one benchmark's baseline-vs-candidate comparison.
+type Delta struct {
+	Name   string `json:"name"`
+	Status string `json:"status"` // ok | regression | improved | new | missing
+	Breach bool   `json:"breach"`
+	Reason string `json:"reason,omitempty"`
+
+	BaseNs     float64 `json:"base_ns_per_op,omitempty"`
+	CandNs     float64 `json:"cand_ns_per_op,omitempty"`
+	NsPct      float64 `json:"ns_pct,omitempty"`
+	BaseAllocs int64   `json:"base_allocs_per_op,omitempty"`
+	CandAllocs int64   `json:"cand_allocs_per_op,omitempty"`
+}
+
+// Compare diffs a candidate report against the baseline, one Delta per
+// benchmark present in either. Breaches (Delta.Breach) are confined to
+// hot-path benchmarks: allocs/op may not grow past the alloc threshold on
+// any machine, ns/op may not grow past the percentage threshold when the
+// environments are comparable (or ForceNs is set). A benchmark missing
+// from the candidate run (filtered out, or a quick run against a full
+// baseline) is reported but never a breach; neither is a new benchmark
+// with no baseline yet.
+func Compare(base, cand *Report, opts CompareOptions) []Delta {
+	opts = opts.withDefaults()
+	nsComparable := base.Env.Comparable(cand.Env) || opts.ForceNs
+
+	var deltas []Delta
+	for i := range base.Results {
+		b := &base.Results[i]
+		c := cand.Find(b.Name)
+		if c == nil {
+			deltas = append(deltas, Delta{
+				Name:   b.Name,
+				Status: "missing",
+				Reason: "present in baseline, not run in candidate",
+			})
+			continue
+		}
+		d := Delta{
+			Name:       b.Name,
+			Status:     "ok",
+			BaseNs:     b.NsPerOp,
+			CandNs:     c.NsPerOp,
+			BaseAllocs: b.AllocsPerOp,
+			CandAllocs: c.AllocsPerOp,
+		}
+		if b.NsPerOp > 0 {
+			d.NsPct = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		}
+		hot := b.HotPath || c.HotPath
+		if hot && c.AllocsPerOp > b.AllocsPerOp+opts.AllocThreshold {
+			d.Status = "regression"
+			d.Breach = true
+			d.Reason = fmt.Sprintf("allocs/op grew %d -> %d on a hot path", b.AllocsPerOp, c.AllocsPerOp)
+		} else if hot && nsComparable && d.NsPct > opts.NsThresholdPct {
+			d.Status = "regression"
+			d.Breach = true
+			d.Reason = fmt.Sprintf("ns/op grew %+.1f%% (threshold %.0f%%)", d.NsPct, opts.NsThresholdPct)
+		} else if hot && !nsComparable && d.NsPct > opts.NsThresholdPct {
+			d.Reason = "ns/op delta ignored: environments not comparable (use -force-ns to gate anyway)"
+		} else if d.NsPct < -opts.NsThresholdPct {
+			d.Status = "improved"
+		}
+		deltas = append(deltas, d)
+	}
+	for i := range cand.Results {
+		c := &cand.Results[i]
+		if base.Find(c.Name) == nil {
+			deltas = append(deltas, Delta{
+				Name:       c.Name,
+				Status:     "new",
+				CandNs:     c.NsPerOp,
+				CandAllocs: c.AllocsPerOp,
+				Reason:     "no baseline yet",
+			})
+		}
+	}
+	return deltas
+}
+
+// Breaches filters the deltas down to the gate failures.
+func Breaches(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Breach {
+			out = append(out, d)
+		}
+	}
+	return out
+}

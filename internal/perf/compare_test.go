@@ -1,0 +1,105 @@
+package perf
+
+import "testing"
+
+func baseReport() *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Suite:         SuiteName,
+		Env:           Env{CPUModel: "cpu-a", NumCPU: 8, GOARCH: "amd64"},
+		Results: []Result{
+			{Name: "hot/a", HotPath: true, NsPerOp: 1000, AllocsPerOp: 10},
+			{Name: "cold/b", NsPerOp: 1000, AllocsPerOp: 10},
+		},
+	}
+}
+
+func candReport(env Env, results ...Result) *Report {
+	return &Report{SchemaVersion: SchemaVersion, Suite: SuiteName, Env: env, Results: results}
+}
+
+func deltaByName(deltas []Delta, name string) *Delta {
+	for i := range deltas {
+		if deltas[i].Name == name {
+			return &deltas[i]
+		}
+	}
+	return nil
+}
+
+func TestCompareAllocBreachOnHotPathOnly(t *testing.T) {
+	base := baseReport()
+	cand := candReport(base.Env,
+		Result{Name: "hot/a", HotPath: true, NsPerOp: 1000, AllocsPerOp: 11},
+		Result{Name: "cold/b", NsPerOp: 1000, AllocsPerOp: 50},
+	)
+	deltas := Compare(base, cand, CompareOptions{})
+	if d := deltaByName(deltas, "hot/a"); d == nil || !d.Breach || d.Status != "regression" {
+		t.Errorf("hot alloc growth not a breach: %+v", d)
+	}
+	if d := deltaByName(deltas, "cold/b"); d == nil || d.Breach {
+		t.Errorf("cold alloc growth breached: %+v", d)
+	}
+	// An explicit allowance admits the same growth.
+	deltas = Compare(base, cand, CompareOptions{AllocThreshold: 1})
+	if d := deltaByName(deltas, "hot/a"); d.Breach {
+		t.Errorf("alloc threshold ignored: %+v", d)
+	}
+}
+
+func TestCompareNsGate(t *testing.T) {
+	base := baseReport()
+	sameEnv := base.Env
+	otherEnv := Env{CPUModel: "cpu-b", NumCPU: 4, GOARCH: "amd64"}
+
+	slow := Result{Name: "hot/a", HotPath: true, NsPerOp: 1300, AllocsPerOp: 10}
+	// Comparable environment: +30% ns/op on a hot path breaches at the
+	// default 20% threshold.
+	deltas := Compare(base, candReport(sameEnv, slow), CompareOptions{})
+	if d := deltaByName(deltas, "hot/a"); d == nil || !d.Breach {
+		t.Errorf("comparable ns regression not breached: %+v", d)
+	}
+	// Wider threshold admits it.
+	deltas = Compare(base, candReport(sameEnv, slow), CompareOptions{NsThresholdPct: 50})
+	if d := deltaByName(deltas, "hot/a"); d.Breach {
+		t.Errorf("ns threshold ignored: %+v", d)
+	}
+	// Different machine: ns/op is noise, no breach — unless forced.
+	deltas = Compare(base, candReport(otherEnv, slow), CompareOptions{})
+	if d := deltaByName(deltas, "hot/a"); d.Breach {
+		t.Errorf("cross-env ns delta breached without -force-ns: %+v", d)
+	} else if d.Reason == "" {
+		t.Error("skipped ns gate left no explanation")
+	}
+	deltas = Compare(base, candReport(otherEnv, slow), CompareOptions{ForceNs: true})
+	if d := deltaByName(deltas, "hot/a"); !d.Breach {
+		t.Errorf("forced ns gate did not breach: %+v", d)
+	}
+	// Cold benches never ns-breach.
+	coldSlow := Result{Name: "cold/b", NsPerOp: 5000, AllocsPerOp: 10}
+	deltas = Compare(base, candReport(sameEnv, coldSlow), CompareOptions{})
+	if d := deltaByName(deltas, "cold/b"); d.Breach {
+		t.Errorf("cold ns regression breached: %+v", d)
+	}
+}
+
+func TestCompareMissingNewImproved(t *testing.T) {
+	base := baseReport()
+	cand := candReport(base.Env,
+		Result{Name: "hot/a", HotPath: true, NsPerOp: 500, AllocsPerOp: 10},
+		Result{Name: "hot/c", HotPath: true, NsPerOp: 100, AllocsPerOp: 1},
+	)
+	deltas := Compare(base, cand, CompareOptions{})
+	if d := deltaByName(deltas, "hot/a"); d == nil || d.Status != "improved" || d.Breach {
+		t.Errorf("-50%% ns not marked improved: %+v", d)
+	}
+	if d := deltaByName(deltas, "cold/b"); d == nil || d.Status != "missing" || d.Breach {
+		t.Errorf("missing bench mishandled: %+v", d)
+	}
+	if d := deltaByName(deltas, "hot/c"); d == nil || d.Status != "new" || d.Breach {
+		t.Errorf("new bench mishandled: %+v", d)
+	}
+	if len(Breaches(deltas)) != 0 {
+		t.Errorf("phantom breaches: %+v", Breaches(deltas))
+	}
+}

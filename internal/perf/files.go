@@ -1,0 +1,107 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchFileRe matches trajectory files: BENCH_0001.json, BENCH_0002.json...
+var benchFileRe = regexp.MustCompile(`^BENCH_(\d{4})\.json$`)
+
+// LatestReport loads the highest-numbered BENCH_<n>.json in dir. A nil
+// report (and empty path) with nil error means the trajectory is empty.
+func LatestReport(dir string) (*Report, string, error) {
+	names, err := trajectoryFiles(dir)
+	if err != nil || len(names) == 0 {
+		return nil, "", err
+	}
+	path := filepath.Join(dir, names[len(names)-1])
+	rep, err := LoadReport(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return rep, path, nil
+}
+
+// NextPath returns the path the next trajectory epoch should be written
+// to: one past the highest existing number, starting at BENCH_0001.json.
+func NextPath(dir string) (string, error) {
+	names, err := trajectoryFiles(dir)
+	if err != nil {
+		return "", err
+	}
+	n := 0
+	if len(names) > 0 {
+		last := benchFileRe.FindStringSubmatch(names[len(names)-1])
+		n, _ = strconv.Atoi(last[1])
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%04d.json", n+1)), nil
+}
+
+// trajectoryFiles lists the trajectory file names in dir in epoch order.
+func trajectoryFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("perf: read trajectory dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && benchFileRe.MatchString(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadReport reads and validates one trajectory file.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: read report: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("perf: parse %s: %w", path, err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("perf: %s has schema version %d, this build reads %d", path, rep.SchemaVersion, SchemaVersion)
+	}
+	if rep.Suite != SuiteName {
+		return nil, fmt.Errorf("perf: %s records suite %q, want %q", path, rep.Suite, SuiteName)
+	}
+	return &rep, nil
+}
+
+// WriteReport writes the report as indented JSON via a same-directory
+// temp file and rename, so a crashed run never leaves a torn epoch.
+func WriteReport(path string, rep *Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perf: encode report: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bench-*.json")
+	if err != nil {
+		return fmt.Errorf("perf: write report: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("perf: write report: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("perf: write report: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("perf: write report: %w", err)
+	}
+	return nil
+}

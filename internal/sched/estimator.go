@@ -77,6 +77,8 @@ type Estimate struct {
 //
 // ReadyTime returns an error if some parent of t is still unscheduled: the
 // caller must submit tasks in precedence order (the ITQ guarantees this).
+//
+//hdlts:hotpath
 func (s *Schedule) ReadyTime(t dag.TaskID, p platform.Proc, pol Policy) (ready float64, usedDup bool, dupTask dag.TaskID, dupFinish float64, err error) {
 	g := s.prob.G
 	readyWith, readyWithout := 0.0, 0.0
@@ -118,25 +120,17 @@ func (s *Schedule) ReadyTime(t dag.TaskID, p platform.Proc, pol Policy) (ready f
 // actually beneficial for the *committed* start (a duplicate that does not
 // strictly reduce EST is discarded, implementing "duplicate the entry task
 // only if it helps to reduce the overall application execution time").
+//
+//hdlts:hotpath
 func (s *Schedule) Estimate(t dag.TaskID, p platform.Proc, pol Policy) (Estimate, error) {
 	estimateCount.Inc()
 	dur := s.prob.Exec(t, p)
-
-	est := func(ready float64) float64 {
-		if pol.Insertion {
-			return s.EarliestFit(p, ready, dur)
-		}
-		if a := s.Avail(p); a > ready {
-			return a
-		}
-		return ready
-	}
 
 	ready, usedDup, dupTask, dupFinish, err := s.ReadyTime(t, p, pol)
 	if err != nil {
 		return Estimate{}, err
 	}
-	e := Estimate{Task: t, Proc: p, Ready: ready, EST: est(ready), DupTask: dag.None}
+	e := Estimate{Task: t, Proc: p, Ready: ready, EST: s.startFor(p, ready, dur, pol), DupTask: dag.None}
 	if usedDup {
 		// Compare against the duplication-free alternative; keep the
 		// duplicate only when it strictly improves the start time.
@@ -144,7 +138,7 @@ func (s *Schedule) Estimate(t dag.TaskID, p platform.Proc, pol Policy) (Estimate
 		if err != nil {
 			return Estimate{}, err
 		}
-		if estPlain := est(readyPlain); e.EST < estPlain {
+		if estPlain := s.startFor(p, readyPlain, dur, pol); e.EST < estPlain {
 			e.UseDuplicate = true
 			e.DupTask = dupTask
 			e.DupStart = 0
@@ -161,9 +155,26 @@ func (s *Schedule) Estimate(t dag.TaskID, p platform.Proc, pol Policy) (Estimate
 	return e, nil
 }
 
+// startFor computes the earliest start for a task of length dur that is
+// ready on processor p at time ready: the insertion-based slot search when
+// the policy asks for it, avail-based placement (Eq. 6) otherwise.
+//
+//hdlts:hotpath
+func (s *Schedule) startFor(p platform.Proc, ready, dur float64, pol Policy) float64 {
+	if pol.Insertion {
+		return s.EarliestFit(p, ready, dur)
+	}
+	if a := s.Avail(p); a > ready {
+		return a
+	}
+	return ready
+}
+
 // EstimateAll evaluates t on every processor, reusing a caller-provided
 // buffer when it has sufficient capacity. The result is indexed by
 // processor.
+//
+//hdlts:hotpath
 func (s *Schedule) EstimateAll(t dag.TaskID, pol Policy, buf []Estimate) ([]Estimate, error) {
 	n := s.prob.NumProcs()
 	if cap(buf) < n {
@@ -183,6 +194,8 @@ func (s *Schedule) EstimateAll(t dag.TaskID, pol Policy, buf []Estimate) ([]Esti
 // BestEFT evaluates t on every processor and returns the estimate with the
 // minimum EFT (Eq. 7); ties go to the lower processor index, keeping
 // schedules deterministic.
+//
+//hdlts:hotpath
 func (s *Schedule) BestEFT(t dag.TaskID, pol Policy) (Estimate, error) {
 	var best Estimate
 	found := false
@@ -200,6 +213,8 @@ func (s *Schedule) BestEFT(t dag.TaskID, pol Policy) (Estimate, error) {
 
 // Commit places task t per the estimate, materialising the entry duplicate
 // first when the estimate relies on one.
+//
+//hdlts:hotpath
 func (s *Schedule) Commit(e Estimate) error {
 	if e.UseDuplicate {
 		// The duplicate must copy a parentless parent of the committed task

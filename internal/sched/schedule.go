@@ -173,6 +173,8 @@ func (s *Schedule) NumDuplicates() int {
 // arrivalFromCopies returns the earliest time the output of parent u (with
 // edge data volume data) can be available on processor p, considering every
 // scheduled copy of u. +Inf when u has no copies yet.
+//
+//hdlts:hotpath
 func (s *Schedule) arrivalFromCopies(u dag.TaskID, data float64, p platform.Proc) float64 {
 	arr := math.Inf(1)
 	if s.Placed(u) {

@@ -38,6 +38,8 @@ func (tl *timeline) avail() float64 {
 }
 
 // freeAt reports whether the interval [start, start+dur) is entirely idle.
+//
+//hdlts:hotpath
 func (tl *timeline) freeAt(start, dur float64) bool {
 	if dur == 0 {
 		return true
@@ -56,6 +58,8 @@ func (tl *timeline) freeAt(start, dur float64) bool {
 // earliestFit returns the earliest start >= ready at which a task of length
 // dur fits, using the insertion-based policy of HEFT/PETS/PEFT: scan idle
 // gaps between consecutive slots and fall back to the end of the timeline.
+//
+//hdlts:hotpath
 func (tl *timeline) earliestFit(ready, dur float64) float64 {
 	if dur == 0 {
 		return ready
@@ -80,6 +84,8 @@ func (tl *timeline) earliestFit(ready, dur float64) float64 {
 }
 
 // insert adds a slot, preserving order, and rejects overlap.
+//
+//hdlts:hotpath
 func (tl *timeline) insert(s Slot) error {
 	if s.Start < 0 || s.End < s.Start {
 		return fmt.Errorf("sched: invalid slot [%g, %g) for task %d", s.Start, s.End, s.Task)

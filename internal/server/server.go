@@ -130,6 +130,12 @@ type Server struct {
 // startup, not at the first submission.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	// Request latencies span four orders of magnitude (a µs-scale cached
+	// job lookup to a seconds-scale 100k-task solve); the default decade
+	// buckets cannot resolve the low end, so both daemon histograms use
+	// log-spaced buckets from 10µs to 10s.
+	cfg.Metrics.SetBuckets(metricHTTPSeconds, obs.ExpBuckets(1e-5, 10, 3))
+	cfg.Metrics.SetBuckets(metricScheduleSeconds, obs.ExpBuckets(1e-5, 10, 3))
 	s := &Server{
 		cfg:        cfg,
 		mux:        http.NewServeMux(),
@@ -386,7 +392,14 @@ func (s *Server) runSchedule(ctx context.Context, alg sched.Algorithm, pr *sched
 		prA = pr.WithTracer(obs.Named(tr, alg.Name()))
 	}
 	_, solve := obs.StartSpan(ctx, "schedule.solve")
-	sc, err := alg.Schedule(prA)
+	var sc *sched.Schedule
+	var err error
+	// pprof goroutine labels make CPU profiles from the -debug-addr
+	// listener attribute solve samples to {algorithm, phase}; solver-
+	// internal Profile.Do calls refine phase further while they run.
+	obs.WithPprofLabels(ctx, alg.Name(), "solve", func(context.Context) {
+		sc, err = alg.Schedule(prA)
+	})
 	solve.Finish()
 	if err != nil {
 		return scheduleOutcome{status: http.StatusInternalServerError,

@@ -24,7 +24,10 @@ func Mean(xs []float64) float64 {
 
 // SampleStdDev returns the sample standard deviation of xs (denominator
 // n−1). It returns 0 when len(xs) < 2. This is the σ of Eq. (8): the
-// paper's Table I penalty values reproduce only with the n−1 form.
+// paper's Table I penalty values reproduce only with the n−1 form. It is
+// called once per ready task per HDLTS iteration.
+//
+//hdlts:hotpath
 func SampleStdDev(xs []float64) float64 {
 	if len(xs) < 2 {
 		return 0
@@ -40,6 +43,8 @@ func SampleStdDev(xs []float64) float64 {
 
 // PopStdDev returns the population standard deviation (denominator n); kept
 // for the σ-definition ablation bench.
+//
+//hdlts:hotpath
 func PopStdDev(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
