@@ -184,6 +184,11 @@ func (h *HDLTS) run(pr *sched.Problem, trace bool) (*sched.Schedule, []Step, err
 	var lastProc platform.Proc = -1
 	refreshAll := false
 	iter := 0
+	// The ITQ is built in ascending task order above; removals preserve
+	// order, so it only unsorts when phase 4 appends a task that breaks the
+	// ascending run. Re-sorting unconditionally was measurably hot at 10k+
+	// tasks.
+	itqSorted := true
 
 	scanAcc := prof.Accum(obs.PhaseScan)
 	eftAcc := prof.Accum(obs.PhaseEFT)
@@ -195,7 +200,10 @@ func (h *HDLTS) run(pr *sched.Problem, trace bool) (*sched.Schedule, []Step, err
 	for len(itq) > 0 {
 		iter++
 		iterationCount.Inc()
-		slices.Sort(itq)
+		if !itqSorted {
+			slices.Sort(itq)
+			itqSorted = true
+		}
 		pvs = pvs[:0]
 
 		// Phase 1+2: EFT vectors and penalty values for every ready task.
@@ -294,6 +302,9 @@ func (h *HDLTS) run(pr *sched.Problem, trace bool) (*sched.Schedule, []Step, err
 		for _, a := range g.Succs(selected) {
 			remaining[a.Task]--
 			if remaining[a.Task] == 0 {
+				if len(itq) > 0 && a.Task < itq[len(itq)-1] {
+					itqSorted = false
+				}
 				itq = append(itq, a.Task)
 				fresh[a.Task] = true
 			}
