@@ -10,7 +10,10 @@
 //     list-scheduling heuristic that prioritises ready tasks by the standard
 //     deviation of their earliest finish times across processors and
 //     duplicates the entry task only where duplication provably shortens a
-//     child's start;
+//     child's start — served by an allocation-free indexed core that
+//     schedules 10⁴-task workflows in ~16 ms and 10⁶-task workflows in
+//     seconds, proven byte-identical to the paper's literal loop
+//     (docs/SOLVER.md);
 //   - the five published baselines it is compared against — HEFT, CPOP,
 //     PETS, PEFT, and SDBATS — implemented per their original papers on one
 //     shared scheduling substrate;

@@ -17,18 +17,26 @@
 // The EFT semantics (virtual duplication during estimation, sample-σ PV,
 // avail-based placement) were pinned down by hand-reproducing every row of
 // the paper's Table I; see DESIGN.md §1.
+//
+// Two interchangeable engines implement the loop. The *indexed core*
+// (indexed.go) keeps all per-iteration state in flat, pooled, index-keyed
+// slices — a selection argmax fused into the per-iteration update pass
+// instead of a sorted queue or heap, cached parent-arrival vectors instead
+// of recomputed ready times — and serves every untraced solve
+// allocation-free in the steady state; docs/SOLVER.md maps Algorithm 1
+// onto it line by line. The *reference engine*
+// (reference.go) is the direct transcription of the paper's loop; it serves
+// traced solves (its event ordering is the documented one) and is the
+// differential-testing oracle the indexed core is proven against.
 package core
 
 import (
-	"fmt"
 	"math"
-	"slices"
 
 	"hdlts/internal/dag"
 	"hdlts/internal/obs"
 	"hdlts/internal/platform"
 	"hdlts/internal/sched"
-	"hdlts/internal/stats"
 )
 
 // metricIterations is the ITQ iteration counter series.
@@ -60,6 +68,13 @@ type Options struct {
 	// structure of the application and the impact of a CPU assignment for a
 	// task to its child tasks".
 	Lookahead bool
+	// MaxWorkers caps the goroutines the indexed core may use to recompute
+	// EFT/PV vectors across queued tasks. 0 means automatic:
+	// min(GOMAXPROCS, 8). 1 forces the recompute serial. The parallel path
+	// only engages on wide queues (see parMinRows) and never changes the
+	// schedule — selection is a total order on (PV, task ID). The setting
+	// does not alter Name(): it is an execution knob, not an ablation.
+	MaxWorkers int
 }
 
 // DefaultOptions is the configuration published in the paper.
@@ -127,7 +142,19 @@ type Step struct {
 // zero-cost pseudo tasks first; the returned schedule references the
 // normalised problem (its Makespan equals the original workflow's).
 func (h *HDLTS) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
-	s, _, err := h.run(pr, false)
+	s, _, err := h.run(pr, false, nil)
+	return s, err
+}
+
+// ScheduleInto is Schedule reusing the backing storage of a schedule
+// returned by a previous call — timelines, placement tables, duplicate
+// lists. Combined with the pooled solver arena this makes the steady state
+// of a solve stream allocation-free (the solver/hdlts/v10k_steady bench
+// pins it at zero allocs/op). prev must not be in use elsewhere; it is
+// reset and rebound to pr's normalised form. Passing nil is equivalent to
+// Schedule.
+func (h *HDLTS) ScheduleInto(pr *sched.Problem, prev *sched.Schedule) (*sched.Schedule, error) {
+	s, _, err := h.run(pr, false, prev)
 	return s, err
 }
 
@@ -135,204 +162,20 @@ func (h *HDLTS) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
 // penalty values, selections, and EFT vectors — the exact content of the
 // paper's Table I.
 func (h *HDLTS) ScheduleTrace(pr *sched.Problem) (*sched.Schedule, []Step, error) {
-	return h.run(pr, true)
+	return h.run(pr, true, nil)
 }
 
-//hdlts:hotpath
-func (h *HDLTS) run(pr *sched.Problem, trace bool) (*sched.Schedule, []Step, error) {
-	prof := obs.SolverProfileFor(h.Name())
-	defer prof.Start(obs.PhaseSchedule).Stop()
+// run normalises the problem and dispatches to an engine: the reference
+// engine when the caller wants the Table-I trace, decision events are being
+// recorded, or the fullRecompute oracle knob is set; the indexed core for
+// everything else — which is every production and benchmark solve.
+func (h *HDLTS) run(pr *sched.Problem, trace bool, prev *sched.Schedule) (*sched.Schedule, []Step, error) {
 	pr = pr.Normalize()
-	g := pr.G
-	s := sched.NewSchedule(pr)
-	pol := h.policy()
-	tr := pr.Tracer()
-
-	n := g.NumTasks()
-	// remaining[t] counts unscheduled parents; tasks enter the ITQ at zero.
-	remaining := make([]int, n)
-	itq := make([]dag.TaskID, 0, n)
-	for t := 0; t < n; t++ {
-		remaining[t] = g.InDegree(dag.TaskID(t))
-		if remaining[t] == 0 {
-			itq = append(itq, dag.TaskID(t))
-		}
+	if trace || h.fullRecompute || pr.Tracer().Enabled() {
+		return h.runReference(pr, trace, prev)
 	}
-
-	sigma := stats.SampleStdDev
-	if h.opts.PopulationSigma {
-		sigma = stats.PopStdDev
-	}
-
-	var steps []Step
-	estBuf := make([]sched.Estimate, pr.NumProcs())
-	eftBuf := make([]float64, pr.NumProcs())
-	// Per-iteration scratch, reallocated only on ITQ growth.
-	pvs := make([]float64, 0, len(itq))
-	ests := make(map[dag.TaskID][]sched.Estimate, 8)
-	// fresh[t] marks ITQ members whose estimate vector must be rebuilt from
-	// scratch. Between iterations only the just-committed processor's
-	// column can change for already-queued tasks (their ready times are
-	// fixed once all parents are placed), so the incremental path
-	// re-estimates a single (task, proc) pair per member. Materialising an
-	// entry duplicate adds a new copy of a parent visible from *every*
-	// processor, so that case falls back to full recomputation.
-	fresh := make(map[dag.TaskID]bool, len(itq))
-	for _, t := range itq {
-		fresh[t] = true
-	}
-	var lastProc platform.Proc = -1
-	refreshAll := false
-	iter := 0
-	// The ITQ is built in ascending task order above; removals preserve
-	// order, so it only unsorts when phase 4 appends a task that breaks the
-	// ascending run. Re-sorting unconditionally was measurably hot at 10k+
-	// tasks.
-	itqSorted := true
-
-	scanAcc := prof.Accum(obs.PhaseScan)
-	eftAcc := prof.Accum(obs.PhaseEFT)
-	insAcc := prof.Accum(obs.PhaseInsertion)
-	defer scanAcc.Flush()
-	defer eftAcc.Flush()
-	defer insAcc.Flush()
-
-	for len(itq) > 0 {
-		iter++
-		iterationCount.Inc()
-		if !itqSorted {
-			slices.Sort(itq)
-			itqSorted = true
-		}
-		pvs = pvs[:0]
-
-		// Phase 1+2: EFT vectors and penalty values for every ready task.
-		scanTick := scanAcc.Tick()
-		bestIdx := 0
-		for i, t := range itq {
-			esCopy, ok := ests[t]
-			switch {
-			case !ok || fresh[t] || refreshAll || h.fullRecompute:
-				eftTick := eftAcc.Tick()
-				es, err := s.EstimateAll(t, pol, estBuf)
-				eftTick.End()
-				if err != nil {
-					return nil, nil, fmt.Errorf("core: estimating task %d: %w", t, err)
-				}
-				if !ok || cap(esCopy) < len(es) {
-					//lint:hdltsvet-ignore hotpathalloc per-task estimate vector cache, amortised to one allocation per task
-					esCopy = make([]sched.Estimate, len(es))
-				}
-				esCopy = esCopy[:len(es)]
-				copy(esCopy, es)
-				ests[t] = esCopy
-				delete(fresh, t)
-			case lastProc >= 0:
-				e, err := s.Estimate(t, lastProc, pol)
-				if err != nil {
-					return nil, nil, fmt.Errorf("core: estimating task %d: %w", t, err)
-				}
-				esCopy[lastProc] = e
-			}
-
-			for p := range esCopy {
-				eftBuf[p] = esCopy[p].EFT
-			}
-			pv := sigma(eftBuf[:len(esCopy)])
-			pvs = append(pvs, pv)
-			// Highest PV wins; ties fall to the smaller task ID, which is
-			// the earlier ITQ position because the queue is sorted.
-			if pv > pvs[bestIdx] {
-				bestIdx = i
-			}
-		}
-		scanTick.End()
-		refreshAll = false
-
-		selected := itq[bestIdx]
-		// Phase 3: commit to the minimum-EFT processor (with the optional
-		// one-level lookahead score instead of the bare EFT).
-		es := ests[selected]
-		best := es[0]
-		if h.opts.Lookahead {
-			bestScore := h.lookaheadScore(s, es[0])
-			for _, e := range es[1:] {
-				if sc := h.lookaheadScore(s, e); sc < bestScore {
-					best, bestScore = e, sc
-				}
-			}
-		} else {
-			for _, e := range es[1:] {
-				if e.EFT < best.EFT {
-					best = e
-				}
-			}
-		}
-		if tr.Enabled() {
-			// The generalised form of the Table-I trace: one PV event per
-			// ready task, then the iteration's selection. Commit events
-			// follow from the sched substrate.
-			for i, t := range itq {
-				tr.Emit(obs.Event{Type: obs.EvPV, Task: int(t), Proc: -1, Iter: iter, Value: pvs[i]})
-			}
-			tr.Emit(obs.Event{
-				Type: obs.EvIteration, Task: int(selected), Proc: int(best.Proc),
-				Iter: iter, Value: pvs[bestIdx], Dup: best.UseDuplicate,
-			})
-		}
-		if trace {
-			steps = captureStep(steps, itq, pvs, selected, best, es)
-		}
-		insTick := insAcc.Tick()
-		err := s.Commit(best)
-		insTick.End()
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: committing task %d on P%d: %w", selected, best.Proc+1, err)
-		}
-		lastProc = best.Proc
-		if best.UseDuplicate {
-			// The new entry copy is reachable from every processor: stale
-			// ready times are possible everywhere, so rebuild fully.
-			refreshAll = true
-		}
-
-		// Phase 4: update the ITQ.
-		itq = append(itq[:bestIdx], itq[bestIdx+1:]...)
-		delete(ests, selected)
-		for _, a := range g.Succs(selected) {
-			remaining[a.Task]--
-			if remaining[a.Task] == 0 {
-				if len(itq) > 0 && a.Task < itq[len(itq)-1] {
-					itqSorted = false
-				}
-				itq = append(itq, a.Task)
-				fresh[a.Task] = true
-			}
-		}
-	}
-
-	if !s.Complete() {
-		return nil, nil, fmt.Errorf("core: scheduler stalled with %d/%d tasks placed", s.NumPlaced(), n)
-	}
-	return s, steps, nil
-}
-
-// captureStep appends one Table-I trace step. It lives outside the hot
-// path: trace capture copies the ready set, PVs, and EFT vector per
-// iteration by design, and only ScheduleTrace callers pay for it.
-func captureStep(steps []Step, itq []dag.TaskID, pvs []float64, selected dag.TaskID, best sched.Estimate, es []sched.Estimate) []Step {
-	st := Step{
-		Ready:      append([]dag.TaskID(nil), itq...),
-		PV:         append([]float64(nil), pvs...),
-		Selected:   selected,
-		Proc:       best.Proc,
-		Duplicated: best.UseDuplicate,
-	}
-	st.EFT = make([]float64, len(es))
-	for p := range es {
-		st.EFT[p] = es[p].EFT
-	}
-	return append(steps, st)
+	s, err := h.runIndexed(pr, prev)
+	return s, nil, err
 }
 
 // lookaheadScore estimates the downstream cost of committing estimate e:
@@ -363,13 +206,7 @@ func (h *HDLTS) lookaheadScore(s *sched.Schedule, e sched.Estimate) float64 {
 				if b.Task == e.Task || !s.Placed(b.Task) {
 					continue
 				}
-				arr := math.Inf(1)
-				for _, c := range s.Copies(b.Task) {
-					if v := c.Finish + pr.Comm(b.Data, c.Proc, proc); v < arr {
-						arr = v
-					}
-				}
-				if arr > ready {
+				if arr := s.Arrival(b.Task, b.Data, proc); arr > ready {
 					ready = arr
 				}
 			}

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation allocates — allocation-count assertions are
+// meaningless under it.
+const raceEnabled = true

@@ -1,7 +1,6 @@
 package heuristics
 
 import (
-	"container/heap"
 	"math"
 
 	"hdlts/internal/dag"
@@ -26,29 +25,6 @@ func NewCPOP() *CPOP { return &CPOP{Pol: sched.InsertionPolicy} }
 
 // Name implements sched.Algorithm.
 func (*CPOP) Name() string { return "CPOP" }
-
-// priorityQueue is a max-heap of tasks keyed by priority, with task-ID
-// tie-breaks for determinism.
-type priorityQueue struct {
-	ids  []dag.TaskID
-	prio []float64
-}
-
-func (q *priorityQueue) Len() int { return len(q.ids) }
-func (q *priorityQueue) Less(i, j int) bool {
-	if q.prio[q.ids[i]] != q.prio[q.ids[j]] {
-		return q.prio[q.ids[i]] > q.prio[q.ids[j]]
-	}
-	return q.ids[i] < q.ids[j]
-}
-func (q *priorityQueue) Swap(i, j int) { q.ids[i], q.ids[j] = q.ids[j], q.ids[i] }
-func (q *priorityQueue) Push(x any)    { q.ids = append(q.ids, x.(dag.TaskID)) }
-func (q *priorityQueue) Pop() any {
-	last := len(q.ids) - 1
-	v := q.ids[last]
-	q.ids = q.ids[:last]
-	return v
-}
 
 // Schedule implements sched.Algorithm.
 func (c *CPOP) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
@@ -121,20 +97,19 @@ func (c *CPOP) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
 
 	s := sched.NewSchedule(pr)
 	remaining := make([]int, g.NumTasks())
-	q := &priorityQueue{prio: prio}
-	heap.Init(q)
+	q := &taskHeap{prio: prio}
 	for t := 0; t < g.NumTasks(); t++ {
 		remaining[t] = g.InDegree(dag.TaskID(t))
 		if remaining[t] == 0 {
-			heap.Push(q, dag.TaskID(t))
+			q.push(dag.TaskID(t))
 		}
 	}
 	eftAcc := prof.Accum(obs.PhaseEFT)
 	insAcc := prof.Accum(obs.PhaseInsertion)
 	defer eftAcc.Flush()
 	defer insAcc.Flush()
-	for q.Len() > 0 {
-		t := heap.Pop(q).(dag.TaskID)
+	for q.len() > 0 {
+		t := q.pop()
 		var est sched.Estimate
 		eftTick := eftAcc.Tick()
 		if onCP[t] {
@@ -155,7 +130,7 @@ func (c *CPOP) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
 		for _, a := range g.Succs(t) {
 			remaining[a.Task]--
 			if remaining[a.Task] == 0 {
-				heap.Push(q, a.Task)
+				q.push(a.Task)
 			}
 		}
 	}

@@ -80,11 +80,12 @@ func TestPEFTOCTHandComputed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if table[1][0] != 0 || table[1][1] != 0 || table[2][0] != 0 || table[2][1] != 0 {
-		t.Fatalf("exit OCT rows must be zero: %v", table[1:])
+	// Flat row-major layout: OCT(t, p) = table[t*np+p] with np = 2 here.
+	if table[2] != 0 || table[3] != 0 || table[4] != 0 || table[5] != 0 {
+		t.Fatalf("exit OCT rows must be zero: %v", table[2:])
 	}
-	if table[0][0] != 8 || table[0][1] != 5 {
-		t.Fatalf("OCT(A) = %v, want [8 5]", table[0])
+	if table[0] != 8 || table[1] != 5 {
+		t.Fatalf("OCT(A) = %v, want [8 5]", table[:2])
 	}
 }
 

@@ -1,0 +1,69 @@
+package heuristics
+
+import "hdlts/internal/dag"
+
+// taskHeap is a max-heap of ready tasks keyed by a fixed priority vector,
+// with task-ID tie-breaks for determinism. It replaces container/heap in the
+// dispatch loops of CPOP and PEFT: the stdlib interface boxes every pushed
+// and popped TaskID through `any` and calls Less/Swap through the interface
+// table, which dominates queue cost on large graphs. Priorities are read
+// from prio (indexed by task), so the heap itself stores only IDs.
+type taskHeap struct {
+	ids  []dag.TaskID
+	prio []float64
+}
+
+// less reports whether task a dispatches before task b: higher priority
+// first, smaller ID on ties.
+func (h *taskHeap) less(a, b dag.TaskID) bool {
+	if h.prio[a] != h.prio[b] {
+		return h.prio[a] > h.prio[b]
+	}
+	return a < b
+}
+
+func (h *taskHeap) len() int { return len(h.ids) }
+
+// push adds t to the heap.
+func (h *taskHeap) push(t dag.TaskID) {
+	h.ids = append(h.ids, t)
+	// Sift up.
+	ids := h.ids
+	i := len(ids) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(ids[i], ids[parent]) {
+			break
+		}
+		ids[i], ids[parent] = ids[parent], ids[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the highest-priority task.
+func (h *taskHeap) pop() dag.TaskID {
+	ids := h.ids
+	top := ids[0]
+	last := len(ids) - 1
+	ids[0] = ids[last]
+	h.ids = ids[:last]
+	// Sift down.
+	ids = h.ids
+	n := len(ids)
+	i := 0
+	for {
+		best := i
+		if l := 2*i + 1; l < n && h.less(ids[l], ids[best]) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && h.less(ids[r], ids[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		ids[i], ids[best] = ids[best], ids[i]
+		i = best
+	}
+	return top
+}

@@ -1,8 +1,6 @@
 package heuristics
 
 import (
-	"container/heap"
-
 	"hdlts/internal/dag"
 	"hdlts/internal/obs"
 	"hdlts/internal/platform"
@@ -30,40 +28,54 @@ func NewPEFT() *PEFT { return &PEFT{Pol: sched.InsertionPolicy} }
 // Name implements sched.Algorithm.
 func (*PEFT) Name() string { return "PEFT" }
 
-// oct computes the optimistic cost table, rows indexed by task.
-func oct(pr *sched.Problem) ([][]float64, error) {
+// oct computes the optimistic cost table as a flat row-major n×p slice:
+// OCT(t, p) lives at table[t*p+p]. One allocation instead of n+1, and the
+// inner recurrence runs in O(E·P) rather than O(E·P²): for each successor
+// the per-processor candidate costs c(q) = OCT(s, q) + W(s, q) are computed
+// once, and min over q of (c(q) + c̄ if q ≠ pk) collapses to
+// min(c(pk), m + c̄) where m is the minimum of c over q ≠ pk — the overall
+// minimum m1, or the second minimum m2 when pk is itself the argmin.
+func oct(pr *sched.Problem) ([]float64, error) {
 	g := pr.G
 	order, err := g.TopoOrder()
 	if err != nil {
 		return nil, err
 	}
 	n, p := g.NumTasks(), pr.NumProcs()
-	table := make([][]float64, n)
-	for i := range table {
-		table[i] = make([]float64, p)
-	}
+	table := make([]float64, n*p)
+	cand := make([]float64, p) // c(q) scratch for the current successor
 	for i := len(order) - 1; i >= 0; i-- {
 		t := order[i]
-		for pk := 0; pk < p; pk++ {
-			best := 0.0
-			for _, a := range g.Succs(t) {
-				s := a.Task
-				comm := pr.MeanComm(a.Data)
-				minCost := -1.0
-				for q := 0; q < p; q++ {
-					c := table[s][q] + pr.Exec(s, platform.Proc(q))
-					if q != pk {
-						c += comm
-					}
-					if minCost < 0 || c < minCost {
-						minCost = c
-					}
-				}
-				if minCost > best {
-					best = minCost
+		row := table[int(t)*p : int(t)*p+p]
+		for _, a := range g.Succs(t) {
+			s := a.Task
+			comm := pr.MeanComm(a.Data)
+			srow := table[int(s)*p : int(s)*p+p]
+			m1, m2 := -1.0, -1.0
+			p1 := -1
+			for q := 0; q < p; q++ {
+				c := srow[q] + pr.Exec(s, platform.Proc(q))
+				cand[q] = c
+				switch {
+				case m1 < 0 || c < m1:
+					m2, m1, p1 = m1, c, q
+				case m2 < 0 || c < m2:
+					m2 = c
 				}
 			}
-			table[t][pk] = best
+			for pk := 0; pk < p; pk++ {
+				m := m1
+				if pk == p1 {
+					m = m2
+				}
+				minCost := cand[pk]
+				if m >= 0 && m+comm < minCost {
+					minCost = m + comm
+				}
+				if minCost > row[pk] {
+					row[pk] = minCost
+				}
+			}
 		}
 	}
 	return table, nil
@@ -75,7 +87,8 @@ func (pe *PEFT) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
 	defer prof.Start(obs.PhaseSchedule).Stop()
 	pr = pr.Normalize()
 	g := pr.G
-	var table [][]float64
+	np := pr.NumProcs()
+	var table []float64
 	var rank []float64
 	var err error
 	prof.Do(obs.PhaseRank, func() {
@@ -86,10 +99,10 @@ func (pe *PEFT) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
 		rank = make([]float64, g.NumTasks())
 		for t := range rank {
 			sum := 0.0
-			for _, v := range table[t] {
+			for _, v := range table[t*np : t*np+np] {
 				sum += v
 			}
-			rank[t] = sum / float64(pr.NumProcs())
+			rank[t] = sum / float64(np)
 		}
 	})
 	if err != nil {
@@ -98,29 +111,28 @@ func (pe *PEFT) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
 
 	s := sched.NewSchedule(pr)
 	remaining := make([]int, g.NumTasks())
-	q := &priorityQueue{prio: rank}
-	heap.Init(q)
+	q := &taskHeap{prio: rank}
 	for t := 0; t < g.NumTasks(); t++ {
 		remaining[t] = g.InDegree(dag.TaskID(t))
 		if remaining[t] == 0 {
-			heap.Push(q, dag.TaskID(t))
+			q.push(dag.TaskID(t))
 		}
 	}
 	eftAcc := prof.Accum(obs.PhaseEFT)
 	insAcc := prof.Accum(obs.PhaseInsertion)
 	defer eftAcc.Flush()
 	defer insAcc.Flush()
-	for q.Len() > 0 {
-		t := heap.Pop(q).(dag.TaskID)
+	for q.len() > 0 {
+		t := q.pop()
 		var best sched.Estimate
 		bestOEFT := -1.0
 		eftTick := eftAcc.Tick()
-		for p := 0; p < pr.NumProcs(); p++ {
+		for p := 0; p < np; p++ {
 			e, err := s.Estimate(t, platform.Proc(p), pe.Pol)
 			if err != nil {
 				return nil, err
 			}
-			if oeft := e.EFT + table[t][p]; bestOEFT < 0 || oeft < bestOEFT {
+			if oeft := e.EFT + table[int(t)*np+p]; bestOEFT < 0 || oeft < bestOEFT {
 				bestOEFT, best = oeft, e
 			}
 		}
@@ -134,7 +146,7 @@ func (pe *PEFT) Schedule(pr *sched.Problem) (*sched.Schedule, error) {
 		for _, a := range g.Succs(t) {
 			remaining[a.Task]--
 			if remaining[a.Task] == 0 {
-				heap.Push(q, a.Task)
+				q.push(a.Task)
 			}
 		}
 	}

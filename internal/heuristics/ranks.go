@@ -7,7 +7,7 @@
 package heuristics
 
 import (
-	"sort"
+	"slices"
 
 	"hdlts/internal/dag"
 	"hdlts/internal/obs"
@@ -77,7 +77,15 @@ func orderByRankDesc(g *dag.Graph, rank []float64) ([]dag.TaskID, error) {
 	if err != nil {
 		return nil, err
 	}
-	sort.SliceStable(order, func(i, j int) bool { return rank[order[i]] > rank[order[j]] })
+	slices.SortStableFunc(order, func(a, b dag.TaskID) int {
+		switch {
+		case rank[a] > rank[b]:
+			return -1
+		case rank[a] < rank[b]:
+			return 1
+		}
+		return 0
+	})
 	return order, nil
 }
 

@@ -206,6 +206,44 @@ func (a *PhaseAccum) ObserveSince(start time.Time) {
 	}
 }
 
+// Enabled reports whether the accumulator records anything (false for
+// accumulators from a nil Profile). Loops that chain several phases per
+// iteration check it once and skip their clock reads entirely when off.
+func (a *PhaseAccum) Enabled() bool { return a.h != nil }
+
+// SampledTick carries the chained-boundary clock through one *sampled*
+// solver iteration: solver loops that time only one iteration in k read
+// the clock once per phase boundary (Lap both closes the previous phase
+// and opens the next) and flush the totals scaled back up by k. Keeping
+// the clock reads here, next to the other metric-timing primitives, also
+// keeps scheduler packages free of raw wall-clock calls (the determinism
+// vet check).
+type SampledTick struct{ t time.Time }
+
+// StartSample opens a sampled iteration at the current instant.
+func StartSample() SampledTick { return SampledTick{t: time.Now()} }
+
+// Lap closes the phase opened by the previous boundary into acc and opens
+// the next phase, with a single clock read.
+func (s *SampledTick) Lap(acc *PhaseAccum) {
+	now := time.Now()
+	if acc.h != nil {
+		acc.ns += int64(now.Sub(s.t))
+	}
+	s.t = now
+}
+
+// FlushScaled records the accumulated total multiplied by k as one
+// histogram observation and resets the accumulator — the flush companion
+// to sampled timing: one iteration in k is measured, so the recorded
+// total scales by k. Nothing is recorded when no time accumulated.
+func (a *PhaseAccum) FlushScaled(k int64) {
+	if a.h != nil && a.ns > 0 {
+		a.h.Observe(float64(a.ns*k) / 1e9)
+		a.ns = 0
+	}
+}
+
 // Flush records the accumulated total as one histogram observation and
 // resets the accumulator. Nothing is recorded when no time accumulated.
 func (a *PhaseAccum) Flush() {

@@ -9,10 +9,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime/debug"
 	"sync"
 	"testing"
 	"time"
 
+	"hdlts/internal/core"
 	"hdlts/internal/gen"
 	"hdlts/internal/jobs"
 	"hdlts/internal/obs"
@@ -34,7 +36,9 @@ func Suite() []Bench {
 	return []Bench{
 		{Name: "solver/hdlts/v1k", HotPath: true, Quick: true, Benchtime: "100x", F: solverBench("hdlts", 1000)},
 		{Name: "solver/hdlts/v10k", HotPath: true, Quick: true, Benchtime: "10x", F: solverBench("hdlts", 10000)},
-		{Name: "solver/hdlts/v100k", HotPath: true, Benchtime: "1x", F: solverBench("hdlts", 100000)},
+		{Name: "solver/hdlts/v10k_steady", HotPath: true, Quick: true, Benchtime: "10x", F: steadyBench(10000)},
+		{Name: "solver/hdlts/v100k", HotPath: true, Quick: true, Benchtime: "1x", F: solverBench("hdlts", 100000)},
+		{Name: "solver/hdlts/v1m", HotPath: true, Benchtime: "1x", F: solverBench("hdlts", 1000000)},
 		{Name: "solver/heft/v1k", HotPath: true, Quick: true, Benchtime: "100x", F: solverBench("heft", 1000)},
 		{Name: "solver/heft/v10k", HotPath: true, Benchtime: "10x", F: solverBench("heft", 10000)},
 		{Name: "solver/cpop/v1k", HotPath: true, Quick: true, Benchtime: "100x", F: solverBench("cpop", 1000)},
@@ -83,9 +87,36 @@ func solverBench(name string, v int) func(*testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportAllocs()
+		defer debug.SetGCPercent(debug.SetGCPercent(-1))
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := alg.Schedule(pr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// steadyBench times the allocation-free steady state of an HDLTS solve
+// stream: ScheduleInto reuses the previous schedule's storage and the
+// pooled arena, so after the warm-up solve the loop body performs zero heap
+// allocations — the hot-gate pins allocs/op at 0, turning any regression
+// into a blocking diff. MaxWorkers is 1 because the point is the per-solve
+// allocation contract, not parallel throughput (worker hand-off is timed by
+// the plain v10k bench, which uses the default options).
+func steadyBench(v int) func(*testing.B) {
+	return func(b *testing.B) {
+		pr := problem(v)
+		h := core.NewWithOptions(core.Options{MaxWorkers: 1})
+		s, err := h.Schedule(pr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		defer debug.SetGCPercent(debug.SetGCPercent(-1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if s, err = h.ScheduleInto(pr, s); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -64,6 +64,11 @@ func (c *Costs) NumProcs() int { return c.procs }
 // At returns W(t, p), the execution time of task t on processor p.
 func (c *Costs) At(task int, p Proc) float64 { return c.w[task*c.procs+int(p)] }
 
+// RowView returns W(task, ·) as a subslice of the cost matrix — the
+// zero-copy companion to Row for hot paths that copy or scan a whole row
+// without per-element index arithmetic. The caller must not modify it.
+func (c *Costs) RowView(task int) []float64 { return c.w[task*c.procs : (task+1)*c.procs] }
+
 // Set stores W(t, p). Values must be finite and non-negative.
 func (c *Costs) Set(task int, p Proc, v float64) error {
 	if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {

@@ -92,6 +92,12 @@ func (p *Platform) Bandwidth(a, b Proc) float64 {
 	return p.bandwidth[a][b]
 }
 
+// Uniform reports whether every distinct-pair link runs at unit bandwidth
+// (the paper's evaluation setting). Hot paths use this to replace the
+// per-pair CommTime division with the data volume itself — data/1.0 and
+// data are the same float64, so the substitution is bit-exact.
+func (p *Platform) Uniform() bool { return p.bandwidth == nil }
+
 // CommTime returns the communication time for shipping data units from
 // processor a to processor b: Data / B(a,b) per Eq. 2, zero when a == b.
 func (p *Platform) CommTime(data float64, a, b Proc) float64 {

@@ -115,6 +115,195 @@ func (s *Schedule) ReadyTime(t dag.TaskID, p platform.Proc, pol Policy) (ready f
 	return readyWithout, false, dag.None, 0, nil
 }
 
+// FillArrivals caches the placement-independent half of ReadyTime for a
+// queued task: per-processor parent-output arrival times. Once every parent
+// of t is placed, these arrivals change only when a *new copy* of a parent
+// materialises (entry-task duplication) — commits of unrelated tasks leave
+// them untouched — so the indexed HDLTS core fills them once per enqueue and
+// answers later estimates in O(1) per processor via EstimateArrived.
+//
+// entry and other must each have length NumProcs. other[p] receives the
+// maximum arrival over all parents except the duplication candidate (0 when
+// none); when pol.EntryDuplication is set and t has a parentless parent, the
+// first such parent (in predecessor order, mirroring ReadyTime) becomes the
+// candidate: its ID is returned and entry[p] receives its arrival. Without a
+// candidate the returned ID is dag.None and entry is untouched.
+//
+// Like ReadyTime it errors when a parent of t is still unscheduled.
+//
+//hdlts:hotpath
+func (s *Schedule) FillArrivals(t dag.TaskID, pol Policy, entry, other []float64) (dag.TaskID, error) {
+	g := s.prob.G
+	np := s.prob.NumProcs()
+	uniform := s.prob.P.Uniform()
+	// Reslicing to np lets the compiler drop bounds checks in the
+	// per-processor loops below.
+	entry, other = entry[:np], other[:np]
+	for p := range other {
+		other[p] = 0
+	}
+	entryTask := dag.None
+	// Under unit bandwidth an un-duplicated parent contributes Finish+Data
+	// to every column except its own processor, which sees Finish. Rather
+	// than sweeping np columns per parent, fold the parents into the two
+	// largest Finish+Data values held on *distinct* processors (m1 on p1,
+	// m2 elsewhere) plus a per-own-processor Finish merged directly into
+	// other, then compose the columns in one O(np) pass: column p1 takes
+	// m2, every other column takes m1. All of it is comparisons and copies
+	// of already-computed sums, so the result is bit-identical to the
+	// per-parent sweep. Parents with duplicates (or non-uniform platforms)
+	// keep the generic per-column merge.
+	m1, m2 := 0.0, 0.0
+	var p1 platform.Proc = -1
+	for _, a := range g.Preds(t) {
+		u := a.Task
+		// The parent's primary placement is resolved once per parent, not
+		// once per (parent, processor) as arrivalFromCopies would.
+		pc := s.primary[u]
+		if pc.Proc == unplaced {
+			return dag.None, fmt.Errorf("sched: parent %d of task %d is not scheduled yet", u, t)
+		}
+		if pol.EntryDuplication && entryTask == dag.None && g.InDegree(u) == 0 {
+			entryTask = u
+			s.arrivalsInto(pc, u, a.Data, uniform, entry)
+			continue
+		}
+		dups := s.dups[u]
+		if uniform && len(dups) == 0 {
+			base := pc.Finish + a.Data
+			if fin := pc.Finish; fin > other[pc.Proc] {
+				other[pc.Proc] = fin
+			}
+			switch {
+			case pc.Proc == p1:
+				if base > m1 {
+					m1 = base
+				}
+			case base > m1:
+				// The displaced m1 sits on a processor other than the new
+				// p1 and dominates everything seen before it, so it is
+				// exactly the new exclude-p1 maximum.
+				m2, m1, p1 = m1, base, pc.Proc
+			case base > m2:
+				m2 = base
+			}
+			continue
+		}
+		for p := 0; p < np; p++ {
+			arr := pc.Finish + s.prob.Comm(a.Data, pc.Proc, platform.Proc(p))
+			for _, c := range dups {
+				if v := c.Finish + s.prob.Comm(a.Data, c.Proc, platform.Proc(p)); v < arr {
+					arr = v
+				}
+			}
+			if arr > other[p] {
+				other[p] = arr
+			}
+		}
+	}
+	if p1 >= 0 {
+		for p := range other {
+			b := m1
+			if platform.Proc(p) == p1 {
+				b = m2
+			}
+			if b > other[p] {
+				other[p] = b
+			}
+		}
+	}
+	return entryTask, nil
+}
+
+// arrivalsInto writes parent u's per-processor output arrival (earliest
+// over all copies) into dst — the overwrite form FillArrivals uses for the
+// duplication candidate's row. pc is u's already-resolved primary placement.
+//
+//hdlts:hotpath
+func (s *Schedule) arrivalsInto(pc Placement, u dag.TaskID, data float64, uniform bool, dst []float64) {
+	np := s.prob.NumProcs()
+	dups := s.dups[u]
+	if uniform && len(dups) == 0 {
+		base := pc.Finish + data
+		for p := 0; p < np; p++ {
+			dst[p] = base
+		}
+		dst[pc.Proc] = pc.Finish
+		return
+	}
+	for p := 0; p < np; p++ {
+		arr := pc.Finish + s.prob.Comm(data, pc.Proc, platform.Proc(p))
+		for _, c := range dups {
+			if v := c.Finish + s.prob.Comm(data, c.Proc, platform.Proc(p)); v < arr {
+				arr = v
+			}
+		}
+		dst[p] = arr
+	}
+}
+
+// EstimateArrived is Estimate for callers holding arrival caches from
+// FillArrivals: entryArr/otherArr are that call's entry[p]/other[p] and
+// entryTask its returned candidate. The result is bit-identical to
+// Estimate(t, p, pol) as long as no new copy of a parent of t has been
+// placed since the arrivals were filled (the caller re-fills after any
+// duplication). Unlike Estimate it never errors — the fill already proved
+// every parent placed — and it neither emits tracer events nor bumps the
+// substrate estimate counter: the indexed core runs only untraced and
+// batch-accounts its estimates.
+//
+//hdlts:hotpath
+func (s *Schedule) EstimateArrived(t dag.TaskID, p platform.Proc, pol Policy, entryTask dag.TaskID, entryArr, otherArr float64) Estimate {
+	dur := s.prob.Exec(t, p)
+	readyWithout := otherArr
+	if entryTask != dag.None && entryArr > readyWithout {
+		readyWithout = entryArr
+	}
+	ready := readyWithout
+	usedDup := false
+	dupFinish := 0.0
+	if pol.EntryDuplication && entryTask != dag.None && !s.HasCopyOn(entryTask, p) {
+		if w := s.prob.Exec(entryTask, p); s.FreeAt(p, 0, w) && w < entryArr {
+			readyWith := otherArr
+			if w > readyWith {
+				readyWith = w
+			}
+			if readyWith < readyWithout {
+				ready = readyWith
+				usedDup = true
+				dupFinish = w
+			}
+		}
+	}
+	e := Estimate{Task: t, Proc: p, Ready: ready, EST: s.startFor(p, ready, dur, pol), DupTask: dag.None}
+	if usedDup {
+		// Same strict-improvement rule as Estimate: keep the duplicate only
+		// when it lowers the committed start.
+		if estPlain := s.startFor(p, readyWithout, dur, pol); e.EST < estPlain {
+			e.UseDuplicate = true
+			e.DupTask = entryTask
+			e.DupStart = 0
+			e.DupFinish = dupFinish
+		} else {
+			e.Ready = readyWithout
+			e.EST = estPlain
+		}
+	}
+	e.EFT = e.EST + dur
+	return e
+}
+
+// CountEstimates adds n to the substrate estimate counter on behalf of
+// callers that go through EstimateArrived, which does not bump the counter
+// per call: the indexed HDLTS core batches one Add per solve instead of
+// ~V·P atomic increments, keeping the counter's meaning (one unit per
+// (task, processor) evaluation) identical across engines.
+func CountEstimates(n int64) {
+	if n > 0 {
+		estimateCount.Add(n)
+	}
+}
+
 // Estimate evaluates task t on processor p under the policy: it computes
 // Ready, EST, and EFT, deciding whether the virtual entry duplicate is
 // actually beneficial for the *committed* start (a duplicate that does not

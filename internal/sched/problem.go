@@ -8,6 +8,7 @@ package sched
 
 import (
 	"fmt"
+	"sync"
 
 	"hdlts/internal/dag"
 	"hdlts/internal/obs"
@@ -26,6 +27,22 @@ type Problem struct {
 	// tracer receives decision events from any scheduler run against this
 	// problem; nil means no tracing (Tracer() returns obs.Nop).
 	tracer obs.Tracer
+
+	// norm memoises Normalize. Every solver normalises first, and for a
+	// multi-entry/multi-exit workflow that used to clone the graph and extend
+	// the cost matrix on *every* solve — the single largest allocation source
+	// in the benchmark suite. The cache is a pointer so WithTracer's shallow
+	// copy can swap in a fresh one (the normalised problem carries the
+	// tracer, so copies with different tracers must not share it). A Problem
+	// built as a bare literal has norm == nil and falls back to the uncached
+	// path.
+	norm *normCache
+}
+
+// normCache holds the lazily computed normalised form of one Problem.
+type normCache struct {
+	once sync.Once
+	pr   *Problem
 }
 
 // WithTracer returns a shallow copy of the problem whose schedulers emit
@@ -34,6 +51,7 @@ type Problem struct {
 func (pr *Problem) WithTracer(t obs.Tracer) *Problem {
 	cp := *pr
 	cp.tracer = obs.OrNop(t)
+	cp.norm = &normCache{}
 	return &cp
 }
 
@@ -52,7 +70,7 @@ func NewProblem(g *dag.Graph, p *platform.Platform, w *platform.Costs) (*Problem
 	if err := w.Validate(g.NumTasks(), p.NumProcs()); err != nil {
 		return nil, err
 	}
-	return &Problem{G: g, P: p, W: w}, nil
+	return &Problem{G: g, P: p, W: w, norm: &normCache{}}, nil
 }
 
 // MustProblem is NewProblem that panics on error, for fixture construction.
@@ -67,8 +85,27 @@ func MustProblem(g *dag.Graph, p *platform.Platform, w *platform.Costs) *Problem
 // Normalize returns a problem whose workflow has exactly one entry and one
 // exit task, adding zero-cost pseudo tasks (and matching zero-cost matrix
 // rows) when needed. If the workflow is already normalised the receiver is
-// returned unchanged.
+// returned unchanged. The result is computed once per Problem and memoised:
+// repeated solves of the same instance (the service steady state, the
+// benchmark suite) share one normalised form. Safe for concurrent use.
 func (pr *Problem) Normalize() *Problem {
+	if pr.norm == nil {
+		return pr.normalize()
+	}
+	pr.norm.once.Do(func() {
+		np := pr.normalize()
+		if np != pr {
+			// Normalising the already-normalised problem is the identity, so
+			// the copy can share the cache and short-circuit here.
+			np.norm = pr.norm
+		}
+		pr.norm.pr = np
+	})
+	return pr.norm.pr
+}
+
+// normalize is the uncached single-entry/single-exit rewrite.
+func (pr *Problem) normalize() *Problem {
 	g, changed := dag.NormalizeSingleEntryExit(pr.G)
 	if !changed {
 		return pr

@@ -36,16 +36,40 @@ type Schedule struct {
 
 // NewSchedule returns an empty schedule for the problem.
 func NewSchedule(pr *Problem) *Schedule {
-	s := &Schedule{
-		prob:      pr,
-		primary:   make([]Placement, pr.NumTasks()),
-		dups:      make([][]Placement, pr.NumTasks()),
-		timelines: make([]timeline, pr.NumProcs()),
+	s := &Schedule{}
+	s.Reset(pr)
+	return s
+}
+
+// Reset empties the schedule and rebinds it to pr, retaining the backing
+// storage of a previous solve where capacities allow. A long-running service
+// scheduling a stream of similarly sized problems reuses one Schedule and
+// pays no per-solve allocation; see HDLTS.ScheduleInto.
+func (s *Schedule) Reset(pr *Problem) {
+	n, p := pr.NumTasks(), pr.NumProcs()
+	s.prob = pr
+	s.placed = 0
+	if cap(s.primary) < n {
+		s.primary = make([]Placement, n)
 	}
+	s.primary = s.primary[:n]
 	for i := range s.primary {
 		s.primary[i] = Placement{Task: dag.TaskID(i), Proc: unplaced}
 	}
-	return s
+	if cap(s.dups) < n {
+		s.dups = make([][]Placement, n)
+	}
+	s.dups = s.dups[:n]
+	for i := range s.dups {
+		s.dups[i] = s.dups[i][:0]
+	}
+	if cap(s.timelines) < p {
+		s.timelines = make([]timeline, p)
+	}
+	s.timelines = s.timelines[:p]
+	for i := range s.timelines {
+		s.timelines[i].reset()
+	}
 }
 
 // Problem returns the problem this schedule maps.
@@ -168,6 +192,18 @@ func (s *Schedule) NumDuplicates() int {
 		n += len(d)
 	}
 	return n
+}
+
+// Arrival returns the earliest time the output of parent u (with edge data
+// volume data) can be available on processor p, considering every scheduled
+// copy of u (primary and duplicates). +Inf when u has no copies yet. This is
+// the non-allocating accessor behind ReadyTime; solvers probing tentative
+// placements (e.g. the HDLTS lookahead) should use it instead of ranging
+// over Copies, which allocates.
+//
+//hdlts:hotpath
+func (s *Schedule) Arrival(u dag.TaskID, data float64, p platform.Proc) float64 {
+	return s.arrivalFromCopies(u, data, p)
 }
 
 // arrivalFromCopies returns the earliest time the output of parent u (with

@@ -22,8 +22,15 @@ func (s Slot) Dur() float64 { return s.End - s.Start }
 // timeline is the occupied-interval set of one processor, kept sorted by
 // start time. Intervals are half-open, so zero-duration slots (pseudo tasks)
 // never conflict with anything.
+//
+// Alongside the slots it maintains maxEnd, the running maximum of slot ends
+// in start order: maxEnd[i] = max(slots[0].End, ..., slots[i].End). Ends are
+// not themselves monotone — a zero-duration pseudo-task slot may start after
+// a longer slot yet end before it — so the prefix maximum is what makes the
+// conflict and gap searches below binary instead of linear.
 type timeline struct {
-	slots []Slot
+	slots  []Slot
+	maxEnd []float64
 }
 
 // avail returns the paper's Avail(m_p) (Definition 3): the finish time of
@@ -45,27 +52,38 @@ func (tl *timeline) freeAt(start, dur float64) bool {
 		return true
 	}
 	end := start + dur
-	// Find the first slot with Start >= end; everything before it could clash.
+	// Only slots with Start < end can clash, and among those a clash means
+	// some End > start — i.e. the prefix maximum of their ends exceeds start.
 	i := sort.Search(len(tl.slots), func(i int) bool { return tl.slots[i].Start >= end })
-	for j := 0; j < i; j++ {
-		if tl.slots[j].End > start {
-			return false
-		}
-	}
-	return true
+	return i == 0 || tl.maxEnd[i-1] <= start
 }
 
 // earliestFit returns the earliest start >= ready at which a task of length
-// dur fits, using the insertion-based policy of HEFT/PETS/PEFT: scan idle
-// gaps between consecutive slots and fall back to the end of the timeline.
+// dur fits, using the insertion-based policy of HEFT/PETS/PEFT: find the
+// first idle gap between consecutive slots and fall back to the end of the
+// timeline. The prefix of slots that finish by ready is skipped with two
+// binary searches; the remaining tail is the original linear gap scan.
 //
 //hdlts:hotpath
 func (tl *timeline) earliestFit(ready, dur float64) float64 {
 	if dur == 0 {
 		return ready
 	}
+	n := len(tl.slots)
+	// j0: first slot not wholly before ready. Every slot left of j0 has
+	// finished by ready, so the candidate gap start up to j0 is ready itself.
+	j0 := sort.Search(n, func(i int) bool { return tl.maxEnd[i] > ready })
+	// j1: first slot starting at or after ready+dur. If it lies within the
+	// finished-by-ready prefix, [ready, ready+dur) fits in front of it.
+	j1 := sort.Search(n, func(i int) bool { return tl.slots[i].Start >= ready+dur })
+	if j1 < n && j1 <= j0 {
+		return ready
+	}
 	prevEnd := 0.0
-	for _, s := range tl.slots {
+	if j0 > 0 {
+		prevEnd = tl.maxEnd[j0-1]
+	}
+	for _, s := range tl.slots[j0:] {
 		gapStart := prevEnd
 		if gapStart < ready {
 			gapStart = ready
@@ -97,7 +115,24 @@ func (tl *timeline) insert(s Slot) error {
 	tl.slots = append(tl.slots, Slot{})
 	copy(tl.slots[i+1:], tl.slots[i:])
 	tl.slots[i] = s
+	// Rebuild the running maximum from the insertion point. Appends (the
+	// common case for avail-based placement) cost O(1); a middle insert costs
+	// O(s−i), the same as the slot shift above.
+	tl.maxEnd = append(tl.maxEnd, 0)
+	for j := i; j < len(tl.slots); j++ {
+		m := tl.slots[j].End
+		if j > 0 && tl.maxEnd[j-1] > m {
+			m = tl.maxEnd[j-1]
+		}
+		tl.maxEnd[j] = m
+	}
 	return nil
+}
+
+// reset empties the timeline, retaining capacity for reuse.
+func (tl *timeline) reset() {
+	tl.slots = tl.slots[:0]
+	tl.maxEnd = tl.maxEnd[:0]
 }
 
 // snapshot returns a copy of the slots (for rendering and inspection).

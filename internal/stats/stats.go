@@ -41,6 +41,63 @@ func SampleStdDev(xs []float64) float64 {
 	return math.Sqrt(ss / float64(len(xs)-1))
 }
 
+// SampleStdDev2 computes SampleStdDev over two equal-length rows at once,
+// bit-identical to calling it on each: every row keeps its own
+// left-to-right accumulation order, but the two independent dependency
+// chains interleave, roughly doubling throughput on the serial FP-add
+// latency that bounds the single-row form. The HDLTS indexed core batches
+// its per-iteration σ recomputations in pairs through this.
+//
+//hdlts:hotpath
+func SampleStdDev2(a, b []float64) (float64, float64) {
+	n := len(a)
+	if n < 2 || len(b) != n {
+		return SampleStdDev(a), SampleStdDev(b)
+	}
+	b = b[:n]
+	sa, sb := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		sa += a[i]
+		sb += b[i]
+	}
+	ma, mb := sa/float64(n), sb/float64(n)
+	qa, qb := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		da := a[i] - ma
+		qa += da * da
+		db := b[i] - mb
+		qb += db * db
+	}
+	inv := float64(n - 1)
+	return math.Sqrt(qa / inv), math.Sqrt(qb / inv)
+}
+
+// PopStdDev2 is SampleStdDev2 for the population form (denominator n).
+//
+//hdlts:hotpath
+func PopStdDev2(a, b []float64) (float64, float64) {
+	n := len(a)
+	if n < 2 || len(b) != n {
+		return PopStdDev(a), PopStdDev(b)
+	}
+	b = b[:n]
+	sa, sb := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		sa += a[i]
+		sb += b[i]
+	}
+	ma, mb := sa/float64(n), sb/float64(n)
+	qa, qb := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		da := a[i] - ma
+		qa += da * da
+		db := b[i] - mb
+		qb += db * db
+	}
+	inv := float64(n)
+	return math.Sqrt(qa / inv), math.Sqrt(qb / inv)
+}
+
 // PopStdDev returns the population standard deviation (denominator n); kept
 // for the σ-definition ablation bench.
 //

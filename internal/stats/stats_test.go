@@ -168,3 +168,50 @@ func TestMergeIntoEmpty(t *testing.T) {
 		t.Fatal("merging empty changed the accumulator")
 	}
 }
+
+// TestQuickPairedStdDevBitIdentical: the paired forms must be bit-identical
+// to the single-row forms for arbitrary rows — not merely close. The solver
+// depends on this: the indexed core batches its σ recomputations in pairs,
+// and the seed-vs-indexed schedule equivalence property holds only if each
+// row's left-to-right accumulation order is preserved exactly.
+func TestQuickPairedStdDevBitIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+			b[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+		}
+		sa, sb := SampleStdDev2(a, b)
+		if sa != SampleStdDev(a) || sb != SampleStdDev(b) {
+			t.Logf("SampleStdDev2 diverged at n=%d", n)
+			return false
+		}
+		pa, pb := PopStdDev2(a, b)
+		if pa != PopStdDev(a) || pb != PopStdDev(b) {
+			t.Logf("PopStdDev2 diverged at n=%d", n)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPairedStdDevLengthMismatch: mismatched rows fall back to the
+// single-row computations instead of touching out-of-range memory.
+func TestPairedStdDevLengthMismatch(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5}
+	sa, sb := SampleStdDev2(a, b)
+	if sa != SampleStdDev(a) || sb != SampleStdDev(b) {
+		t.Fatal("length-mismatch fallback diverged")
+	}
+	pa, pb := PopStdDev2(a, b)
+	if pa != PopStdDev(a) || pb != PopStdDev(b) {
+		t.Fatal("length-mismatch fallback diverged (population)")
+	}
+}
