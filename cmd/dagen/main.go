@@ -40,17 +40,19 @@ func main() {
 		beta    = flag.Float64("beta", 1.2, "heterogeneity factor (0..2)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		dot     = flag.Bool("dot", false, "emit Graphviz DOT instead of problem JSON")
+		format  = flag.String("format", "", "output format: json (default) | dot | workflow (runnable YAML for hdltsrun / POST /v1/workflows)")
+		tscale  = flag.Float64("timescale", 0.01, "workflow format: seconds of real sleep per abstract W unit")
 		from    = flag.String("from", "", "dot kind: import the workflow structure from this Graphviz DOT file")
 		stats   = flag.Bool("stats", false, "print workflow statistics to stderr")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, os.Stderr, *kind, *v, *alpha, *density, *multi, *m, *n, *ccr, *procs, *wdag, *beta, *seed, *dot, *from, *stats); err != nil {
+	if err := run(os.Stdout, os.Stderr, *kind, *v, *alpha, *density, *multi, *m, *n, *ccr, *procs, *wdag, *beta, *seed, *dot, *format, *tscale, *from, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "dagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, errw io.Writer, kind string, v int, alpha float64, density int, multi bool, m, n int, ccr float64, procs int, wdag, beta float64, seed int64, dot bool, from string, stats bool) error {
+func run(out, errw io.Writer, kind string, v int, alpha float64, density int, multi bool, m, n int, ccr float64, procs int, wdag, beta float64, seed int64, dot bool, format string, tscale float64, from string, stats bool) error {
 	rng := rand.New(rand.NewSource(seed))
 	cost := gen.CostParams{Procs: procs, WDAG: wdag, Beta: beta, CCR: ccr}
 
@@ -122,8 +124,17 @@ func run(out, errw io.Writer, kind string, v int, alpha float64, density int, mu
 		}
 		fmt.Fprint(errw, st.String())
 	}
-	if dot {
-		return pr.G.WriteDOT(out, kind)
+	if dot && format == "" {
+		format = "dot"
 	}
-	return pr.WriteJSON(out)
+	switch format {
+	case "", "json":
+		return pr.WriteJSON(out)
+	case "dot":
+		return pr.G.WriteDOT(out, kind)
+	case "workflow":
+		return writeWorkflowYAML(out, pr, kind, tscale)
+	default:
+		return fmt.Errorf("unknown -format %q (want json | dot | workflow)", format)
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"hdlts/internal/exec"
 	"hdlts/internal/sched"
 )
 
@@ -14,7 +15,7 @@ func TestRunEmitsLoadableJSON(t *testing.T) {
 	for _, kind := range []string{"random", "fft", "montage", "moldyn", "gauss", "epigenomics", "cybershake", "ligo", "example"} {
 		t.Run(kind, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := run(&buf, io.Discard, kind, 50, 1.0, 3, false, 8, 20, 2, 4, 80, 1.2, 1, false, "", false); err != nil {
+			if err := run(&buf, io.Discard, kind, 50, 1.0, 3, false, 8, 20, 2, 4, 80, 1.2, 1, false, "", 0.01, "", false); err != nil {
 				t.Fatal(err)
 			}
 			pr, err := sched.ReadProblemJSON(&buf)
@@ -30,7 +31,7 @@ func TestRunEmitsLoadableJSON(t *testing.T) {
 
 func TestRunEmitsDOT(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, io.Discard, "moldyn", 0, 1, 1, false, 4, 20, 1, 2, 50, 1, 1, true, "", false); err != nil {
+	if err := run(&buf, io.Discard, "moldyn", 0, 1, 1, false, 4, 20, 1, 2, 50, 1, 1, true, "", 0.01, "", false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "digraph") {
@@ -40,10 +41,10 @@ func TestRunEmitsDOT(t *testing.T) {
 
 func TestRunDeterministicUnderSeed(t *testing.T) {
 	var a, b bytes.Buffer
-	if err := run(&a, io.Discard, "random", 40, 1, 2, true, 4, 20, 3, 4, 80, 1.2, 7, false, "", false); err != nil {
+	if err := run(&a, io.Discard, "random", 40, 1, 2, true, 4, 20, 3, 4, 80, 1.2, 7, false, "", 0.01, "", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, io.Discard, "random", 40, 1, 2, true, 4, 20, 3, 4, 80, 1.2, 7, false, "", false); err != nil {
+	if err := run(&b, io.Discard, "random", 40, 1, 2, true, 4, 20, 3, 4, 80, 1.2, 7, false, "", 0.01, "", false); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {
@@ -53,16 +54,16 @@ func TestRunDeterministicUnderSeed(t *testing.T) {
 
 func TestRunRejectsBadInput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, io.Discard, "nope", 1, 1, 1, false, 4, 20, 1, 2, 50, 1, 1, false, "", false); err == nil {
+	if err := run(&buf, io.Discard, "nope", 1, 1, 1, false, 4, 20, 1, 2, 50, 1, 1, false, "", 0.01, "", false); err == nil {
 		t.Error("unknown kind accepted")
 	}
-	if err := run(&buf, io.Discard, "fft", 1, 1, 1, false, 7, 20, 1, 2, 50, 1, 1, false, "", false); err == nil {
+	if err := run(&buf, io.Discard, "fft", 1, 1, 1, false, 7, 20, 1, 2, 50, 1, 1, false, "", 0.01, "", false); err == nil {
 		t.Error("non-power-of-two FFT size accepted")
 	}
-	if err := run(&buf, io.Discard, "random", 0, 1, 1, false, 4, 20, 1, 2, 50, 1, 1, false, "", false); err == nil {
+	if err := run(&buf, io.Discard, "random", 0, 1, 1, false, 4, 20, 1, 2, 50, 1, 1, false, "", 0.01, "", false); err == nil {
 		t.Error("zero-task random graph accepted")
 	}
-	if err := run(&buf, io.Discard, "montage", 1, 1, 1, false, 4, 5, 1, 2, 50, 1, 1, false, "", false); err == nil {
+	if err := run(&buf, io.Discard, "montage", 1, 1, 1, false, 4, 5, 1, 2, 50, 1, 1, false, "", 0.01, "", false); err == nil {
 		t.Error("undersized montage accepted")
 	}
 }
@@ -71,7 +72,7 @@ func TestRunDOTImportAndStats(t *testing.T) {
 	// Emit a workflow as DOT, re-import it as a costed problem, and check
 	// the statistics report.
 	var dotOut bytes.Buffer
-	if err := run(&dotOut, io.Discard, "gauss", 0, 1, 1, false, 4, 5, 2, 4, 80, 1.2, 1, true, "", false); err != nil {
+	if err := run(&dotOut, io.Discard, "gauss", 0, 1, 1, false, 4, 5, 2, 4, 80, 1.2, 1, true, "", 0.01, "", false); err != nil {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
@@ -80,7 +81,7 @@ func TestRunDOTImportAndStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	var jsonOut, statsOut bytes.Buffer
-	if err := run(&jsonOut, &statsOut, "dot", 0, 1, 1, false, 4, 5, 2, 4, 80, 1.2, 1, false, path, true); err != nil {
+	if err := run(&jsonOut, &statsOut, "dot", 0, 1, 1, false, 4, 5, 2, 4, 80, 1.2, 1, false, "", 0.01, path, true); err != nil {
 		t.Fatal(err)
 	}
 	pr, err := sched.ReadProblemJSON(&jsonOut)
@@ -95,7 +96,7 @@ func TestRunDOTImportAndStats(t *testing.T) {
 	}
 	// -kind dot without -from errors.
 	var buf bytes.Buffer
-	if err := run(&buf, io.Discard, "dot", 0, 1, 1, false, 4, 5, 1, 2, 50, 1, 1, false, "", false); err == nil {
+	if err := run(&buf, io.Discard, "dot", 0, 1, 1, false, 4, 5, 1, 2, 50, 1, 1, false, "", 0.01, "", false); err == nil {
 		t.Error("dot kind without -from accepted")
 	}
 }
@@ -103,4 +104,46 @@ func TestRunDOTImportAndStats(t *testing.T) {
 // osWriteFile is a tiny indirection so the test reads naturally.
 func osWriteFile(path string, data []byte) error {
 	return os.WriteFile(path, data, 0o644)
+}
+
+func TestRunEmitsRunnableWorkflowYAML(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, io.Discard, "moldyn", 0, 1, 1, false, 4, 20, 1, 3, 50, 1, 1, false, "workflow", 0.002, "", false); err != nil {
+		t.Fatal(err)
+	}
+	wf, err := exec.DecodeWorkflow(buf.Bytes())
+	if err != nil {
+		t.Fatalf("emitted workflow YAML does not decode: %v\n%s", err, buf.String())
+	}
+	if wf.Name != "moldyn" || wf.Procs != 3 {
+		t.Errorf("header = %q/%d, want moldyn/3", wf.Name, wf.Procs)
+	}
+	if len(wf.Steps) == 0 {
+		t.Fatal("no steps emitted")
+	}
+	edges := 0
+	for _, st := range wf.Steps {
+		if !strings.HasPrefix(st.Command, "sleep ") {
+			t.Errorf("step %s command = %q, want a sleep", st.Name, st.Command)
+		}
+		if len(st.Costs) != wf.Procs {
+			t.Errorf("step %s costs = %v, want %d entries", st.Name, st.Costs, wf.Procs)
+		}
+		edges += len(st.Depends)
+	}
+	if edges == 0 {
+		t.Error("no dependencies survived the conversion")
+	}
+	// The emitted workflow must compile onto the scheduling model.
+	pr, err := wf.Compile()
+	if err != nil {
+		t.Fatalf("emitted workflow does not compile: %v", err)
+	}
+	if pr.NumTasks() != len(wf.Steps) {
+		t.Errorf("compiled tasks = %d, want %d", pr.NumTasks(), len(wf.Steps))
+	}
+	// The scaled costs round-trip (within the 4-decimal rendering).
+	if got := pr.Exec(0, 0); got <= 0 {
+		t.Errorf("W[0][0] = %g, want > 0", got)
+	}
 }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+	"hdlts/internal/sched"
+)
+
+// writeWorkflowYAML renders a generated problem as a runnable YAML
+// workflow for POST /v1/workflows or cmd/hdltsrun: each task becomes a
+// step whose command sleeps for its mean execution time and whose costs
+// row is the task's W-matrix row, both scaled by timescale (seconds per
+// abstract W unit). The result makes any dagen topology — FFT, Montage,
+// random Table II instances — a live-execution benchmark whose declared
+// estimates match its actual behaviour.
+func writeWorkflowYAML(out io.Writer, pr *sched.Problem, name string, timescale float64) error {
+	if timescale <= 0 {
+		return fmt.Errorf("timescale %g must be > 0", timescale)
+	}
+	n := pr.NumTasks()
+	procs := pr.NumProcs()
+	names := stepNames(pr.G)
+	var b strings.Builder
+	fmt.Fprintf(&b, "name: %s\n", sanitizeName(name, 0))
+	fmt.Fprintf(&b, "procs: %d\n", procs)
+	b.WriteString("steps:\n")
+	for i := 0; i < n; i++ {
+		t := dag.TaskID(i)
+		mean := 0.0
+		costs := make([]string, procs)
+		for p := 0; p < procs; p++ {
+			c := pr.Exec(t, platform.Proc(p)) * timescale
+			mean += c
+			costs[p] = trimFloat(c)
+		}
+		mean /= float64(procs)
+		fmt.Fprintf(&b, "  - name: %s\n", names[i])
+		fmt.Fprintf(&b, "    command: sleep %s\n", trimFloat(mean))
+		fmt.Fprintf(&b, "    costs: [%s]\n", strings.Join(costs, ", "))
+		if preds := pr.G.Preds(t); len(preds) > 0 {
+			deps := make([]string, len(preds))
+			for k, a := range preds {
+				deps[k] = names[a.Task]
+			}
+			fmt.Fprintf(&b, "    depends: [%s]\n", strings.Join(deps, ", "))
+		}
+	}
+	_, err := io.WriteString(out, b.String())
+	return err
+}
+
+// stepNames maps every task to a unique workflow-safe step name, derived
+// from the task's label where possible and falling back to t<ID>.
+func stepNames(g *dag.Graph) []string {
+	names := make([]string, g.NumTasks())
+	seen := make(map[string]bool, g.NumTasks())
+	for i := range names {
+		name := sanitizeName(g.Task(dag.TaskID(i)).Name, i)
+		if seen[name] {
+			name = fmt.Sprintf("%s.%d", name, i)
+		}
+		seen[name] = true
+		names[i] = name
+	}
+	return names
+}
+
+// sanitizeName squeezes an arbitrary label into the workflow name charset
+// ([A-Za-z0-9._-], at most 64 chars), falling back to t<id>.
+func sanitizeName(s string, id int) string {
+	var b strings.Builder
+	for i := 0; i < len(s) && b.Len() < 58; i++ {
+		switch c := s[i]; {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+			b.WriteByte(c)
+		case c == ' ':
+			b.WriteByte('-')
+		}
+	}
+	if b.Len() == 0 {
+		return fmt.Sprintf("t%d", id)
+	}
+	return b.String()
+}
+
+// trimFloat renders a duration in seconds compactly (no exponent, no
+// trailing zeros) so sleep(1) accepts it.
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 4, 64)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}

@@ -17,6 +17,13 @@
 // content-addressed result cache. See docs/SERVICE.md for the full
 // endpoint and schema reference.
 //
+// POST /v1/workflows goes one step further than planning: it accepts a
+// declarative YAML workflow definition (the same file cmd/hdltsrun takes),
+// plans it with HDLTS, and actually executes the step commands, re-mapping
+// the remaining steps when observed durations drift from their estimates.
+// With -workflows-dir set, unfinished workflows survive a crash and resume
+// on restart without re-running completed steps. See docs/EXECUTION.md.
+//
 // Every response carries an X-Request-ID (the client's, when well-formed;
 // generated otherwise) that doubles as the trace ID: the access log, the
 // persisted job record, and the span/decision-event trace behind
@@ -42,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"hdlts/internal/exec"
 	"hdlts/internal/jobs"
 	"hdlts/internal/obs"
 	"hdlts/internal/server"
@@ -59,6 +67,9 @@ type options struct {
 	JobsDir      string
 	JobsWorkers  int
 	JobsTTL      time.Duration
+	// WorkflowsDir is the durable workflow store; empty = workflows are
+	// memory-only and do not survive restarts.
+	WorkflowsDir string
 	// DebugAddr, when non-empty, serves net/http/pprof and expvar on a
 	// second listener. Off by default: profiles expose process internals
 	// and belong on localhost, never on the service port.
@@ -90,6 +101,7 @@ func main() {
 	flag.StringVar(&o.JobsDir, "jobs-dir", "", "durable job store directory; empty = jobs do not survive restarts")
 	flag.IntVar(&o.JobsWorkers, "jobs-workers", 0, "asynchronous job workers (0 = GOMAXPROCS)")
 	flag.DurationVar(&o.JobsTTL, "jobs-ttl", time.Hour, "how long finished jobs stay queryable before garbage collection")
+	flag.StringVar(&o.WorkflowsDir, "workflows-dir", "", "durable workflow store directory; empty = workflows do not survive restarts")
 	flag.StringVar(&o.DebugAddr, "debug-addr", "", "pprof/expvar listen address (e.g. localhost:6060); empty = disabled")
 	flag.IntVar(&o.TraceBuffer, "trace-buffer", 512, "request traces retained in memory for the trace endpoints")
 	flag.IntVar(&o.TraceSample, "trace-sample", 1, "record one in N scheduling requests into the trace ring")
@@ -134,6 +146,9 @@ func run(ctx context.Context, o options) error {
 			Dir:     o.JobsDir,
 			Workers: o.JobsWorkers,
 			TTL:     o.JobsTTL,
+		},
+		Workflows: exec.Config{
+			Dir: o.WorkflowsDir,
 		},
 	})
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -401,5 +402,155 @@ func TestDaemonJobsPersistAcrossRestart(t *testing.T) {
 	mresp.Body.Close()
 	if !strings.Contains(string(mbody), "hdltsd_jobs_cache_hits_total 1") {
 		t.Errorf("/metrics missing cache hit counter:\n%s", mbody)
+	}
+}
+
+// TestDaemonWorkflowsResumeAcrossRestart drives the execution subsystem
+// through the daemon: a workflow whose middle step blocks is interrupted by
+// a daemon restart, and the second daemon — same -workflows-dir — resumes
+// it under the original trace ID without re-running the completed step.
+func TestDaemonWorkflowsResumeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	marks := t.TempDir()
+	opts := options{
+		Timeout:      10 * time.Second,
+		DrainTimeout: 10 * time.Second,
+		WorkflowsDir: dir,
+	}
+	base, stop := startDaemon(t, opts)
+
+	// Each step appends one line to its marker file, so line counts are
+	// execution counts. "mid" blocks until the release file appears —
+	// created only after the restart.
+	yaml := fmt.Sprintf(`name: restartable
+procs: 1
+steps:
+  - name: first
+    command: echo run >> %[1]s/first
+    cost: 0.05
+  - name: mid
+    command: echo run >> %[1]s/mid; while [ ! -f %[1]s/go ]; do sleep 0.05; done
+    depends: [first]
+    cost: 0.05
+  - name: last
+    command: echo run >> %[1]s/last
+    depends: [mid]
+    cost: 0.05
+`, marks)
+
+	resp, err := http.Post(base+"/v1/workflows", "application/yaml", strings.NewReader(yaml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wf struct {
+		ID      string `json:"id"`
+		TraceID string `json:"trace_id"`
+		State   string `json:"state"`
+		Replans int    `json:"replans"`
+		Steps   []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+		} `json:"steps"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&wf)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted || wf.ID == "" {
+		t.Fatalf("submit answered %d, workflow %+v, err %v", resp.StatusCode, wf, err)
+	}
+	traceID := wf.TraceID
+
+	getWF := func() {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/workflows/" + wf.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&wf)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	stepState := func(name string) string {
+		for _, s := range wf.Steps {
+			if s.Name == name {
+				return s.State
+			}
+		}
+		return ""
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		getWF()
+		if stepState("first") == "done" && stepState("mid") == "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workflow never reached mid-run shape: %+v", wf)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Interrupt mid-workflow. The drain kills mid's shell; the record stays
+	// running in the WAL.
+	if err := stop(); err != nil {
+		t.Fatalf("first daemon exit: %v", err)
+	}
+
+	// Let the resumed attempt finish promptly, then restart over the store.
+	if err := os.WriteFile(marks+"/go", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, stop = startDaemon(t, opts)
+	defer func() {
+		if err := stop(); err != nil {
+			t.Errorf("second daemon exit: %v", err)
+		}
+	}()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		getWF()
+		if wf.State == "done" {
+			break
+		}
+		if wf.State == "failed" || wf.State == "cancelled" || time.Now().After(deadline) {
+			t.Fatalf("workflow did not finish after restart: %+v", wf)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if wf.TraceID != traceID {
+		t.Errorf("trace ID changed across restart: %q -> %q", traceID, wf.TraceID)
+	}
+	if wf.Replans < 1 {
+		t.Errorf("replans = %d, want >= 1 (resume re-plans the frontier)", wf.Replans)
+	}
+	counts := map[string]int{}
+	for _, name := range []string{"first", "mid", "last"} {
+		b, err := os.ReadFile(marks + "/" + name)
+		if err != nil {
+			t.Fatalf("marker %s: %v", name, err)
+		}
+		counts[name] = strings.Count(string(b), "run")
+	}
+	if counts["first"] != 1 {
+		t.Errorf("completed step re-executed: first ran %d times", counts["first"])
+	}
+	if counts["mid"] != 2 {
+		t.Errorf("interrupted step ran %d times, want 2", counts["mid"])
+	}
+	if counts["last"] != 1 {
+		t.Errorf("last ran %d times, want 1", counts["last"])
+	}
+	// The resumed run traced under the original request ID.
+	tresp, err := http.Get(base + "/v1/traces/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbody, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/traces/%s = %d after restart", traceID, tresp.StatusCode)
+	}
+	if !strings.Contains(string(tbody), "workflow.run") || !strings.Contains(string(tbody), "step.run") {
+		t.Errorf("resumed trace missing execution spans:\n%s", tbody)
 	}
 }

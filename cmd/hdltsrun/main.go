@@ -1,0 +1,138 @@
+// Command hdltsrun executes a declarative YAML workflow locally: plan with
+// HDLTS, run the step commands on bounded processor slots, re-map the
+// remaining steps when observed durations drift from their estimates, and
+// report what the dynamic mapping changed.
+//
+//	hdltsrun workflow.yaml
+//	dagen -kind montage -n 50 -format workflow | hdltsrun -
+//	hdltsrun -json workflow.yaml | jq .observed_w
+//
+// The same YAML posts unchanged to a daemon's POST /v1/workflows when the
+// run should be durable and observable over HTTP; hdltsrun is the
+// in-process, memory-only equivalent. See docs/EXECUTION.md for the schema
+// and the re-planning semantics.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hdlts/internal/exec"
+)
+
+func main() {
+	var (
+		drift   = flag.Float64("drift", 0, "override the workflow's re-plan threshold ratio (> 1; 0 = use the definition's)")
+		jsonOut = flag.Bool("json", false, "emit the final workflow record as JSON instead of the table")
+		timeout = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hdltsrun [-drift N] [-json] [-timeout D] <workflow.yaml | ->")
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, os.Stdout, flag.Arg(0), *drift, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "hdltsrun:", err)
+		os.Exit(1)
+	}
+}
+
+// run loads, plans, and executes one workflow, rendering the outcome to
+// out. A non-done terminal state is an error so the exit code reflects
+// the workflow result.
+func run(ctx context.Context, out io.Writer, path string, drift float64, jsonOut bool) error {
+	src, err := readSource(path)
+	if err != nil {
+		return err
+	}
+	wf, err := exec.DecodeWorkflow(src)
+	if err != nil {
+		return err
+	}
+	if drift != 0 {
+		wf.Drift = drift
+		if err := wf.Validate(); err != nil {
+			return err
+		}
+	}
+	eng, err := exec.Open(exec.Config{}) // memory-only, shell runner
+	if err != nil {
+		return err
+	}
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = eng.Close(cctx)
+	}()
+	rec, err := eng.Submit(ctx, wf)
+	if err != nil {
+		return err
+	}
+	final, err := eng.Wait(ctx, rec.ID)
+	if err != nil {
+		// Interrupted: cancel the run so step commands die, then report.
+		if final, err = eng.Cancel(rec.ID); err != nil {
+			return err
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(final); err != nil {
+			return err
+		}
+	} else {
+		render(out, final)
+	}
+	if final.State != exec.Done {
+		return fmt.Errorf("workflow %s: %s", final.State, final.Error)
+	}
+	return nil
+}
+
+func readSource(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+// render prints the per-step outcome table and the dynamic-mapping summary.
+func render(out io.Writer, r *exec.Record) {
+	fmt.Fprintf(out, "workflow %s (%s): %s\n", r.Name, r.ID, r.State)
+	fmt.Fprintf(out, "%-20s %-8s %5s %5s %9s %9s %8s\n",
+		"STEP", "STATE", "PLAN", "PROC", "EST(s)", "OBS(s)", "ATTEMPTS")
+	moved := 0
+	for _, st := range r.Steps {
+		mark := ""
+		if st.Proc != st.PlannedProc {
+			mark = " *"
+			moved++
+		}
+		obs := "-"
+		if st.ObservedSeconds > 0 {
+			obs = fmt.Sprintf("%.3f", st.ObservedSeconds)
+		}
+		fmt.Fprintf(out, "%-20s %-8s %5d %5d %9.3f %9s %8d%s\n",
+			st.Name, st.State, st.PlannedProc, st.Proc, st.EstSeconds, obs, st.Attempts, mark)
+	}
+	fmt.Fprintf(out, "makespan %.3fs, %d re-plans, %d step(s) re-mapped (*)\n",
+		r.MakespanSeconds, r.Replans, moved)
+	if r.Error != "" {
+		fmt.Fprintf(out, "error: %s\n", r.Error)
+	}
+}

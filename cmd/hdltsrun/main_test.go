@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"hdlts/internal/exec"
+)
+
+func writeWorkflow(t *testing.T, yaml string) string {
+	t.Helper()
+	path := t.TempDir() + "/wf.yaml"
+	if err := os.WriteFile(path, []byte(yaml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunExecutesWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	path := writeWorkflow(t, `name: clidemo
+procs: 2
+steps:
+  - name: a
+    command: echo one >> `+dir+`/out
+    cost: 0.01
+  - name: b
+    command: echo two >> `+dir+`/out
+    depends: [a]
+    cost: 0.01
+`)
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, path, 0, false); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"workflow clidemo", "done", "makespan", "re-plans"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	b, err := os.ReadFile(dir + "/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "one\ntwo\n" {
+		t.Errorf("steps ran out of order or wrong: %q", b)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeWorkflow(t, "steps:\n  - name: a\n    command: true\n    cost: 0.01\n")
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, path, 2.0, true); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rec exec.Record
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatalf("output is not a Record: %v\n%s", err, out.String())
+	}
+	if rec.State != exec.Done || len(rec.ObservedW) != 1 {
+		t.Errorf("record = %v / %d observations", rec.State, len(rec.ObservedW))
+	}
+	if rec.Spec.DriftThreshold() != 2.0 {
+		t.Errorf("drift override = %g, want 2", rec.Spec.DriftThreshold())
+	}
+}
+
+func TestRunFailurePropagates(t *testing.T) {
+	path := writeWorkflow(t, "steps:\n  - name: a\n    command: \"exit 7\"\n    cost: 0.01\n")
+	var out bytes.Buffer
+	err := run(context.Background(), &out, path, 0, false)
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("run error = %v, want workflow failure", err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, t.TempDir()+"/absent.yaml", 0, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeWorkflow(t, "steps:\n  - name: a\n")
+	if err := run(context.Background(), &out, path, 0, false); err == nil {
+		t.Error("invalid workflow accepted")
+	}
+	good := writeWorkflow(t, "steps:\n  - name: a\n    command: true\n")
+	if err := run(context.Background(), &out, good, 0.5, false); err == nil {
+		t.Error("bad drift override accepted")
+	}
+}
+
+func TestRunInterrupted(t *testing.T) {
+	path := writeWorkflow(t, "steps:\n  - name: stuck\n    command: sleep 60\n    cost: 60\n")
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	var out bytes.Buffer
+	err := run(ctx, &out, path, 0, false)
+	if err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	if !strings.Contains(out.String(), "cancelled") {
+		t.Errorf("output does not show cancellation:\n%s", out.String())
+	}
+}

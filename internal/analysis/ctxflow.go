@@ -11,6 +11,7 @@ import (
 var ctxFlowPathSegments = []string{
 	"internal/server",
 	"internal/jobs",
+	"internal/exec",
 }
 
 // CtxFlow enforces two rules on request/job paths:

@@ -1,0 +1,914 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	osexec "os/exec"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/dynamic"
+	"hdlts/internal/jobs"
+	"hdlts/internal/obs"
+	"hdlts/internal/platform"
+	"hdlts/internal/registry"
+	"hdlts/internal/sched"
+)
+
+// Metric series registered by this package.
+const (
+	metricWorkflowSteps     = "hdltsd_workflow_steps_total"
+	metricWorkflowStepSecs  = "hdltsd_workflow_step_seconds"
+	metricWorkflowDrift     = "hdltsd_workflow_drift_ratio"
+	metricWorkflowReplans   = "hdltsd_workflow_replans_total"
+	metricWorkflowActive    = "hdltsd_workflow_active"
+	metricWorkflowWALFsync  = "hdltsd_workflow_wal_fsync_seconds"
+	metricWorkflowWALErrors = "hdltsd_workflow_wal_errors_total"
+)
+
+// Sentinel errors of the engine API.
+var (
+	// ErrNotFound: no workflow with that ID.
+	ErrNotFound = errors.New("exec: workflow not found")
+	// ErrClosed: the engine has shut down.
+	ErrClosed = errors.New("exec: engine is closed")
+	// ErrFinished: the workflow is already terminal.
+	ErrFinished = errors.New("exec: workflow already finished")
+)
+
+// estFloor keeps drift ratios finite when a step declares a (near-)zero
+// estimate.
+const estFloor = 1e-3
+
+// StepRunner executes one step attempt; the default runs the command via
+// sh -c, killed when ctx expires (per-step timeout, cancellation,
+// shutdown). Tests substitute deterministic runners.
+type StepRunner func(ctx context.Context, step Step) error
+
+// Config tunes an Engine. The zero value works: memory-only store, shell
+// runner, default registry.
+type Config struct {
+	// Dir is the durable record store directory; empty means memory-only
+	// (workflows do not survive a restart).
+	Dir string
+	// Metrics receives the hdltsd_workflow_* series (default obs.Default()).
+	Metrics *obs.Registry
+	// Traces, when set, receives the plan/execution span trees and replan
+	// decision events, keyed by each workflow's trace ID.
+	Traces *obs.TraceStore
+	// Runner executes step attempts (default: sh -c command).
+	Runner StepRunner
+	// OverdueTick is how often running steps are checked against their
+	// drift deadline (default 100ms). Tests shrink it.
+	OverdueTick time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Metrics == nil {
+		c.Metrics = obs.Default()
+	}
+	if c.Runner == nil {
+		c.Runner = RunShell
+	}
+	if c.OverdueTick <= 0 {
+		c.OverdueTick = 100 * time.Millisecond
+	}
+	return c
+}
+
+// RunShell is the default StepRunner: the command runs under "sh -c" with
+// the step's extra environment, and is killed when ctx expires. On failure
+// the error carries the tail of the combined output.
+func RunShell(ctx context.Context, step Step) error {
+	cmd := osexec.CommandContext(ctx, "sh", "-c", step.Command)
+	cmd.Env = append(os.Environ(), step.Env...)
+	// Children of a killed shell keep the output pipes open; without a
+	// wait delay a timed-out "sh -c 'sleep 100'" would block until the
+	// orphaned sleep exits.
+	cmd.WaitDelay = time.Second
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return nil
+	}
+	if ctx.Err() != nil {
+		return fmt.Errorf("step %q: %w", step.Name, ctx.Err())
+	}
+	tail := out
+	if len(tail) > 512 {
+		tail = tail[len(tail)-512:]
+	}
+	if len(tail) > 0 {
+		return fmt.Errorf("step %q: %w: %s", step.Name, err, tail)
+	}
+	return fmt.Errorf("step %q: %w", step.Name, err)
+}
+
+// Engine plans and executes workflows. All exported methods are safe for
+// concurrent use.
+type Engine struct {
+	cfg Config
+
+	mu      sync.Mutex
+	recs    map[string]*Record
+	runs    map[string]*runState
+	nextSeq uint64
+	pending [][]byte // encoded WAL records staged for the next flush
+	closed  bool
+
+	// log is the durable record store (nil in memory-only mode). Its
+	// writer lock serialises appends and compaction; mu never covers
+	// disk I/O — the same discipline as the jobs Manager.
+	log *jobs.Log
+
+	// baseCtx is the process-lifetime root workflow runs derive from;
+	// Close cancels it after cancelling the individual runs.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	active    *obs.Gauge
+	replans   *obs.Counter
+	walErrors *obs.Counter
+	stepSecs  *obs.Histogram
+	driftHist *obs.Histogram
+}
+
+// runState is the engine-side handle of one live workflow run.
+type runState struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed when the run loop exits
+
+	mu        sync.Mutex
+	cancelled bool // user-requested cancel (vs engine shutdown)
+}
+
+func (rs *runState) userCancelled() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.cancelled
+}
+
+// Open builds an Engine, recovering any durable state from cfg.Dir:
+// terminal workflows become queryable again, and unfinished ones resume —
+// completed steps keep their observed durations and are not re-executed,
+// steps that were mid-run when the process died are demoted to pending,
+// and the remainder is re-mapped before dispatch continues under the
+// workflow's original trace ID.
+func Open(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:       cfg,
+		recs:      make(map[string]*Record),
+		runs:      make(map[string]*runState),
+		active:    cfg.Metrics.Gauge(metricWorkflowActive),
+		replans:   cfg.Metrics.Counter(metricWorkflowReplans),
+		walErrors: cfg.Metrics.Counter(metricWorkflowWALErrors),
+		stepSecs:  cfg.Metrics.Histogram(metricWorkflowStepSecs),
+		driftHist: cfg.Metrics.Histogram(metricWorkflowDrift),
+	}
+	// Step durations span sleeps of milliseconds to batch jobs of hours;
+	// drift ratios cluster around 1. Log-spaced buckets resolve both.
+	cfg.Metrics.SetBuckets(metricWorkflowStepSecs, obs.ExpBuckets(1e-3, 1e4, 3))
+	cfg.Metrics.SetBuckets(metricWorkflowDrift, obs.ExpBuckets(1e-2, 1e2, 6))
+	// Workflow runs outlive the HTTP requests that submitted them (and,
+	// after a crash, the process that did), so they hang off a root owned
+	// by the Engine rather than any request context.
+	//lint:hdltsvet-ignore ctxflow process-lifetime root: workflow runs outlive their submitting requests
+	e.baseCtx, e.cancel = context.WithCancel(context.Background())
+	if cfg.Dir != "" {
+		cfg.Metrics.SetBuckets(metricWorkflowWALFsync, obs.ExpBuckets(1e-5, 1, 3))
+		recovered := make(map[string]*Record)
+		log, err := jobs.OpenLog(cfg.Dir, cfg.Metrics.Histogram(metricWorkflowWALFsync),
+			loadRecordSnapshot(recovered), applyRecordLine(recovered))
+		if err != nil {
+			return nil, err
+		}
+		e.log = log
+		e.adopt(recovered)
+		e.flush()
+	}
+	return e, nil
+}
+
+// adopt installs recovered records and resumes unfinished workflows.
+// Runs single-threaded inside Open.
+func (e *Engine) adopt(recovered map[string]*Record) {
+	list := make([]*Record, 0, len(recovered))
+	for _, r := range recovered {
+		list = append(list, r)
+	}
+	sort.Slice(list, func(i, k int) bool { return list[i].Seq < list[k].Seq })
+	for _, r := range list {
+		if r.Seq >= e.nextSeq {
+			e.nextSeq = r.Seq + 1
+		}
+		e.recs[r.ID] = r
+		if r.State.Terminal() {
+			continue
+		}
+		// Steps caught mid-run by the crash are demoted and re-executed;
+		// their consumed attempt stays on the books.
+		for i := range r.Steps {
+			if r.Steps[i].State == StepRunning {
+				r.Steps[i].State = StepPending
+			}
+		}
+		pr, err := r.Spec.Compile()
+		if err != nil {
+			// A record that no longer compiles (it was validated at
+			// submission) is corrupt; fail it rather than wedge recovery.
+			r.State = Failed
+			r.Error = fmt.Sprintf("recovery: %v", err)
+			r.FinishedAt = time.Now()
+			e.persistLocked(r)
+			continue
+		}
+		r.State = Running
+		e.persistLocked(r)
+		e.launch(r, pr, nil)
+	}
+}
+
+// Submit plans and starts one workflow. ctx carries the submitting
+// request's trace identity: the initial HDLTS plan records a
+// workflow.plan span (with the solver's decision events) under it, and
+// the run loop keeps tracing under the same ID long after the request
+// returns. The returned record is the admission snapshot — poll Get, or
+// block on Wait, for progress.
+func (e *Engine) Submit(ctx context.Context, wf *Workflow) (*Record, error) {
+	pr, err := wf.Compile()
+	if err != nil {
+		return nil, err
+	}
+	id := newID()
+	_, span := obs.StartSpan(ctx, "workflow.plan",
+		obs.KeyWorkflow, id, obs.KeyAlg, "HDLTS")
+	plan, err := e.plan(ctx, pr)
+	span.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("exec: plan: %w", err)
+	}
+	now := time.Now()
+	rec := &Record{
+		ID:          id,
+		Name:        wf.Name,
+		TraceID:     obs.TraceIDFrom(ctx),
+		Spec:        wf,
+		State:       Queued,
+		Steps:       make([]StepStatus, len(wf.Steps)),
+		SubmittedAt: now,
+	}
+	for i := range wf.Steps {
+		p := plan.assign[i]
+		rec.Steps[i] = StepStatus{
+			Name:        wf.Steps[i].Name,
+			State:       StepPending,
+			PlannedProc: p,
+			Proc:        p,
+			EstSeconds:  pr.Exec(dag.TaskID(i), platform.Proc(p)),
+		}
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	rec.Seq = e.nextSeq
+	e.nextSeq++
+	e.recs[id] = rec
+	e.persistLocked(rec)
+	snapshot := rec.clone()
+	e.mu.Unlock()
+	e.flush()
+	e.launch(rec, pr, plan.order)
+	return snapshot, nil
+}
+
+// planResult is the initial mapping: processor per step and per-processor
+// dispatch order.
+type planResult struct {
+	assign []int
+	order  [][]int
+}
+
+// plan runs HDLTS over the compiled problem and extracts the per-step
+// placement and per-processor start order. When the ctx carries a
+// sampled trace, the solver's decision events land in the trace ring.
+func (e *Engine) plan(ctx context.Context, pr *sched.Problem) (*planResult, error) {
+	alg, err := registry.Get("hdlts")
+	if err != nil {
+		return nil, err
+	}
+	prT := pr
+	if ts := obs.TraceStoreFrom(ctx); ts != nil {
+		if tid := obs.TraceIDFrom(ctx); tid != "" {
+			prT = pr.WithTracer(obs.Named(ts.Tracer(tid), alg.Name()))
+		}
+	}
+	sc, err := alg.Schedule(prT)
+	if err != nil {
+		return nil, err
+	}
+	n := pr.NumTasks()
+	res := &planResult{assign: make([]int, n), order: make([][]int, pr.NumProcs())}
+	type item struct {
+		i     int
+		start float64
+	}
+	byProc := make([][]item, pr.NumProcs())
+	for i := 0; i < n; i++ {
+		pl, ok := sc.PlacementOf(dag.TaskID(i))
+		if !ok {
+			return nil, fmt.Errorf("incomplete schedule: step %d unplaced", i)
+		}
+		res.assign[i] = int(pl.Proc)
+		byProc[pl.Proc] = append(byProc[pl.Proc], item{i: i, start: pl.Start})
+	}
+	for p := range byProc {
+		sort.Slice(byProc[p], func(a, b int) bool {
+			if byProc[p][a].start != byProc[p][b].start {
+				return byProc[p][a].start < byProc[p][b].start
+			}
+			return byProc[p][a].i < byProc[p][b].i
+		})
+		for _, it := range byProc[p] {
+			res.order[p] = append(res.order[p], it.i)
+		}
+	}
+	return res, nil
+}
+
+// launch registers the run state and starts the run loop. initOrder is
+// nil for recovered workflows, whose dispatch order is rebuilt by the
+// resume re-plan. Deliberately context-free: runs derive from the
+// engine's process-lifetime root, not from any submitting request.
+func (e *Engine) launch(rec *Record, pr *sched.Problem, initOrder [][]int) {
+	runCtx := obs.WithTraceID(e.baseCtx, rec.TraceID)
+	if e.cfg.Traces != nil && rec.TraceID != "" {
+		// Re-adopt the workflow's trace — after a restart this is what
+		// stitches resumed execution onto the original plan's trace tree.
+		e.cfg.Traces.Start(rec.TraceID)
+		runCtx = obs.WithTraceStore(runCtx, e.cfg.Traces)
+	}
+	runCtx, cancel := context.WithCancel(runCtx)
+	rs := &runState{ctx: runCtx, cancel: cancel, done: make(chan struct{})}
+	e.mu.Lock()
+	e.runs[rec.ID] = rs
+	e.mu.Unlock()
+	e.active.Inc()
+	e.wg.Add(1)
+	go e.run(rec.ID, rec.Spec, pr, initOrder, rs)
+}
+
+// Get returns a copy of the workflow record, or ErrNotFound.
+func (e *Engine) Get(id string) (*Record, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.recs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return r.clone(), nil
+}
+
+// List returns every workflow record, newest submission first.
+func (e *Engine) List() []*Record {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Record, 0, len(e.recs))
+	for _, r := range e.recs {
+		out = append(out, r.clone())
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Seq > out[k].Seq })
+	return out
+}
+
+// Wait blocks until the workflow reaches a terminal state (returning the
+// final record) or ctx expires.
+func (e *Engine) Wait(ctx context.Context, id string) (*Record, error) {
+	e.mu.Lock()
+	r, ok := e.recs[id]
+	if !ok {
+		e.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	if r.State.Terminal() {
+		defer e.mu.Unlock()
+		return r.clone(), nil
+	}
+	rs := e.runs[id]
+	e.mu.Unlock()
+	if rs == nil {
+		return e.Get(id)
+	}
+	select {
+	case <-rs.done:
+		return e.Get(id)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Cancel stops a running workflow: running step commands are killed and
+// the workflow finishes cancelled. Terminal workflows return ErrFinished.
+func (e *Engine) Cancel(id string) (*Record, error) {
+	e.mu.Lock()
+	r, ok := e.recs[id]
+	if !ok {
+		e.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	if r.State.Terminal() {
+		e.mu.Unlock()
+		return nil, ErrFinished
+	}
+	rs := e.runs[id]
+	e.mu.Unlock()
+	if rs != nil {
+		rs.mu.Lock()
+		rs.cancelled = true
+		rs.mu.Unlock()
+		rs.cancel()
+		<-rs.done
+	}
+	return e.Get(id)
+}
+
+// Close stops intake, kills running step commands, and waits — bounded by
+// ctx — for run loops to commit their final state. Unfinished workflows
+// stay running in the durable store and are resumed by the next Open with
+// the same Dir.
+func (e *Engine) Close(ctx context.Context) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	runs := make([]*runState, 0, len(e.runs))
+	for _, rs := range e.runs {
+		runs = append(runs, rs)
+	}
+	e.mu.Unlock()
+	for _, rs := range runs {
+		rs.cancel()
+	}
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		e.cancel()
+		return fmt.Errorf("exec: close: %w", ctx.Err())
+	}
+	e.cancel()
+	if e.log == nil {
+		return nil
+	}
+	e.flush()
+	return e.log.Close()
+}
+
+// persistLocked stages a full-record WAL line capturing r's current state
+// (caller holds mu, except during single-threaded recovery in Open).
+func (e *Engine) persistLocked(r *Record) {
+	if e.log == nil {
+		return
+	}
+	b, err := encodeWALRec(walRec{Op: "put", Rec: r})
+	if err != nil {
+		e.walErrors.Inc()
+		return
+	}
+	e.pending = append(e.pending, b)
+}
+
+// flush writes every staged WAL record with a single fsync and compacts
+// when due. Called after releasing mu; the same group-commit contract as
+// the jobs Manager applies.
+func (e *Engine) flush() {
+	if e.log == nil {
+		return
+	}
+	e.mu.Lock()
+	batch := e.pending
+	e.pending = nil
+	e.mu.Unlock()
+	if err := e.log.Append(batch); err != nil {
+		e.walErrors.Inc()
+		return
+	}
+	err := e.log.CompactIfDue(
+		func() int {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return len(e.recs)
+		},
+		func() ([]byte, error) {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return encodeRecordSnapshot(e.recs)
+		},
+	)
+	if err != nil {
+		e.walErrors.Inc()
+	}
+}
+
+// stepOutcome carries one finished step attempt back to the run loop.
+type stepOutcome struct {
+	step int
+	proc int
+	dur  time.Duration
+	err  error
+}
+
+// run is the per-workflow execution loop: dispatch pending steps into
+// idle processor slots in planned order, absorb completions, write
+// observed durations back, and re-map the un-dispatched frontier whenever
+// observation drifts from estimate. It owns all scheduling state; the
+// shared Record is only touched under e.mu.
+func (e *Engine) run(id string, wf *Workflow, pr *sched.Problem, initOrder [][]int, rs *runState) {
+	defer e.wg.Done()
+	defer close(rs.done)
+	defer e.active.Dec()
+
+	ctx, runSpan := obs.StartSpan(rs.ctx, "workflow.run",
+		obs.KeyWorkflow, id, obs.KeyAlg, "exec")
+	defer runSpan.Finish()
+
+	n := len(wf.Steps)
+	procs := wf.Procs
+	drift := wf.DriftThreshold()
+	tr := obs.Nop
+	if e.cfg.Traces != nil {
+		if tid := obs.TraceIDFrom(ctx); tid != "" {
+			tr = e.cfg.Traces.Tracer(tid)
+		}
+	}
+
+	// Goroutine-local scheduling state, all times relative to wfStart.
+	wfStart := time.Now()
+	now := func() float64 { return time.Since(wfStart).Seconds() }
+	est := func(i, p int) float64 { return pr.Exec(dag.TaskID(i), platform.Proc(p)) }
+	assign := make([]int, n)
+	state := make([]StepState, n)
+	attempts := make([]int, n)
+	depsLeft := make([]int, n)
+	startRel := make([]float64, n) // start time of the running attempt
+	finRel := make([]float64, n)   // actual (done) or projected (running) finish
+	proj := make([]float64, n)     // projected duration of the running attempt
+	procBusy := make([]bool, procs)
+	order := initOrder
+	if order == nil {
+		order = make([][]int, procs)
+	}
+	procList := make([]platform.Proc, procs)
+	for p := range procList {
+		procList[p] = platform.Proc(p)
+	}
+	doneCount, runningCount := 0, 0
+	failing := false
+	var failErr string
+
+	e.mu.Lock()
+	rec := e.recs[id]
+	rec.State = Running
+	rec.StartedAt = wfStart
+	for i := range rec.Steps {
+		assign[i] = rec.Steps[i].Proc
+		state[i] = rec.Steps[i].State
+		attempts[i] = rec.Steps[i].Attempts
+		if state[i] == StepDone {
+			doneCount++
+		}
+	}
+	e.persistLocked(rec)
+	e.mu.Unlock()
+	e.flush()
+	for i := 0; i < n; i++ {
+		for _, a := range pr.G.Preds(dag.TaskID(i)) {
+			if state[a.Task] != StepDone {
+				depsLeft[i]++
+			}
+		}
+	}
+
+	// finishFor is the projection the re-plan rule estimates against:
+	// done steps have delivered their outputs (resume epoch: at t=0),
+	// running steps deliver at their revised estimate.
+	replan := func(reason string) {
+		var pending []dag.TaskID
+		for i := 0; i < n; i++ {
+			if state[i] == StepPending {
+				pending = append(pending, dag.TaskID(i))
+			}
+		}
+		if len(pending) == 0 {
+			return
+		}
+		nowS := now()
+		avail := make([]float64, procs)
+		for p := range avail {
+			avail[p] = nowS
+		}
+		finish := make([]float64, n)
+		for i := 0; i < n; i++ {
+			switch state[i] {
+			case StepDone:
+				finish[i] = finRel[i]
+			case StepRunning:
+				finish[i] = finRel[i]
+				if finish[i] > avail[assign[i]] {
+					avail[assign[i]] = finish[i]
+				}
+			}
+		}
+		// Iterative ITQ recomputation over the frontier: repeatedly apply
+		// the paper's decision rule to the steps whose predecessors all
+		// have (actual or projected) finish times, committing each pick
+		// into the projection before the next.
+		predsLeft := make([]int, n)
+		var ready []dag.TaskID
+		for _, t := range pending {
+			for _, a := range pr.G.Preds(t) {
+				if state[a.Task] == StepPending {
+					predsLeft[t]++
+				}
+			}
+			if predsLeft[t] == 0 {
+				ready = append(ready, t)
+			}
+		}
+		newOrder := make([][]int, procs)
+		eft := func(t dag.TaskID, p platform.Proc) float64 {
+			arr := avail[p]
+			for _, a := range pr.G.Preds(t) {
+				if f := finish[a.Task]; f > arr {
+					arr = f
+				}
+			}
+			return arr + est(int(t), int(p))
+		}
+		for placed := 0; placed < len(pending); placed++ {
+			sort.Slice(ready, func(i, k int) bool { return ready[i] < ready[k] })
+			t, p, ok := dynamic.PickHDLTS(ready, procList, eft)
+			if !ok {
+				return // cannot happen on a valid DAG; keep the old mapping
+			}
+			assign[t] = int(p)
+			finish[t] = eft(t, p)
+			avail[p] = finish[t]
+			newOrder[p] = append(newOrder[p], int(t))
+			for i, r := range ready {
+				if r == t {
+					ready = append(ready[:i], ready[i+1:]...)
+					break
+				}
+			}
+			for _, a := range pr.G.Succs(t) {
+				if state[a.Task] == StepPending {
+					predsLeft[a.Task]--
+					if predsLeft[a.Task] == 0 {
+						ready = append(ready, a.Task)
+					}
+				}
+			}
+		}
+		order = newOrder
+		e.mu.Lock()
+		for _, t := range pending {
+			rec.Steps[t].Proc = assign[t]
+			rec.Steps[t].EstSeconds = est(int(t), assign[t])
+		}
+		rec.Replans++
+		e.persistLocked(rec)
+		e.mu.Unlock()
+		e.flush()
+		e.replans.Inc()
+		tr.Emit(obs.Event{Type: obs.EvReplan, Alg: "exec", Task: -1, Proc: -1,
+			Time: nowS, Value: float64(len(pending))})
+		_, sp := obs.StartSpan(ctx, "workflow.replan",
+			obs.KeyWorkflow, id, obs.KeyPhase, reason)
+		sp.Finish()
+	}
+
+	completions := make(chan stepOutcome, n)
+	var stepWG sync.WaitGroup
+	start := func(i, p int) {
+		state[i] = StepRunning
+		procBusy[p] = true
+		runningCount++
+		attempts[i]++
+		startRel[i] = now()
+		proj[i] = est(i, p)
+		finRel[i] = startRel[i] + proj[i]
+		e.mu.Lock()
+		rec.Steps[i].State = StepRunning
+		rec.Steps[i].Proc = p
+		rec.Steps[i].EstSeconds = est(i, p)
+		rec.Steps[i].Attempts = attempts[i]
+		rec.Steps[i].StartedAt = time.Now()
+		e.persistLocked(rec)
+		e.mu.Unlock()
+		e.flush()
+		step := wf.Steps[i]
+		stepWG.Add(1)
+		go func() {
+			defer stepWG.Done()
+			sctx, cancel := rs.ctx, func() {}
+			if step.Timeout > 0 {
+				sctx, cancel = context.WithTimeout(rs.ctx, step.Timeout)
+			}
+			defer cancel()
+			_, span := obs.StartSpan(ctx, "step.run",
+				obs.KeyStep, step.Name, obs.KeyProc, strconv.Itoa(p))
+			t0 := time.Now()
+			err := e.cfg.Runner(sctx, step)
+			if err != nil {
+				span.SetAttr(obs.KeyStatus, "error")
+			} else {
+				span.SetAttr(obs.KeyStatus, "ok")
+			}
+			span.Finish()
+			completions <- stepOutcome{step: i, proc: p, dur: time.Since(t0), err: err}
+		}()
+	}
+
+	dispatch := func() {
+		if failing {
+			return
+		}
+		for p := 0; p < procs; p++ {
+			if procBusy[p] || len(order[p]) == 0 {
+				continue
+			}
+			head := order[p][0]
+			if state[head] != StepPending || depsLeft[head] > 0 {
+				continue
+			}
+			order[p] = order[p][1:]
+			start(head, p)
+		}
+	}
+
+	finalize := func(st State, errMsg string) {
+		e.mu.Lock()
+		rec.State = st
+		rec.Error = errMsg
+		rec.FinishedAt = time.Now()
+		rec.MakespanSeconds = now()
+		if st == Cancelled {
+			for i := range rec.Steps {
+				if rec.Steps[i].State == StepRunning {
+					rec.Steps[i].State = StepFailed
+					rec.Steps[i].Error = "cancelled"
+					rec.Steps[i].FinishedAt = rec.FinishedAt
+				}
+			}
+		}
+		e.persistLocked(rec)
+		e.mu.Unlock()
+		e.flush()
+		runSpan.SetAttr(obs.KeyStatus, string(st))
+	}
+
+	if initOrder == nil {
+		// Resume after a crash: rebuild the dispatch order — and re-map —
+		// from what the WAL says already finished.
+		replan("resume")
+	}
+
+	ticker := time.NewTicker(e.cfg.OverdueTick)
+	defer ticker.Stop()
+	for {
+		dispatch()
+		if doneCount == n {
+			finalize(Done, "")
+			return
+		}
+		if failing && runningCount == 0 {
+			finalize(Failed, failErr)
+			return
+		}
+		if !failing && runningCount == 0 {
+			// Cannot happen on a consistent order (see docs/EXECUTION.md);
+			// re-mapping rebuilds consistency if a bug ever breaks it.
+			replan("stall")
+			dispatch()
+			if runningCount == 0 {
+				finalize(Failed, "exec: dispatch stalled")
+				return
+			}
+		}
+		select {
+		case out := <-completions:
+			i, p := out.step, out.proc
+			state[i] = StepDone
+			procBusy[p] = false
+			runningCount--
+			finRel[i] = now()
+			observed := out.dur.Seconds()
+			if out.err != nil {
+				retryable := attempts[i] <= wf.Steps[i].Retries && rs.ctx.Err() == nil
+				e.mu.Lock()
+				rec.Steps[i].Error = out.err.Error()
+				if retryable {
+					state[i] = StepPending
+					rec.Steps[i].State = StepPending
+				} else {
+					state[i] = StepFailed
+					rec.Steps[i].State = StepFailed
+					rec.Steps[i].FinishedAt = time.Now()
+				}
+				e.persistLocked(rec)
+				e.mu.Unlock()
+				e.flush()
+				if retryable {
+					e.cfg.Metrics.Counter(metricWorkflowSteps, "state", "retried").Inc()
+					// Retry at the head of the same slot's queue.
+					order[assign[i]] = append([]int{i}, order[assign[i]]...)
+				} else {
+					e.cfg.Metrics.Counter(metricWorkflowSteps, "state", "failed").Inc()
+					failing = true
+					failErr = out.err.Error()
+				}
+				continue
+			}
+			doneCount++
+			ratio := observed / maxf(est(i, p), estFloor)
+			e.mu.Lock()
+			rec.Steps[i].State = StepDone
+			rec.Steps[i].Error = ""
+			rec.Steps[i].ObservedSeconds = observed
+			rec.Steps[i].FinishedAt = time.Now()
+			rec.ObservedW = append(rec.ObservedW, WEntry{
+				Step: wf.Steps[i].Name, Task: i, Proc: p, Seconds: observed,
+			})
+			e.persistLocked(rec)
+			e.mu.Unlock()
+			e.flush()
+			e.cfg.Metrics.Counter(metricWorkflowSteps, "state", "done").Inc()
+			e.stepSecs.Observe(observed)
+			e.driftHist.Observe(ratio)
+			tr.Emit(obs.Event{Type: obs.EvComplete, Alg: "exec", Task: i, Proc: p,
+				Start: startRel[i], Finish: finRel[i], Value: observed})
+			for _, a := range pr.G.Succs(dag.TaskID(i)) {
+				depsLeft[a.Task]--
+			}
+			if ratio > drift || ratio*drift < 1 {
+				replan("drift")
+			}
+		case <-ticker.C:
+			// Overdue detection: a running step past its (revised) estimate
+			// by the drift factor is re-projected to need one more estimate
+			// from now, and the frontier re-maps against that — the paper's
+			// ITQ recomputation applied to live drift, before the slow step
+			// even finishes.
+			nowS := now()
+			overdue := false
+			for i := 0; i < n; i++ {
+				if state[i] != StepRunning {
+					continue
+				}
+				elapsed := nowS - startRel[i]
+				if elapsed > proj[i]*drift {
+					proj[i] = elapsed + est(i, assign[i])
+					finRel[i] = startRel[i] + proj[i]
+					e.driftHist.Observe(elapsed / maxf(est(i, assign[i]), estFloor))
+					overdue = true
+				}
+			}
+			if overdue {
+				replan("overdue")
+			}
+		case <-rs.ctx.Done():
+			// Shutdown or cancellation: kill step commands and wait for
+			// their goroutines before deciding what to record.
+			stepWG.Wait()
+			if rs.userCancelled() {
+				finalize(Cancelled, "cancelled")
+				return
+			}
+			// Engine shutdown: leave the record running in the WAL so the
+			// next Open resumes it.
+			return
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,34 @@
+package exec
+
+import "testing"
+
+// FuzzDecodeWorkflow holds the decoder to its contract: any byte input
+// either decodes into a definition that passes Validate (and compiles) or
+// returns an error — it must never panic, hang, or admit a malformed
+// workflow (cycles, duplicate step names, unresolvable dependencies are
+// all Validate errors, and DecodeWorkflow runs Validate before returning).
+func FuzzDecodeWorkflow(f *testing.F) {
+	f.Add([]byte(demoYAML))
+	f.Add([]byte("steps:\n  - name: a\n    command: true\n"))
+	f.Add([]byte("steps:\n  - name: a\n    command: true\n    depends: [a]\n"))
+	f.Add([]byte("steps:\n  - name: a\n    command: true\n  - name: a\n    command: true\n"))
+	f.Add([]byte("steps:\n  - name: a\n    command: true\n    depends: [b]\n  - name: b\n    command: true\n    depends: [a]\n"))
+	f.Add([]byte("name: \"x\ty\"\nprocs: 999999\n"))
+	f.Add([]byte("steps:\n\t- broken tab\n"))
+	f.Add([]byte("- top\n- level\n- sequence\n"))
+	f.Add([]byte("steps:\n  - name: a\n    command: 'unterminated\n"))
+	f.Add([]byte("steps: [inline]\n"))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		w, err := DecodeWorkflow(src)
+		if err != nil {
+			return
+		}
+		// Anything the decoder admits must be internally consistent.
+		if err := w.Validate(); err != nil {
+			t.Fatalf("decoded workflow fails Validate: %v", err)
+		}
+		if _, err := w.Compile(); err != nil {
+			t.Fatalf("validated workflow fails Compile: %v", err)
+		}
+	})
+}

@@ -1,0 +1,206 @@
+package exec
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// State is one phase of the workflow lifecycle.
+type State string
+
+// The lifecycle: a workflow is admitted queued, its run loop moves it to
+// running, and it finishes done, failed (a step exhausted its attempts),
+// or cancelled. A workflow that is running when the process dies stays
+// running in the WAL and is resumed by the next Open.
+const (
+	Queued    State = "queued"
+	Running   State = "running"
+	Done      State = "done"
+	Failed    State = "failed"
+	Cancelled State = "cancelled"
+)
+
+// States lists every workflow state in lifecycle order.
+var States = []State{Queued, Running, Done, Failed, Cancelled}
+
+// Terminal reports whether a workflow in this state will never run again.
+func (s State) Terminal() bool {
+	return s == Done || s == Failed || s == Cancelled
+}
+
+// StepState is one phase of a step's lifecycle within a running workflow.
+type StepState string
+
+// Step lifecycle: pending (not yet dispatched, or awaiting a retry),
+// running, then done or failed.
+const (
+	StepPending StepState = "pending"
+	StepRunning StepState = "running"
+	StepDone    StepState = "done"
+	StepFailed  StepState = "failed"
+)
+
+// StepStatus is the live/persisted execution state of one step,
+// index-aligned with the workflow definition's Steps.
+type StepStatus struct {
+	Name string `json:"name"`
+	// State is the step's lifecycle phase.
+	State StepState `json:"state"`
+	// PlannedProc is the processor the initial HDLTS plan chose; Proc is
+	// the current assignment (re-plans move it) and, once the step has
+	// run, the processor slot it actually executed on. Comparing the two
+	// shows what dynamic re-mapping changed.
+	PlannedProc int `json:"planned_proc"`
+	Proc        int `json:"proc"`
+	// EstSeconds is the estimated duration on the current assignment (the
+	// W-matrix entry the plan used); ObservedSeconds is the measured wall
+	// duration of the successful attempt.
+	EstSeconds      float64 `json:"est_seconds"`
+	ObservedSeconds float64 `json:"observed_seconds,omitempty"`
+	// Attempts counts execution attempts consumed so far.
+	Attempts int `json:"attempts,omitempty"`
+	// Error holds the last attempt's failure.
+	Error string `json:"error,omitempty"`
+
+	StartedAt  time.Time `json:"started_at,omitempty"`
+	FinishedAt time.Time `json:"finished_at,omitempty"`
+}
+
+// WEntry is one observed W-matrix override: a measured execution time of
+// a step (task row) on the processor it ran on, in seconds. These are the
+// entries a subsequent plan of the same workflow would trust over the
+// declared estimates.
+type WEntry struct {
+	Step    string  `json:"step"`
+	Task    int     `json:"task"`
+	Proc    int     `json:"proc"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Record is one workflow execution: the WAL unit and the value the Engine
+// hands back to callers (always as a private copy).
+type Record struct {
+	// ID is the unique workflow handle ("wf-" + 16 hex chars).
+	ID string `json:"id"`
+	// Name echoes the definition's name.
+	Name string `json:"name"`
+	// TraceID correlates the workflow with the request that submitted it;
+	// re-adopted after crash recovery so plan and (resumed) execution
+	// share one trace.
+	TraceID string `json:"trace_id,omitempty"`
+	// Spec is the full decoded definition, kept so a recovered workflow
+	// can be re-compiled and resumed without the original request.
+	Spec *Workflow `json:"spec"`
+	// State is the workflow lifecycle phase.
+	State State `json:"state"`
+	// Error holds the failure reason for failed workflows.
+	Error string `json:"error,omitempty"`
+	// Steps is the per-step execution state, index-aligned with Spec.Steps.
+	Steps []StepStatus `json:"steps"`
+	// ObservedW accumulates measured durations as W-matrix overrides, in
+	// completion order.
+	ObservedW []WEntry `json:"observed_w,omitempty"`
+	// Replans counts ITQ recomputations over the un-dispatched frontier
+	// (drift-triggered, plus one per crash-recovery resume).
+	Replans int `json:"replans"`
+	// Makespan is the wall duration of the whole run, set when terminal.
+	MakespanSeconds float64 `json:"makespan_seconds,omitempty"`
+	// Seq orders workflows by submission (monotonic across restarts).
+	Seq uint64 `json:"seq"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+}
+
+// clone returns an independent deep copy safe to hand outside the
+// Engine's lock.
+func (r *Record) clone() *Record {
+	c := *r
+	c.Steps = append([]StepStatus(nil), r.Steps...)
+	c.ObservedW = append([]WEntry(nil), r.ObservedW...)
+	if r.Spec != nil {
+		spec := *r.Spec
+		spec.Steps = append([]Step(nil), r.Spec.Steps...)
+		c.Spec = &spec
+	}
+	return &c
+}
+
+// newID draws a fresh workflow handle from crypto/rand.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("exec: crypto/rand: " + err.Error())
+	}
+	return "wf-" + hex.EncodeToString(b[:])
+}
+
+// walRec is one workflow WAL line: a full-record upsert or a deletion.
+type walRec struct {
+	Op  string  `json:"op"`            // "put" | "del"
+	Rec *Record `json:"rec,omitempty"` // put payload
+	ID  string  `json:"id,omitempty"`  // del payload
+}
+
+// encodeWALRec renders one WAL line (newline included) for staging.
+func encodeWALRec(rec walRec) ([]byte, error) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("exec: encode wal record: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// loadRecordSnapshot decodes the snapshot payload into the record table.
+func loadRecordSnapshot(recs map[string]*Record) func([]byte) error {
+	return func(b []byte) error {
+		var list []*Record
+		if err := json.Unmarshal(b, &list); err != nil {
+			return fmt.Errorf("exec: decode snapshot: %w", err)
+		}
+		for _, r := range list {
+			recs[r.ID] = r
+		}
+		return nil
+	}
+}
+
+// applyRecordLine decodes one WAL line into the record table, reporting
+// false on the torn tail a crash mid-append leaves behind.
+func applyRecordLine(recs map[string]*Record) func(line []byte) bool {
+	return func(line []byte) bool {
+		var rec walRec
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return false
+		}
+		switch rec.Op {
+		case "put":
+			if rec.Rec != nil && rec.Rec.ID != "" {
+				recs[rec.Rec.ID] = rec.Rec
+			}
+		case "del":
+			delete(recs, rec.ID)
+		}
+		return true
+	}
+}
+
+// encodeRecordSnapshot renders the live set, ordered by submission
+// sequence, as the snapshot payload. Called under the record-table lock.
+func encodeRecordSnapshot(live map[string]*Record) ([]byte, error) {
+	list := make([]*Record, 0, len(live))
+	for _, r := range live {
+		list = append(list, r)
+	}
+	sort.Slice(list, func(i, k int) bool { return list[i].Seq < list[k].Seq })
+	b, err := json.Marshal(list)
+	if err != nil {
+		return nil, fmt.Errorf("exec: encode snapshot: %w", err)
+	}
+	return b, nil
+}

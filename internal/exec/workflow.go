@@ -1,0 +1,264 @@
+// Package exec is the live workflow execution engine: the layer that turns
+// this repository from a planner into a runner. A declarative YAML
+// workflow definition (named steps, shell commands, dependencies, per-step
+// timeout/retry/env) is compiled onto the existing scheduling model — a
+// dag.Graph plus an estimated W cost matrix over a uniform platform —
+// planned with HDLTS, and then actually executed: step commands run under
+// a bounded one-slot-per-processor runner, state transitions stream
+// through the same WAL mechanics and span infrastructure as the job
+// subsystem, and measured step durations feed back as observed W-matrix
+// entries. When an observation drifts past the workflow's threshold
+// (observed/estimated ratio, or a running step overshooting its estimate),
+// the engine re-runs the paper's ITQ decision rule over the
+// not-yet-dispatched frontier and re-maps the remainder mid-run — the
+// genuinely *dynamic* path the paper's title promises.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+	"hdlts/internal/sched"
+)
+
+// Limits on accepted workflow definitions: large enough for any realistic
+// hand-written or dagen-generated workflow, small enough that a hostile
+// definition cannot balloon the compiled problem.
+const (
+	maxSteps    = 10000
+	maxProcs    = 256
+	maxNameLen  = 64
+	maxDeps     = 1024
+	defaultCost = 1.0 // seconds, when a step declares no cost
+)
+
+// DefaultDrift is the re-plan threshold when the definition omits one: a
+// step observed beyond 1.5× (or under 1/1.5×) its estimate triggers ITQ
+// recomputation over the un-dispatched frontier.
+const DefaultDrift = 1.5
+
+// Step is one named unit of work in a workflow definition.
+type Step struct {
+	// Name identifies the step ([A-Za-z0-9._-], unique per workflow).
+	Name string `json:"name"`
+	// Command is the shell command the runner executes (via sh -c).
+	Command string `json:"command"`
+	// Depends lists step names that must complete first.
+	Depends []string `json:"depends,omitempty"`
+	// Costs is the estimated execution time in seconds per processor (the
+	// step's W-matrix row). A single entry — or the scalar `cost:` key in
+	// YAML — applies uniformly; nil means defaultCost everywhere.
+	Costs []float64 `json:"costs,omitempty"`
+	// Timeout bounds one execution attempt; 0 means no limit.
+	Timeout time.Duration `json:"timeout,omitempty"`
+	// Retries is how many times a failed attempt is retried (so the step
+	// runs at most Retries+1 times).
+	Retries int `json:"retries,omitempty"`
+	// Env is extra KEY=VALUE pairs appended to the runner environment.
+	Env []string `json:"env,omitempty"`
+}
+
+// Workflow is a declarative workflow definition: what to run, in what
+// dependency order, with what estimated costs on how many processors.
+type Workflow struct {
+	// Name labels the workflow (defaults to "workflow").
+	Name string `json:"name"`
+	// Procs is the number of processor slots commands may occupy
+	// concurrently (default 2).
+	Procs int `json:"procs"`
+	// Drift is the re-plan threshold ratio (> 1, default DefaultDrift).
+	Drift float64 `json:"drift,omitempty"`
+	// Steps in definition order; the index is the dag.TaskID.
+	Steps []Step `json:"steps"`
+}
+
+// validName reports whether a step/workflow name is safe to appear in
+// metrics labels, span attributes, and log lines.
+func validName(s string) bool {
+	if s == "" || len(s) > maxNameLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the definition shape: bounds, name hygiene, resolvable
+// acyclic dependencies, finite non-negative costs. Compile re-checks the
+// graph, but Validate gives decode-time errors their step context.
+func (w *Workflow) Validate() error {
+	if w.Name != "" && !validName(w.Name) {
+		return fmt.Errorf("exec: invalid workflow name %q", w.Name)
+	}
+	if w.Procs < 1 || w.Procs > maxProcs {
+		return fmt.Errorf("exec: procs %d outside 1..%d", w.Procs, maxProcs)
+	}
+	if w.Drift != 0 && !(w.Drift > 1) || math.IsInf(w.Drift, 0) || math.IsNaN(w.Drift) {
+		return fmt.Errorf("exec: drift threshold %g must be > 1", w.Drift)
+	}
+	if len(w.Steps) == 0 {
+		return fmt.Errorf("exec: workflow has no steps")
+	}
+	if len(w.Steps) > maxSteps {
+		return fmt.Errorf("exec: %d steps exceeds the %d-step limit", len(w.Steps), maxSteps)
+	}
+	index := make(map[string]int, len(w.Steps))
+	for i, st := range w.Steps {
+		if !validName(st.Name) {
+			return fmt.Errorf("exec: step %d: invalid name %q", i, st.Name)
+		}
+		if _, dup := index[st.Name]; dup {
+			return fmt.Errorf("exec: duplicate step name %q", st.Name)
+		}
+		index[st.Name] = i
+		if st.Command == "" {
+			return fmt.Errorf("exec: step %q has no command", st.Name)
+		}
+		if len(st.Depends) > maxDeps {
+			return fmt.Errorf("exec: step %q has %d dependencies (limit %d)", st.Name, len(st.Depends), maxDeps)
+		}
+		if len(st.Costs) > 1 && len(st.Costs) != w.Procs {
+			return fmt.Errorf("exec: step %q has %d cost entries, want 1 or %d", st.Name, len(st.Costs), w.Procs)
+		}
+		for _, c := range st.Costs {
+			if c < 0 || math.IsInf(c, 0) || math.IsNaN(c) {
+				return fmt.Errorf("exec: step %q has invalid cost %g", st.Name, c)
+			}
+		}
+		if st.Timeout < 0 {
+			return fmt.Errorf("exec: step %q has negative timeout", st.Name)
+		}
+		if st.Retries < 0 || st.Retries > 100 {
+			return fmt.Errorf("exec: step %q retries %d outside 0..100", st.Name, st.Retries)
+		}
+		for _, e := range st.Env {
+			if !validEnv(e) {
+				return fmt.Errorf("exec: step %q has malformed env entry %q (want KEY=VALUE)", st.Name, e)
+			}
+		}
+	}
+	for _, st := range w.Steps {
+		seen := make(map[string]bool, len(st.Depends))
+		for _, d := range st.Depends {
+			if d == st.Name {
+				return fmt.Errorf("exec: step %q depends on itself", st.Name)
+			}
+			if _, ok := index[d]; !ok {
+				return fmt.Errorf("exec: step %q depends on unknown step %q", st.Name, d)
+			}
+			if seen[d] {
+				return fmt.Errorf("exec: step %q lists dependency %q twice", st.Name, d)
+			}
+			seen[d] = true
+		}
+	}
+	// Cycle detection rides the graph validator Compile uses anyway.
+	if _, err := w.graph(index); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validEnv accepts KEY=VALUE with a non-empty portable key.
+func validEnv(e string) bool {
+	for i := 0; i < len(e); i++ {
+		c := e[i]
+		if c == '=' {
+			return i > 0
+		}
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+		if !ok || (i == 0 && c >= '0' && c <= '9') {
+			return false
+		}
+	}
+	return false
+}
+
+// graph builds the dependency DAG (step index == TaskID) and validates it.
+func (w *Workflow) graph(index map[string]int) (*dag.Graph, error) {
+	g := dag.New(len(w.Steps))
+	for _, st := range w.Steps {
+		g.AddTask(st.Name)
+	}
+	for i, st := range w.Steps {
+		for _, d := range st.Depends {
+			if err := g.AddEdge(dag.TaskID(index[d]), dag.TaskID(i), 0); err != nil {
+				return nil, fmt.Errorf("exec: step %q: %w", st.Name, err)
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	return g, nil
+}
+
+// CostRow returns the step's estimated-cost row over procs processors:
+// the explicit per-processor row, a scalar broadcast, or the default.
+func (st *Step) CostRow(procs int) []float64 {
+	row := make([]float64, procs)
+	for p := range row {
+		switch {
+		case len(st.Costs) == procs:
+			row[p] = st.Costs[p]
+		case len(st.Costs) >= 1:
+			row[p] = st.Costs[0]
+		default:
+			row[p] = defaultCost
+		}
+	}
+	return row
+}
+
+// Compile lowers the definition onto the scheduling model: the dependency
+// DAG, a uniform platform of w.Procs slots, and the estimated W matrix
+// (seconds). Dependencies carry zero data — step hand-off is through the
+// shared filesystem, not a modelled transfer — so communication costs
+// vanish and W alone drives the plan.
+func (w *Workflow) Compile() (*sched.Problem, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	index := make(map[string]int, len(w.Steps))
+	for i, st := range w.Steps {
+		index[st.Name] = i
+	}
+	g, err := w.graph(index)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]float64, len(w.Steps))
+	for i := range w.Steps {
+		rows[i] = w.Steps[i].CostRow(w.Procs)
+	}
+	costs, err := platform.CostsFromRows(rows)
+	if err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	pl, err := platform.NewUniform(w.Procs)
+	if err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	pr, err := sched.NewProblem(g, pl, costs)
+	if err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	return pr, nil
+}
+
+// DriftThreshold returns the effective re-plan threshold.
+func (w *Workflow) DriftThreshold() float64 {
+	if w.Drift > 1 {
+		return w.Drift
+	}
+	return DefaultDrift
+}

@@ -1,0 +1,585 @@
+package exec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file is a hand-written decoder for the YAML subset the workflow
+// schema needs — block maps, block and flow sequences, quoted and plain
+// scalars, comments. The module deliberately has zero dependencies, so a
+// full YAML implementation is not an option; restricting the grammar also
+// restricts the attack surface (no anchors, aliases, tags, multi-line
+// scalars, or merge keys). DecodeWorkflow must never panic on any input —
+// FuzzDecodeWorkflow holds it to that.
+
+// maxYAMLLines bounds accepted definitions (a 10k-step workflow is ~60k
+// lines); anything larger is rejected before parsing.
+const maxYAMLLines = 1 << 20
+
+// yamlError is a parse/shape error carrying the 1-based source line.
+type yamlError struct {
+	line int
+	msg  string
+}
+
+func (e *yamlError) Error() string {
+	return fmt.Sprintf("exec: yaml line %d: %s", e.line, e.msg)
+}
+
+func yerrf(line int, format string, args ...any) error {
+	return &yamlError{line: line, msg: fmt.Sprintf(format, args...)}
+}
+
+// yNode is one parsed YAML value: exactly one of scalar, list, or map.
+type yNode struct {
+	line   int
+	kind   byte // 's' scalar, 'l' list, 'm' map
+	scalar string
+	list   []*yNode
+	keys   []string // map keys in source order
+	vals   []*yNode
+}
+
+func (n *yNode) get(key string) *yNode {
+	for i, k := range n.keys {
+		if k == key {
+			return n.vals[i]
+		}
+	}
+	return nil
+}
+
+// yLine is one significant source line after comment stripping.
+type yLine struct {
+	num     int    // 1-based source line
+	indent  int    // leading spaces
+	content string // trimmed payload
+}
+
+// splitLines strips comments (respecting quotes) and blanks, rejecting
+// tab indentation, and returns the significant lines.
+func splitLines(src string) ([]yLine, error) {
+	raw := strings.Split(src, "\n")
+	if len(raw) > maxYAMLLines {
+		return nil, yerrf(maxYAMLLines, "definition exceeds %d lines", maxYAMLLines)
+	}
+	var out []yLine
+	for i, l := range raw {
+		l = strings.TrimSuffix(l, "\r")
+		indent := 0
+		for indent < len(l) && l[indent] == ' ' {
+			indent++
+		}
+		if indent < len(l) && l[indent] == '\t' {
+			return nil, yerrf(i+1, "tab indentation is not allowed")
+		}
+		content := strings.TrimRight(stripComment(l[indent:]), " ")
+		if content == "" {
+			continue
+		}
+		out = append(out, yLine{num: i + 1, indent: indent, content: content})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing "#..." comment, honouring quotes.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			} else if quote == '"' && c == '\\' {
+				i++ // skip the escaped char
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// parser walks the significant lines once, recursively by indentation.
+type parser struct {
+	lines []yLine
+	pos   int
+}
+
+// parseValue parses the block value whose first line is at p.pos with the
+// given indent.
+func (p *parser) parseValue(indent int) (*yNode, error) {
+	if p.pos >= len(p.lines) {
+		return nil, yerrf(0, "unexpected end of input")
+	}
+	if strings.HasPrefix(p.lines[p.pos].content, "- ") || p.lines[p.pos].content == "-" {
+		return p.parseList(indent)
+	}
+	return p.parseMap(indent)
+}
+
+// parseList consumes "- item" lines at exactly this indent.
+func (p *parser) parseList(indent int) (*yNode, error) {
+	n := &yNode{line: p.lines[p.pos].num, kind: 'l'}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || !(strings.HasPrefix(l.content, "- ") || l.content == "-") {
+			if l.indent > indent {
+				return nil, yerrf(l.num, "unexpected indentation inside sequence")
+			}
+			break
+		}
+		item := strings.TrimPrefix(strings.TrimPrefix(l.content, "-"), " ")
+		switch {
+		case item == "":
+			// The item is the nested block on the following lines.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, yerrf(l.num, "empty sequence item")
+			}
+			child, err := p.parseValue(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			n.list = append(n.list, child)
+		case isMapEntry(item):
+			// "- key: value": the dash introduces a map whose first entry
+			// shares the line. Re-point the line at the entry (virtually
+			// indented past the dash) and parse a map from there.
+			p.lines[p.pos] = yLine{num: l.num, indent: indent + 2, content: item}
+			child, err := p.parseMap(indent + 2)
+			if err != nil {
+				return nil, err
+			}
+			n.list = append(n.list, child)
+		default:
+			sc, err := parseScalar(item, l.num)
+			if err != nil {
+				return nil, err
+			}
+			n.list = append(n.list, sc)
+			p.pos++
+		}
+	}
+	return n, nil
+}
+
+// parseMap consumes "key: value" / "key:" lines at exactly this indent.
+func (p *parser) parseMap(indent int) (*yNode, error) {
+	n := &yNode{line: p.lines[p.pos].num, kind: 'm'}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, yerrf(l.num, "unexpected indentation")
+			}
+			break
+		}
+		if strings.HasPrefix(l.content, "- ") || l.content == "-" {
+			return nil, yerrf(l.num, "sequence item in mapping context")
+		}
+		key, rest, ok := splitKey(l.content)
+		if !ok {
+			return nil, yerrf(l.num, "expected \"key: value\", got %q", l.content)
+		}
+		if n.get(key) != nil {
+			return nil, yerrf(l.num, "duplicate key %q", key)
+		}
+		var val *yNode
+		if rest != "" {
+			sc, err := parseScalar(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+			val = sc
+			p.pos++
+		} else {
+			p.pos++
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				child, err := p.parseValue(p.lines[p.pos].indent)
+				if err != nil {
+					return nil, err
+				}
+				val = child
+			} else {
+				val = &yNode{line: l.num, kind: 's'} // empty value
+			}
+		}
+		n.keys = append(n.keys, key)
+		n.vals = append(n.vals, val)
+	}
+	return n, nil
+}
+
+// isMapEntry reports whether a sequence item opens an inline map entry.
+func isMapEntry(item string) bool {
+	_, _, ok := splitKey(item)
+	return ok
+}
+
+// splitKey splits "key: rest" (or "key:") at the first colon. Keys are
+// bare identifiers — the schema has no quoted or spaced keys — which keeps
+// colons inside commands unambiguous: "command: echo a: b" splits at the
+// first colon only.
+func splitKey(s string) (key, rest string, ok bool) {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 {
+		return "", "", false
+	}
+	key = s[:i]
+	for j := 0; j < len(key); j++ {
+		c := key[j]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-') {
+			return "", "", false
+		}
+	}
+	rest = s[i+1:]
+	if rest != "" {
+		if rest[0] != ' ' {
+			return "", "", false
+		}
+		rest = strings.TrimLeft(rest, " ")
+	}
+	return key, rest, true
+}
+
+// parseScalar parses an inline value: a flow sequence "[a, b]", a quoted
+// string, or a plain scalar.
+func parseScalar(s string, line int) (*yNode, error) {
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, yerrf(line, "unterminated flow sequence %q", s)
+		}
+		n := &yNode{line: line, kind: 'l'}
+		body := strings.TrimSpace(s[1 : len(s)-1])
+		if body == "" {
+			return n, nil
+		}
+		for _, part := range splitFlow(body) {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				return nil, yerrf(line, "empty element in flow sequence %q", s)
+			}
+			item, err := parseScalar(part, line)
+			if err != nil {
+				return nil, err
+			}
+			if item.kind != 's' {
+				return nil, yerrf(line, "nested flow sequences are not supported")
+			}
+			n.list = append(n.list, item)
+		}
+		return n, nil
+	}
+	v, err := unquote(s, line)
+	if err != nil {
+		return nil, err
+	}
+	return &yNode{line: line, kind: 's', scalar: v}, nil
+}
+
+// splitFlow splits a flow-sequence body on commas outside quotes.
+func splitFlow(s string) []string {
+	var parts []string
+	var quote byte
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			} else if quote == '"' && c == '\\' {
+				i++
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == ',':
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// unquote resolves single- and double-quoted scalars (minimal escapes:
+// \" and \\ in double quotes, ” in single quotes); plain scalars pass
+// through trimmed.
+func unquote(s string, line int) (string, error) {
+	if len(s) >= 2 && s[0] == '"' {
+		if s[len(s)-1] != '"' || len(s) < 2 {
+			return "", yerrf(line, "unterminated double-quoted scalar %q", s)
+		}
+		var b strings.Builder
+		body := s[1 : len(s)-1]
+		for i := 0; i < len(body); i++ {
+			if body[i] == '\\' {
+				i++
+				if i >= len(body) {
+					return "", yerrf(line, "dangling escape in %q", s)
+				}
+				switch body[i] {
+				case '"', '\\':
+					b.WriteByte(body[i])
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				default:
+					return "", yerrf(line, "unsupported escape \\%c in %q", body[i], s)
+				}
+				continue
+			}
+			if body[i] == '"' {
+				return "", yerrf(line, "unescaped quote inside %q", s)
+			}
+			b.WriteByte(body[i])
+		}
+		return b.String(), nil
+	}
+	if len(s) >= 2 && s[0] == '\'' {
+		if s[len(s)-1] != '\'' {
+			return "", yerrf(line, "unterminated single-quoted scalar %q", s)
+		}
+		body := s[1 : len(s)-1]
+		// '' is the only escape; a lone ' is malformed.
+		var b strings.Builder
+		for i := 0; i < len(body); i++ {
+			if body[i] == '\'' {
+				if i+1 >= len(body) || body[i+1] != '\'' {
+					return "", yerrf(line, "unescaped quote inside %q", s)
+				}
+				i++
+			}
+			b.WriteByte(body[i])
+		}
+		return b.String(), nil
+	}
+	return s, nil
+}
+
+// DecodeWorkflow parses a YAML workflow definition and validates it. The
+// accepted schema:
+//
+//	name: demo            # optional
+//	procs: 2              # optional, default 2
+//	drift: 1.5            # optional re-plan threshold, default 1.5
+//	steps:
+//	  - name: prep
+//	    command: make inputs
+//	  - name: train
+//	    command: ./train.sh
+//	    depends: [prep]   # or a block sequence
+//	    cost: 120         # scalar seconds, or costs: [110, 180] per proc
+//	    timeout: 10m
+//	    retries: 1
+//	    env:
+//	      - MODE=fast
+//
+// Malformed input — unknown keys, bad indentation, duplicate step names,
+// unresolvable or cyclic dependencies — returns an error; no input panics.
+func DecodeWorkflow(src []byte) (*Workflow, error) {
+	lines, err := splitLines(string(src))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("exec: empty workflow definition")
+	}
+	if lines[0].indent != 0 {
+		return nil, yerrf(lines[0].num, "top-level value must not be indented")
+	}
+	p := &parser{lines: lines}
+	root, err := p.parseMap(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, yerrf(p.lines[p.pos].num, "unexpected content after top-level mapping")
+	}
+	w := &Workflow{Name: "workflow", Procs: 2}
+	for i, key := range root.keys {
+		val := root.vals[i]
+		switch key {
+		case "name":
+			s, err := scalarOf(val, key)
+			if err != nil {
+				return nil, err
+			}
+			w.Name = s
+		case "procs":
+			n, err := intOf(val, key)
+			if err != nil {
+				return nil, err
+			}
+			w.Procs = n
+		case "drift":
+			f, err := floatOf(val, key)
+			if err != nil {
+				return nil, err
+			}
+			w.Drift = f
+		case "steps":
+			if val.kind != 'l' {
+				return nil, yerrf(val.line, "steps must be a sequence")
+			}
+			for _, item := range val.list {
+				st, err := decodeStep(item)
+				if err != nil {
+					return nil, err
+				}
+				w.Steps = append(w.Steps, *st)
+			}
+		default:
+			return nil, yerrf(val.line, "unknown key %q", key)
+		}
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// decodeStep maps one steps[] entry.
+func decodeStep(n *yNode) (*Step, error) {
+	if n.kind != 'm' {
+		return nil, yerrf(n.line, "each step must be a mapping")
+	}
+	st := &Step{}
+	var cost, costs *yNode
+	for i, key := range n.keys {
+		val := n.vals[i]
+		switch key {
+		case "name":
+			s, err := scalarOf(val, key)
+			if err != nil {
+				return nil, err
+			}
+			st.Name = s
+		case "command":
+			s, err := scalarOf(val, key)
+			if err != nil {
+				return nil, err
+			}
+			st.Command = s
+		case "depends":
+			list, err := stringsOf(val, key)
+			if err != nil {
+				return nil, err
+			}
+			st.Depends = list
+		case "cost":
+			cost = val
+		case "costs":
+			costs = val
+		case "timeout":
+			s, err := scalarOf(val, key)
+			if err != nil {
+				return nil, err
+			}
+			d, err := time.ParseDuration(s)
+			if err != nil {
+				return nil, yerrf(val.line, "bad timeout %q: %v", s, err)
+			}
+			st.Timeout = d
+		case "retries":
+			r, err := intOf(val, key)
+			if err != nil {
+				return nil, err
+			}
+			st.Retries = r
+		case "env":
+			list, err := stringsOf(val, key)
+			if err != nil {
+				return nil, err
+			}
+			st.Env = list
+		default:
+			return nil, yerrf(val.line, "unknown step key %q", key)
+		}
+	}
+	if cost != nil && costs != nil {
+		return nil, yerrf(cost.line, "step %q sets both cost and costs", st.Name)
+	}
+	if cost != nil {
+		f, err := floatOf(cost, "cost")
+		if err != nil {
+			return nil, err
+		}
+		st.Costs = []float64{f}
+	}
+	if costs != nil {
+		if costs.kind != 'l' {
+			return nil, yerrf(costs.line, "costs must be a sequence")
+		}
+		for _, item := range costs.list {
+			f, err := floatOf(item, "costs")
+			if err != nil {
+				return nil, err
+			}
+			st.Costs = append(st.Costs, f)
+		}
+	}
+	return st, nil
+}
+
+// scalarOf asserts a non-empty scalar value.
+func scalarOf(n *yNode, key string) (string, error) {
+	if n.kind != 's' || n.scalar == "" {
+		return "", yerrf(n.line, "%s must be a non-empty scalar", key)
+	}
+	return n.scalar, nil
+}
+
+// intOf parses a scalar integer.
+func intOf(n *yNode, key string) (int, error) {
+	s, err := scalarOf(n, key)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, yerrf(n.line, "%s: bad integer %q", key, s)
+	}
+	return v, nil
+}
+
+// floatOf parses a scalar float.
+func floatOf(n *yNode, key string) (float64, error) {
+	s, err := scalarOf(n, key)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, yerrf(n.line, "%s: bad number %q", key, s)
+	}
+	return v, nil
+}
+
+// stringsOf accepts a sequence of scalars (flow or block form) — or a
+// single scalar, treated as a one-element list.
+func stringsOf(n *yNode, key string) ([]string, error) {
+	switch n.kind {
+	case 's':
+		if n.scalar == "" {
+			return nil, nil
+		}
+		return []string{n.scalar}, nil
+	case 'l':
+		out := make([]string, 0, len(n.list))
+		for _, item := range n.list {
+			if item.kind != 's' || item.scalar == "" {
+				return nil, yerrf(item.line, "%s entries must be non-empty scalars", key)
+			}
+			out = append(out, item.scalar)
+		}
+		return out, nil
+	default:
+		return nil, yerrf(n.line, "%s must be a sequence", key)
+	}
+}

@@ -1,0 +1,163 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const demoYAML = `# demo pipeline
+name: demo
+procs: 2
+drift: 2.0
+steps:
+  - name: prep
+    command: "echo prep: inputs"   # colon inside quoted command
+    cost: 0.5
+  - name: train
+    command: ./train.sh --fast
+    depends: [prep]
+    costs: [1.5, 2.5]
+    timeout: 10m
+    retries: 1
+    env:
+      - MODE=fast
+      - SEED=42
+  - name: eval
+    command: 'echo it''s done'
+    depends:
+      - prep
+      - train
+`
+
+func TestDecodeWorkflow(t *testing.T) {
+	w, err := DecodeWorkflow([]byte(demoYAML))
+	if err != nil {
+		t.Fatalf("DecodeWorkflow: %v", err)
+	}
+	if w.Name != "demo" || w.Procs != 2 || w.Drift != 2.0 {
+		t.Fatalf("header = %q/%d/%g, want demo/2/2", w.Name, w.Procs, w.Drift)
+	}
+	if len(w.Steps) != 3 {
+		t.Fatalf("got %d steps, want 3", len(w.Steps))
+	}
+	prep, train, eval := w.Steps[0], w.Steps[1], w.Steps[2]
+	if prep.Command != "echo prep: inputs" {
+		t.Errorf("prep command = %q", prep.Command)
+	}
+	if len(prep.Costs) != 1 || prep.Costs[0] != 0.5 {
+		t.Errorf("prep costs = %v, want [0.5]", prep.Costs)
+	}
+	if got := train.Depends; len(got) != 1 || got[0] != "prep" {
+		t.Errorf("train depends = %v", got)
+	}
+	if len(train.Costs) != 2 || train.Costs[0] != 1.5 || train.Costs[1] != 2.5 {
+		t.Errorf("train costs = %v", train.Costs)
+	}
+	if train.Timeout != 10*time.Minute || train.Retries != 1 {
+		t.Errorf("train timeout/retries = %v/%d", train.Timeout, train.Retries)
+	}
+	if len(train.Env) != 2 || train.Env[0] != "MODE=fast" || train.Env[1] != "SEED=42" {
+		t.Errorf("train env = %v", train.Env)
+	}
+	if eval.Command != "echo it's done" {
+		t.Errorf("eval command = %q", eval.Command)
+	}
+	if len(eval.Depends) != 2 {
+		t.Errorf("eval depends = %v", eval.Depends)
+	}
+}
+
+func TestDecodeWorkflowDefaults(t *testing.T) {
+	w, err := DecodeWorkflow([]byte("steps:\n  - name: a\n    command: true\n"))
+	if err != nil {
+		t.Fatalf("DecodeWorkflow: %v", err)
+	}
+	if w.Name != "workflow" || w.Procs != 2 || w.DriftThreshold() != DefaultDrift {
+		t.Fatalf("defaults = %q/%d/%g", w.Name, w.Procs, w.DriftThreshold())
+	}
+	row := w.Steps[0].CostRow(2)
+	if row[0] != defaultCost || row[1] != defaultCost {
+		t.Fatalf("default cost row = %v", row)
+	}
+}
+
+func TestDecodeWorkflowErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{"empty", "", "empty workflow"},
+		{"no steps", "name: x\n", "no steps"},
+		{"tab indent", "steps:\n\t- name: a\n", "tab indentation"},
+		{"unknown key", "bogus: 1\nsteps:\n  - name: a\n    command: true\n", "unknown key"},
+		{"unknown step key", "steps:\n  - name: a\n    command: true\n    nope: 1\n", "unknown step key"},
+		{"duplicate key", "procs: 2\nprocs: 3\nsteps:\n  - name: a\n    command: true\n", "duplicate key"},
+		{"duplicate step", "steps:\n  - name: a\n    command: true\n  - name: a\n    command: true\n", "duplicate step name"},
+		{"missing command", "steps:\n  - name: a\n", "no command"},
+		{"bad name", "steps:\n  - name: \"a b\"\n    command: true\n", "invalid name"},
+		{"unknown dep", "steps:\n  - name: a\n    command: true\n    depends: [zz]\n", "unknown step"},
+		{"self dep", "steps:\n  - name: a\n    command: true\n    depends: [a]\n", "depends on itself"},
+		{"cycle", "steps:\n  - name: a\n    command: true\n    depends: [b]\n  - name: b\n    command: true\n    depends: [a]\n", "cycle"},
+		{"both cost keys", "steps:\n  - name: a\n    command: true\n    cost: 1\n    costs: [1, 2]\n", "both cost and costs"},
+		{"costs arity", "procs: 3\nsteps:\n  - name: a\n    command: true\n    costs: [1, 2]\n", "cost entries"},
+		{"negative cost", "steps:\n  - name: a\n    command: true\n    cost: -1\n", "invalid cost"},
+		{"bad drift", "drift: 0.5\nsteps:\n  - name: a\n    command: true\n", "drift"},
+		{"bad timeout", "steps:\n  - name: a\n    command: true\n    timeout: soon\n", "bad timeout"},
+		{"bad retries", "steps:\n  - name: a\n    command: true\n    retries: many\n", "bad integer"},
+		{"bad env", "steps:\n  - name: a\n    command: true\n    env: [FOO]\n", "env"},
+		{"bad procs", "procs: 0\nsteps:\n  - name: a\n    command: true\n", "procs"},
+		{"unterminated flow", "steps:\n  - name: a\n    command: true\n    depends: [b\n", "unterminated"},
+		{"unterminated quote", "steps:\n  - name: a\n    command: \"oops\n", "unterminated"},
+		{"seq at map level", "steps:\n  - name: a\n    command: true\n- stray\n", "sequence item in mapping"},
+		{"indented root", "  name: x\n", "must not be indented"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeWorkflow([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("decoded without error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestStripComment(t *testing.T) {
+	cases := [][2]string{
+		{"echo hi # comment", "echo hi"},
+		{"echo '#not'", "echo '#not'"},
+		{`echo "#not" # yes`, `echo "#not"`},
+		{"echo a#b", "echo a#b"}, // mid-word # is not a comment
+		{"# whole line", ""},
+	}
+	for _, c := range cases {
+		if got := strings.TrimRight(stripComment(c[0]), " "); got != c[1] {
+			t.Errorf("stripComment(%q) = %q, want %q", c[0], got, c[1])
+		}
+	}
+}
+
+func TestCompileShapes(t *testing.T) {
+	w, err := DecodeWorkflow([]byte(demoYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := w.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if pr.NumTasks() != 3 || pr.NumProcs() != 2 {
+		t.Fatalf("problem shape %dx%d, want 3x2", pr.NumTasks(), pr.NumProcs())
+	}
+	// Scalar cost broadcasts; per-proc row survives as declared.
+	if got := pr.Exec(0, 0); got != 0.5 {
+		t.Errorf("W[prep][0] = %g, want 0.5", got)
+	}
+	if got := pr.Exec(1, 1); got != 2.5 {
+		t.Errorf("W[train][1] = %g, want 2.5", got)
+	}
+}

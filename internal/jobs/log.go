@@ -1,0 +1,80 @@
+package jobs
+
+import (
+	"sync"
+
+	"hdlts/internal/obs"
+)
+
+// Log is the exported face of the two-file durability scheme (snapshot +
+// fsynced JSONL WAL with compaction) for subsystems other than the job
+// table — the workflow executor (internal/exec) persists its records
+// through one. The Log is record-agnostic: recovery callbacks and
+// pre-encoded lines keep the payload schema with the owner, while torn-
+// tail-tolerant replay, group-committed appends, and atomic snapshot
+// compaction stay here, shared with the Manager's store.
+//
+// The intended locking discipline mirrors the Manager's: the owner stages
+// encoded records under its own table lock, then calls Append *after*
+// releasing it. Append and CompactIfDue serialise on the Log's internal
+// writer lock, so the owner's readers are never exposed to fsync latency.
+type Log struct {
+	// mu is the WAL-writer lock: it serialises appends and compaction and
+	// is never held by the owner's table-reading paths.
+	mu sync.Mutex
+	st *store
+}
+
+// OpenLog opens (creating if needed) the store in dir and replays its
+// state through the callbacks: snapshot receives the last compaction's
+// payload (skipped when none exists), then replay receives each WAL line
+// in file order and reports whether it decoded — the first undecodable
+// line ends replay cleanly, losing at most the record a crash tore.
+// fsync, when non-nil, observes the per-batch fsync latency.
+func OpenLog(dir string, fsync *obs.Histogram, snapshot func([]byte) error, replay func(line []byte) bool) (*Log, error) {
+	st, err := openStore(dir, fsync, snapshot, replay)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{st: st}, nil
+}
+
+// Append durably writes a batch of pre-encoded WAL lines (terminating
+// newlines included): one write, one fsync for the whole group.
+func (l *Log) Append(batch [][]byte) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	//lint:hdltsvet-ignore lockedio mu is the WAL-writer lock; its whole purpose is covering this batch write
+	return l.st.appendBatch(batch)
+}
+
+// CompactIfDue rewrites the snapshot and truncates the WAL when the WAL
+// has outgrown the live set. live and snapshot are called under the
+// writer lock (and may take the owner's table lock — writer-before-table
+// is the shared lock order); snapshot runs only when compaction is due,
+// so the owner does not pay for encoding on every call.
+func (l *Log) CompactIfDue(live func() int, snapshot func() ([]byte, error)) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.st.shouldCompact(live()) {
+		return nil
+	}
+	b, err := snapshot()
+	if err != nil {
+		return err
+	}
+	//lint:hdltsvet-ignore lockedio compaction runs under the WAL-writer lock by design; the owner's table lock is not held
+	return l.st.compactWith(b)
+}
+
+// Close releases the WAL file handle, serialising with any in-flight
+// append or compaction.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	//lint:hdltsvet-ignore lockedio shutdown path: closing the WAL must serialise with the final append under the writer lock
+	return l.st.close()
+}

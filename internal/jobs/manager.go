@@ -173,8 +173,9 @@ func Open(cfg Config) (*Manager, error) {
 		// disks) and tens of ms (spinning rust); log-spaced 10µs–1s buckets
 		// resolve both regimes where the decade defaults cannot.
 		cfg.Metrics.SetBuckets(metricJobsWALFsync, obs.ExpBuckets(1e-5, 1, 3))
-		st, recovered, err := openStore(cfg.Dir,
-			cfg.Metrics.Histogram(metricJobsWALFsync))
+		recovered := make(map[string]*Job)
+		st, err := openStore(cfg.Dir, cfg.Metrics.Histogram(metricJobsWALFsync),
+			loadJobSnapshot(recovered), applyJobRecord(recovered))
 		if err != nil {
 			return nil, err
 		}

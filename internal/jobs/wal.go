@@ -47,9 +47,13 @@ func encodeRecord(rec walRecord) ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-// store owns the open WAL file handle and compaction bookkeeping. All
-// methods are called under the Manager's WAL-writer lock (wmu), never
-// under the job-table lock, so disk latency is invisible to Submit/Get.
+// store owns the open WAL file handle and compaction bookkeeping for one
+// two-file durability directory. It is record-agnostic: recovery is driven
+// by the snapshot/replay callbacks passed to openStore, and writes take
+// pre-encoded lines — so the same mechanics back both the job table here
+// and the workflow records of internal/exec (via Log). All methods are
+// called under the owner's WAL-writer lock, never under its table lock, so
+// disk latency is invisible to readers.
 type store struct {
 	dir     string
 	f       *os.File
@@ -59,57 +63,78 @@ type store struct {
 	// rewrite the snapshot on every few transitions.
 	minCompact int
 
-	fsync *obs.Histogram // hdltsd_jobs_wal_fsync_seconds
+	fsync *obs.Histogram // WAL fsync latency, owner-named
 }
 
-// openStore opens (creating if needed) the job store in dir and returns it
-// together with the recovered job set.
-func openStore(dir string, fsync *obs.Histogram) (*store, map[string]*Job, error) {
+// openStore opens (creating if needed) the store in dir, recovering state
+// through the two callbacks: snapshot receives the last compaction's
+// payload (not called when none exists), then replay receives each WAL
+// line in file order and reports whether it decoded — the first false
+// stops replay, because after a crash mid-append the final line may be
+// torn while everything before it is intact (each append was fsynced).
+func openStore(dir string, fsync *obs.Histogram, snapshot func([]byte) error, replay func(line []byte) bool) (*store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, nil, fmt.Errorf("jobs: create store dir: %w", err)
+		return nil, fmt.Errorf("jobs: create store dir: %w", err)
 	}
-	jobs, err := loadSnapshot(filepath.Join(dir, snapshotFile))
-	if err != nil {
-		return nil, nil, err
+	b, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	switch {
+	case os.IsNotExist(err):
+	case err != nil:
+		return nil, fmt.Errorf("jobs: read snapshot: %w", err)
+	default:
+		if err := snapshot(b); err != nil {
+			return nil, err
+		}
 	}
 	walPath := filepath.Join(dir, walFile)
-	appends, err := replayWAL(walPath, jobs)
+	appends, err := replayWAL(walPath, replay)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("jobs: open wal: %w", err)
+		return nil, fmt.Errorf("jobs: open wal: %w", err)
 	}
-	return &store{dir: dir, f: f, appends: appends, minCompact: 256, fsync: fsync}, jobs, nil
+	return &store{dir: dir, f: f, appends: appends, minCompact: 256, fsync: fsync}, nil
 }
 
-// loadSnapshot reads the last compaction's job set; a missing snapshot is
-// an empty store.
-func loadSnapshot(path string) (map[string]*Job, error) {
-	jobs := make(map[string]*Job)
-	b, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return jobs, nil
+// loadJobSnapshot decodes the snapshot payload into the job table.
+func loadJobSnapshot(jobs map[string]*Job) func([]byte) error {
+	return func(b []byte) error {
+		var list []*Job
+		if err := json.Unmarshal(b, &list); err != nil {
+			return fmt.Errorf("jobs: decode snapshot: %w", err)
+		}
+		for _, j := range list {
+			jobs[j.ID] = j
+		}
+		return nil
 	}
-	if err != nil {
-		return nil, fmt.Errorf("jobs: read snapshot: %w", err)
-	}
-	var list []*Job
-	if err := json.Unmarshal(b, &list); err != nil {
-		return nil, fmt.Errorf("jobs: decode snapshot: %w", err)
-	}
-	for _, j := range list {
-		jobs[j.ID] = j
-	}
-	return jobs, nil
 }
 
-// replayWAL applies every decodable record to jobs in file order and
-// returns how many records the WAL holds. Replay stops at the first
-// undecodable line: after a crash mid-append the final line may be torn,
-// and everything before it is intact because each append was fsynced.
-func replayWAL(path string, jobs map[string]*Job) (int, error) {
+// applyJobRecord decodes one WAL line into the job table, reporting false
+// on the torn tail a crash mid-append leaves behind.
+func applyJobRecord(jobs map[string]*Job) func(line []byte) bool {
+	return func(line []byte) bool {
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return false
+		}
+		switch rec.Op {
+		case "put":
+			if rec.Job != nil && rec.Job.ID != "" {
+				jobs[rec.Job.ID] = rec.Job
+			}
+		case "del":
+			delete(jobs, rec.ID)
+		}
+		return true
+	}
+}
+
+// replayWAL feeds every WAL line to apply in file order and returns how
+// many records the WAL holds. Replay stops at the first line apply rejects.
+func replayWAL(path string, apply func(line []byte) bool) (int, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return 0, nil
@@ -122,17 +147,8 @@ func replayWAL(path string, jobs map[string]*Job) (int, error) {
 	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
 	n := 0
 	for sc.Scan() {
-		var rec walRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+		if !apply(sc.Bytes()) {
 			break // torn tail from a crash mid-append
-		}
-		switch rec.Op {
-		case "put":
-			if rec.Job != nil && rec.Job.ID != "" {
-				jobs[rec.Job.ID] = rec.Job
-			}
-		case "del":
-			delete(jobs, rec.ID)
 		}
 		n++
 	}

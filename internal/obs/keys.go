@@ -20,6 +20,12 @@ const (
 	KeyPhase = "phase"
 	// KeyJob is a job identifier.
 	KeyJob = "job"
+	// KeyWorkflow is a workflow identifier.
+	KeyWorkflow = "workflow"
+	// KeyStep is a workflow step name.
+	KeyStep = "step"
+	// KeyProc is a processor index.
+	KeyProc = "proc"
 )
 
 // Canonical wire-field names: the JSON keys the obs package is allowed to

@@ -24,6 +24,7 @@ import (
 	"strconv"
 	"time"
 
+	"hdlts/internal/exec"
 	"hdlts/internal/jobs"
 	"hdlts/internal/metrics"
 	"hdlts/internal/obs"
@@ -67,6 +68,10 @@ type Config struct {
 	// policy, TTL, cache size. Metrics and Run are wired by the server and
 	// need not be set.
 	Jobs jobs.Config
+	// Workflows tunes the live execution engine behind POST /v1/workflows:
+	// store directory (empty = memory-only), step runner, overdue tick.
+	// Metrics and Traces are wired by the server and need not be set.
+	Workflows exec.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +111,7 @@ const (
 	metricScheduleSeconds = "hdltsd_schedule_seconds"
 	metricScheduleErrors  = "hdltsd_schedule_errors_total"
 	metricJobsErrors      = "hdltsd_jobs_errors_total"
+	metricWorkflowErrors  = "hdltsd_workflow_errors_total"
 	metricTraceErrors     = "hdltsd_trace_errors_total"
 )
 
@@ -116,6 +122,7 @@ type Server struct {
 	mux    *http.ServeMux
 	pool   *pool
 	jobs   *jobs.Manager
+	wfs    *exec.Engine
 	traces *obs.TraceStore
 	build  obs.BuildInfo
 
@@ -155,6 +162,19 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.jobs = mgr
+	wcfg := cfg.Workflows
+	wcfg.Metrics = cfg.Metrics
+	wcfg.Traces = s.traces
+	eng, err := exec.Open(wcfg)
+	if err != nil {
+		s.pool.close()
+		//lint:hdltsvet-ignore ctxflow constructor unwind has no caller context; bound the job-manager teardown locally
+		cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = mgr.Close(cctx)
+		return nil, err
+	}
+	s.wfs = eng
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
@@ -162,6 +182,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("POST /v1/workflows", s.handleWorkflowSubmit)
+	s.mux.HandleFunc("GET /v1/workflows", s.handleWorkflowList)
+	s.mux.HandleFunc("GET /v1/workflows/{id}", s.handleWorkflowGet)
+	s.mux.HandleFunc("DELETE /v1/workflows/{id}", s.handleWorkflowCancel)
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
 	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -172,6 +196,9 @@ func New(cfg Config) (*Server, error) {
 
 // Jobs exposes the job manager (facade re-export and tests).
 func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// Workflows exposes the execution engine (facade re-export and tests).
+func (s *Server) Workflows() *exec.Engine { return s.wfs }
 
 // ServeHTTP implements http.Handler with request correlation, accounting,
 // and access logging around the route table. Every response — including
@@ -251,7 +278,8 @@ func validRequestID(id string) bool {
 // not recorded.
 func tracedRoute(r *http.Request) bool {
 	return r.Method == http.MethodPost &&
-		(r.URL.Path == "/v1/schedule" || r.URL.Path == "/v1/jobs")
+		(r.URL.Path == "/v1/schedule" || r.URL.Path == "/v1/jobs" ||
+			r.URL.Path == "/v1/workflows")
 }
 
 // Drain flips /readyz to 503 and refuses new schedule requests, without
@@ -282,7 +310,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return fmt.Errorf("server: shutdown: %w", ctx.Err())
 	}
-	return s.jobs.Close(ctx)
+	// Workflow runs, like jobs, survive in their durable store: Close kills
+	// step commands but leaves unfinished workflows resumable.
+	jerr := s.jobs.Close(ctx)
+	if werr := s.wfs.Close(ctx); werr != nil {
+		return werr
+	}
+	return jerr
 }
 
 // isDraining reports whether Drain has been called.
