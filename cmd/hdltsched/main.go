@@ -20,10 +20,14 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"encoding/json"
+
 	"hdlts/internal/core"
 	"hdlts/internal/dag"
+	"hdlts/internal/explain"
 	"hdlts/internal/metrics"
 	"hdlts/internal/obs"
+	"hdlts/internal/platform"
 	"hdlts/internal/registry"
 	"hdlts/internal/sched"
 	"hdlts/internal/viz"
@@ -49,6 +53,9 @@ type options struct {
 	// Stats dumps the runtime metrics registry (Prometheus text) to Err
 	// after scheduling.
 	Stats bool
+	// Explain prints the schedule explainability report (placement
+	// rationale, critical path, per-processor accounting) as JSON.
+	Explain bool
 	// Err receives -stats output and diagnostics (defaults to os.Stderr).
 	Err io.Writer
 }
@@ -68,6 +75,7 @@ func main() {
 	flag.StringVar(&o.Events, "events", "", "write decision events as JSON Lines to this file")
 	flag.StringVar(&o.ChromeTrace, "chrome-trace", "", "write a Chrome trace-event JSON to this file")
 	flag.BoolVar(&o.Stats, "stats", false, "print runtime metrics (Prometheus text) to stderr")
+	flag.BoolVar(&o.Explain, "explain", false, "print the schedule explainability report as JSON (per-task rationale with hdlts)")
 	flag.Parse()
 	if err := run(os.Stdout, os.Stdin, o); err != nil {
 		fmt.Fprintln(os.Stderr, "hdltsched:", err)
@@ -136,6 +144,11 @@ func run(out io.Writer, stdin io.Reader, o options) error {
 	var chrome *obs.ChromeSink
 	if o.ChromeTrace != "" {
 		chrome = obs.NewChrome()
+		names := make([]string, pr.NumProcs())
+		for p := range names {
+			names[p] = pr.P.Name(platform.Proc(p))
+		}
+		chrome.SetProcNames(names)
 		sinks = append(sinks, chrome)
 	}
 	tracer := obs.Multi(sinks...)
@@ -148,14 +161,27 @@ func run(out io.Writer, stdin io.Reader, o options) error {
 			prA = pr.WithTracer(obs.Named(tracer, a.Name()))
 		}
 		var s *sched.Schedule
-		if o.Trace && a.Name() == "HDLTS" {
+		var decisions []core.Decision
+		switch {
+		case o.Trace && a.Name() == "HDLTS":
 			var steps []core.Step
 			s, steps, err = core.New().ScheduleTrace(prA)
 			if err != nil {
 				return err
 			}
 			printTrace(out, steps)
-		} else {
+		case o.Explain:
+			// Capture per-task rationale when the algorithm supports it; a
+			// plain solve still yields the structural report surfaces.
+			if ex, ok := a.(explain.Explainer); ok {
+				s, decisions, err = ex.ScheduleExplained(prA)
+			} else {
+				s, err = a.Schedule(prA)
+			}
+			if err != nil {
+				return fmt.Errorf("%s: %w", a.Name(), err)
+			}
+		default:
 			s, err = a.Schedule(prA)
 			if err != nil {
 				return fmt.Errorf("%s: %w", a.Name(), err)
@@ -191,6 +217,18 @@ func run(out io.Writer, stdin io.Reader, o options) error {
 			}
 			fmt.Fprintf(out, "slack: total %.4g across %d tasks, %d critical\n",
 				slack.TotalSlack, len(slack.Slack), len(slack.Critical))
+		}
+		if o.Explain {
+			tw.Flush()
+			rep, err := explain.Schedule(s, a.Name(), decisions)
+			if err != nil {
+				return err
+			}
+			b, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%s\n", b)
 		}
 		if o.SVG != "" {
 			cfg := viz.GanttConfig{Title: fmt.Sprintf("%s — makespan %.4g", a.Name(), s.Makespan())}

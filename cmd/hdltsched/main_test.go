@@ -36,6 +36,36 @@ func TestRunSingleAlgorithmFromStdin(t *testing.T) {
 	}
 }
 
+// TestRunExplainDeterministic pins the CI acceptance check: -explain on
+// the Fig. 1 problem produces a full report and is byte-identical across
+// runs.
+func TestRunExplainDeterministic(t *testing.T) {
+	render := func() string {
+		var out bytes.Buffer
+		if err := run(&out, strings.NewReader(exampleJSON(t)), options{Alg: "hdlts", In: "-", Explain: true, Validate: true, Width: 60}); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	first := render()
+	for _, want := range []string{`"algorithm": "HDLTS"`, `"critical_path"`, `"rationale"`, `"itq"`, `"utilization"`} {
+		if !strings.Contains(first, want) {
+			t.Errorf("explain output missing %s:\n%s", want, first)
+		}
+	}
+	if second := render(); first != second {
+		t.Error("-explain output differs across identical runs")
+	}
+	// Algorithms without a capture hook still report structure.
+	var out bytes.Buffer
+	if err := run(&out, strings.NewReader(exampleJSON(t)), options{Alg: "heft", In: "-", Explain: true, Validate: true, Width: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"critical_path"`) || strings.Contains(out.String(), `"rationale"`) {
+		t.Errorf("heft explain wrong shape:\n%s", out.String())
+	}
+}
+
 func TestRunAllAlgorithmsWithGantt(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(&out, strings.NewReader(exampleJSON(t)), options{Alg: "all", In: "-", Gantt: true, Validate: true, Width: 60}); err != nil {

@@ -81,6 +81,12 @@ type options struct {
 	// RuntimeInterval paces the runtime/metrics poller feeding the
 	// hdltsd_runtime_* gauges; 0 disables the collector.
 	RuntimeInterval time.Duration
+	// StreamBuffer is the per-subscriber event buffer on the SSE endpoints;
+	// a subscriber that falls further behind loses oldest events first.
+	StreamBuffer int
+	// StreamHeartbeat paces the SSE keepalive comments that hold idle
+	// streams open through proxies.
+	StreamHeartbeat time.Duration
 	// Ready, when set, receives the bound listen address once the daemon
 	// accepts connections (test hook).
 	Ready func(addr string)
@@ -106,6 +112,8 @@ func main() {
 	flag.IntVar(&o.TraceBuffer, "trace-buffer", 512, "request traces retained in memory for the trace endpoints")
 	flag.IntVar(&o.TraceSample, "trace-sample", 1, "record one in N scheduling requests into the trace ring")
 	flag.DurationVar(&o.RuntimeInterval, "runtime-interval", 10*time.Second, "runtime telemetry poll interval; 0 = disabled")
+	flag.IntVar(&o.StreamBuffer, "stream-buffer", obs.DefaultStreamBuffer, "per-subscriber SSE event buffer; slow subscribers drop oldest events beyond it")
+	flag.DurationVar(&o.StreamHeartbeat, "stream-heartbeat", 15*time.Second, "SSE keepalive interval on the event-stream endpoints")
 	flag.Parse()
 	if *version {
 		info := obs.ReadBuild()
@@ -135,13 +143,15 @@ func run(ctx context.Context, o options) error {
 		access = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	srv, err := server.New(server.Config{
-		Workers:        o.Workers,
-		QueueDepth:     o.Queue,
-		RequestTimeout: o.Timeout,
-		MaxBodyBytes:   o.MaxBody,
-		AccessLog:      access,
-		TraceBuffer:    o.TraceBuffer,
-		TraceSample:    o.TraceSample,
+		Workers:         o.Workers,
+		QueueDepth:      o.Queue,
+		RequestTimeout:  o.Timeout,
+		MaxBodyBytes:    o.MaxBody,
+		AccessLog:       access,
+		TraceBuffer:     o.TraceBuffer,
+		TraceSample:     o.TraceSample,
+		StreamBuffer:    o.StreamBuffer,
+		StreamHeartbeat: o.StreamHeartbeat,
 		Jobs: jobs.Config{
 			Dir:     o.JobsDir,
 			Workers: o.JobsWorkers,

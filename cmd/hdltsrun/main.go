@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"hdlts/internal/exec"
+	"hdlts/internal/obs"
 )
 
 func main() {
@@ -32,10 +33,11 @@ func main() {
 		drift   = flag.Float64("drift", 0, "override the workflow's re-plan threshold ratio (> 1; 0 = use the definition's)")
 		jsonOut = flag.Bool("json", false, "emit the final workflow record as JSON instead of the table")
 		timeout = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+		follow  = flag.Bool("follow", false, "stream step/re-plan events live to stderr while the workflow runs")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hdltsrun [-drift N] [-json] [-timeout D] <workflow.yaml | ->")
+		fmt.Fprintln(os.Stderr, "usage: hdltsrun [-drift N] [-json] [-follow] [-timeout D] <workflow.yaml | ->")
 		os.Exit(2)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -45,16 +47,17 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, os.Stdout, flag.Arg(0), *drift, *jsonOut); err != nil {
+	if err := run(ctx, os.Stdout, os.Stderr, flag.Arg(0), *drift, *jsonOut, *follow); err != nil {
 		fmt.Fprintln(os.Stderr, "hdltsrun:", err)
 		os.Exit(1)
 	}
 }
 
 // run loads, plans, and executes one workflow, rendering the outcome to
-// out. A non-done terminal state is an error so the exit code reflects
-// the workflow result.
-func run(ctx context.Context, out io.Writer, path string, drift float64, jsonOut bool) error {
+// out (and, with follow, the live event feed to errOut). A non-done
+// terminal state is an error so the exit code reflects the workflow
+// result.
+func run(ctx context.Context, out, errOut io.Writer, path string, drift float64, jsonOut, follow bool) error {
 	src, err := readSource(path)
 	if err != nil {
 		return err
@@ -69,7 +72,13 @@ func run(ctx context.Context, out io.Writer, path string, drift float64, jsonOut
 			return err
 		}
 	}
-	eng, err := exec.Open(exec.Config{}) // memory-only, shell runner
+	cfg := exec.Config{} // memory-only, shell runner
+	var hub *obs.Hub
+	if follow {
+		hub = obs.NewHub(obs.NewRegistry(), 0)
+		cfg.Stream = hub
+	}
+	eng, err := exec.Open(cfg)
 	if err != nil {
 		return err
 	}
@@ -78,6 +87,25 @@ func run(ctx context.Context, out io.Writer, path string, drift float64, jsonOut
 		defer cancel()
 		_ = eng.Close(cctx)
 	}()
+
+	// Subscribe before Submit so the feed starts at workflow.plan.
+	followed := make(chan struct{})
+	if follow {
+		sub := hub.Subscribe(obs.StreamFilter{}, 1024)
+		defer sub.Close()
+		go func() {
+			defer close(followed)
+			for ev := range sub.C() {
+				printEvent(errOut, ev)
+				if ev.Kind == obs.KindWorkflowDone {
+					return
+				}
+			}
+		}()
+	} else {
+		close(followed)
+	}
+
 	rec, err := eng.Submit(ctx, wf)
 	if err != nil {
 		return err
@@ -88,6 +116,11 @@ func run(ctx context.Context, out io.Writer, path string, drift float64, jsonOut
 		if final, err = eng.Cancel(rec.ID); err != nil {
 			return err
 		}
+	}
+	// Let the feed drain through workflow.done before the summary prints.
+	select {
+	case <-followed:
+	case <-time.After(2 * time.Second):
 	}
 	if jsonOut {
 		enc := json.NewEncoder(out)
@@ -109,6 +142,28 @@ func readSource(path string) ([]byte, error) {
 		return io.ReadAll(os.Stdin)
 	}
 	return os.ReadFile(path)
+}
+
+// printEvent renders one live stream event as a -follow feed line.
+func printEvent(w io.Writer, ev obs.StreamEvent) {
+	detail := ""
+	switch ev.Kind {
+	case obs.KindWorkflowPlan:
+		detail = fmt.Sprintf("%d step(s) planned", int(ev.Value))
+	case obs.KindStepRun:
+		detail = fmt.Sprintf("%s -> P%d (queued %.3fs)", ev.Step, ev.Proc+1, ev.Value)
+	case obs.KindStepDone:
+		detail = fmt.Sprintf("%s on P%d (%.3fs observed)", ev.Step, ev.Proc+1, ev.Value)
+	case obs.KindStepFail:
+		detail = fmt.Sprintf("%s on P%d (%s)", ev.Step, ev.Proc+1, ev.Phase)
+	case obs.KindWorkflowReplan:
+		detail = fmt.Sprintf("%s, re-mapping %d pending step(s)", ev.Phase, int(ev.Value))
+	case obs.KindWorkflowDone:
+		detail = ev.Phase
+	default:
+		detail = ev.Step
+	}
+	fmt.Fprintf(w, "%9.3fs  %-16s %s\n", ev.Time, ev.Kind, detail)
 }
 
 // render prints the per-step outcome table and the dynamic-mapping summary.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"os"
 	"strings"
 	"testing"
@@ -35,7 +36,7 @@ steps:
     cost: 0.01
 `)
 	var out bytes.Buffer
-	if err := run(context.Background(), &out, path, 0, false); err != nil {
+	if err := run(context.Background(), &out, io.Discard, path, 0, false, false); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	got := out.String()
@@ -56,7 +57,7 @@ steps:
 func TestRunJSONOutput(t *testing.T) {
 	path := writeWorkflow(t, "steps:\n  - name: a\n    command: true\n    cost: 0.01\n")
 	var out bytes.Buffer
-	if err := run(context.Background(), &out, path, 2.0, true); err != nil {
+	if err := run(context.Background(), &out, io.Discard, path, 2.0, true, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	var rec exec.Record
@@ -71,10 +72,27 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 }
 
+func TestRunFollowStreamsEvents(t *testing.T) {
+	path := writeWorkflow(t, "steps:\n  - name: a\n    command: true\n    cost: 0.01\n")
+	var out, feed bytes.Buffer
+	if err := run(context.Background(), &out, &feed, path, 0, false, true); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := feed.String()
+	for _, want := range []string{"workflow.plan", "step.run", "step.done", "workflow.done"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("follow feed missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(out.String(), "done") {
+		t.Errorf("summary missing:\n%s", out.String())
+	}
+}
+
 func TestRunFailurePropagates(t *testing.T) {
 	path := writeWorkflow(t, "steps:\n  - name: a\n    command: \"exit 7\"\n    cost: 0.01\n")
 	var out bytes.Buffer
-	err := run(context.Background(), &out, path, 0, false)
+	err := run(context.Background(), &out, io.Discard, path, 0, false, false)
 	if err == nil || !strings.Contains(err.Error(), "failed") {
 		t.Fatalf("run error = %v, want workflow failure", err)
 	}
@@ -82,15 +100,15 @@ func TestRunFailurePropagates(t *testing.T) {
 
 func TestRunRejectsBadInput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), &out, t.TempDir()+"/absent.yaml", 0, false); err == nil {
+	if err := run(context.Background(), &out, io.Discard, t.TempDir()+"/absent.yaml", 0, false, false); err == nil {
 		t.Error("missing file accepted")
 	}
 	path := writeWorkflow(t, "steps:\n  - name: a\n")
-	if err := run(context.Background(), &out, path, 0, false); err == nil {
+	if err := run(context.Background(), &out, io.Discard, path, 0, false, false); err == nil {
 		t.Error("invalid workflow accepted")
 	}
 	good := writeWorkflow(t, "steps:\n  - name: a\n    command: true\n")
-	if err := run(context.Background(), &out, good, 0.5, false); err == nil {
+	if err := run(context.Background(), &out, io.Discard, good, 0.5, false, false); err == nil {
 		t.Error("bad drift override accepted")
 	}
 }
@@ -100,7 +118,7 @@ func TestRunInterrupted(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 	defer cancel()
 	var out bytes.Buffer
-	err := run(ctx, &out, path, 0, false)
+	err := run(ctx, &out, io.Discard, path, 0, false, false)
 	if err == nil {
 		t.Fatal("interrupted run reported success")
 	}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sort"
+
+	"hdlts/internal/dag"
+	"hdlts/internal/platform"
+	"hdlts/internal/sched"
+)
+
+// This file is the explainability hook of the indexed core: an opt-in
+// capture that records, for every ITQ iteration, what the solver saw at the
+// moment it committed — the full EFT candidate vector, the winning
+// estimate, the queue membership and penalty values, and whether the
+// placement landed in an idle gap or materialised an entry duplicate. The
+// capture is pulled by ScheduleExplained only; production solves pass a nil
+// capture and pay a single pointer test per iteration (the record method is
+// a plain non-hotpath call, so the zero-alloc steady state of runIndexed is
+// untouched — pinned by TestExplainCaptureOffZeroAlloc).
+
+// itqCaptureCap bounds the per-decision ITQ snapshot. Wider frontiers keep
+// their top entries by (PV descending, task ascending) — the solver's own
+// selection order — and ITQWidth still reports the true size.
+const itqCaptureCap = 32
+
+// ITQItem is one queued task in a decision's ITQ snapshot.
+type ITQItem struct {
+	// Task is the queued task (normalised problem IDs).
+	Task dag.TaskID `json:"task"`
+	// PV is the task's penalty value at the moment of the decision.
+	PV float64 `json:"pv"`
+}
+
+// Decision is the full rationale of one ITQ iteration: why this task, why
+// this processor. Task IDs refer to the normalised problem (pseudo
+// entry/exit tasks included on multi-entry/exit workflows).
+type Decision struct {
+	// Iter is the 1-based ITQ iteration ordinal.
+	Iter int `json:"iter"`
+	// Task is the committed task.
+	Task dag.TaskID `json:"task"`
+	// PV is the committed task's penalty value — the maximum over the ITQ,
+	// ties broken to the smaller task ID.
+	PV float64 `json:"pv"`
+	// ITQWidth is the queue size at the decision (before removal).
+	ITQWidth int `json:"itq_width"`
+	// ITQ snapshots the queue membership, ascending by task ID, truncated
+	// to itqCaptureCap by selection priority when wider.
+	ITQ []ITQItem `json:"itq,omitempty"`
+	// EFT is the candidate earliest-finish-time vector by processor — what
+	// the solver compared to pick Proc.
+	EFT []float64 `json:"eft"`
+	// EST and the winning EFT (EFT[Proc]) delimit the committed slot.
+	EST float64 `json:"est"`
+	// Proc is the chosen processor (minimum EFT, or best lookahead score).
+	Proc platform.Proc `json:"proc"`
+	// Slotted reports insertion-based placement into an idle gap: the slot
+	// starts before the processor's append point did at commit time. Always
+	// false under the paper's avail-based placement.
+	Slotted bool `json:"slotted"`
+	// Duplicated reports that the commit materialised an entry duplicate on
+	// Proc; DupTask is the duplicated entry task when it did.
+	Duplicated bool       `json:"duplicated"`
+	DupTask    dag.TaskID `json:"dup_task,omitempty"`
+}
+
+// capture accumulates decisions during one runIndexed solve.
+type capture struct {
+	decisions []Decision
+}
+
+// record snapshots the rationale of one commit. Called with the arena's
+// row state still current for the selected task and before the commit
+// mutates processor availability. Not a hot-path function: it only runs on
+// explain solves and may allocate freely.
+func (c *capture) record(a *arena, t dag.TaskID, row int32, best sched.Estimate, iter uint32) {
+	np := a.np
+	base := int(row) * np
+	d := Decision{
+		Iter:     int(iter),
+		Task:     t,
+		PV:       a.pv[row],
+		ITQWidth: len(a.live),
+		EFT:      append([]float64(nil), a.eftM[base:base+np]...),
+		EST:      best.EST,
+		Proc:     best.Proc,
+		Slotted:  best.EST < a.s.Avail(best.Proc),
+	}
+	if best.UseDuplicate {
+		d.Duplicated = true
+		d.DupTask = best.DupTask
+	}
+	itq := make([]ITQItem, 0, len(a.live))
+	for _, r := range a.live {
+		itq = append(itq, ITQItem{Task: dag.TaskID(a.taskOf[r]), PV: a.pv[r]})
+	}
+	if len(itq) > itqCaptureCap {
+		sort.Slice(itq, func(i, k int) bool {
+			if itq[i].PV != itq[k].PV {
+				return itq[i].PV > itq[k].PV
+			}
+			return itq[i].Task < itq[k].Task
+		})
+		itq = itq[:itqCaptureCap]
+	}
+	sort.Slice(itq, func(i, k int) bool { return itq[i].Task < itq[k].Task })
+	d.ITQ = itq
+	c.decisions = append(c.decisions, d)
+}
+
+// ScheduleExplained is Schedule plus the per-iteration decision log the
+// explain surfaces are built from. It always runs the indexed core with
+// capture attached — explain solves bypass the tracer dispatch (decision
+// events do not land in the trace ring) and the fullRecompute oracle knob.
+// The schedule is bit-identical to Schedule's (differentially tested in
+// TestIndexedMatchesReferenceBytes).
+func (h *HDLTS) ScheduleExplained(pr *sched.Problem) (*sched.Schedule, []Decision, error) {
+	pr = pr.Normalize()
+	capt := &capture{}
+	s, err := h.runIndexed(pr, nil, capt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, capt.decisions, nil
+}

@@ -174,7 +174,7 @@ func (h *HDLTS) run(pr *sched.Problem, trace bool, prev *sched.Schedule) (*sched
 	if trace || h.fullRecompute || pr.Tracer().Enabled() {
 		return h.runReference(pr, trace, prev)
 	}
-	s, err := h.runIndexed(pr, prev)
+	s, err := h.runIndexed(pr, prev, nil)
 	return s, nil, err
 }
 

@@ -481,10 +481,12 @@ func (h *HDLTS) bestEstimate(a *arena, t dag.TaskID, row int32) sched.Estimate {
 // the reference engine recomputes — per queued task, the EFT vector under
 // the current partial schedule and its PV — but keyed by index, updated in
 // O(1) per (row, committed column), with the selection fused into the
-// update pass.
+// update pass. capt, when non-nil, receives the per-iteration placement
+// rationale (ScheduleExplained); production solves pass nil and pay one
+// pointer test per iteration.
 //
 //hdlts:hotpath
-func (h *HDLTS) runIndexed(pr *sched.Problem, prev *sched.Schedule) (*sched.Schedule, error) {
+func (h *HDLTS) runIndexed(pr *sched.Problem, prev *sched.Schedule, capt *capture) (*sched.Schedule, error) {
 	prof := obs.SolverProfileFor(h.Name())
 	defer prof.Start(obs.PhaseSchedule).Stop()
 	g := pr.G
@@ -585,6 +587,9 @@ func (h *HDLTS) runIndexed(pr *sched.Problem, prev *sched.Schedule) (*sched.Sche
 		// minimum-EFT processor (or best lookahead score).
 		t := dag.TaskID(a.taskOf[selRow])
 		best := h.bestEstimate(a, t, selRow)
+		if capt != nil {
+			capt.record(a, t, selRow, best, iter)
+		}
 		if timed {
 			tick.Lap(&eftAcc)
 		}

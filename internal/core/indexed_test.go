@@ -63,6 +63,18 @@ func TestIndexedMatchesReferenceBytes(t *testing.T) {
 				t.Fatalf("pair %d opts %+v: indexed and reference schedules differ\nindexed:\n%s\nreference:\n%s",
 					i, o, bi, br)
 			}
+			// Rationale capture must be a pure observer: the explain solve's
+			// schedule stays byte-identical to the uncaptured one.
+			se, decs, err := indexed.ScheduleExplained(pr)
+			if err != nil {
+				t.Fatalf("pair %d opts %+v: explained: %v", i, o, err)
+			}
+			if be := canonicalBytes(t, se); !bytes.Equal(bi, be) {
+				t.Fatalf("pair %d opts %+v: capture changed the schedule", i, o)
+			}
+			if len(decs) == 0 {
+				t.Fatalf("pair %d opts %+v: no decisions captured", i, o)
+			}
 		}
 	}
 }

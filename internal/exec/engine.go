@@ -29,6 +29,7 @@ const (
 	metricWorkflowActive    = "hdltsd_workflow_active"
 	metricWorkflowWALFsync  = "hdltsd_workflow_wal_fsync_seconds"
 	metricWorkflowWALErrors = "hdltsd_workflow_wal_errors_total"
+	metricWorkflowQueueWait = "hdltsd_workflow_queue_wait_seconds"
 )
 
 // Sentinel errors of the engine API.
@@ -66,6 +67,11 @@ type Config struct {
 	// OverdueTick is how often running steps are checked against their
 	// drift deadline (default 100ms). Tests shrink it.
 	OverdueTick time.Duration
+	// Stream, when set, receives live workflow transitions (workflow.plan,
+	// step.run, step.done, step.fail, workflow.replan, workflow.done) —
+	// the feed behind the SSE endpoints. Nil is fine: every publish site
+	// no-ops on a nil hub.
+	Stream *obs.Hub
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +142,7 @@ type Engine struct {
 	walErrors *obs.Counter
 	stepSecs  *obs.Histogram
 	driftHist *obs.Histogram
+	queueWait *obs.Histogram
 }
 
 // runState is the engine-side handle of one live workflow run.
@@ -171,11 +178,16 @@ func Open(cfg Config) (*Engine, error) {
 		walErrors: cfg.Metrics.Counter(metricWorkflowWALErrors),
 		stepSecs:  cfg.Metrics.Histogram(metricWorkflowStepSecs),
 		driftHist: cfg.Metrics.Histogram(metricWorkflowDrift),
+		queueWait: cfg.Metrics.Histogram(metricWorkflowQueueWait),
 	}
 	// Step durations span sleeps of milliseconds to batch jobs of hours;
 	// drift ratios cluster around 1. Log-spaced buckets resolve both.
+	// Queue waits (head-blocked time in a per-processor FIFO) range from
+	// effectively zero on an idle slot to full step durations behind a
+	// drifted predecessor — same log spacing as step durations.
 	cfg.Metrics.SetBuckets(metricWorkflowStepSecs, obs.ExpBuckets(1e-3, 1e4, 3))
 	cfg.Metrics.SetBuckets(metricWorkflowDrift, obs.ExpBuckets(1e-2, 1e2, 6))
+	cfg.Metrics.SetBuckets(metricWorkflowQueueWait, obs.ExpBuckets(1e-3, 1e4, 3))
 	// Workflow runs outlive the HTTP requests that submitted them (and,
 	// after a crash, the process that did), so they hang off a root owned
 	// by the Engine rather than any request context.
@@ -286,6 +298,13 @@ func (e *Engine) Submit(ctx context.Context, wf *Workflow) (*Record, error) {
 	snapshot := rec.clone()
 	e.mu.Unlock()
 	e.flush()
+	e.cfg.Stream.Publish(obs.StreamEvent{
+		Kind:     obs.KindWorkflowPlan,
+		Workflow: id,
+		TraceID:  rec.TraceID,
+		Proc:     -1,
+		Value:    float64(len(wf.Steps)),
+	})
 	e.launch(rec, pr, plan.order)
 	return snapshot, nil
 }
@@ -567,6 +586,7 @@ func (e *Engine) run(id string, wf *Workflow, pr *sched.Problem, initOrder [][]i
 	startRel := make([]float64, n) // start time of the running attempt
 	finRel := make([]float64, n)   // actual (done) or projected (running) finish
 	proj := make([]float64, n)     // projected duration of the running attempt
+	readyAt := make([]float64, n)  // when the last dependency delivered (0 = ready at start)
 	procBusy := make([]bool, procs)
 	order := initOrder
 	if order == nil {
@@ -700,6 +720,15 @@ func (e *Engine) run(id string, wf *Workflow, pr *sched.Problem, initOrder [][]i
 		_, sp := obs.StartSpan(ctx, "workflow.replan",
 			obs.KeyWorkflow, id, obs.KeyPhase, reason)
 		sp.Finish()
+		e.cfg.Stream.Publish(obs.StreamEvent{
+			Kind:     obs.KindWorkflowReplan,
+			Workflow: id,
+			TraceID:  rec.TraceID,
+			Phase:    reason,
+			Proc:     -1,
+			Time:     nowS,
+			Value:    float64(len(pending)),
+		})
 	}
 
 	completions := make(chan stepOutcome, n)
@@ -712,15 +741,31 @@ func (e *Engine) run(id string, wf *Workflow, pr *sched.Problem, initOrder [][]i
 		startRel[i] = now()
 		proj[i] = est(i, p)
 		finRel[i] = startRel[i] + proj[i]
+		// Queue wait: how long the step sat dispatchable (all dependencies
+		// delivered) before its processor slot freed up — head-of-line
+		// blocking in the per-processor FIFO, the executor-side analogue of
+		// the schedule's idle gaps.
+		wait := maxf(startRel[i]-readyAt[i], 0)
+		e.queueWait.Observe(wait)
 		e.mu.Lock()
 		rec.Steps[i].State = StepRunning
 		rec.Steps[i].Proc = p
 		rec.Steps[i].EstSeconds = est(i, p)
 		rec.Steps[i].Attempts = attempts[i]
 		rec.Steps[i].StartedAt = time.Now()
+		rec.Steps[i].QueueWaitSeconds = wait
 		e.persistLocked(rec)
 		e.mu.Unlock()
 		e.flush()
+		e.cfg.Stream.Publish(obs.StreamEvent{
+			Kind:     obs.KindStepRun,
+			Workflow: id,
+			TraceID:  rec.TraceID,
+			Step:     wf.Steps[i].Name,
+			Proc:     p,
+			Time:     startRel[i],
+			Value:    wait,
+		})
 		step := wf.Steps[i]
 		stepWG.Add(1)
 		go func() {
@@ -780,6 +825,14 @@ func (e *Engine) run(id string, wf *Workflow, pr *sched.Problem, initOrder [][]i
 		e.mu.Unlock()
 		e.flush()
 		runSpan.SetAttr(obs.KeyStatus, string(st))
+		e.cfg.Stream.Publish(obs.StreamEvent{
+			Kind:     obs.KindWorkflowDone,
+			Workflow: id,
+			TraceID:  rec.TraceID,
+			Phase:    string(st),
+			Proc:     -1,
+			Time:     now(),
+		})
 	}
 
 	if initOrder == nil {
@@ -833,15 +886,28 @@ func (e *Engine) run(id string, wf *Workflow, pr *sched.Problem, initOrder [][]i
 				e.persistLocked(rec)
 				e.mu.Unlock()
 				e.flush()
+				phase := "failed"
 				if retryable {
 					e.cfg.Metrics.Counter(metricWorkflowSteps, "state", "retried").Inc()
-					// Retry at the head of the same slot's queue.
+					// Retry at the head of the same slot's queue; the retry's
+					// queue wait starts now.
 					order[assign[i]] = append([]int{i}, order[assign[i]]...)
+					readyAt[i] = now()
+					phase = "retry"
 				} else {
 					e.cfg.Metrics.Counter(metricWorkflowSteps, "state", "failed").Inc()
 					failing = true
 					failErr = out.err.Error()
 				}
+				e.cfg.Stream.Publish(obs.StreamEvent{
+					Kind:     obs.KindStepFail,
+					Workflow: id,
+					TraceID:  rec.TraceID,
+					Step:     wf.Steps[i].Name,
+					Phase:    phase,
+					Proc:     p,
+					Time:     finRel[i],
+				})
 				continue
 			}
 			doneCount++
@@ -862,8 +928,20 @@ func (e *Engine) run(id string, wf *Workflow, pr *sched.Problem, initOrder [][]i
 			e.driftHist.Observe(ratio)
 			tr.Emit(obs.Event{Type: obs.EvComplete, Alg: "exec", Task: i, Proc: p,
 				Start: startRel[i], Finish: finRel[i], Value: observed})
+			e.cfg.Stream.Publish(obs.StreamEvent{
+				Kind:     obs.KindStepDone,
+				Workflow: id,
+				TraceID:  rec.TraceID,
+				Step:     wf.Steps[i].Name,
+				Proc:     p,
+				Time:     finRel[i],
+				Value:    observed,
+			})
 			for _, a := range pr.G.Succs(dag.TaskID(i)) {
 				depsLeft[a.Task]--
+				if depsLeft[a.Task] == 0 {
+					readyAt[a.Task] = finRel[i]
+				}
 			}
 			if ratio > drift || ratio*drift < 1 {
 				replan("drift")

@@ -61,6 +61,11 @@ type StepStatus struct {
 	// duration of the successful attempt.
 	EstSeconds      float64 `json:"est_seconds"`
 	ObservedSeconds float64 `json:"observed_seconds,omitempty"`
+	// QueueWaitSeconds is how long the step sat dispatchable — every
+	// dependency delivered — before its processor slot freed up
+	// (head-of-line blocking in the per-processor FIFO), for the latest
+	// attempt.
+	QueueWaitSeconds float64 `json:"queue_wait_seconds,omitempty"`
 	// Attempts counts execution attempts consumed so far.
 	Attempts int `json:"attempts,omitempty"`
 	// Error holds the last attempt's failure.

@@ -25,6 +25,9 @@ type ChromeSink struct {
 	scale float64
 	spans []chromeSpan
 	insts []chromeInstant
+	// procNames, when set, label thread tracks with platform processor
+	// names instead of the positional "P1", "P2", ... fallback.
+	procNames []string
 }
 
 type chromeSpan struct {
@@ -52,6 +55,17 @@ func (c *ChromeSink) SetScale(unitsToMicros float64) *ChromeSink {
 	if unitsToMicros > 0 {
 		c.scale = unitsToMicros
 	}
+	c.mu.Unlock()
+	return c
+}
+
+// SetProcNames supplies platform processor names, indexed by processor
+// slot; thread_name metadata then labels each lane with the real name
+// ("edge-gpu-0") instead of the positional "P<n>" fallback. Processors
+// beyond the slice keep the fallback.
+func (c *ChromeSink) SetProcNames(names []string) *ChromeSink {
+	c.mu.Lock()
+	c.procNames = append([]string(nil), names...)
 	c.mu.Unlock()
 	return c
 }
@@ -107,6 +121,7 @@ func (c *ChromeSink) WriteJSON(w io.Writer) error {
 	spans := append([]chromeSpan(nil), c.spans...)
 	insts := append([]chromeInstant(nil), c.insts...)
 	scale := c.scale
+	procNames := c.procNames
 	c.mu.Unlock()
 
 	// Assign stable pids: algorithms in first-seen order.
@@ -163,9 +178,13 @@ func (c *ChromeSink) WriteJSON(w io.Writer) error {
 		return tids[i][1] < tids[j][1]
 	})
 	for _, k := range tids {
+		lane := fmt.Sprintf("P%d", k[1]+1)
+		if k[1] >= 0 && k[1] < len(procNames) && procNames[k[1]] != "" {
+			lane = procNames[k[1]]
+		}
 		evs = append(evs, traceEvent{
 			Name: "thread_name", Ph: "M", PID: k[0], TID: k[1],
-			Args: map[string]any{"name": fmt.Sprintf("P%d", k[1]+1)},
+			Args: map[string]any{"name": lane},
 		})
 	}
 

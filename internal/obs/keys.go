@@ -79,4 +79,41 @@ const (
 	WireSpans         = "spans"
 	WireSpansDropped  = "spans_dropped"
 	WireEventsDropped = "events_dropped"
+
+	// Live event stream (StreamEvent).
+	WireData    = "data"
+	WireSkipped = "skipped"
+)
+
+// Canonical stream-event kinds: the values StreamEvent.Kind may carry, and
+// the SSE `event:` names subscribers filter on. Closed for the same reason
+// as the Key*/Wire* sets — live dashboards and the CI smoke tests match on
+// these strings.
+const (
+	// KindSpan is a finished span republished from the trace store; the
+	// payload is the span's wire form.
+	KindSpan = "span"
+	// KindDecision is a scheduler decision event republished from the trace
+	// store; the payload is the JSONL wire form of the event.
+	KindDecision = "decision"
+	// KindWorkflowPlan marks a workflow admitted with an initial HDLTS plan.
+	KindWorkflowPlan = "workflow.plan"
+	// KindStepRun marks a step dispatched onto a processor slot.
+	KindStepRun = "step.run"
+	// KindStepDone marks a step attempt finishing successfully.
+	KindStepDone = "step.done"
+	// KindStepFail marks a step attempt failing (it may still be retried).
+	KindStepFail = "step.fail"
+	// KindWorkflowReplan marks an ITQ recomputation over the un-dispatched
+	// frontier; Phase carries the trigger (drift, overdue, resume, stall).
+	KindWorkflowReplan = "workflow.replan"
+	// KindWorkflowDone marks a workflow reaching a terminal state; Phase
+	// carries the state (done, failed, cancelled).
+	KindWorkflowDone = "workflow.done"
+	// KindStreamSkip is the synthetic marker a subscriber receives when
+	// events matching its filter were published before it attached.
+	KindStreamSkip = "stream.skip"
+	// KindStreamDrop is the synthetic marker a slow subscriber receives
+	// after the hub dropped events from its buffer.
+	KindStreamDrop = "stream.drop"
 )

@@ -144,6 +144,35 @@ func TestChromeSinkTracksAndSpans(t *testing.T) {
 	}
 }
 
+func TestChromeSetProcNames(t *testing.T) {
+	c := NewChrome().SetProcNames([]string{"edge-gpu-0", ""})
+	c.Emit(Event{Type: EvCommit, Alg: "A", Task: 0, Proc: 0, Start: 0, Finish: 1})
+	c.Emit(Event{Type: EvCommit, Alg: "A", Task: 1, Proc: 1, Start: 0, Finish: 1})
+	c.Emit(Event{Type: EvCommit, Alg: "A", Task: 2, Proc: 2, Start: 0, Finish: 1})
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	lanes := map[int]string{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			lanes[ev.TID] = ev.Args["name"].(string)
+		}
+	}
+	// Named slot uses the platform name; empty and out-of-range slots keep
+	// the positional fallback.
+	want := map[int]string{0: "edge-gpu-0", 1: "P2", 2: "P3"}
+	for tid, name := range want {
+		if lanes[tid] != name {
+			t.Errorf("lane %d = %q, want %q (all: %v)", tid, lanes[tid], name, lanes)
+		}
+	}
+}
+
 func TestChromeSetScale(t *testing.T) {
 	c := NewChrome().SetScale(1)
 	c.Emit(Event{Type: EvCommit, Alg: "A", Task: 0, Proc: 0, Start: 5, Finish: 9})

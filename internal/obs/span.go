@@ -196,6 +196,18 @@ type TraceStore struct {
 	traces  map[string]*traceEntry
 	order   []string // insertion order, oldest first, for eviction
 	evicted uint64
+	hub     *Hub // live republish target; nil until AttachHub
+}
+
+// AttachHub makes the store republish every committed span (Kind "span")
+// and decision event (Kind "decision") on h, so live subscribers see what
+// the trace ring records — publication happens outside the store's mutex
+// and only while a subscriber is attached. Call before the store starts
+// receiving traffic.
+func (ts *TraceStore) AttachHub(h *Hub) {
+	ts.mu.Lock()
+	ts.hub = h
+	ts.mu.Unlock()
 }
 
 // NewTraceStore returns a store retaining up to capacity traces (default
@@ -249,34 +261,43 @@ func (ts *TraceStore) Sampled(traceID string) bool {
 	return ok
 }
 
-// addSpan commits one finished span; spans for evicted traces are dropped.
+// addSpan commits one finished span; spans for evicted traces are dropped
+// from the ring but still reach live subscribers (a watcher should see the
+// span even when the bounded ring cannot keep it).
 func (ts *TraceStore) addSpan(s *Span) {
 	ts.mu.Lock()
-	defer ts.mu.Unlock()
 	e, ok := ts.traces[s.TraceID]
-	if !ok {
-		return
+	if ok {
+		if len(e.spans) >= maxSpansPerTrace {
+			e.spansDropped++
+		} else {
+			e.spans = append(e.spans, s)
+		}
 	}
-	if len(e.spans) >= maxSpansPerTrace {
-		e.spansDropped++
-		return
+	hub := ts.hub
+	ts.mu.Unlock()
+	if ok && hub.Active() {
+		hub.publishSpan(s)
 	}
-	e.spans = append(e.spans, s)
 }
 
-// addEvent records one decision event against traceID.
+// addEvent records one decision event against traceID, republishing it on
+// the attached hub (outside the mutex) when anyone is listening.
 func (ts *TraceStore) addEvent(traceID string, ev Event) {
 	ts.mu.Lock()
-	defer ts.mu.Unlock()
 	e, ok := ts.traces[traceID]
-	if !ok {
-		return
+	if ok {
+		if len(e.events) >= maxEventsPerTrace {
+			e.eventsDropped++
+		} else {
+			e.events = append(e.events, ev)
+		}
 	}
-	if len(e.events) >= maxEventsPerTrace {
-		e.eventsDropped++
-		return
+	hub := ts.hub
+	ts.mu.Unlock()
+	if ok && hub.Active() {
+		hub.publishDecision(traceID, ev)
 	}
-	e.events = append(e.events, ev)
 }
 
 // Get returns a snapshot of the trace, or false when the ID was never

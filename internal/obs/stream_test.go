@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func newTestHub(buf int) *Hub {
+	return NewHub(NewRegistry(), buf)
+}
+
+func TestHubFanOutDeliversToAllSubscribers(t *testing.T) {
+	h := newTestHub(16)
+	a := h.Subscribe(StreamFilter{}, 0)
+	b := h.Subscribe(StreamFilter{}, 0)
+	defer a.Close()
+	defer b.Close()
+
+	for i := 0; i < 5; i++ {
+		h.Publish(StreamEvent{Kind: KindStepRun, Workflow: "wf-1", Step: fmt.Sprintf("s%d", i), Proc: i})
+	}
+	for _, sub := range []*Subscription{a, b} {
+		for i := 0; i < 5; i++ {
+			ev := <-sub.C()
+			if ev.Kind != KindStepRun || ev.Step != fmt.Sprintf("s%d", i) {
+				t.Fatalf("event %d: got kind=%q step=%q", i, ev.Kind, ev.Step)
+			}
+			if ev.Seq != uint64(i+1) {
+				t.Fatalf("event %d: seq = %d, want %d", i, ev.Seq, i+1)
+			}
+		}
+	}
+	if got := h.Published(); got != 5 {
+		t.Fatalf("Published() = %d, want 5", got)
+	}
+	if got := h.PublishedFor("wf-1"); got != 5 {
+		t.Fatalf("PublishedFor(wf-1) = %d, want 5", got)
+	}
+}
+
+func TestHubFilterByKindTraceAndWorkflow(t *testing.T) {
+	h := newTestHub(16)
+	byKind := h.Subscribe(StreamFilter{Kinds: map[string]bool{KindWorkflowReplan: true}}, 0)
+	byTrace := h.Subscribe(StreamFilter{TraceID: "t-1"}, 0)
+	// The per-workflow feed: OR of workflow ID and the submitting trace.
+	byWF := h.Subscribe(StreamFilter{Workflow: "wf-9", TraceID: "t-9"}, 0)
+	defer byKind.Close()
+	defer byTrace.Close()
+	defer byWF.Close()
+
+	h.Publish(StreamEvent{Kind: KindStepRun, Workflow: "wf-9"})        // byWF only
+	h.Publish(StreamEvent{Kind: KindSpan, TraceID: "t-9"})             // byWF only (trace half)
+	h.Publish(StreamEvent{Kind: KindWorkflowReplan, Workflow: "wf-2"}) // byKind only
+	h.Publish(StreamEvent{Kind: KindDecision, TraceID: "t-1"})         // byTrace only
+	h.Publish(StreamEvent{Kind: KindStepDone, Workflow: "wf-other"})   // nobody
+
+	if ev := <-byKind.C(); ev.Kind != KindWorkflowReplan {
+		t.Fatalf("byKind got %q", ev.Kind)
+	}
+	if ev := <-byTrace.C(); ev.TraceID != "t-1" {
+		t.Fatalf("byTrace got trace %q", ev.TraceID)
+	}
+	if ev := <-byWF.C(); ev.Kind != KindStepRun {
+		t.Fatalf("byWF first got %q", ev.Kind)
+	}
+	if ev := <-byWF.C(); ev.Kind != KindSpan {
+		t.Fatalf("byWF second got %q", ev.Kind)
+	}
+	for _, sub := range []*Subscription{byKind, byTrace, byWF} {
+		select {
+		case ev := <-sub.C():
+			t.Fatalf("unexpected extra event %+v", ev)
+		default:
+		}
+	}
+}
+
+// TestHubSlowSubscriberDropsOldest is the backpressure contract: a stalled
+// subscriber loses the oldest buffered events (with the loss counted), a
+// keeping-up subscriber loses nothing, and Publish never blocks.
+func TestHubSlowSubscriberDropsOldest(t *testing.T) {
+	h := newTestHub(64)
+	stalled := h.Subscribe(StreamFilter{}, 4)
+	healthy := h.Subscribe(StreamFilter{}, 64)
+	defer stalled.Close()
+	defer healthy.Close()
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		h.Publish(StreamEvent{Kind: KindStepDone, Workflow: "wf-1", Proc: i})
+	}
+
+	if got := stalled.Dropped(); got != n-4 {
+		t.Fatalf("stalled.Dropped() = %d, want %d", got, n-4)
+	}
+	// The stalled buffer holds exactly the newest 4 events, in order.
+	for i := n - 4; i < n; i++ {
+		ev := <-stalled.C()
+		if ev.Proc != i {
+			t.Fatalf("stalled kept proc %d, want %d", ev.Proc, i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if ev := <-healthy.C(); ev.Proc != i {
+			t.Fatalf("healthy got proc %d, want %d", ev.Proc, i)
+		}
+	}
+	if healthy.Dropped() != 0 {
+		t.Fatalf("healthy.Dropped() = %d, want 0", healthy.Dropped())
+	}
+}
+
+// TestHubConcurrentPublishSubscribe exercises publishers racing with
+// subscribe/close/read — meaningful under -race.
+func TestHubConcurrentPublishSubscribe(t *testing.T) {
+	h := newTestHub(8)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.Publish(StreamEvent{Kind: KindStepRun, Workflow: "wf-c", Proc: p})
+			}
+		}(p)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := h.Subscribe(StreamFilter{Workflow: "wf-c"}, 8)
+			for i := 0; i < 50; i++ {
+				select {
+				case <-sub.C():
+				default:
+				}
+			}
+			sub.Close()
+		}()
+	}
+	wg.Wait()
+	if got := h.PublishedFor("wf-c"); got != 800 {
+		t.Fatalf("PublishedFor = %d, want 800", got)
+	}
+}
+
+func TestHubSkippedBeforeCounts(t *testing.T) {
+	h := newTestHub(16)
+	// Events published with no subscriber: workflow-stamped ones still count
+	// toward the per-workflow skip baseline.
+	for i := 0; i < 3; i++ {
+		h.Publish(StreamEvent{Kind: KindStepDone, Workflow: "wf-1"})
+	}
+	h.Publish(StreamEvent{Kind: KindStepDone, Workflow: "wf-2"})
+
+	late := h.Subscribe(StreamFilter{Workflow: "wf-1"}, 0)
+	defer late.Close()
+	if late.SkippedBefore != 3 {
+		t.Fatalf("SkippedBefore = %d, want 3", late.SkippedBefore)
+	}
+	global := h.Subscribe(StreamFilter{}, 0)
+	defer global.Close()
+	if global.SkippedBefore != 4 {
+		t.Fatalf("global SkippedBefore = %d, want 4", global.SkippedBefore)
+	}
+	fresh := h.Subscribe(StreamFilter{Workflow: "wf-3"}, 0)
+	defer fresh.Close()
+	if fresh.SkippedBefore != 0 {
+		t.Fatalf("fresh SkippedBefore = %d, want 0", fresh.SkippedBefore)
+	}
+}
+
+func TestHubCloseIsIdempotentAndDetaches(t *testing.T) {
+	h := newTestHub(4)
+	sub := h.Subscribe(StreamFilter{}, 0)
+	sub.Close()
+	sub.Close() // second close must not panic
+	h.Publish(StreamEvent{Kind: KindStepRun})
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("closed subscription received an event")
+	}
+	if h.Active() {
+		t.Fatal("hub still active after last unsubscribe")
+	}
+}
+
+// TestHubPublishNoSubscriberZeroAlloc pins the zero-cost contract the
+// solver hot path relies on: with nobody attached, publishing a
+// non-workflow event is one atomic load and no allocation.
+func TestHubPublishNoSubscriberZeroAlloc(t *testing.T) {
+	h := newTestHub(4)
+	ev := StreamEvent{Kind: KindDecision, TraceID: "t", Proc: 1}
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Publish(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("Publish with no subscriber allocated %.1f/op, want 0", allocs)
+	}
+	var nilHub *Hub
+	allocs = testing.AllocsPerRun(100, func() {
+		nilHub.Publish(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-hub Publish allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestTraceStoreRepublishesOnHub(t *testing.T) {
+	ts := NewTraceStore(8, 1)
+	h := newTestHub(16)
+	ts.AttachHub(h)
+	if !ts.Start("t-99") {
+		t.Fatal("Start refused the trace")
+	}
+	sub := h.Subscribe(StreamFilter{TraceID: "t-99"}, 0)
+	defer sub.Close()
+
+	tr := ts.Tracer("t-99")
+	tr.Emit(Event{Type: EvCommit, Task: 2, Proc: 1, Start: 0, Finish: 3})
+
+	ev := <-sub.C()
+	if ev.Kind != KindDecision || ev.TraceID != "t-99" || ev.Proc != 1 {
+		t.Fatalf("decision republish = %+v", ev)
+	}
+	if len(ev.Data) == 0 {
+		t.Fatal("decision event has no payload")
+	}
+
+	sp := &Span{TraceID: "t-99", SpanID: NewSpanID(), Name: "solve", store: ts}
+	sp.Finish()
+	ev = <-sub.C()
+	if ev.Kind != KindSpan || ev.Name != "solve" {
+		t.Fatalf("span republish = %+v", ev)
+	}
+
+	// The ring keeps what the stream delivered.
+	got, ok := ts.Get("t-99")
+	if !ok || len(got.Spans) != 1 || len(got.Events) != 1 {
+		t.Fatalf("trace ring: ok=%v spans=%d events=%d", ok, len(got.Spans), len(got.Events))
+	}
+}

@@ -40,6 +40,10 @@ type ScheduleResponse struct {
 	// Events holds the decision-event stream (one JSONL record per entry)
 	// when the request set "trace": true.
 	Events []json.RawMessage `json:"events,omitempty"`
+	// Explain holds the explainability report (explain.Report: placement
+	// rationale, critical path, per-processor accounting) when the request
+	// passed ?explain=1.
+	Explain json.RawMessage `json:"explain,omitempty"`
 	// ElapsedSeconds is the scheduling wall time inside the worker (queue
 	// wait excluded).
 	ElapsedSeconds float64 `json:"elapsed_seconds"`

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"hdlts/internal/exec"
+	"hdlts/internal/explain"
+	"hdlts/internal/viz"
+)
+
+// The explainability endpoints answer "why does the schedule look like
+// this" after the fact: GET /v1/workflows/{id}/explain renders the
+// observed-execution report (drift, moved steps, queue wait, the observed
+// critical chain), and GET /v1/workflows/{id}/gantt.svg draws the observed
+// timeline as an SVG lane chart. The planned-schedule counterpart rides on
+// POST /v1/schedule?explain=1 in server.go.
+
+func (s *Server) handleWorkflowExplain(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.wfs.Get(r.PathValue("id"))
+	if err != nil {
+		s.workflowError(w, http.StatusNotFound, "not_found", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, explain.Workflow(rec))
+}
+
+func (s *Server) handleWorkflowGantt(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.wfs.Get(r.PathValue("id"))
+	if err != nil {
+		s.workflowError(w, http.StatusNotFound, "not_found", err)
+		return
+	}
+	chart, err := workflowGantt(rec, time.Now())
+	if err != nil {
+		s.workflowError(w, http.StatusConflict, "not_started", err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	w.Header().Set("Cache-Control", "no-cache")
+	if err := chart.WriteSVG(w); err != nil {
+		// Headers are already out; nothing useful left to send.
+		return
+	}
+}
+
+// workflowGantt builds the observed-execution lane chart for one workflow
+// record: one lane per processor, one span per step that has started, with
+// still-running steps drawn up to "now". Times are seconds relative to the
+// workflow start.
+func workflowGantt(rec *exec.Record, now time.Time) (*viz.LaneChart, error) {
+	if rec.Spec == nil || rec.StartedAt.IsZero() {
+		return nil, errors.New("workflow has not started")
+	}
+	chart := &viz.LaneChart{
+		Title: fmt.Sprintf("%s (%s)", rec.Name, rec.State),
+		Lanes: make([]viz.Lane, rec.Spec.Procs),
+	}
+	for p := range chart.Lanes {
+		chart.Lanes[p].Name = fmt.Sprintf("P%d", p+1)
+	}
+	drawn := 0
+	for i, st := range rec.Steps {
+		if st.StartedAt.IsZero() || st.Proc < 0 || st.Proc >= len(chart.Lanes) {
+			continue
+		}
+		start := st.StartedAt.Sub(rec.StartedAt).Seconds()
+		end := now.Sub(rec.StartedAt).Seconds()
+		if !st.FinishedAt.IsZero() {
+			end = st.FinishedAt.Sub(rec.StartedAt).Seconds()
+		}
+		if end <= start {
+			end = start + 1e-3
+		}
+		chart.Lanes[st.Proc].Spans = append(chart.Lanes[st.Proc].Spans, viz.Span{
+			Start: start,
+			End:   end,
+			Label: st.Name,
+			Color: i,
+			// A step the re-planner moved off its planned processor is
+			// hatched so drift is visible at a glance.
+			Hatch: st.Proc != st.PlannedProc,
+		})
+		if end > chart.Makespan {
+			chart.Makespan = end
+		}
+	}
+	if drawn = countSpans(chart); drawn == 0 {
+		return nil, errors.New("no step has started yet")
+	}
+	return chart, nil
+}
+
+func countSpans(chart *viz.LaneChart) int {
+	n := 0
+	for _, l := range chart.Lanes {
+		n += len(l.Spans)
+	}
+	return n
+}

@@ -165,7 +165,7 @@ func (s *Server) runJobFunc(ctx context.Context, algorithm string, problem json.
 	if err != nil {
 		return nil, err
 	}
-	out := s.runSchedule(ctx, alg, pr, false)
+	out := s.runSchedule(ctx, alg, pr, false, false)
 	if out.err != nil {
 		return nil, out.err
 	}

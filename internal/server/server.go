@@ -24,7 +24,9 @@ import (
 	"strconv"
 	"time"
 
+	"hdlts/internal/core"
 	"hdlts/internal/exec"
+	"hdlts/internal/explain"
 	"hdlts/internal/jobs"
 	"hdlts/internal/metrics"
 	"hdlts/internal/obs"
@@ -70,8 +72,17 @@ type Config struct {
 	Jobs jobs.Config
 	// Workflows tunes the live execution engine behind POST /v1/workflows:
 	// store directory (empty = memory-only), step runner, overdue tick.
-	// Metrics and Traces are wired by the server and need not be set.
+	// Metrics, Traces, and Stream are wired by the server and need not be
+	// set.
 	Workflows exec.Config
+	// StreamBuffer is the per-subscriber event buffer of the SSE endpoints;
+	// a subscriber that falls this many events behind loses the oldest and
+	// receives a stream.drop marker (default 256).
+	StreamBuffer int
+	// StreamHeartbeat is the keepalive interval of idle SSE streams — a
+	// comment line that keeps proxies from severing the connection
+	// (default 15s).
+	StreamHeartbeat time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +110,12 @@ func (c Config) withDefaults() Config {
 	if c.TraceSample <= 0 {
 		c.TraceSample = 1
 	}
+	if c.StreamBuffer <= 0 {
+		c.StreamBuffer = obs.DefaultStreamBuffer
+	}
+	if c.StreamHeartbeat <= 0 {
+		c.StreamHeartbeat = 15 * time.Second
+	}
 	return c
 }
 
@@ -124,6 +141,7 @@ type Server struct {
 	jobs   *jobs.Manager
 	wfs    *exec.Engine
 	traces *obs.TraceStore
+	stream *obs.Hub
 	build  obs.BuildInfo
 
 	draining chan struct{} // closed by Drain
@@ -152,6 +170,11 @@ func New(cfg Config) (*Server, error) {
 		inFlight:   cfg.Metrics.Gauge(metricHTTPInFlight),
 		queueDepth: cfg.Metrics.Gauge(metricQueueDepth),
 	}
+	// The live stream: every finished span and decision event in the trace
+	// ring republishes on the hub, and the workflow engine publishes its
+	// transitions directly — the SSE endpoints fan it out.
+	s.stream = obs.NewHub(cfg.Metrics, cfg.StreamBuffer)
+	s.traces.AttachHub(s.stream)
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.queueDepth)
 	jcfg := cfg.Jobs
 	jcfg.Metrics = cfg.Metrics
@@ -165,6 +188,7 @@ func New(cfg Config) (*Server, error) {
 	wcfg := cfg.Workflows
 	wcfg.Metrics = cfg.Metrics
 	wcfg.Traces = s.traces
+	wcfg.Stream = s.stream
 	eng, err := exec.Open(wcfg)
 	if err != nil {
 		s.pool.close()
@@ -186,6 +210,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/workflows", s.handleWorkflowList)
 	s.mux.HandleFunc("GET /v1/workflows/{id}", s.handleWorkflowGet)
 	s.mux.HandleFunc("DELETE /v1/workflows/{id}", s.handleWorkflowCancel)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/workflows/{id}/events", s.handleWorkflowEvents)
+	s.mux.HandleFunc("GET /v1/workflows/{id}/explain", s.handleWorkflowExplain)
+	s.mux.HandleFunc("GET /v1/workflows/{id}/gantt.svg", s.handleWorkflowGantt)
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
 	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -372,8 +400,9 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	// The buffer lets the worker complete and move on even when this
 	// handler has already given up on the deadline.
 	done := make(chan scheduleOutcome, 1)
+	explain := r.URL.Query().Get("explain") == "1"
 	admitted := s.pool.trySubmit(func() {
-		done <- s.runSchedule(rctx, alg, pr, req.Trace)
+		done <- s.runSchedule(rctx, alg, pr, req.Trace, explain)
 	})
 	if !admitted {
 		if s.isDraining() {
@@ -407,7 +436,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 // when the trace is retained, each phase records a span and the
 // scheduler's decision events land in the trace ring — the replayable
 // "why was this mapping chosen" record behind the trace endpoints.
-func (s *Server) runSchedule(ctx context.Context, alg sched.Algorithm, pr *sched.Problem, trace bool) scheduleOutcome {
+func (s *Server) runSchedule(ctx context.Context, alg sched.Algorithm, pr *sched.Problem, trace, explainReq bool) scheduleOutcome {
 	ctx, run := obs.StartSpan(ctx, "schedule.run", obs.KeyAlg, alg.Name())
 	defer run.Finish()
 	start := time.Now()
@@ -427,12 +456,20 @@ func (s *Server) runSchedule(ctx context.Context, alg sched.Algorithm, pr *sched
 	}
 	_, solve := obs.StartSpan(ctx, "schedule.solve")
 	var sc *sched.Schedule
+	var decisions []core.Decision
 	var err error
 	// pprof goroutine labels make CPU profiles from the -debug-addr
 	// listener attribute solve samples to {algorithm, phase}; solver-
 	// internal Profile.Do calls refine phase further while they run.
 	obs.WithPprofLabels(ctx, alg.Name(), "solve", func(context.Context) {
-		sc, err = alg.Schedule(prA)
+		if ex, ok := alg.(explain.Explainer); explainReq && ok {
+			// Explain solves run the capture engine: same schedule bytes,
+			// but decision events bypass the trace ring (the rationale lands
+			// in the report instead).
+			sc, decisions, err = ex.ScheduleExplained(prA)
+		} else {
+			sc, err = alg.Schedule(prA)
+		}
 	})
 	solve.Finish()
 	if err != nil {
@@ -482,6 +519,21 @@ func (s *Server) runSchedule(ctx context.Context, alg sched.Algorithm, pr *sched
 				err: fmt.Errorf("event stream: %w", err)}
 		}
 		resp.Events = splitJSONL(events.Bytes())
+	}
+	if explainReq {
+		_, ex := obs.StartSpan(ctx, "schedule.explain")
+		rep, rerr := explain.Schedule(sc, alg.Name(), decisions)
+		ex.Finish()
+		if rerr != nil {
+			return scheduleOutcome{status: http.StatusInternalServerError,
+				err: fmt.Errorf("explain: %w", rerr)}
+		}
+		raw, rerr := json.Marshal(rep)
+		if rerr != nil {
+			return scheduleOutcome{status: http.StatusInternalServerError,
+				err: fmt.Errorf("explain: %w", rerr)}
+		}
+		resp.Explain = raw
 	}
 	return scheduleOutcome{resp: resp, status: http.StatusOK}
 }
@@ -548,3 +600,8 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	r.bytes += n
 	return n, err
 }
+
+// Unwrap exposes the underlying writer so http.NewResponseController can
+// reach Flush — the SSE endpoints depend on per-event flushing through
+// this wrapper.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }

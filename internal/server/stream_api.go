@@ -1,0 +1,158 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"hdlts/internal/obs"
+)
+
+// The SSE endpoints are the live half of the observability surface:
+// GET /v1/events streams every hub event daemon-wide (filterable by kind
+// and trace ID), GET /v1/workflows/{id}/events streams one workflow's
+// transitions interleaved with the spans and decision events of its trace.
+// Streams are served directly in the handler goroutine — they hold a
+// connection, not a scheduling worker — with periodic keepalive comments so
+// idle proxies don't sever them, and they end cleanly on client disconnect
+// or server drain. A subscriber that attaches mid-run first receives a
+// stream.skip marker counting what it missed; one that falls behind its
+// buffer receives inline stream.drop markers.
+
+// kindFilter parses the comma-separated ?kind= list into a filter set.
+func kindFilter(r *http.Request) map[string]bool {
+	raw := r.URL.Query().Get("kind")
+	if raw == "" {
+		return nil
+	}
+	kinds := make(map[string]bool)
+	for _, k := range strings.Split(raw, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			kinds[k] = true
+		}
+	}
+	if len(kinds) == 0 {
+		return nil
+	}
+	return kinds
+}
+
+// handleEvents serves GET /v1/events: the daemon-wide live stream,
+// filterable by ?kind=span,decision,workflow.replan,... and ?trace=<id>.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	filter := obs.StreamFilter{
+		Kinds:   kindFilter(r),
+		TraceID: r.URL.Query().Get("trace"),
+	}
+	s.serveStream(w, r, filter)
+}
+
+// handleWorkflowEvents serves GET /v1/workflows/{id}/events: one
+// workflow's live feed — the engine's transitions (stamped with the
+// workflow ID) interleaved with the spans and solver decisions of its
+// trace (stamped with the submitting request's trace ID).
+func (s *Server) handleWorkflowEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, err := s.wfs.Get(id)
+	if err != nil {
+		s.workflowError(w, http.StatusNotFound, "not_found", err)
+		return
+	}
+	filter := obs.StreamFilter{
+		Kinds:    kindFilter(r),
+		Workflow: id,
+		TraceID:  rec.TraceID,
+	}
+	s.serveStream(w, r, filter)
+}
+
+// serveStream is the shared SSE loop: subscribe, emit the skip marker,
+// then relay events (with inline drop markers) and heartbeats until the
+// client disconnects or the server drains.
+func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, filter obs.StreamFilter) {
+	if s.isDraining() {
+		s.workflowError(w, http.StatusServiceUnavailable, "drain",
+			errors.New("server is shutting down"))
+		return
+	}
+	rc := http.NewResponseController(w)
+	sub := s.stream.Subscribe(filter, s.cfg.StreamBuffer)
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // nginx: do not buffer this stream
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(ev obs.StreamEvent) error {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data); err != nil {
+			return err
+		}
+		return rc.Flush()
+	}
+
+	// A mid-run subscriber learns immediately how much of the stream it
+	// missed; a fresh one gets a comment so the headers flush either way.
+	if sub.SkippedBefore > 0 {
+		if writeEvent(obs.StreamEvent{
+			Kind:     obs.KindStreamSkip,
+			Workflow: filter.Workflow,
+			TraceID:  filter.TraceID,
+			Proc:     -1,
+			Skipped:  sub.SkippedBefore,
+		}) != nil {
+			return
+		}
+	} else {
+		if _, err := fmt.Fprint(w, ": stream open\n\n"); err != nil {
+			return
+		}
+		if rc.Flush() != nil {
+			return
+		}
+	}
+
+	heartbeat := time.NewTicker(s.cfg.StreamHeartbeat)
+	defer heartbeat.Stop()
+	reported := uint64(0)
+	for {
+		select {
+		case ev := <-sub.C():
+			if d := sub.Dropped(); d > reported {
+				if writeEvent(obs.StreamEvent{
+					Kind:     obs.KindStreamDrop,
+					Workflow: filter.Workflow,
+					Proc:     -1,
+					Skipped:  d - reported,
+				}) != nil {
+					return
+				}
+				reported = d
+			}
+			if writeEvent(ev) != nil {
+				return
+			}
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			if rc.Flush() != nil {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		case <-s.draining:
+			// Shutdown must not hang on open streams: say goodbye and end.
+			_, _ = fmt.Fprint(w, ": draining\n\n")
+			_ = rc.Flush()
+			return
+		}
+	}
+}
