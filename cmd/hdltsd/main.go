@@ -184,9 +184,10 @@ func run(ctx context.Context, o options) error {
 	}
 
 	// The debug listener is independent of the service lifecycle: it serves
-	// profiles during drain (often exactly when you want them) and dies
-	// with the process.
+	// profiles during drain (often exactly when you want them) and is
+	// closed — and its serve goroutine joined — on the way out.
 	var debugSrv *http.Server
+	debugErr := make(chan error, 1)
 	if o.DebugAddr != "" {
 		dln, err := net.Listen("tcp", o.DebugAddr)
 		if err != nil {
@@ -202,7 +203,7 @@ func run(ctx context.Context, o options) error {
 		if o.DebugReady != nil {
 			o.DebugReady(dln.Addr().String())
 		}
-		go func() { _ = debugSrv.Serve(dln) }()
+		go func() { debugErr <- debugSrv.Serve(dln) }()
 	}
 
 	serveErr := make(chan error, 1)
@@ -231,6 +232,7 @@ func run(ctx context.Context, o options) error {
 	}
 	if debugSrv != nil {
 		_ = debugSrv.Close()
+		<-debugErr // join the debug serve goroutine
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

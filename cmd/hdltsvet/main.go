@@ -1,10 +1,14 @@
-// Command hdltsvet runs the project's static-analysis suite — the five
-// analyzers in internal/analysis — over the packages matching the given
-// patterns (default ./...).
+// Command hdltsvet runs the project's static-analysis suite — every
+// analyzer registered in internal/analysis (see hdltsvet -list) — over the
+// packages matching the given patterns (default ./...).
 //
 // Usage:
 //
-//	hdltsvet [-list] [-only name,name] [packages...]
+//	hdltsvet [-list] [-only name,name] [-json] [packages...]
+//
+// With -json each finding is emitted as one JSON object per line
+// ({"file","line","col","analyzer","message"}, paths relative to the
+// working directory) — the format CI turns into GitHub annotations.
 //
 // Exit status is 0 when the tree is clean, 1 when there are findings, and
 // 2 when loading or analysis itself fails. CI runs it as a blocking step;
@@ -12,15 +16,26 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"hdlts/internal/analysis"
 )
+
+// finding is the -json wire form of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -31,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "print the analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON objects, one per line")
 	dir := fs.String("C", ".", "change to this directory before resolving patterns")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -71,8 +87,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "hdltsvet: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if *jsonOut {
+		// Paths in the JSON form are relative to the resolved working
+		// directory so CI annotations line up with repository paths.
+		base := *dir
+		if abs, err := filepath.Abs(base); err == nil {
+			base = abs
+		}
+		enc := json.NewEncoder(stdout)
+		for _, d := range diags {
+			file := d.Pos.Filename
+			if rel, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+			if err := enc.Encode(finding{
+				File:     file,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintf(stderr, "hdltsvet: %v\n", err)
+				return 2
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "hdltsvet: %d finding(s)\n", len(diags))

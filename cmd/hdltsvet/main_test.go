@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hdlts/internal/analysis"
 )
 
 func TestListPrintsEveryAnalyzer(t *testing.T) {
@@ -13,9 +16,11 @@ func TestListPrintsEveryAnalyzer(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errs); code != 0 {
 		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, errs.String())
 	}
-	for _, name := range []string{"determinism", "lockedio", "ctxflow", "metricname", "eventkey"} {
-		if !strings.Contains(out.String(), name) {
-			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+	// Drive the expectation from the suite itself: adding an analyzer must
+	// not require touching this test.
+	for _, a := range analysis.Suite() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", a.Name, out.String())
 		}
 	}
 }
@@ -66,6 +71,44 @@ func Stamp() time.Time { return time.Now() }
 	}
 	if !strings.Contains(errs.String(), "finding(s)") {
 		t.Errorf("stderr missing the findings summary:\n%s", errs.String())
+	}
+}
+
+func TestJSONFindings(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module vetfixture\n\ngo 1.22\n",
+		"internal/sched/clock.go": `package sched
+
+import "time"
+
+// Stamp leaks wall-clock time into a scheduler package.
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	var out, errs bytes.Buffer
+	if code := run([]string{"-C", dir, "-json", "./..."}, &out, &errs); code != 1 {
+		t.Fatalf("run = %d, want 1 (stdout: %s, stderr: %s)", code, out.String(), errs.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSON findings emitted")
+	}
+	for _, line := range lines {
+		var f finding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line is not a JSON finding: %q: %v", line, err)
+		}
+		if f.File == "" || f.Line <= 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("finding has empty fields: %+v", f)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("finding path %q is absolute, want relative to -C dir", f.File)
+		}
+	}
+	first := lines[0]
+	if !strings.Contains(first, `"analyzer":"determinism"`) ||
+		!strings.Contains(first, filepath.ToSlash(filepath.Join("internal", "sched", "clock.go"))) {
+		t.Errorf("first finding does not name determinism at internal/sched/clock.go: %s", first)
 	}
 }
 

@@ -1,6 +1,7 @@
-// Package analysis is hdlts's project-specific static-analysis suite: five
+// Package analysis is hdlts's project-specific static-analysis suite: the
 // analyzers encoding the structural invariants the scheduler's correctness
 // and the daemon's availability rest on, plus the driver that runs them.
+// Suite is the single source of truth for the inventory.
 //
 // The invariants are domain rules no generic tool can see:
 //
@@ -19,6 +20,16 @@
 //   - eventkey: span attribute keys and trace wire-field names come from
 //     the canonical exported set in internal/obs, keeping JSONL and
 //     Chrome-trace streams schema-stable.
+//   - hotpathalloc: functions marked hot must not allocate per call.
+//   - goroutinelife: every goroutine in non-test code needs a visible
+//     termination path — ctx.Done/quit-channel select, WaitGroup join, or
+//     a completion signal its launcher receives.
+//   - pairedres: acquire/release pairs (subscriptions, spans, tickers,
+//     files, listeners, pool objects) must release on every exit path.
+//   - boundedspawn: no unbounded goroutine-per-item spawning inside
+//     data-sized loops in the server, jobs, and exec packages.
+//   - atomicmix: each field gets exactly one synchronization discipline —
+//     atomic accesses, mutex guarding, and plain access never mix.
 //
 // The framework deliberately mirrors the golang.org/x/tools/go/analysis API
 // shape (Analyzer, Pass, Diagnostic) so the analyzers can be ported to an

@@ -124,3 +124,7 @@ func TestDirectiveFixture(t *testing.T)   { runFixture(t, CtxFlow, "directive") 
 func TestHotPathAllocFixture(t *testing.T) {
 	runFixture(t, HotPathAlloc, "hotpathalloc")
 }
+func TestGoroutineLifeFixture(t *testing.T) { runFixture(t, GoroutineLife, "goroutinelife") }
+func TestPairedResFixture(t *testing.T)     { runFixture(t, PairedRes, "pairedres") }
+func TestBoundedSpawnFixture(t *testing.T)  { runFixture(t, BoundedSpawn, "boundedspawn") }
+func TestAtomicMixFixture(t *testing.T)     { runFixture(t, AtomicMix, "atomicmix") }

@@ -1,0 +1,542 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags three ways of mixing synchronization disciplines on one
+// memory location:
+//
+//  1. a field passed to sync/atomic functions (&x.f) that is also read or
+//     written plainly elsewhere — the plain access races with the atomic
+//     ones;
+//  2. a value of an atomic.* type (atomic.Int64, atomic.Bool, ...) that is
+//     copied or reassigned whole instead of used through its methods —
+//     copying an atomic value forks its state and trips go vet's copylocks
+//     on some of them only;
+//  3. a struct field whose accesses are majority-mutex-guarded (with at
+//     least one guarded write) that is also accessed without the lock.
+//
+// Guarded-ness is inferred lexically per function, like lockedio's lock
+// regions, with two exemptions that encode real ownership rules:
+// constructor closure — functions that build the struct (contain its
+// composite literal), and helpers called only from them, may initialize
+// fields unlocked; caller-held propagation — a helper whose every
+// same-package call site sits under the owning lock is treated as locked
+// context (the `persist`/`gcLocked` caller-holds-mu convention).
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "flags fields mixing sync/atomic with plain access, atomic.* values " +
+		"copied instead of used via methods, and unguarded accesses to " +
+		"majority-mutex-guarded fields",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	checkAtomicValueCopies(pass)
+	c := newMixCollector(pass)
+	c.collect()
+	c.reportAtomicPlainMix()
+	c.reportMutexMix()
+	return nil
+}
+
+// --- part B: atomic.* values must be used through their methods ----------
+
+// isAtomicValueType reports whether t is a named type from sync/atomic
+// (Int32/Int64/Uint32/Uint64/Bool/Value/Pointer[T]).
+func isAtomicValueType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// checkAtomicValueCopies flags atomic-typed values used other than as a
+// method receiver (or via &): assignment, copy, comparison, argument.
+func checkAtomicValueCopies(pass *Pass) {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			var t types.Type
+			switch x := e.(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr:
+				tv, ok := pass.Info.Types[e]
+				if !ok || !tv.IsValue() {
+					return true
+				}
+				t = tv.Type
+			case *ast.Ident:
+				// Only uses: declaration names (fields, vars, parameters)
+				// introduce the location rather than copying it.
+				v, ok := pass.Info.Uses[x].(*types.Var)
+				if !ok {
+					return true
+				}
+				t = v.Type()
+			default:
+				return true
+			}
+			if !isAtomicValueType(t) || len(stack) < 2 {
+				return true
+			}
+			switch parent := stack[len(stack)-2].(type) {
+			case *ast.SelectorExpr:
+				return true // receiver/selection path (x.f.Load(), or the Sel itself)
+			case *ast.UnaryExpr:
+				if parent.Op == token.AND {
+					return true // address taken: still the one location
+				}
+			case *ast.IndexExpr:
+				if parent.X == e {
+					return true // indexing into an array of atomics
+				}
+			case *ast.StarExpr, *ast.ParenExpr:
+				return true
+			}
+			pass.Reportf(e.Pos(), "atomic value of type %s is copied or reassigned; use its Load/Store/Add methods — copying forks the state",
+				t.String())
+			return true
+		})
+	}
+}
+
+// --- parts A and C: per-field access census ------------------------------
+
+type mixAccess struct {
+	write  bool
+	pos    token.Pos
+	locked bool
+	fn     *types.Func // containing declaration; nil at package scope
+	base   string      // receiver expression text, e.g. "m"
+}
+
+type mixCollector struct {
+	pass  *Pass
+	decls map[*types.Func]*ast.FuncDecl
+	// mutexOwner marks named struct types that carry a sync.Mutex/RWMutex
+	// field; only their fields participate in the mutex-majority census.
+	mutexFields map[*types.Var]bool // the mutex fields themselves
+	guardable   map[*types.Var]bool // plain fields of mutex-owning structs
+	fieldOwner  map[*types.Var]*types.Named
+	// accesses is the census: every plain field access outside atomic calls.
+	accesses map[*types.Var][]*mixAccess
+	// atomicOps records fields used via sync/atomic calls (&x.f) and the
+	// positions of those sanctioned operands.
+	atomicOps  map[*types.Var][]token.Pos
+	sanctioned map[token.Pos]bool
+	// heldCalls / totalCalls drive caller-held propagation.
+	heldCalls  map[*types.Func]int
+	totalCalls map[*types.Func]int
+	// builders maps each named struct to the functions containing its
+	// composite literal (constructor-closure seeds).
+	builders map[*types.Named]map[*types.Func]bool
+	// callers maps callee -> containing functions of its call sites.
+	callers map[*types.Func]map[*types.Func]bool
+}
+
+func newMixCollector(pass *Pass) *mixCollector {
+	c := &mixCollector{
+		pass:        pass,
+		decls:       declaredFuncs(pass),
+		mutexFields: make(map[*types.Var]bool),
+		guardable:   make(map[*types.Var]bool),
+		fieldOwner:  make(map[*types.Var]*types.Named),
+		accesses:    make(map[*types.Var][]*mixAccess),
+		atomicOps:   make(map[*types.Var][]token.Pos),
+		sanctioned:  make(map[token.Pos]bool),
+		heldCalls:   make(map[*types.Func]int),
+		totalCalls:  make(map[*types.Func]int),
+		builders:    make(map[*types.Named]map[*types.Func]bool),
+		callers:     make(map[*types.Func]map[*types.Func]bool),
+	}
+	c.indexStructs()
+	return c
+}
+
+// indexStructs finds this package's named structs and classifies their
+// fields: mutex fields anchor lock inference, the rest are guardable.
+func (c *mixCollector) indexStructs() {
+	scope := c.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var mutexes, plain []*types.Var
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if fn, ok := f.Type().(*types.Named); ok &&
+				(namedIs(fn, "sync", "Mutex") || namedIs(fn, "sync", "RWMutex")) {
+				mutexes = append(mutexes, f)
+				continue
+			}
+			plain = append(plain, f)
+		}
+		// Every field gets an owner (the atomic/plain census applies to any
+		// struct); only fields of mutex-carrying structs are guardable.
+		for _, f := range plain {
+			c.fieldOwner[f] = named
+		}
+		if len(mutexes) == 0 {
+			continue
+		}
+		for _, f := range mutexes {
+			c.mutexFields[f] = true
+		}
+		for _, f := range plain {
+			c.guardable[f] = true
+		}
+	}
+}
+
+// collect runs the census over every declared function.
+func (c *mixCollector) collect() {
+	// Sanction the operands of sync/atomic calls first, so the access walk
+	// can skip them.
+	for _, file := range c.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(c.pass.Info, call)
+			if f == nil || funcPkgPath(f) != "sync/atomic" || recvNamed(f) != nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if selObj := c.fieldObj(sel); selObj != nil {
+					c.atomicOps[selObj] = append(c.atomicOps[selObj], sel.Pos())
+					c.sanctioned[sel.Pos()] = true
+				}
+			}
+			return true
+		})
+	}
+	for fn, decl := range c.decls {
+		c.scanScope(decl.Body, fn, nil)
+		// Constructor seed: does this function build any indexed struct?
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := c.pass.TypeOf(lit)
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				if _, tracked := c.builders[named]; tracked || c.ownsFields(named) {
+					if c.builders[named] == nil {
+						c.builders[named] = make(map[*types.Func]bool)
+					}
+					c.builders[named][fn] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// ownsFields reports whether named has guardable fields in the census.
+func (c *mixCollector) ownsFields(named *types.Named) bool {
+	for _, owner := range c.fieldOwner {
+		if owner == named {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldObj resolves sel to the struct field it selects, or nil.
+func (c *mixCollector) fieldObj(sel *ast.SelectorExpr) *types.Var {
+	selection, ok := c.pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := selection.Obj().(*types.Var)
+	return v
+}
+
+// scanScope performs the linear lock-region walk over one scope, recording
+// field accesses with their held state and call sites with theirs. Nested
+// function literals inherit the held set at their definition point — a
+// comparator or deferred closure built under the lock usually runs there.
+func (c *mixCollector) scanScope(body *ast.BlockStmt, fn *types.Func, inherited map[string]int) {
+	held := make(map[string]int, len(inherited))
+	for k, v := range inherited {
+		held[k] = v
+	}
+	heldCount := func(base string) bool { return held[base] > 0 }
+
+	// A deferred unlock holds the region to scope end: ignore those calls
+	// so the held count never decrements for them.
+	deferredUnlocks := make(map[*ast.CallExpr]bool)
+	inspectShallow(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if base, _, isUnlock := c.lockBase(d.Call); isUnlock && base != "" {
+				deferredUnlocks[d.Call] = true
+			}
+		}
+		return true
+	})
+
+	var stack []ast.Node
+	litDepth := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if _, ok := top.(*ast.FuncLit); ok {
+				litDepth--
+			}
+			return true
+		}
+		stack = append(stack, n)
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if litDepth == 0 {
+				c.scanScope(lit.Body, fn, held)
+			}
+			litDepth++
+			return true
+		}
+		if litDepth > 0 {
+			return true
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if deferredUnlocks[x] {
+				return true
+			}
+			if base, isLock, isUnlock := c.lockBase(x); base != "" {
+				if isLock {
+					held[base]++
+				} else if isUnlock && held[base] > 0 {
+					held[base]--
+				}
+				return true
+			}
+			if callee := calleeFunc(c.pass.Info, x); callee != nil {
+				if _, local := c.decls[callee]; local {
+					c.totalCalls[callee]++
+					base := ""
+					if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+						base = exprText(c.pass.Fset, sel.X)
+					}
+					if heldCount(base) {
+						c.heldCalls[callee]++
+					}
+					if fn != nil {
+						if c.callers[callee] == nil {
+							c.callers[callee] = make(map[*types.Func]bool)
+						}
+						c.callers[callee][fn] = true
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			field := c.fieldObj(x)
+			if field == nil || c.sanctioned[x.Pos()] {
+				return true
+			}
+			if !c.guardable[field] && len(c.atomicOps[field]) == 0 {
+				return true
+			}
+			if field.Pkg() != c.pass.Pkg {
+				return true
+			}
+			base := exprText(c.pass.Fset, x.X)
+			c.accesses[field] = append(c.accesses[field], &mixAccess{
+				write:  isWritePos(stack, x),
+				pos:    x.Pos(),
+				locked: heldCount(base),
+				fn:     fn,
+				base:   base,
+			})
+		}
+		return true
+	})
+}
+
+// lockBase classifies call as Lock/RLock/Unlock/RUnlock on a mutex and
+// returns the text of the expression owning the mutex: for m.mu.Lock()
+// that is "m", for an embedded m.Lock() it is "m".
+func (c *mixCollector) lockBase(call *ast.CallExpr) (base string, isLock, isUnlock bool) {
+	key, unlock, lock := mutexOp(c.pass, call)
+	if key == "" {
+		return "", false, false
+	}
+	sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if sel == nil {
+		return "", false, false
+	}
+	owner := ast.Unparen(sel.X)
+	if inner, ok := owner.(*ast.SelectorExpr); ok {
+		if f := c.fieldObj(inner); f != nil && c.mutexFields[f] {
+			return exprText(c.pass.Fset, inner.X), lock, unlock
+		}
+	}
+	return key, lock, unlock
+}
+
+// isWritePos reports whether the selector at the top of the stack is a
+// write target: assignment LHS (possibly through an index, e.g.
+// s.recs[k] = v), ++/--, or address-taken.
+func isWritePos(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	node := ast.Expr(sel)
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.IndexExpr:
+			if parent.X != node {
+				return false
+			}
+			node = parent
+		case *ast.ParenExpr:
+			node = parent
+		case *ast.StarExpr:
+			node = parent
+		case *ast.AssignStmt:
+			for _, lhs := range parent.Lhs {
+				if lhs == node {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return parent.X == node
+		case *ast.UnaryExpr:
+			return parent.Op == token.AND // address taken: may be written through
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// exemptFuncs computes the constructor closure for one struct: functions
+// containing its composite literal, plus functions called exclusively from
+// already-exempt functions.
+func (c *mixCollector) exemptFuncs(named *types.Named) map[*types.Func]bool {
+	exempt := make(map[*types.Func]bool)
+	for fn := range c.builders[named] {
+		exempt[fn] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for callee, froms := range c.callers {
+			if exempt[callee] || len(froms) == 0 {
+				continue
+			}
+			all := true
+			for from := range froms {
+				if !exempt[from] {
+					all = false
+					break
+				}
+			}
+			if all {
+				exempt[callee] = true
+				changed = true
+			}
+		}
+	}
+	return exempt
+}
+
+// heldContext reports whether every same-package call of fn happens under
+// the owning lock (and there is at least one such call).
+func (c *mixCollector) heldContext(fn *types.Func) bool {
+	return fn != nil && c.totalCalls[fn] > 0 && c.heldCalls[fn] == c.totalCalls[fn]
+}
+
+// reportAtomicPlainMix flags plain accesses to fields that sync/atomic
+// functions also touch (part A).
+func (c *mixCollector) reportAtomicPlainMix() {
+	for field, poss := range c.atomicOps {
+		if len(poss) == 0 {
+			continue
+		}
+		owner := c.fieldOwner[field]
+		var exempt map[*types.Func]bool
+		if owner != nil {
+			exempt = c.exemptFuncs(owner)
+		}
+		for _, a := range c.accesses[field] {
+			if exempt[a.fn] {
+				continue
+			}
+			kind := "read"
+			if a.write {
+				kind = "write"
+			}
+			c.pass.Reportf(a.pos, "field %s is accessed via sync/atomic elsewhere in this package; this plain %s races with those atomic operations",
+				field.Name(), kind)
+		}
+	}
+}
+
+// reportMutexMix flags unguarded accesses to fields whose access census is
+// majority-locked with at least one locked write (part C).
+func (c *mixCollector) reportMutexMix() {
+	for field, list := range c.accesses {
+		if len(c.atomicOps[field]) > 0 {
+			continue // already reported as atomic/plain mixing
+		}
+		owner := c.fieldOwner[field]
+		if owner == nil {
+			continue
+		}
+		exempt := c.exemptFuncs(owner)
+		locked, unlocked, lockedWrites := 0, 0, 0
+		var offenders []*mixAccess
+		for _, a := range list {
+			if exempt[a.fn] {
+				continue
+			}
+			if a.locked || c.heldContext(a.fn) {
+				locked++
+				if a.write {
+					lockedWrites++
+				}
+				continue
+			}
+			unlocked++
+			offenders = append(offenders, a)
+		}
+		if lockedWrites == 0 || locked <= unlocked {
+			continue
+		}
+		for _, a := range offenders {
+			c.pass.Reportf(a.pos, "field %s.%s is mutex-guarded (majority of accesses hold the lock); this access does not hold it",
+				owner.Obj().Name(), field.Name())
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BoundedSpawn polices goroutine creation in the request/job/step packages
+// (internal/server, internal/jobs, internal/exec): a goroutine spawned per
+// iteration of a data-sized loop — range over a collection or channel, an
+// infinite for, or a len()/cap()-bounded counter loop — is unbounded by
+// user-controlled input and must go through a pool or semaphore instead.
+// Plain counter loops (`for i := 0; i < workers; i++`) are pool
+// construction and stay exempt.
+//
+// A send statement lexically before the spawn (in the loop body, or in the
+// spawning function for per-item calls) is accepted as semaphore-acquire
+// evidence: `sem <- struct{}{}` before `go ...` is the standard bounded
+// shape. The check extends one call level: a function containing a bare
+// `go` that is itself called from inside a data loop in the same package
+// is a per-item spawner too.
+var BoundedSpawn = &Analyzer{
+	Name: "boundedspawn",
+	Doc: "flags per-request/per-job/per-step goroutine creation in internal/server, " +
+		"internal/jobs, internal/exec that does not go through a bounded pool or semaphore",
+	Run: runBoundedSpawn,
+}
+
+func runBoundedSpawn(pass *Pass) error {
+	if !pathHas(pass.Path, "internal/server") && !pathHas(pass.Path, "internal/jobs") &&
+		!pathHas(pass.Path, "internal/exec") {
+		return nil
+	}
+	decls := declaredFuncs(pass)
+
+	// bareSpawns records, per declared function, its go statements that are
+	// not themselves inside a data loop (candidates for the per-item-call
+	// rule) together with whether a send precedes them in the body.
+	type spawn struct {
+		g      *ast.GoStmt
+		gated  bool // a send statement precedes the spawn in the same body
+		inLoop bool
+	}
+	spawns := make(map[*types.Func][]spawn)
+	reported := make(map[*ast.GoStmt]bool)
+
+	for f, decl := range decls {
+		sends := sendPositions(decl.Body)
+		var stack []ast.Node
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			loop := enclosingDataLoop(stack[:len(stack)-1])
+			gated := false
+			for _, p := range sends {
+				if p < g.Pos() {
+					gated = true
+					break
+				}
+			}
+			if loop != nil && !gated && !reported[g] {
+				reported[g] = true
+				pass.Reportf(g.Pos(), "unbounded goroutine per loop iteration: route the work through a bounded pool or acquire a semaphore (a channel send) before spawning")
+			}
+			spawns[f] = append(spawns[f], spawn{g: g, gated: gated, inLoop: loop != nil})
+			return true
+		})
+	}
+
+	// Per-item calls: a call inside a data loop whose same-package callee
+	// spawns bare goroutines makes those spawns per-item.
+	for _, decl := range decls {
+		caller := decl.Name.Name
+		var stack []ast.Node
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if enclosingDataLoop(stack[:len(stack)-1]) == nil {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			if callee == nil {
+				return true
+			}
+			for _, s := range spawns[callee] {
+				if s.inLoop || s.gated || reported[s.g] {
+					continue
+				}
+				reported[s.g] = true
+				pass.Reportf(s.g.Pos(), "goroutine spawned per item of a loop in %s (which calls %s per iteration): bound it with a pool or semaphore",
+					caller, callee.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingDataLoop returns the innermost data-sized loop the node with
+// the given ancestor stack sits in, stopping at function boundaries, or
+// nil. Data-sized: range loops, infinite loops, and counter loops whose
+// condition consults len() or cap().
+func enclosingDataLoop(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch l := stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return nil
+		case *ast.RangeStmt:
+			return l
+		case *ast.ForStmt:
+			if l.Cond == nil {
+				return l
+			}
+			lenBound := false
+			ast.Inspect(l.Cond, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+						lenBound = true
+					}
+				}
+				return !lenBound
+			})
+			if lenBound {
+				return l
+			}
+		}
+	}
+	return nil
+}
+
+// sendPositions collects the positions of channel sends in body — each is
+// potential semaphore-acquire evidence for spawns after it.
+func sendPositions(body *ast.BlockStmt) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SendStmt); ok {
+			out = append(out, s.Pos())
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,301 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLife demands a visible termination path for every `go`
+// statement: the spawned body must select on context.Done() or on a quit
+// channel this package closes somewhere, join a sync.WaitGroup, or signal
+// a completion channel that the launching function receives from. A
+// goroutine with none of those is fire-and-forget — exactly the slow leak
+// that erodes a long-running daemon — and must either gain ownership or
+// carry a documented //lint:hdltsvet-ignore goroutinelife directive.
+//
+// Evidence is collected one level deep: when the spawned body itself shows
+// nothing, the bodies of same-package functions it calls are consulted, so
+// `go w.loop()` passes when loop selects on the pool's stop channel. Test
+// files never reach this analyzer (the loader compiles non-test sources
+// only), so test helpers may spawn freely.
+var GoroutineLife = &Analyzer{
+	Name: "goroutinelife",
+	Doc: "flags go statements with no visible termination path: no ctx.Done/quit-channel " +
+		"receive, no WaitGroup join, and no completion signal the launcher waits on",
+	Run: runGoroutineLife,
+}
+
+// lifeChecker carries the per-package state one goroutinelife run needs.
+type lifeChecker struct {
+	pass *Pass
+	// decls maps declared functions/methods to their syntax, for resolving
+	// `go m.worker()` to worker's body.
+	decls map[*types.Func]*ast.FuncDecl
+	// closed holds every object (variable or struct field) that appears as
+	// the operand of close() anywhere in the package: receiving from one of
+	// these is quit-channel evidence.
+	closed map[types.Object]bool
+}
+
+func runGoroutineLife(pass *Pass) error {
+	c := &lifeChecker{
+		pass:   pass,
+		decls:  declaredFuncs(pass),
+		closed: closedChannelObjs(pass),
+	}
+	for _, f := range pass.Files {
+		// Track the enclosing function body of each go statement so
+		// completion-channel evidence can be looked up in the launcher.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if g, ok := n.(*ast.GoStmt); ok {
+				c.check(g, enclosingBody(stack[:len(stack)-1]))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingBody returns the body of the innermost function containing the
+// node whose ancestor stack is given, or nil at package scope.
+func enclosingBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			return fn.Body
+		case *ast.FuncDecl:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// check reports g unless some termination evidence is visible.
+func (c *lifeChecker) check(g *ast.GoStmt, launcher *ast.BlockStmt) {
+	body := c.spawnedBody(g)
+	if body != nil {
+		if c.bodyTerminates(body) {
+			return
+		}
+		// One level of expansion: a body that only delegates passes when a
+		// same-package callee carries the evidence.
+		if c.calleeTerminates(body) {
+			return
+		}
+		// Completion signal: the body closes or sends on a channel the
+		// launching function receives from — the classic `done` handshake.
+		if launcher != nil && c.signalsLauncher(body, g, launcher) {
+			return
+		}
+	}
+	c.pass.Reportf(g.Pos(), "goroutine has no visible termination path: select on ctx.Done() or a quit channel this package closes, join a sync.WaitGroup, or signal a channel the launcher receives from (or document with %s goroutinelife <reason>)", DirectivePrefix)
+}
+
+// spawnedBody resolves the syntax the goroutine will execute: a function
+// literal's body, or the declaration of a same-package function/method the
+// go statement calls directly. Dynamic and cross-package calls yield nil —
+// their lifecycle is invisible, so they need a wrapper or a directive.
+func (c *lifeChecker) spawnedBody(g *ast.GoStmt) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if f := calleeFunc(c.pass.Info, g.Call); f != nil {
+		if decl, ok := c.decls[f]; ok && decl.Body != nil {
+			return decl.Body
+		}
+	}
+	return nil
+}
+
+// bodyTerminates looks for direct termination evidence inside body:
+// a receive from context.Done() or from a package-closed quit channel
+// (including range-over-channel), or a sync.WaitGroup.Done call.
+func (c *lifeChecker) bodyTerminates(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && (isCtxDoneCall(c.pass, x.X) || c.closed[rootChanObj(c.pass, x.X)]) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(c.pass.TypeOf(x.X)) && c.closed[rootChanObj(c.pass, x.X)] {
+				found = true
+			}
+		case *ast.CallExpr:
+			if f := calleeFunc(c.pass.Info, x); f != nil && f.Name() == "Done" &&
+				namedIs(recvNamed(f), "sync", "WaitGroup") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeTerminates applies bodyTerminates one call level deeper: any
+// same-package function the body statically calls may hold the evidence.
+func (c *lifeChecker) calleeTerminates(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := calleeFunc(c.pass.Info, call); f != nil {
+			if decl, ok := c.decls[f]; ok && decl.Body != nil && c.bodyTerminates(decl.Body) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// signalsLauncher reports whether body closes or sends on a channel object
+// that the launching function receives from outside the go statement
+// itself — the completion handshake (`go func() { ...; close(done) }();
+// ...; <-done`).
+func (c *lifeChecker) signalsLauncher(body *ast.BlockStmt, g *ast.GoStmt, launcher *ast.BlockStmt) bool {
+	signaled := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if o := rootChanObj(c.pass, x.Chan); o != nil {
+				signaled[o] = true
+			}
+		case *ast.CallExpr:
+			if o := closedOperandObj(c.pass, x); o != nil {
+				signaled[o] = true
+			}
+		}
+		return true
+	})
+	if len(signaled) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(launcher, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if n == g {
+			return false // the goroutine's own receives prove nothing
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && signaled[rootChanObj(c.pass, x.X)] {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(c.pass.TypeOf(x.X)) && signaled[rootChanObj(c.pass, x.X)] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// declaredFuncs indexes this package's function and method declarations by
+// their type-checker objects.
+func declaredFuncs(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// closedChannelObjs collects every object passed to the close builtin in
+// the package. A channel field closed by Stop/Close is quit evidence for
+// any goroutine receiving from it, wherever the close lives.
+func closedChannelObjs(pass *Pass) map[types.Object]bool {
+	closed := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if o := closedOperandObj(pass, call); o != nil {
+					closed[o] = true
+				}
+			}
+			return true
+		})
+	}
+	return closed
+}
+
+// closedOperandObj returns the object close(x) closes, or nil when call is
+// not a close builtin (or x has no resolvable root object).
+func closedOperandObj(pass *Pass, call *ast.CallExpr) types.Object {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return nil
+	}
+	if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "close" {
+		return nil
+	}
+	if len(call.Args) != 1 {
+		return nil
+	}
+	return rootChanObj(pass, call.Args[0])
+}
+
+// rootChanObj resolves a channel expression to the variable or struct
+// field it denotes: `done` → the local, `c.stop` / `p.queue` → the field.
+// Anything else (calls, index expressions) resolves to nil.
+func rootChanObj(pass *Pass, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(x)
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[x]; ok {
+			return sel.Obj()
+		}
+		return pass.Info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// isCtxDoneCall reports whether e is a call of context.Context.Done.
+func isCtxDoneCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	return isContextType(pass.TypeOf(sel.X))
+}
+
+// isChanType reports whether t's underlying type is a channel.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

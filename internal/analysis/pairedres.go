@@ -1,0 +1,518 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PairedRes enforces this repo's acquire/release protocols from a
+// declarative table: obs.Hub.Subscribe→Subscription.Close,
+// obs.StartSpan→Span.Finish, time.NewTicker/NewTimer→Stop,
+// os.Open/Create→Close, net.Listen→Close, sync.Pool.Get→Put. A resource
+// acquired in a function must be released on all exits — a deferred
+// release, or a plain release lexically before every later return — or
+// ownership must visibly move on: returned, passed to a call, sent on a
+// channel, or stored in a struct field whose Close/Stop/Shutdown method
+// releases it. Discarding an acquire result outright is always a finding.
+//
+// The reachability check is lexical, like lockedio's lock regions: a plain
+// release counts for every return after it. Releases may hide one wrapper
+// deep — a method on the resource (or taking it as an argument) whose body
+// performs the real release, e.g. arena.recycle() wrapping arenaPool.Put.
+var PairedRes = &Analyzer{
+	Name: "pairedres",
+	Doc: "flags acquired resources (hub subscriptions, spans, tickers, files, " +
+		"listeners, pooled arenas) that are not released on every exit path",
+	Run: runPairedRes,
+}
+
+// resRule is one row of the acquire/release table.
+type resRule struct {
+	label    string          // human-readable acquire name
+	residx   int             // index of the resource in the call results
+	releases map[string]bool // method names on the resource that release it
+	poolGet  bool            // sync.Pool.Get: released by Pool.Put(resource)
+	match    func(pass *Pass, call *ast.CallExpr) bool
+}
+
+// pairedTable returns the resource protocols pairedres enforces.
+func pairedTable() []*resRule {
+	return []*resRule{
+		{
+			label: "Hub.Subscribe", residx: 0,
+			releases: map[string]bool{"Close": true},
+			match: func(pass *Pass, call *ast.CallExpr) bool {
+				f := calleeFunc(pass.Info, call)
+				return f != nil && f.Name() == "Subscribe" &&
+					namedIs(recvNamed(f), "internal/obs", "Hub")
+			},
+		},
+		{
+			label: "obs.StartSpan", residx: 1,
+			releases: map[string]bool{"Finish": true},
+			match: func(pass *Pass, call *ast.CallExpr) bool {
+				f := calleeFunc(pass.Info, call)
+				return f != nil && f.Name() == "StartSpan" && recvNamed(f) == nil &&
+					pathHas(funcPkgPath(f), "internal/obs")
+			},
+		},
+		{
+			label: "time.NewTicker", residx: 0,
+			releases: map[string]bool{"Stop": true},
+			match: func(pass *Pass, call *ast.CallExpr) bool {
+				f := calleeFunc(pass.Info, call)
+				return f != nil && funcPkgPath(f) == "time" &&
+					(f.Name() == "NewTicker" || f.Name() == "NewTimer")
+			},
+		},
+		{
+			label: "os file open", residx: 0,
+			releases: map[string]bool{"Close": true},
+			match: func(pass *Pass, call *ast.CallExpr) bool {
+				f := calleeFunc(pass.Info, call)
+				if f == nil || funcPkgPath(f) != "os" {
+					return false
+				}
+				switch f.Name() {
+				case "Open", "OpenFile", "Create", "CreateTemp":
+					return true
+				}
+				return false
+			},
+		},
+		{
+			label: "net.Listen", residx: 0,
+			releases: map[string]bool{"Close": true},
+			match: func(pass *Pass, call *ast.CallExpr) bool {
+				f := calleeFunc(pass.Info, call)
+				return f != nil && funcPkgPath(f) == "net" &&
+					(f.Name() == "Listen" || f.Name() == "ListenTCP" || f.Name() == "ListenUnix")
+			},
+		},
+		{
+			label: "sync.Pool.Get", residx: 0, poolGet: true,
+			releases: map[string]bool{"Put": true},
+			match: func(pass *Pass, call *ast.CallExpr) bool {
+				f := calleeFunc(pass.Info, call)
+				return f != nil && f.Name() == "Get" && namedIs(recvNamed(f), "sync", "Pool")
+			},
+		},
+	}
+}
+
+// acquired is one tracked acquire site within a function scope.
+type acquired struct {
+	rule *resRule
+	call *ast.CallExpr
+	obj  types.Object // the local holding the resource; nil = discarded
+	err  types.Object // error result of the same assign, for guard exemption
+}
+
+func runPairedRes(pass *Pass) error {
+	table := pairedTable()
+	decls := declaredFuncs(pass)
+	eachFuncBody(pass.Files, func(name string, body *ast.BlockStmt) {
+		for _, acq := range findAcquires(pass, table, body) {
+			checkAcquire(pass, decls, acq, body)
+		}
+	})
+	return nil
+}
+
+// findAcquires scans one scope (shallow — nested literals are their own
+// scopes) for table matches in assignments and bare expression statements.
+// Acquire calls nested in larger expressions (arguments, returns,
+// composite literals) hand the resource somewhere visible and are skipped.
+func findAcquires(pass *Pass, table []*resRule, body *ast.BlockStmt) []*acquired {
+	var out []*acquired
+	inspectShallow(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return true
+			}
+			call := acquireCall(st.Rhs[0])
+			if call == nil {
+				return true
+			}
+			rule := matchRule(pass, table, call)
+			if rule == nil {
+				return true
+			}
+			acq := &acquired{rule: rule, call: call}
+			if rule.residx < len(st.Lhs) {
+				if id, ok := st.Lhs[rule.residx].(*ast.Ident); ok && id.Name != "_" {
+					acq.obj = pass.ObjectOf(id)
+				} else if sel, ok := st.Lhs[rule.residx].(*ast.SelectorExpr); ok {
+					// Stored straight into a field: the obligation moves to
+					// the owning struct's teardown method.
+					checkFieldStore(pass, rule, sel, call)
+					return true
+				}
+			}
+			// Any other result that is an identifier of type error guards
+			// early returns: a return under `if err != nil` needs no release.
+			for i, lhs := range st.Lhs {
+				if i == rule.residx {
+					continue
+				}
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					if o := pass.ObjectOf(id); o != nil && types.Identical(o.Type(), types.Universe.Lookup("error").Type()) {
+						acq.err = o
+					}
+				}
+			}
+			out = append(out, acq)
+		case *ast.ExprStmt:
+			if call := acquireCall(st.X); call != nil {
+				if rule := matchRule(pass, table, call); rule != nil {
+					out = append(out, &acquired{rule: rule, call: call})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// acquireCall unwraps parens and a type assertion (`pool.Get().(*arena)`)
+// down to the call expression, or nil.
+func acquireCall(e ast.Expr) *ast.CallExpr {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, _ := e.(*ast.CallExpr)
+	return call
+}
+
+func matchRule(pass *Pass, table []*resRule, call *ast.CallExpr) *resRule {
+	for _, r := range table {
+		if r.match(pass, call) {
+			return r
+		}
+	}
+	return nil
+}
+
+// checkAcquire decides the verdict for one tracked acquire.
+func checkAcquire(pass *Pass, decls map[*types.Func]*ast.FuncDecl, acq *acquired, body *ast.BlockStmt) {
+	if acq.obj == nil {
+		pass.Reportf(acq.call.Pos(), "result of %s is discarded: the resource must be released (%s)",
+			acq.rule.label, releaseNames(acq.rule))
+		return
+	}
+	var (
+		deferred    bool
+		releasePos  []token.Pos
+		escaped     bool
+		fieldStores []*ast.SelectorExpr
+	)
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isRelease(pass, decls, acq.rule, x, acq.obj) {
+				if underDefer(stack) {
+					deferred = true
+				} else {
+					releasePos = append(releasePos, x.Pos())
+				}
+			}
+		case *ast.Ident:
+			if pass.ObjectOf(x) != acq.obj {
+				return true
+			}
+			use, sel := useKind(stack)
+			switch use {
+			case useEscape:
+				escaped = true
+			case useFieldStore:
+				fieldStores = append(fieldStores, sel)
+			}
+		}
+		return true
+	})
+	if deferred || escaped {
+		return
+	}
+	for _, sel := range fieldStores {
+		checkFieldStore(pass, acq.rule, sel, acq.call)
+	}
+	if len(fieldStores) > 0 {
+		return
+	}
+	if len(releasePos) == 0 {
+		pass.Reportf(acq.call.Pos(), "%s is never released in this function: %s it (defer preferred), return it, or store it on a struct whose Close/Stop releases it",
+			acq.rule.label, releaseNames(acq.rule))
+		return
+	}
+	// A plain release exists: every later return needs one lexically before
+	// it, unless the return sits under this acquire's error guard.
+	acqPos := acq.call.Pos()
+	reportReturn := func(ret *ast.ReturnStmt) {
+		pass.Reportf(acq.call.Pos(), "%s may not be released before the return at line %d: release on every path or use defer",
+			acq.rule.label, pass.Fset.Position(ret.Pos()).Line)
+	}
+	reported := false
+	inspectShallowStack(body, func(n ast.Node, stack []ast.Node) {
+		if reported {
+			return
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() < acqPos {
+			return
+		}
+		for _, p := range releasePos {
+			if p > acqPos && p < ret.Pos() {
+				return
+			}
+		}
+		if acq.err != nil && underErrGuard(pass, stack, acq.err) {
+			return
+		}
+		reportReturn(ret)
+		reported = true
+	})
+}
+
+// checkFieldStore verifies that a resource stored into a same-package
+// struct field is released by some Close/Stop/Shutdown-style method of
+// that struct. Fields of types from other packages are assumed managed.
+func checkFieldStore(pass *Pass, rule *resRule, sel *ast.SelectorExpr, call *ast.CallExpr) {
+	selection, ok := pass.Info.Selections[sel]
+	if !ok {
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok || field.Pkg() != pass.Pkg {
+		return
+	}
+	decls := declaredFuncs(pass)
+	for f, decl := range decls {
+		if recvNamed(f) == nil || !closerName(f.Name()) || decl.Body == nil {
+			continue
+		}
+		released := false
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok && isRelease(pass, decls, rule, c, field) {
+				released = true
+			}
+			return !released
+		})
+		if released {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "%s stored in field %s, but no Close/Stop/Shutdown method releases it",
+		rule.label, field.Name())
+}
+
+// closerName reports whether a method name is a lifecycle teardown hook.
+func closerName(name string) bool {
+	switch name {
+	case "Close", "Stop", "Shutdown", "Finish", "close", "stop", "shutdown", "drain", "Drain":
+		return true
+	}
+	return false
+}
+
+// isRelease reports whether call releases obj under rule: a release-named
+// method with obj as receiver, Pool.Put(obj) for pool resources, or — one
+// wrapper deep — a same-package function/method that receives obj and
+// whose body performs the real release on the corresponding parameter or
+// receiver (arena.recycle wrapping arenaPool.Put).
+func isRelease(pass *Pass, decls map[*types.Func]*ast.FuncDecl, rule *resRule, call *ast.CallExpr, obj types.Object) bool {
+	if directRelease(pass, rule, call, obj) {
+		return true
+	}
+	f := calleeFunc(pass.Info, call)
+	if f == nil {
+		return false
+	}
+	decl, ok := decls[f]
+	if !ok || decl.Body == nil {
+		return false
+	}
+	// Does obj flow into this call as the receiver or an argument?
+	var inner types.Object
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && rootChanObj(pass, sel.X) == obj {
+		if decl.Recv != nil && len(decl.Recv.List) == 1 && len(decl.Recv.List[0].Names) == 1 {
+			inner = pass.Info.Defs[decl.Recv.List[0].Names[0]]
+		}
+	}
+	for i, arg := range call.Args {
+		if rootChanObj(pass, arg) != obj {
+			continue
+		}
+		if sig, ok := f.Type().(*types.Signature); ok && i < sig.Params().Len() {
+			inner = sig.Params().At(i)
+		}
+	}
+	if inner == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && directRelease(pass, rule, c, inner) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// directRelease matches the literal release shape from the table.
+func directRelease(pass *Pass, rule *resRule, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if rule.poolGet {
+		if sel.Sel.Name != "Put" {
+			return false
+		}
+		f, _ := pass.Info.Uses[sel.Sel].(*types.Func)
+		if f == nil || !namedIs(recvNamed(f), "sync", "Pool") {
+			return false
+		}
+		return len(call.Args) == 1 && rootChanObj(pass, call.Args[0]) == obj
+	}
+	return rule.releases[sel.Sel.Name] && rootChanObj(pass, sel.X) == obj
+}
+
+func releaseNames(rule *resRule) string {
+	if rule.poolGet {
+		return "Put"
+	}
+	out := ""
+	for name := range rule.releases {
+		if out != "" {
+			out += "/"
+		}
+		out += name
+	}
+	return out
+}
+
+// resource-use classification for one identifier occurrence.
+type useClass int
+
+const (
+	useBenign     useClass = iota // receiver/field access, nil compare, defining ident
+	useEscape                     // ownership visibly moves on
+	useFieldStore                 // stored into a struct field: obligations move to the struct
+)
+
+// useKind classifies how the identifier at the top of the stack uses the
+// resource. Method calls (`sub.Close()`, `ticker.C`) and comparisons are
+// benign; passing the value whole — as a call argument, return value,
+// channel send, composite-literal element, or address-of — is an escape.
+// For a field store (`x.f = res`) it also returns the target selector.
+func useKind(stack []ast.Node) (useClass, *ast.SelectorExpr) {
+	id := stack[len(stack)-1].(*ast.Ident)
+	if len(stack) < 2 {
+		return useBenign, nil
+	}
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.SelectorExpr:
+		return useBenign, nil // x.Method / x.Field access
+	case *ast.CallExpr:
+		for _, arg := range parent.Args {
+			if arg == ast.Expr(id) {
+				return useEscape, nil
+			}
+		}
+	case *ast.ReturnStmt, *ast.SendStmt, *ast.CompositeLit, *ast.KeyValueExpr:
+		return useEscape, nil
+	case *ast.UnaryExpr:
+		if parent.Op == token.AND {
+			return useEscape, nil
+		}
+	case *ast.AssignStmt:
+		for i, rhs := range parent.Rhs {
+			if rhs != ast.Expr(id) {
+				continue
+			}
+			// Aliased somewhere: a field store keeps the obligation in
+			// this package, anything else is treated as an escape.
+			if i < len(parent.Lhs) {
+				if sel, ok := parent.Lhs[i].(*ast.SelectorExpr); ok {
+					return useFieldStore, sel
+				}
+			}
+			return useEscape, nil
+		}
+	case *ast.IndexExpr:
+		if parent.Index == ast.Expr(id) || parent.X != ast.Expr(id) {
+			return useEscape, nil
+		}
+	}
+	return useBenign, nil
+}
+
+// underDefer reports whether the stack passes through a defer statement —
+// either the deferred call itself or anything inside a deferred literal.
+func underDefer(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// underErrGuard reports whether the node whose ancestors are given sits
+// inside an if whose condition mentions errObj — the `if err != nil {
+// return }` shape that needs no release.
+func underErrGuard(pass *Pass, stack []ast.Node, errObj types.Object) bool {
+	for _, n := range stack {
+		ifst, ok := n.(*ast.IfStmt)
+		if !ok || ifst.Cond == nil {
+			continue
+		}
+		found := false
+		ast.Inspect(ifst.Cond, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && pass.ObjectOf(id) == errObj {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectShallowStack walks root with ancestor tracking, suppressing
+// visits inside nested function literals (each literal is its own scope).
+// The traversal itself always descends so the push/pop bookkeeping stays
+// balanced; suppressed nodes simply never reach fn.
+func inspectShallowStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	litDepth := 0
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			if _, ok := stack[len(stack)-1].(*ast.FuncLit); ok && stack[len(stack)-1] != ast.Node(root) {
+				litDepth--
+			}
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n != ast.Node(root) {
+			litDepth++
+		}
+		stack = append(stack, n)
+		if litDepth == 0 {
+			fn(n, stack)
+		}
+		return true
+	})
+}

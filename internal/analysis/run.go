@@ -2,9 +2,13 @@ package analysis
 
 import (
 	"go/token"
+	"strconv"
 )
 
-// Suite returns the five project analyzers in their canonical order.
+// Suite returns the project analyzers in their canonical order. This list
+// is the single source of truth for the analyzer inventory: the CLI's
+// -list output, the directive checker's known-analyzer set, and the tests
+// all derive from it.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
@@ -13,6 +17,10 @@ func Suite() []*Analyzer {
 		MetricName,
 		EventKey,
 		HotPathAlloc,
+		GoroutineLife,
+		PairedRes,
+		BoundedSpawn,
+		AtomicMix,
 	}
 }
 
@@ -58,27 +66,43 @@ func Run(fset *token.FileSet, pkgs []*LoadedPackage, analyzers []*Analyzer) ([]D
 }
 
 // unusedDirectives reports suppressions that matched no finding of an
-// analyzer that actually ran.
+// analyzer that actually ran, and directives naming analyzers that do not
+// exist at all — a typoed name would otherwise suppress nothing, silently.
+// Directives for real analyzers outside the current run (-only) are left
+// alone: this run cannot judge them.
 func (s *Shared) unusedDirectives(ran []*Analyzer) []Diagnostic {
 	names := make(map[string]bool, len(ran))
 	for _, a := range ran {
 		names[a.Name] = true
+	}
+	known := make(map[string]bool)
+	for _, a := range Suite() {
+		known[a.Name] = true
 	}
 	seen := make(map[*directive]bool)
 	var out []Diagnostic
 	for _, byLine := range s.ignores {
 		for _, ds := range byLine {
 			for _, d := range ds {
-				if seen[d] || d.used || !names[d.analyzer] {
-					seen[d] = true
+				if seen[d] {
 					continue
 				}
 				seen[d] = true
-				out = append(out, Diagnostic{
-					Pos:      d.pos,
-					Analyzer: "directive",
-					Message:  "unused suppression for " + d.analyzer + ": no finding here — delete the directive",
-				})
+				switch {
+				case !known[d.analyzer]:
+					out = append(out, Diagnostic{
+						Pos:      d.pos,
+						Analyzer: "directive",
+						Message:  "unknown analyzer " + strconv.Quote(d.analyzer) + " in suppression directive (see hdltsvet -list)",
+					})
+				case d.used || !names[d.analyzer]:
+				default:
+					out = append(out, Diagnostic{
+						Pos:      d.pos,
+						Analyzer: "directive",
+						Message:  "unused suppression for " + d.analyzer + ": no finding here — delete the directive",
+					})
+				}
 			}
 		}
 	}

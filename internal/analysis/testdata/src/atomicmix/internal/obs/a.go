@@ -1,0 +1,99 @@
+// Package obs is the atomicmix fixture: one synchronization discipline
+// per memory location.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter holds a typed atomic: methods only, never copies.
+type counter struct {
+	n atomic.Int64
+}
+
+func bump(c *counter) {
+	c.n.Add(1) // method receiver: clean
+}
+
+func read(c *counter) int64 {
+	return c.n.Load() // clean
+}
+
+func steal(c *counter) atomic.Int64 {
+	return c.n // want `atomic value of type sync/atomic\.Int64 is copied or reassigned`
+}
+
+func alias(c *counter) {
+	v := c.n // want `atomic value of type sync/atomic\.Int64 is copied or reassigned`
+	_ = v.Load()
+}
+
+// legacy uses sync/atomic functions on a plain field.
+type legacy struct {
+	hits int64
+}
+
+func (l *legacy) incr() {
+	atomic.AddInt64(&l.hits, 1) // sanctioned atomic access: clean
+}
+
+func (l *legacy) peek() int64 {
+	return l.hits // want `field hits is accessed via sync/atomic elsewhere in this package; this plain read races`
+}
+
+// newLegacy is the constructor: plain initialization is allowed there.
+func newLegacy() *legacy {
+	l := &legacy{}
+	l.hits = 0
+	return l
+}
+
+// store infers mutex guarding from majority-locked access.
+type store struct {
+	mu   sync.Mutex
+	recs map[string]int
+	hits int
+}
+
+func (s *store) put(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs[k] = v
+	s.hits++
+}
+
+func (s *store) get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recs[k]
+}
+
+func (s *store) size() int {
+	return len(s.recs) // want `field store\.recs is mutex-guarded`
+}
+
+// flush locks, then delegates to persist — whose every call site holds the
+// lock, so its plain accesses are caller-held: clean.
+func (s *store) flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.persist()
+}
+
+func (s *store) persist() {
+	s.hits = 0
+}
+
+// newStore builds the struct: constructor writes are exempt, including the
+// helper only it calls.
+func newStore() *store {
+	s := &store{}
+	initStore(s)
+	s.hits = 0
+	return s
+}
+
+func initStore(s *store) {
+	s.recs = make(map[string]int)
+}

@@ -1,0 +1,93 @@
+// Package exec is the boundedspawn fixture: per-item goroutine creation
+// in the request/job/step packages must be bounded by a pool or semaphore.
+package exec
+
+import "sync"
+
+func work(v int) {}
+
+// perItem spawns one goroutine per element of user-provided input.
+func perItem(jobs []int) {
+	for _, j := range jobs {
+		go work(j) // want `unbounded goroutine per loop iteration`
+	}
+}
+
+// forever spawns inside an infinite accept-style loop.
+func forever(next func() int) {
+	for {
+		j := next()
+		go work(j) // want `unbounded goroutine per loop iteration`
+	}
+}
+
+// lenBound counts to len(): still data-sized.
+func lenBound(jobs []int) {
+	for i := 0; i < len(jobs); i++ {
+		go work(jobs[i]) // want `unbounded goroutine per loop iteration`
+	}
+}
+
+// poolConstruction is a plain counter loop over a config knob: exempt.
+func poolConstruction(workers int, queue chan int) {
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range queue {
+				work(j)
+			}
+		}()
+	}
+}
+
+// semGated acquires a semaphore slot before each spawn: exempt.
+func semGated(jobs []int, sem chan struct{}) {
+	for _, j := range jobs {
+		sem <- struct{}{}
+		go func(j int) {
+			defer func() { <-sem }()
+			work(j)
+		}(j)
+	}
+}
+
+// launch spawns once — but dispatch calls it per item, making the spawn
+// per-item one level removed.
+func launch(j int) {
+	go work(j) // want `goroutine spawned per item of a loop in dispatch`
+}
+
+func dispatch(jobs []int) {
+	for _, j := range jobs {
+		launch(j)
+	}
+}
+
+// gatedLaunch takes a semaphore slot before spawning: exempt even when
+// called per item.
+func gatedLaunch(j int, sem chan struct{}) {
+	sem <- struct{}{}
+	go func() {
+		defer func() { <-sem }()
+		work(j)
+	}()
+}
+
+func gatedDispatch(jobs []int, sem chan struct{}) {
+	for _, j := range jobs {
+		gatedLaunch(j, sem)
+	}
+}
+
+// single spawns outside any loop: not per-item, exempt here (goroutinelife
+// owns the termination question).
+func single(j int) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work(j)
+	}()
+	<-done
+}

@@ -30,3 +30,31 @@ func stale() {
 	// want-above `unused suppression for ctxflow`
 	use(context.TODO()) // want `context.TODO\(\) starts a fresh root`
 }
+
+// bare has nothing after the prefix: malformed, and the finding below is
+// NOT suppressed.
+func bare() {
+	//lint:hdltsvet-ignore
+	// want-above `malformed //lint:hdltsvet-ignore directive`
+	ctx := context.Background() // want `context.Background\(\) starts a fresh root`
+	use(ctx)
+}
+
+// unknownName misspells the analyzer: the typo is reported instead of
+// silently suppressing nothing, and the finding below is NOT suppressed.
+func unknownName() {
+	//lint:hdltsvet-ignore ctxflwo the analyzer name is misspelled
+	// want-above `unknown analyzer "ctxflwo" in suppression directive`
+	ctx := context.Background() // want `context.Background\(\) starts a fresh root`
+	use(ctx)
+}
+
+// wrongLine places the directive two lines above the offending statement:
+// out of range, so the finding is reported and the directive is unused.
+func wrongLine() {
+	//lint:hdltsvet-ignore ctxflow placed too far above the finding
+	// want-above `unused suppression for ctxflow`
+	_ = 0
+	ctx := context.Background() // want `context.Background\(\) starts a fresh root`
+	use(ctx)
+}

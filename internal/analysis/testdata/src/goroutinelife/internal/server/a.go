@@ -1,0 +1,141 @@
+// Package server is the goroutinelife fixture: every go statement needs a
+// visible termination path or a documented directive.
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func work() {}
+
+// leakyLoop spawns a forever loop nothing can stop.
+func leakyLoop() {
+	go func() { // want `goroutine has no visible termination path`
+		for {
+			work()
+		}
+	}()
+}
+
+// spin runs forever with no exit evidence.
+func spin() {
+	for {
+		work()
+	}
+}
+
+// leakyCall spawns a same-package function that never terminates.
+func leakyCall() {
+	go spin() // want `goroutine has no visible termination path`
+}
+
+// leakyForeign spawns straight into another package: the lifecycle is
+// invisible, so it must be wrapped or documented.
+func leakyForeign() {
+	go time.Sleep(time.Second) // want `goroutine has no visible termination path`
+}
+
+// ctxBound selects on ctx.Done: clean.
+func ctxBound(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// pool owns its workers through a quit channel and a WaitGroup.
+type pool struct {
+	queue chan int
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// start spawns a worker that ranges over a channel close retires, and a
+// watcher that receives from the stop channel: both clean.
+func (p *pool) start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for range p.queue {
+			work()
+		}
+	}()
+	go p.watch()
+}
+
+// watch receives from the stop channel the pool closes in close().
+func (p *pool) watch() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+func (p *pool) close() {
+	close(p.queue)
+	close(p.stop)
+	p.wg.Wait()
+}
+
+// joined is a WaitGroup-owned helper: clean via one-level expansion.
+func (p *pool) drainOne() {
+	defer p.wg.Done()
+	work()
+}
+
+func (p *pool) spawnJoined() {
+	p.wg.Add(1)
+	go func() {
+		p.drainOne()
+	}()
+}
+
+// handshake signals a completion channel the launcher receives: clean.
+func handshake() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// handshakeSend sends the result back to the launcher: clean.
+func handshakeSend() int {
+	res := make(chan int, 1)
+	go func() {
+		res <- 42
+	}()
+	return <-res
+}
+
+// selfServing receives from its own channel inside the goroutine only —
+// the launcher never waits, so the handshake proves nothing.
+func selfServing() {
+	done := make(chan struct{})
+	go func() { // want `goroutine has no visible termination path`
+		work()
+		done <- struct{}{}
+	}()
+	_ = done
+}
+
+// documented carries the required directive for a true fire-and-forget.
+func documented() {
+	//lint:hdltsvet-ignore goroutinelife process-persistent by design, dies with the process
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

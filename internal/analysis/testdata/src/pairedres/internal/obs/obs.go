@@ -1,0 +1,27 @@
+// Package obs is the pairedres fixture's stand-in for the real
+// observability package: the acquire/release protocols match by name and
+// package-path suffix.
+package obs
+
+import "context"
+
+type StreamFilter struct{}
+
+type Subscription struct{ ch chan int }
+
+func (s *Subscription) Close()          {}
+func (s *Subscription) C() <-chan int   { return s.ch }
+func (s *Subscription) Dropped() uint64 { return 0 }
+
+type Hub struct{}
+
+func (h *Hub) Subscribe(f StreamFilter, buf int) *Subscription { return &Subscription{} }
+
+type Span struct{}
+
+func (s *Span) Finish()      {}
+func (s *Span) Name() string { return "" }
+
+func StartSpan(ctx context.Context, name string, attrs ...string) (context.Context, *Span) {
+	return ctx, &Span{}
+}

@@ -1,0 +1,178 @@
+// Package server is the pairedres fixture: acquired resources must be
+// released on every exit, escape visibly, or live on a struct whose
+// teardown releases them.
+package server
+
+import (
+	"context"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"pairedres/internal/obs"
+)
+
+func use(v any) {}
+
+// leakSub never releases the subscription.
+func leakSub(h *obs.Hub) {
+	sub := h.Subscribe(obs.StreamFilter{}, 8) // want `Hub.Subscribe is never released`
+	use(sub.C())
+}
+
+// deferSub releases via defer: clean.
+func deferSub(h *obs.Hub) {
+	sub := h.Subscribe(obs.StreamFilter{}, 8)
+	defer sub.Close()
+	use(sub.C())
+}
+
+// earlySub releases at the end but returns early without releasing.
+func earlySub(h *obs.Hub, cond bool) {
+	sub := h.Subscribe(obs.StreamFilter{}, 8) // want `Hub.Subscribe may not be released before the return at line \d+`
+	if cond {
+		return
+	}
+	sub.Close()
+}
+
+// discardSub throws the subscription away outright.
+func discardSub(h *obs.Hub) {
+	h.Subscribe(obs.StreamFilter{}, 8) // want `result of Hub.Subscribe is discarded`
+}
+
+// returnSub hands ownership to the caller: clean.
+func returnSub(h *obs.Hub) *obs.Subscription {
+	return h.Subscribe(obs.StreamFilter{}, 8)
+}
+
+// leakSpan starts a span and never finishes it.
+func leakSpan(ctx context.Context) {
+	ctx2, span := obs.StartSpan(ctx, "solve") // want `obs.StartSpan is never released`
+	use(ctx2)
+	use(span.Name())
+}
+
+// finishSpan is the canonical shape: clean.
+func finishSpan(ctx context.Context) {
+	ctx2, span := obs.StartSpan(ctx, "solve")
+	defer span.Finish()
+	use(ctx2)
+}
+
+// discardSpan drops the span result.
+func discardSpan(ctx context.Context) {
+	ctx2, _ := obs.StartSpan(ctx, "solve") // want `result of obs.StartSpan is discarded`
+	use(ctx2)
+}
+
+// plainFinish releases on the only path: clean.
+func plainFinish(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "solve")
+	use(ctx)
+	span.Finish()
+}
+
+// leakTicker never stops the ticker.
+func leakTicker() {
+	t := time.NewTicker(time.Second) // want `time.NewTicker is never released`
+	use(<-t.C)
+}
+
+// stopTicker defers Stop: clean.
+func stopTicker() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	use(<-t.C)
+}
+
+// poller stores the ticker on a struct whose Stop stops it: clean.
+type poller struct {
+	t *time.Ticker
+}
+
+func (p *poller) start(d time.Duration) {
+	p.t = time.NewTicker(d)
+}
+
+func (p *poller) Stop() {
+	p.t.Stop()
+}
+
+// leaky stores the ticker on a struct with no releasing teardown.
+type leaky struct {
+	t *time.Ticker
+}
+
+func (l *leaky) start(d time.Duration) {
+	l.t = time.NewTicker(d) // want `time.NewTicker stored in field t, but no Close/Stop/Shutdown method releases it`
+}
+
+// fileErrGuard is the canonical open: err-guarded return, deferred Close.
+func fileErrGuard(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	use(f.Name())
+	return nil
+}
+
+// fileLeak opens and forgets.
+func fileLeak(path string) error {
+	f, err := os.Open(path) // want `os file open is never released`
+	if err != nil {
+		return err
+	}
+	use(f.Name())
+	return nil
+}
+
+// listenEscape hands the listener to a server: clean.
+func listenEscape(serve func(net.Listener) error) error {
+	ln, err := net.Listen("tcp", ":0")
+	if err != nil {
+		return err
+	}
+	return serve(ln)
+}
+
+// listenLeak keeps the listener and loses it.
+func listenLeak() {
+	ln, err := net.Listen("tcp", ":0") // want `net.Listen is never released`
+	if err != nil {
+		return
+	}
+	use(ln.Addr())
+}
+
+// arena exercises the sync.Pool protocol, wrapper release included.
+type arena struct{ buf []byte }
+
+var arenaPool = sync.Pool{New: func() any { return &arena{} }}
+
+func (a *arena) recycle() {
+	arenaPool.Put(a)
+}
+
+// poolDirect puts the arena back directly: clean.
+func poolDirect() {
+	a := arenaPool.Get().(*arena)
+	defer arenaPool.Put(a)
+	use(a.buf)
+}
+
+// poolWrapped releases through the recycle wrapper: clean.
+func poolWrapped() {
+	a := arenaPool.Get().(*arena)
+	defer a.recycle()
+	use(a.buf)
+}
+
+// poolLeak takes from the pool and never returns the arena.
+func poolLeak() {
+	a := arenaPool.Get().(*arena) // want `sync.Pool.Get is never released`
+	use(a.buf)
+}

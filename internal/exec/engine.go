@@ -40,7 +40,16 @@ var (
 	ErrClosed = errors.New("exec: engine is closed")
 	// ErrFinished: the workflow is already terminal.
 	ErrFinished = errors.New("exec: workflow already finished")
+	// ErrSaturated: the engine already runs Config.MaxActive workflows;
+	// the submission was refused before any state was created. Retry later.
+	ErrSaturated = errors.New("exec: too many active workflows")
 )
+
+// DefaultMaxActive bounds concurrently executing workflows when
+// Config.MaxActive is unset. Each active workflow costs one run-loop
+// goroutine plus one goroutine per running step, so an unbounded engine
+// would let a submission flood translate directly into goroutine floods.
+const DefaultMaxActive = 64
 
 // estFloor keeps drift ratios finite when a step declares a (near-)zero
 // estimate.
@@ -72,6 +81,10 @@ type Config struct {
 	// the feed behind the SSE endpoints. Nil is fine: every publish site
 	// no-ops on a nil hub.
 	Stream *obs.Hub
+	// MaxActive caps concurrently executing workflows (default
+	// DefaultMaxActive). Submit refuses with ErrSaturated beyond it;
+	// crash-recovered workflows instead wait for a free slot.
+	MaxActive int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +96,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OverdueTick <= 0 {
 		c.OverdueTick = 100 * time.Millisecond
+	}
+	if c.MaxActive <= 0 {
+		c.MaxActive = DefaultMaxActive
 	}
 	return c
 }
@@ -137,6 +153,10 @@ type Engine struct {
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 
+	// slots is the run-admission semaphore: one send per live workflow,
+	// received back when its run loop exits. Capacity is Config.MaxActive.
+	slots chan struct{}
+
 	active    *obs.Gauge
 	replans   *obs.Counter
 	walErrors *obs.Counter
@@ -173,6 +193,7 @@ func Open(cfg Config) (*Engine, error) {
 		cfg:       cfg,
 		recs:      make(map[string]*Record),
 		runs:      make(map[string]*runState),
+		slots:     make(chan struct{}, cfg.MaxActive),
 		active:    cfg.Metrics.Gauge(metricWorkflowActive),
 		replans:   cfg.Metrics.Counter(metricWorkflowReplans),
 		walErrors: cfg.Metrics.Counter(metricWorkflowWALErrors),
@@ -243,7 +264,7 @@ func (e *Engine) adopt(recovered map[string]*Record) {
 		}
 		r.State = Running
 		e.persistLocked(r)
-		e.launch(r, pr, nil)
+		e.launch(r, pr, nil, false)
 	}
 }
 
@@ -258,6 +279,21 @@ func (e *Engine) Submit(ctx context.Context, wf *Workflow) (*Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Admission control: take the run slot before planning or persisting
+	// anything, so a saturated engine refuses cheaply and never leaves a
+	// rejected record behind. The slot travels with the workflow: launch
+	// skips re-acquiring it, and the run loop returns it on exit.
+	select {
+	case e.slots <- struct{}{}:
+	default:
+		return nil, ErrSaturated
+	}
+	launched := false
+	defer func() {
+		if !launched {
+			<-e.slots // admission succeeded but a later step failed
+		}
+	}()
 	id := newID()
 	_, span := obs.StartSpan(ctx, "workflow.plan",
 		obs.KeyWorkflow, id, obs.KeyAlg, "HDLTS")
@@ -305,7 +341,8 @@ func (e *Engine) Submit(ctx context.Context, wf *Workflow) (*Record, error) {
 		Proc:     -1,
 		Value:    float64(len(wf.Steps)),
 	})
-	e.launch(rec, pr, plan.order)
+	e.launch(rec, pr, plan.order, true)
+	launched = true
 	return snapshot, nil
 }
 
@@ -367,7 +404,15 @@ func (e *Engine) plan(ctx context.Context, pr *sched.Problem) (*planResult, erro
 // nil for recovered workflows, whose dispatch order is rebuilt by the
 // resume re-plan. Deliberately context-free: runs derive from the
 // engine's process-lifetime root, not from any submitting request.
-func (e *Engine) launch(rec *Record, pr *sched.Problem, initOrder [][]int) {
+//
+// admitted says the caller already holds a run slot (Submit takes one up
+// front so saturation is a clean refusal). Recovery passes false and
+// blocks here instead: recovered workflows were admitted in a previous
+// life, so they queue for slots rather than being dropped.
+func (e *Engine) launch(rec *Record, pr *sched.Problem, initOrder [][]int, admitted bool) {
+	if !admitted {
+		e.slots <- struct{}{}
+	}
 	runCtx := obs.WithTraceID(e.baseCtx, rec.TraceID)
 	if e.cfg.Traces != nil && rec.TraceID != "" {
 		// Re-adopt the workflow's trace — after a restart this is what
@@ -560,6 +605,7 @@ func (e *Engine) run(id string, wf *Workflow, pr *sched.Problem, initOrder [][]i
 	defer e.wg.Done()
 	defer close(rs.done)
 	defer e.active.Dec()
+	defer func() { <-e.slots }() // return the admission slot
 
 	ctx, runSpan := obs.StartSpan(rs.ctx, "workflow.run",
 		obs.KeyWorkflow, id, obs.KeyAlg, "exec")

@@ -419,6 +419,61 @@ func TestEngineAPIErrors(t *testing.T) {
 	}
 }
 
+// TestEngineSaturation: a full engine refuses new submissions with
+// ErrSaturated — before persisting anything — and admits again once a
+// run loop exits and returns its slot.
+func TestEngineSaturation(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	runner := func(ctx context.Context, step Step) error {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	e := testEngine(t, Config{Runner: runner, MaxActive: 1})
+	wf := &Workflow{
+		Procs: 1,
+		Steps: []Step{{Name: "a", Command: "true", Costs: []float64{0.01}}},
+	}
+	first, err := e.Submit(context.Background(), wf)
+	if err != nil {
+		t.Fatalf("first Submit: %v", err)
+	}
+	<-started // the only slot is now occupied
+	if _, err := e.Submit(context.Background(), wf); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("second Submit = %v, want ErrSaturated", err)
+	}
+	// The refused submission must leave no record behind.
+	if got := len(e.List()); got != 1 {
+		t.Fatalf("records after refusal = %d, want 1", got)
+	}
+	close(release)
+	waitDone(t, e, first.ID)
+	// Wait observes the terminal record a hair before the run loop's
+	// deferred slot release runs; poll until admission reopens.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := e.Submit(context.Background(), wf)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrSaturated) {
+			t.Fatalf("Submit after drain = %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot was never returned after the first run finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestEngineList(t *testing.T) {
 	e := testEngine(t, Config{Runner: newFakeRunner().run})
 	var ids []string

@@ -93,6 +93,10 @@ func (s *Server) handleWorkflowSubmit(w http.ResponseWriter, r *http.Request) {
 			s.workflowError(w, http.StatusServiceUnavailable, "drain", err)
 			return
 		}
+		if errors.Is(err, exec.ErrSaturated) {
+			s.workflowError(w, http.StatusTooManyRequests, "saturated", err)
+			return
+		}
 		s.workflowError(w, http.StatusInternalServerError, "plan", err)
 		return
 	}

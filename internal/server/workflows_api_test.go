@@ -189,6 +189,28 @@ func TestWorkflowCancelOverHTTP(t *testing.T) {
 	}
 }
 
+func TestWorkflowSubmitSaturated(t *testing.T) {
+	reg := obs.NewRegistry()
+	blocker := func(ctx context.Context, step exec.Step) error {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	srv := newTestServer(t, Config{Metrics: reg, Workflows: exec.Config{
+		Runner: blocker, OverdueTick: 5 * time.Millisecond, MaxActive: 1}})
+	v, rec := submitWorkflow(t, srv, "steps:\n  - name: stuck\n    command: sleep 600\n")
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("first submission = %d, body %s", rec.Code, rec.Body)
+	}
+	waitWorkflowState(t, srv, v.ID, exec.Running)
+	_, rec2 := submitWorkflow(t, srv, wfYAML)
+	if rec2.Code != http.StatusTooManyRequests {
+		t.Fatalf("submit past MaxActive = %d, want 429 (body %s)", rec2.Code, rec2.Body)
+	}
+	if n := reg.Counter(metricWorkflowErrors, "reason", "saturated").Value(); n != 1 {
+		t.Errorf("saturated counter = %v, want 1", n)
+	}
+}
+
 func TestWorkflowSubmitWhileDraining(t *testing.T) {
 	srv := newTestServer(t, Config{Workflows: exec.Config{Runner: fastRunner}})
 	srv.Drain()
